@@ -1,0 +1,52 @@
+"""Shared fixtures of the benchmark harness.
+
+Each benchmark module regenerates one artefact of the paper (figure, claim or
+comparison) and measures the corresponding pipeline stage with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.casestudies import PRODUCER_CONSUMER_AADL, instantiate_producer_consumer, load_producer_consumer_model
+from repro.core import ToolchainOptions, run_toolchain, translate_system
+from repro.scheduling import task_set_from_instance
+
+
+@pytest.fixture(scope="session")
+def pc_model():
+    return load_producer_consumer_model()
+
+
+@pytest.fixture(scope="session")
+def pc_root(pc_model):
+    return instantiate_producer_consumer(pc_model)
+
+
+@pytest.fixture(scope="session")
+def pc_task_set(pc_root):
+    return task_set_from_instance(pc_root, ["prProdCons"])
+
+
+@pytest.fixture(scope="session")
+def pc_translation(pc_root):
+    return translate_system(pc_root)
+
+
+@pytest.fixture(scope="session")
+def pc_toolchain():
+    options = ToolchainOptions(
+        root_implementation="ProducerConsumerSystem.others",
+        default_package="ProducerConsumer",
+        simulate_hyperperiods=2,
+        stimuli_periods={"sysEnv_pProdStart_stimulus": 4, "sysEnv_pConsStart_stimulus": 6},
+    )
+    return run_toolchain(PRODUCER_CONSUMER_AADL, options)

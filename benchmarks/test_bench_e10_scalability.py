@@ -1,0 +1,84 @@
+"""E10 / Section IV-E — scalability of the tool chain.
+
+The paper claims that "several thousand clocks can be handled by the clock
+calculus", that "most AADL components are considered in order to handle
+large-sized systems" and that "more than ten case studies have been tested,
+and there is no special size limitation on transformation".  The benchmark
+sweeps generated models from tens to thousands of signals, runs the
+translation and the clock calculus on each, and checks the whole catalog.
+"""
+
+import pytest
+
+from repro.aadl.instance import Instantiator, instance_report
+from repro.casestudies import CATALOG, GeneratorConfig, generate_case_study
+from repro.core import TranslationConfig, translate_system
+from repro.sig.clock_calculus import run_clock_calculus
+
+
+def _build(processes, threads):
+    config = GeneratorConfig(
+        name=f"Scale{processes}x{threads}",
+        processes=processes,
+        threads_per_process=threads,
+        harmonic=True,
+        seed=processes * 31 + threads,
+    )
+    generated = generate_case_study(config)
+    root = Instantiator(generated.model, default_package=config.name).instantiate(generated.root_implementation)
+    return root
+
+
+@pytest.mark.parametrize("processes,threads", [(1, 4), (2, 6), (4, 8), (8, 10)])
+def test_bench_e10_translation_scales(benchmark, processes, threads):
+    root = _build(processes, threads)
+
+    def translate():
+        return translate_system(root, TranslationConfig(include_scheduler=False))
+
+    result = benchmark(translate)
+    stats = result.statistics()
+    flat = result.system_model.flatten()
+    calculus = run_clock_calculus(flat, flatten=False)
+    print(
+        f"\nE10 — {processes} processes x {threads} threads: "
+        f"{stats['signals']} signals, {stats['equations']} equations, "
+        f"{calculus.clock_count()} clocks"
+    )
+    assert stats["signals"] > 50 * processes
+    assert calculus.clock_count() > 10 * processes
+
+
+def test_bench_e10_thousands_of_clocks(benchmark):
+    """The clock calculus handles a translated model with thousands of signals
+    (several thousand clock variables before resolution)."""
+    root = _build(10, 10)
+    result = translate_system(root, TranslationConfig(include_scheduler=False))
+    flat = result.system_model.flatten()
+    assert flat.signal_count() > 2000
+
+    calculus_result = benchmark(run_clock_calculus, flat, False)
+    print(
+        f"\nE10 — clock calculus on {flat.signal_count()} signals: "
+        f"{calculus_result.clock_count()} synchronisation classes"
+    )
+    assert calculus_result.clock_count() > 500
+
+
+def test_bench_e10_catalog_coverage(benchmark):
+    """More than ten case studies translate with no special size limitation."""
+
+    def translate_all():
+        sizes = {}
+        for entry in CATALOG:
+            root = entry.instantiate()
+            result = translate_system(root, TranslationConfig(include_scheduler=False))
+            sizes[entry.name] = result.system_model.flatten().signal_count()
+        return sizes
+
+    sizes = benchmark(translate_all)
+    print("\nE10 — catalog coverage")
+    for name, size in sorted(sizes.items()):
+        print(f"  {name:<20s} {size:>6d} signals")
+    assert len(sizes) > 10
+    assert all(size > 10 for size in sizes.values())

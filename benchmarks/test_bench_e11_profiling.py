@@ -1,0 +1,52 @@
+"""E11 / Section V-C — profiling-based performance evaluation.
+
+"Profiling has been used for performance evaluation, once a specific hardware
+architecture is chosen and the corresponding temporal specification of the
+SIGNAL program is defined on this architecture."  The benchmark profiles the
+simulated case study against three candidate cost models (architectures) and
+checks that the comparison orders them consistently.
+"""
+
+import pytest
+
+from repro.sig.profiling import EMBEDDED_CPU, GENERIC_PROCESSOR, MICROCONTROLLER, Profiler, compare_architectures
+
+
+def test_bench_e11_static_profile(benchmark, pc_toolchain):
+    model = pc_toolchain.translation.system_model
+
+    def profile():
+        return Profiler(model, GENERIC_PROCESSOR).static_profile()
+
+    static = benchmark(profile)
+    print("\nE11 — static profile (generic processor)")
+    for name, cost in static.most_expensive(5):
+        print(f"  {name:<45s} {cost:8.2f}")
+    assert static.total > 0
+    assert len(static.per_signal) > 200
+
+
+def test_bench_e11_architecture_exploration(benchmark, pc_toolchain):
+    model = pc_toolchain.translation.system_model
+    trace = pc_toolchain.trace
+
+    def explore():
+        return compare_architectures(
+            model,
+            trace,
+            {"microcontroller": MICROCONTROLLER, "generic": GENERIC_PROCESSOR, "embedded_cpu": EMBEDDED_CPU},
+        )
+
+    profiles = benchmark(explore)
+    print("\nE11 — profiling-based architecture exploration (2 hyper-periods)")
+    for name, profile in sorted(profiles.items(), key=lambda kv: kv[1].total):
+        print(
+            f"  {name:<16s} total {profile.total:10.1f}  avg/instant {profile.average_per_instant:8.2f}  "
+            f"peak {profile.peak_instant:8.2f}"
+        )
+
+    # Faster architecture -> lower estimated execution time; same ordering as
+    # the cost models, with roughly the cost-model ratios.
+    assert profiles["embedded_cpu"].total < profiles["generic"].total < profiles["microcontroller"].total
+    ratio = profiles["microcontroller"].total / profiles["embedded_cpu"].total
+    assert ratio > 3.0

@@ -1,0 +1,48 @@
+"""E7 / Section V-C — clock calculus and determinism identification.
+
+"The automaton of the thProducer thread has been checked: without correct
+priority properties specified on the transitions, the automaton is found to be
+non-deterministic."  The benchmark runs the determinism identification on the
+faithful translation (partial definitions, no priorities) and on the resolved
+translation (priorities / document order), and times the clock-calculus-based
+check on the whole translated system.
+"""
+
+import pytest
+
+from repro.core import TranslationConfig, translate_system
+from repro.core.thread_model import translate_thread
+from repro.sig.analysis import build_clock_report, check_determinism
+
+
+def test_bench_e7_producer_automaton_determinism(benchmark, pc_root):
+    producer = pc_root.find(["prProdCons", "thProducer"])
+
+    faithful = translate_thread(producer, resolve_mode_conflicts=False)
+    resolved = translate_thread(producer, resolve_mode_conflicts=True)
+
+    report = benchmark(check_determinism, faithful.model)
+
+    print("\nE7 — determinism identification of the thProducer automaton")
+    print(f"  without priorities: {'non-deterministic' if not report.deterministic else 'deterministic'}")
+    for issue in report.issues:
+        print(f"    - {issue.kind} on {issue.signal}")
+    resolved_report = check_determinism(resolved.model)
+    print(f"  with priorities   : {'deterministic' if resolved_report.deterministic else 'non-deterministic'}")
+
+    # Paper finding: non-deterministic without priorities…
+    assert not report.deterministic
+    assert any(issue.signal == "mode_update" for issue in report.issues)
+    # …and fixed once the transitions are prioritised.
+    assert resolved_report.deterministic
+
+
+def test_bench_e7_clock_calculus_on_system(benchmark, pc_translation):
+    flat = pc_translation.system_model.flatten()
+    report = benchmark(build_clock_report, flat)
+    print("\nE7 — clock calculus on the translated system")
+    print(f"  signals: {report.signal_count}, synchronisation classes: {report.clock_count}")
+    assert report.clock_count > 50
+    # The only null clocks are the deliberately-unused reset accesses of the
+    # shared data components (no reset accessor exists in the case study).
+    assert all(name.endswith("_reset") for name in report.null_clock_signals)

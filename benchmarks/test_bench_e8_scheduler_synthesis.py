@@ -1,0 +1,69 @@
+"""E8 / Section IV-D and V-C — thread-level scheduler synthesis.
+
+The four case-study threads (4, 6, 8, 8 ms) are scheduled over the 24 ms
+hyper-period under RM and EDF, and the valid schedules are exported to SIGNAL
+affine clocks.  The benchmark regenerates the schedule table and the affine
+relations and times the synthesis.
+"""
+
+import pytest
+
+from repro.scheduling import (
+    SchedulingPolicy,
+    StaticSchedulerConfig,
+    analyse_schedulability,
+    analyse_synchronizability,
+    export_affine_clocks,
+    hyperperiod_ms,
+    synthesise_schedule,
+)
+
+
+@pytest.mark.parametrize("policy", [SchedulingPolicy.RATE_MONOTONIC, SchedulingPolicy.EARLIEST_DEADLINE_FIRST])
+def test_bench_e8_schedule_synthesis(benchmark, pc_task_set, policy):
+    schedule = benchmark(synthesise_schedule, pc_task_set, StaticSchedulerConfig(policy=policy))
+
+    assert hyperperiod_ms(pc_task_set) == 24.0
+    assert schedule.hyperperiod_ms == 24.0
+    assert schedule.is_valid()
+    assert len(schedule.jobs) == 16
+
+    print(f"\nE8 — static non-preemptive schedule ({policy.value}), hyper-period 24 ms")
+    for row in schedule.table()[:8]:
+        print(
+            f"  {row['task']:<12s} job {row['job']}  dispatch {row['dispatch_ms']:>4.1f}  "
+            f"start {row['start_ms']:>4.1f}  complete {row['complete_ms']:>4.1f}  deadline {row['deadline_ms']:>4.1f}"
+        )
+    print(f"  … ({len(schedule.jobs)} jobs, utilisation {schedule.processor_utilisation():.2f})")
+
+
+def test_bench_e8_affine_export(benchmark, pc_task_set):
+    schedule = synthesise_schedule(pc_task_set)
+    export = benchmark(export_affine_clocks, schedule)
+
+    print("\nE8 — affine clock export of the RM schedule")
+    for task in ("thProducer", "thConsumer", "thProdTimer", "thConsTimer"):
+        clock = export.single_affine(task, "dispatch")
+        print(f"  {task:<12s} dispatch = {clock}")
+    assert export.single_affine("thProducer", "dispatch").period == 4
+    assert export.single_affine("thConsumer", "dispatch").period == 6
+    assert export.single_affine("thProdTimer", "dispatch").period == 8
+    assert export.start_clocks_mutually_disjoint()
+
+    # Affine relation between producer and consumer dispatch clocks: (2, 0, 3).
+    relation = export.single_affine("thProducer", "dispatch").relative_relation(
+        export.single_affine("thConsumer", "dispatch")
+    )
+    assert relation == (2, 0, 3)
+
+
+def test_bench_e8_schedulability_and_synchronizability(benchmark, pc_task_set):
+    def analyse():
+        return analyse_schedulability(pc_task_set), analyse_synchronizability(pc_task_set)
+
+    schedulability, synchronizability = benchmark(analyse)
+    print("\nE8 — analyses")
+    print("  " + schedulability.summary().replace("\n", "\n  "))
+    print("  " + synchronizability.summary().replace("\n", "\n  "))
+    assert schedulability.schedulable
+    assert synchronizability.pair("thProdTimer", "thConsTimer").synchronisable

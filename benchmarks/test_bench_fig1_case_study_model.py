@@ -1,0 +1,47 @@
+"""E1 / Fig. 1 — the ProducerConsumer AADL model (prProdCons process).
+
+Regenerates the structural content of Fig. 1: the process ``prProdCons`` with
+its four threads, the shared ``Queue``, the timer connections, the binding to
+``Processor1`` and the two subsystems, and measures the front-end (parse +
+instantiate) on the case study.
+"""
+
+import pytest
+
+from repro.aadl.instance import Instantiator, instance_report, processor_bindings
+from repro.aadl.parser import parse_string
+from repro.casestudies import CASE_STUDY_FACTS, PRODUCER_CONSUMER_AADL
+
+
+def _front_end():
+    model = parse_string(PRODUCER_CONSUMER_AADL)
+    root = Instantiator(model, default_package="ProducerConsumer").instantiate("ProducerConsumerSystem.others")
+    return model, root
+
+
+def test_bench_fig1_parse_and_instantiate(benchmark):
+    model, root = benchmark(_front_end)
+
+    # --- Fig. 1 content -------------------------------------------------
+    process = root.find(["prProdCons"])
+    thread_names = sorted(t.name for t in process.threads())
+    assert thread_names == sorted(CASE_STUDY_FACTS["threads"])
+    periods = {t.name: t.period_ms() for t in process.threads()}
+    assert periods == CASE_STUDY_FACTS["periods_ms"]
+    assert "Queue" in process.subcomponents
+    assert set(root.subcomponents) == {"prProdCons", "Processor1", "sysEnv", "sysOperatorDisplay"}
+    bindings = processor_bindings(root)
+    assert bindings["ProducerConsumerSystem.prProdCons"].name == CASE_STUDY_FACTS["processor_name"]
+
+    report = instance_report(root)
+    rows = {
+        "components": report.components,
+        "threads": report.threads,
+        "ports": report.ports,
+        "connections": report.connections,
+        "shared data": report.data,
+    }
+    print("\nFig. 1 — ProducerConsumer instance model")
+    for key, value in rows.items():
+        print(f"  {key:<12s}: {value}")
+    assert report.threads == 4 and report.data == 1 and report.processors == 1

@@ -1,0 +1,38 @@
+"""E4 / Fig. 4 — the SIGNAL model of the thProducer thread.
+
+Fig. 4 shows the translated thread with its added timing signals: the input
+bundles ctl1 (Dispatch, Resume, Deadline) and time1 (frozen/output time
+events), the output bundle ctl2 (Complete, Error) and the Alarm output, and
+the ports translated as subprocess instances.  The benchmark times the
+translation of one thread and checks that interface.
+"""
+
+import pytest
+
+from repro.core.thread_model import translate_thread
+from repro.sig.printer import interface_summary, to_signal_source
+
+
+def test_bench_fig4_thread_translation(benchmark, pc_root):
+    producer = pc_root.find(["prProdCons", "thProducer"])
+    translated = benchmark(translate_thread, producer)
+    model = translated.model
+
+    summary = interface_summary(model)
+    print("\nFig. 4 — thProducer SIGNAL interface")
+    print(f"  inputs : {summary['inputs']}")
+    print(f"  outputs: {summary['outputs']}")
+    print(f"  bundles: {summary['bundles']}")
+
+    assert set(model.bundles["ctl1"].fields) == {"Dispatch", "Resume", "Deadline"}
+    assert set(model.bundles["ctl2"].fields) == {"Complete", "Error"}
+    assert any(field.endswith("Frozen_time") for field in model.bundles["time1"].fields)
+    assert "Alarm" in {d.name for d in model.outputs()}
+
+    # Ports are implemented as SIGNAL processes, not plain signals.
+    port_instances = [i.instance_name for i in model.instances if i.instance_name.startswith("port_")]
+    assert "port_pProdStart" in port_instances and "port_pProdOK" in port_instances
+
+    text = to_signal_source(model, include_submodels=False)
+    assert "process thProducer =" in text
+    assert "ctl1_Dispatch" in text and "time1_pProdStart_Frozen_time" in text

@@ -1,0 +1,5 @@
+"""Setup shim for legacy editable installs (offline environments without wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — Polychronous analysis and validation for timed software architectures in AADL.
+
+A from-scratch Python reproduction of the DATE 2013 paper by Ma, Yu, Gautier,
+Le Guernic, Talpin, Besnard and Heitz: an AADL front-end, a polychronous
+(SIGNAL) model of computation, the ASME2SSME AADL→SIGNAL translation with the
+AADL timing execution model, thread-level static scheduler synthesis exported
+to affine clocks, formal analyses (clock calculus, determinism, deadlock,
+synchronizability), simulation with VCD traces, and profiling-based
+performance evaluation.
+
+Top-level entry points:
+
+* :func:`repro.core.run_toolchain` — the complete tool chain on one AADL model;
+* :mod:`repro.aadl` — AADL parsing, instantiation and validation;
+* :mod:`repro.sig` — the polychronous kernel (clock calculus, simulator, …);
+* :mod:`repro.core` — the AADL→SIGNAL translation;
+* :mod:`repro.scheduling` — scheduler synthesis and schedulability analysis;
+* :mod:`repro.casestudies` — the ProducerConsumer case study and the catalog.
+"""
+
+from . import aadl, casestudies, core, scheduling, sig
+from .core import ToolchainOptions, ToolchainResult, TranslationConfig, run_toolchain, translate_system
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "aadl",
+    "casestudies",
+    "core",
+    "scheduling",
+    "sig",
+    "ToolchainOptions",
+    "ToolchainResult",
+    "TranslationConfig",
+    "run_toolchain",
+    "translate_system",
+    "__version__",
+]

@@ -1,0 +1,520 @@
+"""AADL instance model.
+
+The declarative model (packages, types, implementations) describes *families*
+of components; analyses and the SIGNAL translation work on the **instance
+model** obtained by recursively instantiating a root system implementation:
+every subcomponent becomes a :class:`ComponentInstance`, features become
+:class:`FeatureInstance`, connections are resolved to pairs of feature
+instances, and property associations are resolved along the component
+hierarchy (including ``applies to`` associations declared by ancestors, such
+as ``Actual_Processor_Binding``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import AadlInstantiationError
+from .model import (
+    AadlModel,
+    AccessKind,
+    ComponentCategory,
+    ComponentImplementation,
+    ComponentType,
+    Connection,
+    ConnectionEnd,
+    ConnectionKind,
+    DataAccess,
+    Feature,
+    Mode,
+    ModeTransition,
+    Port,
+    PortDirection,
+    Subcomponent,
+)
+from .properties import (
+    ACTUAL_PROCESSOR_BINDING,
+    DEADLINE,
+    DISPATCH_PROTOCOL,
+    PERIOD,
+    PropertyAssociation,
+    PropertyMap,
+    ReferenceValue,
+    ListValue,
+    parse_time_value,
+)
+
+
+@dataclass
+class FeatureInstance:
+    """A feature of a component instance."""
+
+    name: str
+    declaration: Feature
+    owner: "ComponentInstance"
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.owner.qualified_name}.{self.name}"
+
+    @property
+    def is_port(self) -> bool:
+        return isinstance(self.declaration, Port)
+
+    @property
+    def is_data_access(self) -> bool:
+        return isinstance(self.declaration, DataAccess)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FeatureInstance({self.qualified_name})"
+
+
+@dataclass
+class ConnectionInstance:
+    """A connection resolved to source / destination feature instances."""
+
+    name: str
+    kind: ConnectionKind
+    source: FeatureInstance
+    destination: FeatureInstance
+    declaration: Connection
+    owner: "ComponentInstance"
+
+    @property
+    def timing(self) -> str:
+        return self.declaration.timing
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ConnectionInstance({self.source.qualified_name} -> {self.destination.qualified_name})"
+
+
+class ComponentInstance:
+    """A node of the instance tree."""
+
+    def __init__(
+        self,
+        name: str,
+        category: ComponentCategory,
+        classifier: Optional[str],
+        component_type: Optional[ComponentType],
+        implementation: Optional[ComponentImplementation],
+        parent: Optional["ComponentInstance"] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.classifier = classifier
+        self.component_type = component_type
+        self.implementation = implementation
+        self.parent = parent
+        self.properties = PropertyMap()
+        self.subcomponents: Dict[str, ComponentInstance] = {}
+        self.features: Dict[str, FeatureInstance] = {}
+        self.connections: List[ConnectionInstance] = []
+        self.modes: Dict[str, Mode] = {}
+        self.mode_transitions: List[ModeTransition] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def qualified_name(self) -> str:
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.qualified_name}.{self.name}"
+
+    @property
+    def path(self) -> Tuple[str, ...]:
+        if self.parent is None:
+            return (self.name,)
+        return self.parent.path + (self.name,)
+
+    def root(self) -> "ComponentInstance":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    # -- traversal ------------------------------------------------------
+    def all_instances(self) -> List["ComponentInstance"]:
+        out = [self]
+        for child in self.subcomponents.values():
+            out.extend(child.all_instances())
+        return out
+
+    def instances_of(self, category: ComponentCategory) -> List["ComponentInstance"]:
+        return [inst for inst in self.all_instances() if inst.category is category]
+
+    def threads(self) -> List["ComponentInstance"]:
+        return self.instances_of(ComponentCategory.THREAD)
+
+    def processes(self) -> List["ComponentInstance"]:
+        return self.instances_of(ComponentCategory.PROCESS)
+
+    def systems(self) -> List["ComponentInstance"]:
+        return self.instances_of(ComponentCategory.SYSTEM)
+
+    def processors(self) -> List["ComponentInstance"]:
+        return self.instances_of(ComponentCategory.PROCESSOR) + self.instances_of(
+            ComponentCategory.VIRTUAL_PROCESSOR
+        )
+
+    def data_components(self) -> List["ComponentInstance"]:
+        return self.instances_of(ComponentCategory.DATA)
+
+    def devices(self) -> List["ComponentInstance"]:
+        return self.instances_of(ComponentCategory.DEVICE)
+
+    def all_connections(self) -> List[ConnectionInstance]:
+        out = list(self.connections)
+        for child in self.subcomponents.values():
+            out.extend(child.all_connections())
+        return out
+
+    def find(self, path: Sequence[str]) -> Optional["ComponentInstance"]:
+        """Find a descendant by relative path of subcomponent names."""
+        node: Optional[ComponentInstance] = self
+        for part in path:
+            if node is None:
+                return None
+            node = node.subcomponents.get(part)
+        return node
+
+    def find_feature(self, path: Sequence[str]) -> Optional[FeatureInstance]:
+        """Find a feature instance by relative path (…, subcomponent, feature)."""
+        if not path:
+            return None
+        if len(path) == 1:
+            return self.features.get(path[0])
+        child = self.subcomponents.get(path[0])
+        if child is None:
+            return None
+        return child.find_feature(path[1:])
+
+    # -- interpreted properties ------------------------------------------
+    def property_value(self, name: str, default=None):
+        return self.properties.value(name, default)
+
+    def period_ms(self) -> Optional[float]:
+        association = self.properties.find(PERIOD)
+        if association is None:
+            return None
+        return parse_time_value(association.value)
+
+    def deadline_ms(self) -> Optional[float]:
+        association = self.properties.find(DEADLINE)
+        if association is None:
+            return self.period_ms()
+        return parse_time_value(association.value)
+
+    def dispatch_protocol(self) -> Optional[str]:
+        value = self.properties.value(DISPATCH_PROTOCOL)
+        return str(value) if value is not None else None
+
+    def in_ports(self) -> List[FeatureInstance]:
+        return [
+            f for f in self.features.values()
+            if isinstance(f.declaration, Port) and f.declaration.is_in
+        ]
+
+    def out_ports(self) -> List[FeatureInstance]:
+        return [
+            f for f in self.features.values()
+            if isinstance(f.declaration, Port) and f.declaration.is_out
+        ]
+
+    def data_accesses(self) -> List[FeatureInstance]:
+        return [f for f in self.features.values() if isinstance(f.declaration, DataAccess)]
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ComponentInstance({self.qualified_name}: {self.category.value})"
+
+
+@dataclass
+class InstanceReport:
+    """Counts used by tests and the Fig. 1 benchmark."""
+
+    components: int
+    threads: int
+    processes: int
+    systems: int
+    processors: int
+    data: int
+    ports: int
+    connections: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "components": self.components,
+            "threads": self.threads,
+            "processes": self.processes,
+            "systems": self.systems,
+            "processors": self.processors,
+            "data": self.data,
+            "ports": self.ports,
+            "connections": self.connections,
+        }
+
+
+class Instantiator:
+    """Builds the instance tree from a declarative model."""
+
+    def __init__(self, model: AadlModel, default_package: Optional[str] = None) -> None:
+        self.model = model
+        self.default_package = default_package or (next(iter(model.packages)) if model.packages else None)
+
+    # ------------------------------------------------------------------
+    def instantiate(self, root: "str | ComponentImplementation") -> ComponentInstance:
+        """Instantiate *root* (an implementation or its qualified name)."""
+        if isinstance(root, str):
+            implementation = self.model.find_implementation(root, self.default_package)
+            if implementation is None:
+                raise AadlInstantiationError(f"unknown component implementation {root!r}")
+        else:
+            implementation = root
+        component_type = self.model.type_of_implementation(implementation, self.default_package)
+        instance = ComponentInstance(
+            name=implementation.type_name,
+            category=implementation.category,
+            classifier=implementation.name,
+            component_type=component_type,
+            implementation=implementation,
+            parent=None,
+        )
+        self._populate(instance)
+        self._resolve_inherited_properties(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+    def _populate(self, instance: ComponentInstance) -> None:
+        self._populate_features(instance)
+        self._populate_properties(instance)
+        implementation = instance.implementation
+        if implementation is None:
+            return
+        instance.modes = dict(implementation.modes)
+        instance.mode_transitions = list(implementation.mode_transitions)
+        for subcomponent in implementation.subcomponents.values():
+            child = self._instantiate_subcomponent(instance, subcomponent)
+            instance.subcomponents[subcomponent.name] = child
+        for connection in implementation.connections:
+            resolved = self._resolve_connection(instance, connection)
+            if resolved is not None:
+                instance.connections.append(resolved)
+
+    def _instantiate_subcomponent(
+        self, parent: ComponentInstance, subcomponent: Subcomponent
+    ) -> ComponentInstance:
+        component_type: Optional[ComponentType] = None
+        implementation: Optional[ComponentImplementation] = None
+        if subcomponent.classifier:
+            classifier = self.model.find_classifier(subcomponent.classifier, self.default_package)
+            if classifier is None:
+                raise AadlInstantiationError(
+                    f"unknown classifier {subcomponent.classifier!r} for subcomponent "
+                    f"{parent.qualified_name}.{subcomponent.name}",
+                    subcomponent.location,
+                )
+            if isinstance(classifier, ComponentImplementation):
+                implementation = classifier
+                component_type = self.model.type_of_implementation(classifier, self.default_package)
+            else:
+                component_type = classifier
+        child = ComponentInstance(
+            name=subcomponent.name,
+            category=subcomponent.category,
+            classifier=subcomponent.classifier,
+            component_type=component_type,
+            implementation=implementation,
+            parent=parent,
+        )
+        self._populate(child)
+        # Subcomponent-level property associations override classifier ones.
+        child.properties.extend(subcomponent.properties)
+        return child
+
+    def _populate_features(self, instance: ComponentInstance) -> None:
+        component_type = instance.component_type
+        seen: Dict[str, Feature] = {}
+        # Walk the extends chain from the most general ancestor down.
+        chain: List[ComponentType] = []
+        while component_type is not None:
+            chain.append(component_type)
+            component_type = (
+                self.model.find_type(component_type.extends, self.default_package)
+                if component_type.extends
+                else None
+            )
+        for ctype in reversed(chain):
+            for feature in ctype.features.values():
+                seen[feature.name] = feature
+        for name, feature in seen.items():
+            instance.features[name] = FeatureInstance(name=name, declaration=feature, owner=instance)
+
+    def _populate_properties(self, instance: ComponentInstance) -> None:
+        # Type properties first (least specific), then implementation ones.
+        chain: List[PropertyMap] = []
+        component_type = instance.component_type
+        type_chain: List[ComponentType] = []
+        while component_type is not None:
+            type_chain.append(component_type)
+            component_type = (
+                self.model.find_type(component_type.extends, self.default_package)
+                if component_type.extends
+                else None
+            )
+        for ctype in reversed(type_chain):
+            chain.append(ctype.properties)
+        if instance.implementation is not None:
+            chain.append(instance.implementation.properties)
+        for properties in chain:
+            for association in properties:
+                if association.applies_to:
+                    continue  # handled by _resolve_inherited_properties
+                instance.properties.add(association)
+
+    def _resolve_connection(
+        self, instance: ComponentInstance, connection: Connection
+    ) -> Optional[ConnectionInstance]:
+        source = self._resolve_end(instance, connection.source)
+        destination = self._resolve_end(instance, connection.destination)
+        if source is None or destination is None:
+            raise AadlInstantiationError(
+                f"cannot resolve connection {connection.name!r} "
+                f"({connection.source} -> {connection.destination}) in {instance.qualified_name}",
+                connection.location,
+            )
+        return ConnectionInstance(
+            name=connection.name,
+            kind=connection.kind,
+            source=source,
+            destination=destination,
+            declaration=connection,
+            owner=instance,
+        )
+
+    def _resolve_end(self, instance: ComponentInstance, end: ConnectionEnd) -> Optional[FeatureInstance]:
+        if end.subcomponent:
+            child = instance.subcomponents.get(end.subcomponent)
+            if child is None:
+                return None
+            feature = child.features.get(end.feature)
+            if feature is None and end.feature in child.subcomponents:
+                # Data-access connections may name the data subcomponent itself.
+                data_child = child.subcomponents[end.feature]
+                return self._synthetic_feature(data_child)
+            return feature
+        feature = instance.features.get(end.feature)
+        if feature is not None:
+            return feature
+        # A connection end naming a data subcomponent directly (shared data).
+        if end.feature in instance.subcomponents:
+            return self._synthetic_feature(instance.subcomponents[end.feature])
+        return None
+
+    def _synthetic_feature(self, data_instance: ComponentInstance) -> FeatureInstance:
+        """Represent a data subcomponent named directly by an access connection."""
+        existing = data_instance.features.get("__self__")
+        if existing is not None:
+            return existing
+        declaration = DataAccess(name="__self__", access=AccessKind.PROVIDES, classifier=data_instance.classifier)
+        feature = FeatureInstance(name="__self__", declaration=declaration, owner=data_instance)
+        data_instance.features["__self__"] = feature
+        return feature
+
+    # ------------------------------------------------------------------
+    def _resolve_inherited_properties(self, root: ComponentInstance) -> None:
+        """Distribute ``applies to`` property associations to their targets."""
+        for instance in root.all_instances():
+            sources: List[PropertyMap] = []
+            if instance.component_type is not None:
+                sources.append(instance.component_type.properties)
+            if instance.implementation is not None:
+                sources.append(instance.implementation.properties)
+            for properties in sources:
+                for association in properties:
+                    if not association.applies_to:
+                        continue
+                    for path in association.applies_to:
+                        target = instance.find(path)
+                        if target is None:
+                            feature = instance.find_feature(path)
+                            if feature is not None:
+                                feature.declaration.properties.add(
+                                    PropertyAssociation(association.name, association.value)
+                                )
+                            continue
+                        target.properties.add(
+                            PropertyAssociation(association.name, association.value)
+                        )
+
+
+# ----------------------------------------------------------------------
+# bindings and reports
+# ----------------------------------------------------------------------
+def processor_bindings(root: ComponentInstance) -> Dict[str, ComponentInstance]:
+    """Resolve ``Actual_Processor_Binding`` associations of the instance tree.
+
+    Returns a mapping from the qualified name of each bound software component
+    (usually a process) to the processor instance it executes on.
+    """
+    bindings: Dict[str, ComponentInstance] = {}
+    processors = {p.name: p for p in root.processors()}
+    processors.update({p.qualified_name: p for p in root.processors()})
+
+    def binding_targets(value) -> List[str]:
+        if isinstance(value, ReferenceValue):
+            return [".".join(value.path)]
+        if isinstance(value, ListValue):
+            out: List[str] = []
+            for item in value.items:
+                if isinstance(item, ReferenceValue):
+                    out.append(".".join(item.path))
+            return out
+        return []
+
+    # Associations attached directly to instances (through applies-to resolution).
+    for instance in root.all_instances():
+        for association in instance.properties.find_all(ACTUAL_PROCESSOR_BINDING):
+            for target in binding_targets(association.value):
+                processor = processors.get(target) or processors.get(target.split(".")[-1])
+                if processor is not None:
+                    bindings[instance.qualified_name] = processor
+
+    # Associations with applies-to declared on enclosing implementations.
+    for instance in root.all_instances():
+        implementation = instance.implementation
+        if implementation is None:
+            continue
+        for association in implementation.properties.find_all(ACTUAL_PROCESSOR_BINDING):
+            if not association.applies_to:
+                continue
+            for path in association.applies_to:
+                bound = instance.find(path)
+                if bound is None:
+                    continue
+                for target in binding_targets(association.value):
+                    processor = processors.get(target) or processors.get(target.split(".")[-1])
+                    if processor is not None:
+                        bindings[bound.qualified_name] = processor
+    return bindings
+
+
+def instance_report(root: ComponentInstance) -> InstanceReport:
+    """Counts of the instance tree (Fig. 1 benchmark output)."""
+    instances = root.all_instances()
+    ports = sum(len([f for f in inst.features.values() if f.is_port]) for inst in instances)
+    return InstanceReport(
+        components=len(instances),
+        threads=len(root.threads()),
+        processes=len(root.processes()),
+        systems=len(root.systems()),
+        processors=len(root.processors()),
+        data=len(root.data_components()),
+        ports=ports,
+        connections=len(root.all_connections()),
+    )
+
+
+def instantiate(model: AadlModel, root: str, default_package: Optional[str] = None) -> ComponentInstance:
+    """Convenience wrapper: instantiate *root* in *model*."""
+    return Instantiator(model, default_package=default_package).instantiate(root)

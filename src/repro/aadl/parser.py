@@ -1,0 +1,794 @@
+"""Recursive-descent parser for the textual AADL subset.
+
+The grammar covered is the subset the paper's translation consumes (and that
+the case studies exercise): packages, component types and implementations of
+every category, features (data / event / event data ports, data, subprogram
+and bus accesses, parameters), subcomponents, port and access connections,
+modes and mode transitions, property associations (including record values
+such as ``Input_Time``, list values, references and ``applies to`` clauses),
+and property-set declarations (recorded but not interpreted).
+
+The parser is deliberately forgiving about constructs outside this subset:
+sections it does not interpret (``flows``, ``calls``, ``annex`` blocks) are
+skipped with a balanced scan so that larger industrial models still parse.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .errors import AadlSyntaxError, SourceLocation
+from .lexer import Token, TokenKind, tokenize
+from .model import (
+    AadlModel,
+    AadlPackage,
+    AccessKind,
+    BusAccess,
+    ComponentCategory,
+    ComponentImplementation,
+    ComponentType,
+    Connection,
+    ConnectionEnd,
+    ConnectionKind,
+    DataAccess,
+    Feature,
+    Mode,
+    ModeTransition,
+    Parameter,
+    Port,
+    PortDirection,
+    PortKind,
+    PropertySetDeclaration,
+    Subcomponent,
+    SubprogramAccess,
+)
+from .properties import (
+    BooleanValue,
+    ClassifierValue,
+    EnumerationValue,
+    IntegerValue,
+    ListValue,
+    PropertyAssociation,
+    PropertyMap,
+    PropertyValue,
+    RangeValue,
+    RealValue,
+    RecordValue,
+    ReferenceValue,
+    StringValue,
+)
+
+_CATEGORY_KEYWORDS = {
+    "system",
+    "process",
+    "thread",
+    "subprogram",
+    "data",
+    "processor",
+    "memory",
+    "bus",
+    "device",
+    "abstract",
+    "virtual",
+}
+
+_TIME_UNITS = {"ps", "ns", "us", "ms", "sec", "min", "hr"}
+_OTHER_UNITS = {"bits", "bytes", "kbyte", "mbyte", "gbyte", "hz", "khz", "mhz", "ghz", "mips"}
+
+
+class Parser:
+    """Parser state over the token stream."""
+
+    def __init__(self, tokens: List[Token], filename: str = "<aadl>") -> None:
+        self.tokens = tokens
+        self.index = 0
+        self.filename = filename
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.END_OF_FILE:
+            self.index += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind is TokenKind.END_OF_FILE
+
+    def error(self, message: str, token: Optional[Token] = None) -> AadlSyntaxError:
+        token = token or self.peek()
+        return AadlSyntaxError(f"{message} (found {token})", token.location)
+
+    def expect_punct(self, symbol: str) -> Token:
+        token = self.peek()
+        if not token.is_punct(symbol):
+            raise self.error(f"expected {symbol!r}")
+        return self.advance()
+
+    def expect_keyword(self, *keywords: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(*keywords):
+            raise self.error(f"expected keyword {' or '.join(keywords)}")
+        return self.advance()
+
+    def expect_identifier(self) -> Token:
+        token = self.peek()
+        if token.kind is not TokenKind.IDENTIFIER:
+            raise self.error("expected an identifier")
+        return self.advance()
+
+    def accept_keyword(self, *keywords: str) -> Optional[Token]:
+        if self.peek().is_keyword(*keywords):
+            return self.advance()
+        return None
+
+    def accept_punct(self, symbol: str) -> Optional[Token]:
+        if self.peek().is_punct(symbol):
+            return self.advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def parse_model(self) -> AadlModel:
+        model = AadlModel()
+        while not self.at_end():
+            token = self.peek()
+            if token.is_keyword("package"):
+                model.add_package(self.parse_package())
+            elif token.is_keyword("property"):
+                model.add_property_set(self.parse_property_set())
+            else:
+                raise self.error("expected 'package' or 'property set'")
+        return model
+
+    def parse_package(self) -> AadlPackage:
+        start = self.expect_keyword("package")
+        name = self.parse_qualified_name()
+        package = AadlPackage(name=name, location=start.location)
+        self.accept_keyword("public")
+        while not self.at_end():
+            token = self.peek()
+            if token.is_keyword("end"):
+                self.advance()
+                # optional repeated package name
+                if self.peek().kind is TokenKind.IDENTIFIER:
+                    self.parse_qualified_name()
+                self.expect_punct(";")
+                return package
+            if token.is_keyword("private"):
+                self.advance()
+                continue
+            if token.is_keyword("with"):
+                self.advance()
+                package.imports.append(self.parse_qualified_name())
+                while self.accept_punct(","):
+                    package.imports.append(self.parse_qualified_name())
+                self.expect_punct(";")
+                continue
+            if token.is_keyword("properties"):
+                self.advance()
+                for association in self.parse_property_associations():
+                    package.properties.add(association)
+                continue
+            if token.is_keyword("annex"):
+                self._skip_annex()
+                continue
+            category, is_implementation = self._peek_classifier_header()
+            if category is None:
+                raise self.error("expected a component classifier declaration")
+            if is_implementation:
+                package.add_implementation(self.parse_component_implementation(category))
+            else:
+                package.add_type(self.parse_component_type(category))
+        raise self.error("unterminated package (missing 'end')")
+
+    def parse_property_set(self) -> PropertySetDeclaration:
+        start = self.expect_keyword("property")
+        self.expect_keyword("set")
+        name = self.expect_identifier().text
+        self.expect_keyword("is")
+        declarations = {}
+        # Record raw declaration text per declared name; contents are not
+        # interpreted (the standard property sets are built in, see stdlib).
+        while not self.at_end():
+            if self.peek().is_keyword("end"):
+                self.advance()
+                if self.peek().kind is TokenKind.IDENTIFIER:
+                    self.advance()
+                self.expect_punct(";")
+                return PropertySetDeclaration(name=name, declarations=declarations, location=start.location)
+            decl_tokens: List[str] = []
+            decl_name: Optional[str] = None
+            while not self.at_end() and not self.peek().is_punct(";"):
+                token = self.advance()
+                if decl_name is None and token.kind is TokenKind.IDENTIFIER:
+                    decl_name = token.text
+                decl_tokens.append(token.text)
+            self.accept_punct(";")
+            if decl_name:
+                declarations[decl_name] = " ".join(decl_tokens)
+        raise self.error("unterminated property set (missing 'end')")
+
+    # ------------------------------------------------------------------
+    # classifiers
+    # ------------------------------------------------------------------
+    def _peek_classifier_header(self) -> Tuple[Optional[ComponentCategory], bool]:
+        """Look ahead for ``category [group] [implementation]``."""
+        token = self.peek()
+        if token.kind is not TokenKind.IDENTIFIER or token.lowered not in _CATEGORY_KEYWORDS:
+            return None, False
+        keyword = token.lowered
+        offset = 1
+        if keyword == "virtual":
+            second = self.peek(1)
+            keyword = f"virtual {second.lowered}"
+            offset = 2
+        elif keyword in ("thread", "subprogram") and self.peek(1).is_keyword("group"):
+            keyword = f"{keyword} group"
+            offset = 2
+        category = ComponentCategory.from_keyword(keyword)
+        is_implementation = self.peek(offset).is_keyword("implementation")
+        return category, is_implementation
+
+    def _consume_category(self) -> ComponentCategory:
+        token = self.expect_identifier()
+        keyword = token.lowered
+        if keyword == "virtual":
+            keyword = f"virtual {self.expect_identifier().lowered}"
+        elif keyword in ("thread", "subprogram") and self.peek().is_keyword("group"):
+            self.advance()
+            keyword = f"{keyword} group"
+        return ComponentCategory.from_keyword(keyword)
+
+    def parse_component_type(self, category: Optional[ComponentCategory] = None) -> ComponentType:
+        start = self.peek()
+        if category is None:
+            category = self._consume_category()
+        else:
+            self._consume_category()
+        name = self.expect_identifier().text
+        extends = None
+        if self.accept_keyword("extends"):
+            extends = self.parse_qualified_name()
+        component = ComponentType(name=name, category=category, extends=extends, location=start.location)
+
+        while not self.at_end():
+            token = self.peek()
+            if token.is_keyword("end"):
+                self.advance()
+                self.expect_identifier()
+                self.expect_punct(";")
+                return component
+            if token.is_keyword("features"):
+                self.advance()
+                self._parse_features(component)
+                continue
+            if token.is_keyword("properties"):
+                self.advance()
+                for association in self.parse_property_associations():
+                    component.properties.add(association)
+                continue
+            if token.is_keyword("flows"):
+                self.advance()
+                self._skip_section()
+                continue
+            if token.is_keyword("modes"):
+                self.advance()
+                self._skip_section()
+                continue
+            if token.is_keyword("annex"):
+                self._skip_annex()
+                continue
+            raise self.error(f"unexpected token in component type {name!r}")
+        raise self.error(f"unterminated component type {name!r}")
+
+    def parse_component_implementation(
+        self, category: Optional[ComponentCategory] = None
+    ) -> ComponentImplementation:
+        start = self.peek()
+        if category is None:
+            category = self._consume_category()
+        else:
+            self._consume_category()
+        self.expect_keyword("implementation")
+        type_name = self.expect_identifier().text
+        self.expect_punct(".")
+        impl_name = self.expect_identifier().text
+        extends = None
+        if self.accept_keyword("extends"):
+            extends = self.parse_qualified_name()
+            if self.accept_punct("."):
+                extends = f"{extends}.{self.expect_identifier().text}"
+        implementation = ComponentImplementation(
+            name=f"{type_name}.{impl_name}",
+            category=category,
+            extends=extends,
+            location=start.location,
+        )
+
+        while not self.at_end():
+            token = self.peek()
+            if token.is_keyword("end"):
+                self.advance()
+                self.expect_identifier()
+                self.expect_punct(".")
+                self.expect_identifier()
+                self.expect_punct(";")
+                return implementation
+            if token.is_keyword("subcomponents"):
+                self.advance()
+                self._parse_subcomponents(implementation)
+                continue
+            if token.is_keyword("connections"):
+                self.advance()
+                self._parse_connections(implementation)
+                continue
+            if token.is_keyword("properties"):
+                self.advance()
+                for association in self.parse_property_associations():
+                    implementation.properties.add(association)
+                continue
+            if token.is_keyword("modes"):
+                self.advance()
+                self._parse_modes(implementation)
+                continue
+            if token.is_keyword("calls"):
+                self.advance()
+                self._parse_calls(implementation)
+                continue
+            if token.is_keyword("flows"):
+                self.advance()
+                self._skip_section()
+                continue
+            if token.is_keyword("annex"):
+                self._skip_annex()
+                continue
+            raise self.error(f"unexpected token in implementation {implementation.name!r}")
+        raise self.error(f"unterminated component implementation {implementation.name!r}")
+
+    # ------------------------------------------------------------------
+    # sections
+    # ------------------------------------------------------------------
+    def _parse_features(self, component: ComponentType) -> None:
+        if self.accept_keyword("none"):
+            self.expect_punct(";")
+            return
+        while self.peek().kind is TokenKind.IDENTIFIER and not self._at_section_keyword():
+            component.add_feature(self._parse_feature())
+
+    def _parse_feature(self) -> Feature:
+        name_token = self.expect_identifier()
+        self.expect_punct(":")
+        location = name_token.location
+        token = self.peek()
+
+        if token.is_keyword("in", "out"):
+            direction = self._parse_direction()
+            next_token = self.peek()
+            if next_token.is_keyword("event", "data"):
+                kind, classifier = self._parse_port_tail()
+                feature: Feature = Port(
+                    name=name_token.text,
+                    direction=direction,
+                    kind=kind,
+                    classifier=classifier,
+                    location=location,
+                )
+            elif next_token.is_keyword("parameter"):
+                self.advance()
+                classifier = self._parse_optional_classifier()
+                feature = Parameter(
+                    name=name_token.text, direction=direction, classifier=classifier, location=location
+                )
+            else:
+                raise self.error("expected 'event', 'data' or 'parameter' after the port direction")
+        elif token.is_keyword("requires", "provides"):
+            access = AccessKind.REQUIRES if token.lowered == "requires" else AccessKind.PROVIDES
+            self.advance()
+            target = self.expect_keyword("data", "subprogram", "bus")
+            self.expect_keyword("access")
+            classifier = self._parse_optional_classifier()
+            if target.lowered == "data":
+                feature = DataAccess(name=name_token.text, access=access, classifier=classifier, location=location)
+            elif target.lowered == "subprogram":
+                feature = SubprogramAccess(
+                    name=name_token.text, access=access, classifier=classifier, location=location
+                )
+            else:
+                feature = BusAccess(name=name_token.text, access=access, classifier=classifier, location=location)
+        else:
+            raise self.error("unsupported feature declaration")
+
+        for association in self._parse_optional_property_block():
+            feature.properties.add(association)
+        self.expect_punct(";")
+        return feature
+
+    def _parse_direction(self) -> PortDirection:
+        first = self.expect_keyword("in", "out")
+        if first.lowered == "in" and self.peek().is_keyword("out"):
+            self.advance()
+            return PortDirection.IN_OUT
+        return PortDirection.IN if first.lowered == "in" else PortDirection.OUT
+
+    def _parse_port_tail(self) -> Tuple[PortKind, Optional[str]]:
+        token = self.expect_keyword("event", "data")
+        if token.lowered == "event":
+            if self.peek().is_keyword("data"):
+                self.advance()
+                kind = PortKind.EVENT_DATA
+            else:
+                kind = PortKind.EVENT
+        else:
+            kind = PortKind.DATA
+        self.expect_keyword("port")
+        classifier = self._parse_optional_classifier()
+        return kind, classifier
+
+    def _parse_optional_classifier(self) -> Optional[str]:
+        if self.peek().kind is TokenKind.IDENTIFIER and not self.peek().is_punct(";") and not self.peek().is_punct("{"):
+            if self._at_section_keyword():
+                return None
+            if self.peek().is_keyword("in") and self.peek(1).is_keyword("modes"):
+                return None
+            name = self.parse_qualified_name()
+            if self.accept_punct("."):
+                name = f"{name}.{self.expect_identifier().text}"
+            return name
+        return None
+
+    def _parse_subcomponents(self, implementation: ComponentImplementation) -> None:
+        if self.accept_keyword("none"):
+            self.expect_punct(";")
+            return
+        while self.peek().kind is TokenKind.IDENTIFIER and not self._at_section_keyword():
+            name_token = self.expect_identifier()
+            self.expect_punct(":")
+            category = self._consume_category()
+            classifier = self._parse_optional_classifier()
+            subcomponent = Subcomponent(
+                name=name_token.text,
+                category=category,
+                classifier=classifier,
+                location=name_token.location,
+            )
+            for association in self._parse_optional_property_block():
+                subcomponent.properties.add(association)
+            if self.accept_keyword("in"):
+                self.expect_keyword("modes")
+                subcomponent = Subcomponent(
+                    name=subcomponent.name,
+                    category=subcomponent.category,
+                    classifier=subcomponent.classifier,
+                    properties=subcomponent.properties,
+                    in_modes=tuple(self._parse_mode_list()),
+                    location=subcomponent.location,
+                )
+            self.expect_punct(";")
+            implementation.add_subcomponent(subcomponent)
+
+    def _parse_mode_list(self) -> List[str]:
+        self.expect_punct("(")
+        modes = [self.expect_identifier().text]
+        while self.accept_punct(","):
+            modes.append(self.expect_identifier().text)
+        self.expect_punct(")")
+        return modes
+
+    def _parse_connections(self, implementation: ComponentImplementation) -> None:
+        if self.accept_keyword("none"):
+            self.expect_punct(";")
+            return
+        while self.peek().kind is TokenKind.IDENTIFIER and not self._at_section_keyword():
+            name_token = self.expect_identifier()
+            self.expect_punct(":")
+            kind_token = self.peek()
+            if kind_token.is_keyword("port"):
+                self.advance()
+                kind = ConnectionKind.PORT
+            elif kind_token.is_keyword("data"):
+                self.advance()
+                self.expect_keyword("access")
+                kind = ConnectionKind.DATA_ACCESS
+            elif kind_token.is_keyword("subprogram"):
+                self.advance()
+                self.expect_keyword("access")
+                kind = ConnectionKind.SUBPROGRAM_ACCESS
+            elif kind_token.is_keyword("bus"):
+                self.advance()
+                self.expect_keyword("access")
+                kind = ConnectionKind.BUS_ACCESS
+            elif kind_token.is_keyword("parameter"):
+                self.advance()
+                kind = ConnectionKind.PARAMETER
+            elif kind_token.is_keyword("feature"):
+                self.advance()
+                kind = ConnectionKind.FEATURE
+            else:
+                raise self.error("unsupported connection kind")
+            source = self._parse_connection_end()
+            bidirectional = False
+            if self.accept_punct("<->"):
+                bidirectional = True
+            else:
+                self.expect_punct("->")
+            destination = self._parse_connection_end()
+            connection = Connection(
+                name=name_token.text,
+                kind=kind,
+                source=source,
+                destination=destination,
+                bidirectional=bidirectional,
+                location=name_token.location,
+            )
+            for association in self._parse_optional_property_block():
+                connection.properties.add(association)
+            if self.accept_keyword("in"):
+                self.expect_keyword("modes")
+                connection.in_modes = tuple(self._parse_mode_list())
+            self.expect_punct(";")
+            implementation.add_connection(connection)
+
+    def _parse_connection_end(self) -> ConnectionEnd:
+        first = self.expect_identifier().text
+        if self.accept_punct("."):
+            second = self.expect_identifier().text
+            return ConnectionEnd(subcomponent=first, feature=second)
+        return ConnectionEnd(subcomponent=None, feature=first)
+
+    def _parse_modes(self, implementation: ComponentImplementation) -> None:
+        if self.accept_keyword("none"):
+            self.expect_punct(";")
+            return
+        while self.peek().kind is TokenKind.IDENTIFIER and not self._at_section_keyword():
+            first = self.expect_identifier()
+            if self.accept_punct(":"):
+                # Either a mode declaration or a named transition.
+                if self.peek().is_keyword("initial", "mode"):
+                    initial = bool(self.accept_keyword("initial"))
+                    self.expect_keyword("mode")
+                    mode = Mode(name=first.text, initial=initial, location=first.location)
+                    for association in self._parse_optional_property_block():
+                        mode.properties.add(association)
+                    self.expect_punct(";")
+                    implementation.modes[mode.name] = mode
+                    continue
+                transition_source = self.expect_identifier().text
+                self._parse_mode_transition(implementation, name=first.text, source=transition_source)
+                continue
+            self._parse_mode_transition(implementation, name=None, source=first.text)
+
+    def _parse_mode_transition(
+        self, implementation: ComponentImplementation, name: Optional[str], source: str
+    ) -> None:
+        self.expect_punct("-[")
+        triggers = [self.parse_qualified_path()]
+        while self.accept_punct(","):
+            triggers.append(self.parse_qualified_path())
+        self.expect_punct("]->")
+        destination = self.expect_identifier().text
+        transition = ModeTransition(
+            name=name,
+            source=source,
+            destination=destination,
+            triggers=tuple(triggers),
+        )
+        for association in self._parse_optional_property_block():
+            transition.properties.add(association)
+        self.expect_punct(";")
+        implementation.mode_transitions.append(transition)
+
+    def _parse_calls(self, implementation: ComponentImplementation) -> None:
+        """Record subprogram call sequences by name; the call graph itself is
+        not interpreted by the translation subset."""
+        while self.peek().kind is TokenKind.IDENTIFIER and not self._at_section_keyword():
+            name = self.expect_identifier().text
+            implementation.calls.append(name)
+            # skip to the terminating '};' or ';' of the call sequence
+            depth = 0
+            while not self.at_end():
+                token = self.advance()
+                if token.is_punct("{"):
+                    depth += 1
+                elif token.is_punct("}"):
+                    depth -= 1
+                elif token.is_punct(";") and depth <= 0:
+                    break
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    def parse_property_associations(self) -> List[PropertyAssociation]:
+        associations: List[PropertyAssociation] = []
+        if self.accept_keyword("none"):
+            self.expect_punct(";")
+            return associations
+        while self.peek().kind is TokenKind.IDENTIFIER and not self._at_section_keyword():
+            associations.append(self.parse_property_association())
+        return associations
+
+    def _parse_optional_property_block(self) -> List[PropertyAssociation]:
+        if not self.accept_punct("{"):
+            return []
+        associations: List[PropertyAssociation] = []
+        while not self.peek().is_punct("}"):
+            associations.append(self.parse_property_association())
+        self.expect_punct("}")
+        return associations
+
+    def parse_property_association(self) -> PropertyAssociation:
+        name = self.parse_qualified_name()
+        append = False
+        if self.accept_punct("+=>"):
+            append = True
+        else:
+            self.expect_punct("=>")
+        constant = bool(self.accept_keyword("constant"))
+        value = self.parse_property_value()
+        applies_to: List[Tuple[str, ...]] = []
+        in_modes: List[str] = []
+        if self.accept_keyword("applies"):
+            self.expect_keyword("to")
+            applies_to.append(tuple(self.parse_qualified_path().split(".")))
+            while self.accept_punct(","):
+                applies_to.append(tuple(self.parse_qualified_path().split(".")))
+        if self.accept_keyword("in"):
+            self.expect_keyword("modes")
+            in_modes = self._parse_mode_list()
+        self.expect_punct(";")
+        return PropertyAssociation(
+            name=name,
+            value=value,
+            applies_to=tuple(applies_to),
+            append=append,
+            constant=constant,
+            in_modes=tuple(in_modes),
+        )
+
+    def parse_property_value(self) -> PropertyValue:
+        value = self._parse_simple_property_value()
+        if self.accept_punct(".."):
+            high = self._parse_simple_property_value()
+            if not isinstance(value, (IntegerValue, RealValue)) or not isinstance(high, (IntegerValue, RealValue)):
+                raise self.error("range bounds must be numeric")
+            return RangeValue(value, high)
+        return value
+
+    def _parse_simple_property_value(self) -> PropertyValue:
+        token = self.peek()
+        if token.is_punct("("):
+            self.advance()
+            items: List[PropertyValue] = []
+            if not self.peek().is_punct(")"):
+                items.append(self.parse_property_value())
+                while self.accept_punct(","):
+                    items.append(self.parse_property_value())
+            self.expect_punct(")")
+            return ListValue(tuple(items))
+        if token.is_punct("["):
+            self.advance()
+            fields: List[Tuple[str, PropertyValue]] = []
+            while not self.peek().is_punct("]"):
+                field_name = self.expect_identifier().text
+                self.expect_punct("=>")
+                fields.append((field_name, self.parse_property_value()))
+                self.accept_punct(";")
+            self.expect_punct("]")
+            return RecordValue(tuple(fields))
+        if token.kind in (TokenKind.INTEGER, TokenKind.REAL) or token.is_punct("-"):
+            negative = bool(self.accept_punct("-"))
+            number = self.advance()
+            unit = None
+            if self.peek().kind is TokenKind.IDENTIFIER and self.peek().lowered in (_TIME_UNITS | _OTHER_UNITS):
+                unit = self.advance().text
+            if number.kind is TokenKind.INTEGER:
+                return IntegerValue(-int(number.text) if negative else int(number.text), unit)
+            return RealValue(-float(number.text) if negative else float(number.text), unit)
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return StringValue(token.text)
+        if token.is_keyword("true", "false"):
+            self.advance()
+            return BooleanValue(token.lowered == "true")
+        if token.is_keyword("reference"):
+            self.advance()
+            self.expect_punct("(")
+            path = self.parse_qualified_path()
+            self.expect_punct(")")
+            return ReferenceValue(tuple(path.split(".")))
+        if token.is_keyword("classifier"):
+            self.advance()
+            self.expect_punct("(")
+            name = self.parse_qualified_name()
+            if self.accept_punct("."):
+                name = f"{name}.{self.expect_identifier().text}"
+            self.expect_punct(")")
+            return ClassifierValue(name)
+        if token.kind is TokenKind.IDENTIFIER:
+            name = self.parse_qualified_name()
+            if self.accept_punct("."):
+                name = f"{name}.{self.expect_identifier().text}"
+            return EnumerationValue(name)
+        raise self.error("unsupported property value")
+
+    # ------------------------------------------------------------------
+    # names and skipping helpers
+    # ------------------------------------------------------------------
+    def parse_qualified_name(self) -> str:
+        parts = [self.expect_identifier().text]
+        while self.peek().is_punct("::"):
+            self.advance()
+            parts.append(self.expect_identifier().text)
+        return "::".join(parts)
+
+    def parse_qualified_path(self) -> str:
+        parts = [self.expect_identifier().text]
+        while self.peek().is_punct("."):
+            self.advance()
+            parts.append(self.expect_identifier().text)
+        return ".".join(parts)
+
+    _SECTION_KEYWORDS = {
+        "features",
+        "flows",
+        "modes",
+        "properties",
+        "subcomponents",
+        "connections",
+        "calls",
+        "annex",
+        "end",
+        "requires",
+        "provides",
+    }
+
+    def _at_section_keyword(self) -> bool:
+        token = self.peek()
+        return token.kind is TokenKind.IDENTIFIER and token.lowered in {
+            "features",
+            "flows",
+            "modes",
+            "properties",
+            "subcomponents",
+            "connections",
+            "calls",
+            "annex",
+            "end",
+        }
+
+    def _skip_section(self) -> None:
+        """Skip an uninterpreted section up to (not including) the next section keyword."""
+        while not self.at_end() and not self._at_section_keyword():
+            self.advance()
+
+    def _skip_annex(self) -> None:
+        """Skip an annex block ``annex name {** … **};``."""
+        self.expect_keyword("annex")
+        self.expect_identifier()
+        if self.accept_punct("{"):
+            depth = 1
+            while not self.at_end() and depth > 0:
+                token = self.advance()
+                if token.is_punct("{"):
+                    depth += 1
+                elif token.is_punct("}"):
+                    depth -= 1
+        self.accept_punct(";")
+
+
+def parse_string(text: str, filename: str = "<aadl>") -> AadlModel:
+    """Parse AADL source text into a declarative :class:`AadlModel`."""
+    tokens = tokenize(text, filename)
+    return Parser(tokens, filename).parse_model()
+
+
+def parse_file(path: str) -> AadlModel:
+    """Parse an AADL source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_string(handle.read(), filename=path)

@@ -1,0 +1,150 @@
+"""AADL unparser.
+
+Renders a declarative :class:`~repro.aadl.model.AadlModel` back to textual
+AADL.  Used by the tests for round-trip checks (parse → print → parse must be
+stable) and by the case-study generator to emit the synthetic models of the
+scalability experiment as real AADL text.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .model import (
+    AadlModel,
+    AadlPackage,
+    BusAccess,
+    ComponentImplementation,
+    ComponentType,
+    Connection,
+    ConnectionKind,
+    DataAccess,
+    Feature,
+    Parameter,
+    Port,
+    SubprogramAccess,
+)
+from .properties import PropertyAssociation, PropertyMap
+
+
+_INDENT = "  "
+
+
+def _render_properties(properties: PropertyMap, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    return [f"{pad}{association}" for association in properties]
+
+
+def _render_feature(feature: Feature, depth: int) -> str:
+    pad = _INDENT * depth
+    if isinstance(feature, Port):
+        classifier = f" {feature.classifier}" if feature.classifier else ""
+        line = f"{pad}{feature.name}: {feature.direction.value} {feature.kind.value} port{classifier}"
+    elif isinstance(feature, DataAccess):
+        classifier = f" {feature.classifier}" if feature.classifier else ""
+        line = f"{pad}{feature.name}: {feature.access.value} data access{classifier}"
+    elif isinstance(feature, SubprogramAccess):
+        classifier = f" {feature.classifier}" if feature.classifier else ""
+        line = f"{pad}{feature.name}: {feature.access.value} subprogram access{classifier}"
+    elif isinstance(feature, BusAccess):
+        classifier = f" {feature.classifier}" if feature.classifier else ""
+        line = f"{pad}{feature.name}: {feature.access.value} bus access{classifier}"
+    elif isinstance(feature, Parameter):
+        classifier = f" {feature.classifier}" if feature.classifier else ""
+        line = f"{pad}{feature.name}: {feature.direction.value} parameter{classifier}"
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unsupported feature {type(feature).__name__}")
+    if len(feature.properties):
+        inner = " ".join(str(a) for a in feature.properties)
+        line += f" {{{inner}}}"
+    return line + ";"
+
+
+def _render_connection(connection: Connection, depth: int) -> str:
+    pad = _INDENT * depth
+    kind = {
+        ConnectionKind.PORT: "port",
+        ConnectionKind.DATA_ACCESS: "data access",
+        ConnectionKind.SUBPROGRAM_ACCESS: "subprogram access",
+        ConnectionKind.BUS_ACCESS: "bus access",
+        ConnectionKind.PARAMETER: "parameter",
+        ConnectionKind.FEATURE: "feature",
+    }[connection.kind]
+    arrow = "<->" if connection.bidirectional else "->"
+    line = f"{pad}{connection.name}: {kind} {connection.source} {arrow} {connection.destination}"
+    if len(connection.properties):
+        inner = " ".join(str(a) for a in connection.properties)
+        line += f" {{{inner}}}"
+    return line + ";"
+
+
+def render_component_type(component: ComponentType, depth: int = 1) -> str:
+    pad = _INDENT * depth
+    lines = [f"{pad}{component.category.value} {component.name}"
+             + (f" extends {component.extends}" if component.extends else "")]
+    if component.features:
+        lines.append(f"{pad}features")
+        for feature in component.features.values():
+            lines.append(_render_feature(feature, depth + 1))
+    if len(component.properties):
+        lines.append(f"{pad}properties")
+        lines.extend(_render_properties(component.properties, depth + 1))
+    lines.append(f"{pad}end {component.name};")
+    return "\n".join(lines)
+
+
+def render_component_implementation(implementation: ComponentImplementation, depth: int = 1) -> str:
+    pad = _INDENT * depth
+    lines = [f"{pad}{implementation.category.value} implementation {implementation.name}"
+             + (f" extends {implementation.extends}" if implementation.extends else "")]
+    if implementation.subcomponents:
+        lines.append(f"{pad}subcomponents")
+        for subcomponent in implementation.subcomponents.values():
+            classifier = f" {subcomponent.classifier}" if subcomponent.classifier else ""
+            line = f"{_INDENT * (depth + 1)}{subcomponent.name}: {subcomponent.category.value}{classifier}"
+            if len(subcomponent.properties):
+                inner = " ".join(str(a) for a in subcomponent.properties)
+                line += f" {{{inner}}}"
+            lines.append(line + ";")
+    if implementation.connections:
+        lines.append(f"{pad}connections")
+        for connection in implementation.connections:
+            lines.append(_render_connection(connection, depth + 1))
+    if implementation.modes:
+        lines.append(f"{pad}modes")
+        for mode in implementation.modes.values():
+            keyword = "initial mode" if mode.initial else "mode"
+            lines.append(f"{_INDENT * (depth + 1)}{mode.name}: {keyword};")
+        for transition in implementation.mode_transitions:
+            triggers = ", ".join(transition.triggers)
+            prefix = f"{transition.name}: " if transition.name else ""
+            line = f"{_INDENT * (depth + 1)}{prefix}{transition.source} -[ {triggers} ]-> {transition.destination}"
+            if len(transition.properties):
+                inner = " ".join(str(a) for a in transition.properties)
+                line += f" {{{inner}}}"
+            lines.append(line + ";")
+    if len(implementation.properties):
+        lines.append(f"{pad}properties")
+        lines.extend(_render_properties(implementation.properties, depth + 1))
+    lines.append(f"{pad}end {implementation.name};")
+    return "\n".join(lines)
+
+
+def render_package(package: AadlPackage) -> str:
+    lines = [f"package {package.name}", "public"]
+    for imported in package.imports:
+        lines.append(f"{_INDENT}with {imported};")
+    for component_type in package.types.values():
+        lines.append(render_component_type(component_type))
+        lines.append("")
+    for implementation in package.implementations.values():
+        lines.append(render_component_implementation(implementation))
+        lines.append("")
+    lines.append(f"end {package.name};")
+    return "\n".join(lines)
+
+
+def render_model(model: AadlModel) -> str:
+    """Render a whole declarative model as AADL source text."""
+    parts = [render_package(package) for package in model.packages.values()]
+    return "\n\n".join(parts) + "\n"

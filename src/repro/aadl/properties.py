@@ -1,0 +1,417 @@
+"""AADL property values, associations and the timing properties of the paper.
+
+The translation and the scheduler only interpret a well-defined subset of the
+AADL standard property sets (``Timing_Properties``, ``Thread_Properties``,
+``Communication_Properties``, ``Deployment_Properties``):
+
+* ``Dispatch_Protocol`` — Periodic, Sporadic, Aperiodic, Timed, Hybrid,
+  Background;
+* ``Period``, ``Deadline``, ``Compute_Execution_Time`` — time values / ranges;
+* ``Input_Time`` / ``Output_Time`` — IO time specifications (reference point
+  Dispatch / Start / Completion / Deadline / NoIO plus an offset range);
+* ``Queue_Size``, ``Queue_Processing_Protocol``, ``Overflow_Handling_Protocol``;
+* ``Priority``;
+* ``Actual_Processor_Binding`` — reference list with ``applies to``.
+
+Anything else is stored verbatim so that models using additional properties
+still round-trip through the parser and printer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .errors import AadlSemanticError
+
+
+# ----------------------------------------------------------------------
+# units
+# ----------------------------------------------------------------------
+#: Conversion factors of the AADL ``Time_Units`` unit type, to microseconds.
+TIME_UNITS_TO_US: Dict[str, float] = {
+    "ps": 1e-6,
+    "ns": 1e-3,
+    "us": 1.0,
+    "ms": 1e3,
+    "sec": 1e6,
+    "min": 60e6,
+    "hr": 3600e6,
+}
+
+
+def convert_time(value: float, unit: str, target_unit: str = "ms") -> float:
+    """Convert a time value between AADL time units."""
+    unit = unit.lower()
+    target_unit = target_unit.lower()
+    if unit not in TIME_UNITS_TO_US:
+        raise AadlSemanticError(f"unknown time unit {unit!r}")
+    if target_unit not in TIME_UNITS_TO_US:
+        raise AadlSemanticError(f"unknown time unit {target_unit!r}")
+    return value * TIME_UNITS_TO_US[unit] / TIME_UNITS_TO_US[target_unit]
+
+
+# ----------------------------------------------------------------------
+# property values
+# ----------------------------------------------------------------------
+class PropertyValue:
+    """Base class of AADL property values."""
+
+    def python_value(self) -> Any:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntegerValue(PropertyValue):
+    value: int
+    unit: Optional[str] = None
+
+    def python_value(self) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return f"{self.value}{' ' + self.unit if self.unit else ''}"
+
+
+@dataclass(frozen=True)
+class RealValue(PropertyValue):
+    value: float
+    unit: Optional[str] = None
+
+    def python_value(self) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return f"{self.value}{' ' + self.unit if self.unit else ''}"
+
+
+@dataclass(frozen=True)
+class BooleanValue(PropertyValue):
+    value: bool
+
+    def python_value(self) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class StringValue(PropertyValue):
+    value: str
+
+    def python_value(self) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class EnumerationValue(PropertyValue):
+    literal: str
+
+    def python_value(self) -> Any:
+        return self.literal
+
+    def __str__(self) -> str:
+        return self.literal
+
+
+@dataclass(frozen=True)
+class ReferenceValue(PropertyValue):
+    """``reference (path.to.element)``."""
+
+    path: Tuple[str, ...]
+
+    def python_value(self) -> Any:
+        return ".".join(self.path)
+
+    def __str__(self) -> str:
+        return f"reference ({'.'.join(self.path)})"
+
+
+@dataclass(frozen=True)
+class ClassifierValue(PropertyValue):
+    """``classifier (Package::Name.Impl)``."""
+
+    name: str
+
+    def python_value(self) -> Any:
+        return self.name
+
+    def __str__(self) -> str:
+        return f"classifier ({self.name})"
+
+
+@dataclass(frozen=True)
+class RangeValue(PropertyValue):
+    """``low .. high`` (with optional units on each bound)."""
+
+    low: Union[IntegerValue, RealValue]
+    high: Union[IntegerValue, RealValue]
+
+    def python_value(self) -> Any:
+        return (self.low.python_value(), self.high.python_value())
+
+    def __str__(self) -> str:
+        return f"{self.low} .. {self.high}"
+
+
+@dataclass(frozen=True)
+class ListValue(PropertyValue):
+    """``(v1, v2, …)``."""
+
+    items: Tuple[PropertyValue, ...]
+
+    def python_value(self) -> Any:
+        return [item.python_value() for item in self.items]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class RecordValue(PropertyValue):
+    """``[Field => value; …]``."""
+
+    fields: Tuple[Tuple[str, PropertyValue], ...]
+
+    def python_value(self) -> Any:
+        return {name: value.python_value() for name, value in self.fields}
+
+    def get(self, name: str) -> Optional[PropertyValue]:
+        lowered = name.lower()
+        for field_name, value in self.fields:
+            if field_name.lower() == lowered:
+                return value
+        return None
+
+    def __str__(self) -> str:
+        inner = " ".join(f"{name} => {value};" for name, value in self.fields)
+        return f"[{inner}]"
+
+
+# ----------------------------------------------------------------------
+# property associations
+# ----------------------------------------------------------------------
+@dataclass
+class PropertyAssociation:
+    """``Name => value [applies to path];`` attached to a model element."""
+
+    name: str
+    value: PropertyValue
+    applies_to: Tuple[Tuple[str, ...], ...] = ()
+    append: bool = False  # ``+=>`` associations
+    constant: bool = False
+    in_modes: Tuple[str, ...] = ()
+
+    @property
+    def base_name(self) -> str:
+        """Property name without its property-set qualifier, lower-cased."""
+        return self.name.split("::")[-1].lower()
+
+    def __str__(self) -> str:
+        operator = "+=>" if self.append else "=>"
+        applies = ""
+        if self.applies_to:
+            paths = ", ".join(".".join(path) for path in self.applies_to)
+            applies = f" applies to {paths}"
+        return f"{self.name} {operator} {self.value}{applies};"
+
+
+class PropertyMap:
+    """A collection of property associations with case-insensitive lookup."""
+
+    def __init__(self, associations: Optional[Iterable[PropertyAssociation]] = None) -> None:
+        self.associations: List[PropertyAssociation] = list(associations or [])
+
+    def add(self, association: PropertyAssociation) -> None:
+        self.associations.append(association)
+
+    def extend(self, associations: Iterable[PropertyAssociation]) -> None:
+        self.associations.extend(associations)
+
+    def find_all(self, name: str) -> List[PropertyAssociation]:
+        lowered = name.split("::")[-1].lower()
+        return [a for a in self.associations if a.base_name == lowered]
+
+    def find(self, name: str) -> Optional[PropertyAssociation]:
+        found = self.find_all(name)
+        return found[-1] if found else None
+
+    def value(self, name: str, default: Any = None) -> Any:
+        association = self.find(name)
+        if association is None:
+            return default
+        return association.value.python_value()
+
+    def __contains__(self, name: str) -> bool:
+        return self.find(name) is not None
+
+    def __len__(self) -> int:
+        return len(self.associations)
+
+    def __iter__(self):
+        return iter(self.associations)
+
+    def copy(self) -> "PropertyMap":
+        return PropertyMap(list(self.associations))
+
+
+# ----------------------------------------------------------------------
+# interpreted timing properties
+# ----------------------------------------------------------------------
+class DispatchProtocol(enum.Enum):
+    """Thread dispatch protocols of the AADL standard."""
+
+    PERIODIC = "Periodic"
+    SPORADIC = "Sporadic"
+    APERIODIC = "Aperiodic"
+    TIMED = "Timed"
+    HYBRID = "Hybrid"
+    BACKGROUND = "Background"
+
+    @classmethod
+    def from_literal(cls, literal: str) -> "DispatchProtocol":
+        for member in cls:
+            if member.value.lower() == literal.lower():
+                return member
+        raise AadlSemanticError(f"unknown Dispatch_Protocol literal {literal!r}")
+
+
+class IOReference(enum.Enum):
+    """Reference points of ``Input_Time`` / ``Output_Time`` specifications."""
+
+    DISPATCH = "Dispatch"
+    START = "Start"
+    COMPLETION = "Completion"
+    DEADLINE = "Deadline"
+    NO_IO = "NoIO"
+
+    @classmethod
+    def from_literal(cls, literal: str) -> "IOReference":
+        for member in cls:
+            if member.value.lower() == literal.lower():
+                return member
+        raise AadlSemanticError(f"unknown IO time reference {literal!r}")
+
+
+@dataclass(frozen=True)
+class IOTimeSpec:
+    """One entry of an ``Input_Time``/``Output_Time`` property.
+
+    ``reference`` is the anchoring event and ``offset`` the (min, max) offset
+    from it in the given unit (converted to milliseconds here).
+    """
+
+    reference: IOReference
+    offset_min_ms: float = 0.0
+    offset_max_ms: float = 0.0
+
+    def offset_ms(self) -> float:
+        """The offset used by the scheduler (the maximum of the range)."""
+        return self.offset_max_ms
+
+    def __str__(self) -> str:
+        return f"[Time => {self.reference.value}; Offset => {self.offset_min_ms} ms .. {self.offset_max_ms} ms;]"
+
+
+DEFAULT_INPUT_TIME = IOTimeSpec(IOReference.DISPATCH)
+DEFAULT_OUTPUT_TIME_IMMEDIATE = IOTimeSpec(IOReference.COMPLETION)
+DEFAULT_OUTPUT_TIME_DELAYED = IOTimeSpec(IOReference.DEADLINE)
+
+
+def parse_time_value(value: PropertyValue, default_unit: str = "ms") -> float:
+    """Interpret a property value as a duration in milliseconds."""
+    if isinstance(value, (IntegerValue, RealValue)):
+        unit = value.unit or default_unit
+        return convert_time(float(value.value), unit, "ms")
+    if isinstance(value, RangeValue):
+        return parse_time_value(value.high, default_unit)
+    raise AadlSemanticError(f"cannot interpret {value} as a time value")
+
+
+def parse_io_time(value: PropertyValue) -> List[IOTimeSpec]:
+    """Interpret an ``Input_Time``/``Output_Time`` value as IO time specs."""
+    if isinstance(value, ListValue):
+        specs: List[IOTimeSpec] = []
+        for item in value.items:
+            specs.extend(parse_io_time(item))
+        return specs
+    if isinstance(value, RecordValue):
+        time_field = value.get("Time")
+        offset_field = value.get("Offset")
+        reference = IOReference.DISPATCH
+        if isinstance(time_field, EnumerationValue):
+            reference = IOReference.from_literal(time_field.literal)
+        offset_min = offset_max = 0.0
+        if isinstance(offset_field, RangeValue):
+            offset_min = parse_time_value(offset_field.low)
+            offset_max = parse_time_value(offset_field.high)
+        elif isinstance(offset_field, (IntegerValue, RealValue)):
+            offset_min = offset_max = parse_time_value(offset_field)
+        return [IOTimeSpec(reference, offset_min, offset_max)]
+    if isinstance(value, EnumerationValue):
+        return [IOTimeSpec(IOReference.from_literal(value.literal))]
+    raise AadlSemanticError(f"cannot interpret {value} as an IO time specification")
+
+
+# Convenience constructors used by the programmatic case-study builders.
+def ms(value: float) -> IntegerValue:
+    """A time value in milliseconds."""
+    if float(value).is_integer():
+        return IntegerValue(int(value), "ms")
+    return RealValue(float(value), "ms")  # type: ignore[return-value]
+
+
+def enum_value(literal: str) -> EnumerationValue:
+    return EnumerationValue(literal)
+
+
+def integer(value: int, unit: Optional[str] = None) -> IntegerValue:
+    return IntegerValue(value, unit)
+
+
+def string(value: str) -> StringValue:
+    return StringValue(value)
+
+
+def boolean(value: bool) -> BooleanValue:
+    return BooleanValue(value)
+
+
+def reference(path: str) -> ReferenceValue:
+    return ReferenceValue(tuple(path.split(".")))
+
+
+def record(**fields: PropertyValue) -> RecordValue:
+    return RecordValue(tuple(fields.items()))
+
+
+def io_time(reference_point: str, offset_ms: float = 0.0) -> RecordValue:
+    """Build an ``Input_Time``/``Output_Time`` record value."""
+    return RecordValue(
+        (
+            ("Time", EnumerationValue(reference_point)),
+            ("Offset", RangeValue(ms(offset_ms), ms(offset_ms))),
+        )
+    )
+
+
+#: Names of the properties interpreted by the tool chain.
+PERIOD = "Period"
+DEADLINE = "Deadline"
+DISPATCH_PROTOCOL = "Dispatch_Protocol"
+COMPUTE_EXECUTION_TIME = "Compute_Execution_Time"
+INPUT_TIME = "Input_Time"
+OUTPUT_TIME = "Output_Time"
+QUEUE_SIZE = "Queue_Size"
+QUEUE_PROCESSING_PROTOCOL = "Queue_Processing_Protocol"
+OVERFLOW_HANDLING_PROTOCOL = "Overflow_Handling_Protocol"
+PRIORITY = "Priority"
+ACTUAL_PROCESSOR_BINDING = "Actual_Processor_Binding"
+SCHEDULING_PROTOCOL = "Scheduling_Protocol"
+TIMING = "Timing"
+DATA_ACCESS_PROTOCOL = "Concurrency_Control_Protocol"

@@ -1,0 +1,160 @@
+"""Built-in knowledge of the AADL standard property sets.
+
+The parser stores property associations verbatim; this module records what the
+tool chain knows about the *predeclared* property sets (``Timing_Properties``,
+``Thread_Properties``, ``Communication_Properties``, ``Deployment_Properties``)
+— expected value type, applicable component categories and default values —
+so that validation can warn about suspicious associations and the translator
+can fall back on standard defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .model import ComponentCategory
+
+
+@dataclass(frozen=True)
+class PropertyDefinition:
+    """Declaration of a predeclared AADL property."""
+
+    name: str
+    property_set: str
+    value_kind: str  # "time", "integer", "enumeration", "reference-list", "record-list", "string", "range"
+    applies_to: Tuple[ComponentCategory, ...]
+    default: Any = None
+    literals: Tuple[str, ...] = ()
+
+
+_THREAD_LIKE = (
+    ComponentCategory.THREAD,
+    ComponentCategory.DEVICE,
+    ComponentCategory.VIRTUAL_PROCESSOR,
+)
+
+#: The predeclared properties interpreted by this tool chain.
+STANDARD_PROPERTIES: Dict[str, PropertyDefinition] = {
+    definition.name.lower(): definition
+    for definition in [
+        PropertyDefinition(
+            name="Dispatch_Protocol",
+            property_set="Thread_Properties",
+            value_kind="enumeration",
+            applies_to=_THREAD_LIKE,
+            literals=("Periodic", "Sporadic", "Aperiodic", "Timed", "Hybrid", "Background"),
+        ),
+        PropertyDefinition(
+            name="Period",
+            property_set="Timing_Properties",
+            value_kind="time",
+            applies_to=_THREAD_LIKE + (ComponentCategory.SYSTEM, ComponentCategory.PROCESS),
+        ),
+        PropertyDefinition(
+            name="Deadline",
+            property_set="Timing_Properties",
+            value_kind="time",
+            applies_to=_THREAD_LIKE,
+        ),
+        PropertyDefinition(
+            name="Compute_Execution_Time",
+            property_set="Timing_Properties",
+            value_kind="range",
+            applies_to=(ComponentCategory.THREAD, ComponentCategory.SUBPROGRAM, ComponentCategory.DEVICE),
+        ),
+        PropertyDefinition(
+            name="Input_Time",
+            property_set="Communication_Properties",
+            value_kind="record-list",
+            applies_to=(ComponentCategory.THREAD,),
+            default="Dispatch",
+        ),
+        PropertyDefinition(
+            name="Output_Time",
+            property_set="Communication_Properties",
+            value_kind="record-list",
+            applies_to=(ComponentCategory.THREAD,),
+            default="Completion",
+        ),
+        PropertyDefinition(
+            name="Queue_Size",
+            property_set="Communication_Properties",
+            value_kind="integer",
+            applies_to=(ComponentCategory.THREAD, ComponentCategory.DEVICE, ComponentCategory.PROCESS),
+            default=1,
+        ),
+        PropertyDefinition(
+            name="Queue_Processing_Protocol",
+            property_set="Communication_Properties",
+            value_kind="enumeration",
+            applies_to=(ComponentCategory.THREAD, ComponentCategory.DEVICE),
+            default="FIFO",
+            literals=("FIFO", "LIFO"),
+        ),
+        PropertyDefinition(
+            name="Overflow_Handling_Protocol",
+            property_set="Communication_Properties",
+            value_kind="enumeration",
+            applies_to=(ComponentCategory.THREAD, ComponentCategory.DEVICE),
+            default="DropOldest",
+            literals=("DropOldest", "DropNewest", "Error"),
+        ),
+        PropertyDefinition(
+            name="Priority",
+            property_set="Thread_Properties",
+            value_kind="integer",
+            applies_to=_THREAD_LIKE + (ComponentCategory.PROCESS, ComponentCategory.DATA),
+        ),
+        PropertyDefinition(
+            name="Actual_Processor_Binding",
+            property_set="Deployment_Properties",
+            value_kind="reference-list",
+            applies_to=(
+                ComponentCategory.PROCESS,
+                ComponentCategory.THREAD,
+                ComponentCategory.THREAD_GROUP,
+                ComponentCategory.SYSTEM,
+                ComponentCategory.DEVICE,
+                ComponentCategory.VIRTUAL_PROCESSOR,
+            ),
+        ),
+        PropertyDefinition(
+            name="Scheduling_Protocol",
+            property_set="Deployment_Properties",
+            value_kind="enumeration",
+            applies_to=(ComponentCategory.PROCESSOR, ComponentCategory.VIRTUAL_PROCESSOR, ComponentCategory.SYSTEM),
+            literals=("RMS", "EDF", "DM", "Static", "RoundRobin"),
+        ),
+        PropertyDefinition(
+            name="Timing",
+            property_set="Communication_Properties",
+            value_kind="enumeration",
+            applies_to=(),
+            default="Immediate",
+            literals=("Sampled", "Immediate", "Delayed"),
+        ),
+        PropertyDefinition(
+            name="Concurrency_Control_Protocol",
+            property_set="Data_Model",
+            value_kind="enumeration",
+            applies_to=(ComponentCategory.DATA,),
+            literals=("None_Specified", "Priority_Ceiling", "Protected_Access", "Semaphore"),
+        ),
+    ]
+}
+
+
+def lookup(name: str) -> Optional[PropertyDefinition]:
+    """Find the definition of a predeclared property (case-insensitive)."""
+    return STANDARD_PROPERTIES.get(name.split("::")[-1].lower())
+
+
+def default_value(name: str) -> Any:
+    """The standard default of a predeclared property (or ``None``)."""
+    definition = lookup(name)
+    return definition.default if definition else None
+
+
+def is_standard(name: str) -> bool:
+    return lookup(name) is not None

@@ -1,0 +1,244 @@
+"""Legality and consistency checks on AADL models.
+
+These are the checks the paper assumes have been performed by the front-end
+before translation: the translator and the scheduler rely on threads having a
+positive period, deadlines within periods, resolvable classifiers and
+bindings, and type/direction compatible connections.  Findings are collected
+as diagnostics (errors stop the tool chain, warnings do not).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .errors import DiagnosticCollector
+from .instance import ComponentInstance, processor_bindings
+from .model import (
+    AadlModel,
+    ComponentCategory,
+    ComponentImplementation,
+    ConnectionKind,
+    Port,
+    PortDirection,
+    PortKind,
+)
+from .properties import (
+    COMPUTE_EXECUTION_TIME,
+    DEADLINE,
+    DISPATCH_PROTOCOL,
+    PERIOD,
+    QUEUE_SIZE,
+    DispatchProtocol,
+    parse_time_value,
+)
+
+#: Component categories allowed as subcomponents of each category (subset of
+#: the AADL legality rules relevant to the translation).
+_ALLOWED_SUBCOMPONENTS: Dict[ComponentCategory, List[ComponentCategory]] = {
+    ComponentCategory.SYSTEM: [
+        ComponentCategory.SYSTEM,
+        ComponentCategory.PROCESS,
+        ComponentCategory.PROCESSOR,
+        ComponentCategory.VIRTUAL_PROCESSOR,
+        ComponentCategory.MEMORY,
+        ComponentCategory.BUS,
+        ComponentCategory.VIRTUAL_BUS,
+        ComponentCategory.DEVICE,
+        ComponentCategory.DATA,
+        ComponentCategory.ABSTRACT,
+    ],
+    ComponentCategory.PROCESS: [
+        ComponentCategory.THREAD,
+        ComponentCategory.THREAD_GROUP,
+        ComponentCategory.DATA,
+        ComponentCategory.SUBPROGRAM,
+    ],
+    ComponentCategory.THREAD_GROUP: [
+        ComponentCategory.THREAD,
+        ComponentCategory.THREAD_GROUP,
+        ComponentCategory.DATA,
+    ],
+    ComponentCategory.THREAD: [
+        ComponentCategory.DATA,
+        ComponentCategory.SUBPROGRAM,
+    ],
+    ComponentCategory.PROCESSOR: [
+        ComponentCategory.VIRTUAL_PROCESSOR,
+        ComponentCategory.MEMORY,
+    ],
+    ComponentCategory.DATA: [ComponentCategory.DATA, ComponentCategory.SUBPROGRAM],
+    ComponentCategory.SUBPROGRAM: [ComponentCategory.DATA],
+}
+
+
+def validate_declarative_model(model: AadlModel) -> DiagnosticCollector:
+    """Check the declarative model: classifier resolution and category rules."""
+    diagnostics = DiagnosticCollector()
+    for package in model.packages.values():
+        for implementation in package.implementations.values():
+            _check_implementation(model, package.name, implementation, diagnostics)
+        for component_type in package.types.values():
+            if component_type.extends and model.find_type(component_type.extends, package.name) is None:
+                diagnostics.error(
+                    f"extended type {component_type.extends!r} not found",
+                    subject=f"{package.name}::{component_type.name}",
+                )
+    return diagnostics
+
+
+def _check_implementation(
+    model: AadlModel,
+    package_name: str,
+    implementation: ComponentImplementation,
+    diagnostics: DiagnosticCollector,
+) -> None:
+    subject = f"{package_name}::{implementation.name}"
+    if model.find_type(implementation.type_name, package_name) is None:
+        diagnostics.error(
+            f"implementation {implementation.name!r} has no matching component type",
+            subject=subject,
+        )
+    allowed = _ALLOWED_SUBCOMPONENTS.get(implementation.category)
+    for subcomponent in implementation.subcomponents.values():
+        if allowed is not None and subcomponent.category not in allowed:
+            diagnostics.error(
+                f"subcomponent {subcomponent.name!r} of category {subcomponent.category.value!r} "
+                f"is not allowed inside a {implementation.category.value}",
+                subject=subject,
+            )
+        if subcomponent.classifier and model.find_classifier(subcomponent.classifier, package_name) is None:
+            diagnostics.error(
+                f"classifier {subcomponent.classifier!r} of subcomponent {subcomponent.name!r} not found",
+                subject=subject,
+            )
+    # Mode transitions must reference declared modes.
+    for transition in implementation.mode_transitions:
+        for mode_name in (transition.source, transition.destination):
+            if mode_name not in implementation.modes:
+                diagnostics.error(
+                    f"mode transition references undeclared mode {mode_name!r}",
+                    subject=subject,
+                )
+
+
+def validate_instance_model(root: ComponentInstance) -> DiagnosticCollector:
+    """Check the instance model: timing properties, connections, bindings."""
+    diagnostics = DiagnosticCollector()
+    _check_threads(root, diagnostics)
+    _check_connections(root, diagnostics)
+    _check_bindings(root, diagnostics)
+    _check_shared_data(root, diagnostics)
+    return diagnostics
+
+
+def _check_threads(root: ComponentInstance, diagnostics: DiagnosticCollector) -> None:
+    for thread in root.threads():
+        subject = thread.qualified_name
+        protocol_literal = thread.dispatch_protocol()
+        protocol: Optional[DispatchProtocol] = None
+        if protocol_literal is None:
+            diagnostics.warning("thread has no Dispatch_Protocol; Periodic is assumed", subject=subject)
+            protocol = DispatchProtocol.PERIODIC
+        else:
+            try:
+                protocol = DispatchProtocol.from_literal(protocol_literal)
+            except Exception:
+                diagnostics.error(f"unknown Dispatch_Protocol {protocol_literal!r}", subject=subject)
+
+        period = thread.period_ms()
+        if protocol in (DispatchProtocol.PERIODIC, DispatchProtocol.SPORADIC, DispatchProtocol.TIMED, DispatchProtocol.HYBRID):
+            if period is None:
+                diagnostics.error(f"{protocol.value} thread has no Period", subject=subject)
+            elif period <= 0:
+                diagnostics.error(f"Period must be strictly positive, got {period} ms", subject=subject)
+
+        deadline = thread.deadline_ms()
+        if period is not None and deadline is not None and deadline > period:
+            diagnostics.warning(
+                f"Deadline ({deadline} ms) exceeds Period ({period} ms)", subject=subject
+            )
+        if deadline is not None and deadline <= 0:
+            diagnostics.error(f"Deadline must be strictly positive, got {deadline} ms", subject=subject)
+
+        execution = thread.properties.find(COMPUTE_EXECUTION_TIME)
+        if execution is not None:
+            wcet = parse_time_value(execution.value)
+            if deadline is not None and wcet > deadline:
+                diagnostics.error(
+                    f"Compute_Execution_Time ({wcet} ms) exceeds Deadline ({deadline} ms)", subject=subject
+                )
+
+        for feature in thread.in_ports():
+            port = feature.declaration
+            if isinstance(port, Port) and port.is_event:
+                queue_size = feature.declaration.properties.value(QUEUE_SIZE, 1)
+                if int(queue_size) < 1:
+                    diagnostics.error(
+                        f"Queue_Size of port {feature.name!r} must be at least 1", subject=subject
+                    )
+
+
+def _check_connections(root: ComponentInstance, diagnostics: DiagnosticCollector) -> None:
+    for connection in root.all_connections():
+        subject = f"{connection.owner.qualified_name}.{connection.name}"
+        if connection.kind is not ConnectionKind.PORT:
+            continue
+        source = connection.source.declaration
+        destination = connection.destination.declaration
+        if not isinstance(source, Port) or not isinstance(destination, Port):
+            diagnostics.error("port connection endpoints must be ports", subject=subject)
+            continue
+        # Direction: the source must be readable, the destination writable,
+        # accounting for the fact that a connection crossing a component
+        # boundary may legally go in-to-in or out-to-out.
+        same_component = connection.source.owner is connection.destination.owner.parent or (
+            connection.destination.owner is connection.source.owner.parent
+        )
+        if not same_component and source.direction is PortDirection.IN and destination.direction is PortDirection.IN:
+            diagnostics.warning("connection from an in port to an in port between siblings", subject=subject)
+        if source.kind is PortKind.DATA and destination.kind is PortKind.EVENT:
+            diagnostics.error("data port connected to an event port", subject=subject)
+        if source.kind is PortKind.EVENT and destination.kind is PortKind.DATA:
+            diagnostics.error("event port connected to a data port", subject=subject)
+        if connection.timing not in ("immediate", "delayed"):
+            diagnostics.error(f"unknown connection Timing {connection.timing!r}", subject=subject)
+
+
+def _check_bindings(root: ComponentInstance, diagnostics: DiagnosticCollector) -> None:
+    bindings = processor_bindings(root)
+    processors = root.processors()
+    for process in root.processes():
+        if process.qualified_name not in bindings:
+            if processors:
+                diagnostics.warning(
+                    "process has no Actual_Processor_Binding; threads cannot be scheduled",
+                    subject=process.qualified_name,
+                )
+            else:
+                diagnostics.info(
+                    "model has no processor; scheduling analysis will use a logical processor",
+                    subject=process.qualified_name,
+                )
+
+
+def _check_shared_data(root: ComponentInstance, diagnostics: DiagnosticCollector) -> None:
+    for data in root.data_components():
+        accessors = []
+        for connection in root.all_connections():
+            if connection.kind is ConnectionKind.DATA_ACCESS:
+                if connection.source.owner is data or connection.destination.owner is data:
+                    accessors.append(connection)
+        if len(accessors) > 1 and data.parent is not None:
+            diagnostics.info(
+                f"shared data accessed through {len(accessors)} access connections; "
+                "mutual exclusion clocks will be generated",
+                subject=data.qualified_name,
+            )
+
+
+def validate(model: AadlModel, root: Optional[ComponentInstance] = None) -> DiagnosticCollector:
+    """Run the declarative checks and, when *root* is given, the instance checks."""
+    diagnostics = validate_declarative_model(model)
+    if root is not None:
+        diagnostics.extend(validate_instance_model(root))
+    return diagnostics

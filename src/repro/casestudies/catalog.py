@@ -1,0 +1,141 @@
+"""Catalog of case studies.
+
+The paper states that "more than ten case studies have been tested" with the
+tool chain.  This catalog collects the tutorial ProducerConsumer model plus a
+set of synthetic-but-realistic designs (named after typical avionic and
+automotive subsystems) built with the generator, each with a different shape:
+number of processes, threads, shared data components and period structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..aadl.instance import ComponentInstance, Instantiator
+from ..aadl.model import AadlModel
+from .generator import GeneratedCaseStudy, GeneratorConfig, generate_case_study
+from .producer_consumer import instantiate_producer_consumer, load_producer_consumer_model
+
+
+@dataclass
+class CaseStudyEntry:
+    """One entry of the catalog."""
+
+    name: str
+    description: str
+    load_model: Callable[[], AadlModel]
+    root_implementation: str
+    default_package: Optional[str] = None
+
+    def instantiate(self) -> ComponentInstance:
+        model = self.load_model()
+        return Instantiator(model, default_package=self.default_package).instantiate(self.root_implementation)
+
+
+def _generated_entry(name: str, description: str, config: GeneratorConfig) -> CaseStudyEntry:
+    def load() -> AadlModel:
+        return generate_case_study(config).model
+
+    return CaseStudyEntry(
+        name=name,
+        description=description,
+        load_model=load,
+        root_implementation=f"{config.name}System.impl",
+        default_package=config.name,
+    )
+
+
+CATALOG: List[CaseStudyEntry] = [
+    CaseStudyEntry(
+        name="producer_consumer",
+        description="Tutorial avionic ProducerConsumer case study from the paper (C-S Toulouse / OPEES).",
+        load_model=load_producer_consumer_model,
+        root_implementation="ProducerConsumerSystem.others",
+        default_package="ProducerConsumer",
+    ),
+    _generated_entry(
+        "flight_guidance",
+        "Flight-guidance-like design: two processes, harmonic periods, one shared state per process.",
+        GeneratorConfig(name="FlightGuidance", processes=2, threads_per_process=4, harmonic=True, seed=1),
+    ),
+    _generated_entry(
+        "cruise_control",
+        "Cruise-control-like design: single process, sensor/compute/actuate threads, non-harmonic periods.",
+        GeneratorConfig(name="CruiseControl", processes=1, threads_per_process=3, harmonic=False, seed=2),
+    ),
+    _generated_entry(
+        "flight_management",
+        "Flight-management-like design: four processes with heavy data sharing.",
+        GeneratorConfig(
+            name="FlightManagement", processes=4, threads_per_process=5, shared_data_per_process=2, seed=3
+        ),
+    ),
+    _generated_entry(
+        "sensor_fusion",
+        "Sensor-fusion pipeline: one process, many threads chained by event connections.",
+        GeneratorConfig(
+            name="SensorFusion",
+            processes=1,
+            threads_per_process=8,
+            event_connections_per_process=7,
+            harmonic=True,
+            seed=4,
+        ),
+    ),
+    _generated_entry(
+        "engine_monitor",
+        "Engine-monitoring design: two processes, non-harmonic periods, no shared data.",
+        GeneratorConfig(
+            name="EngineMonitor",
+            processes=2,
+            threads_per_process=4,
+            shared_data_per_process=0,
+            harmonic=False,
+            seed=5,
+        ),
+    ),
+    _generated_entry(
+        "landing_gear",
+        "Landing-gear controller: three processes with a small number of threads each.",
+        GeneratorConfig(name="LandingGear", processes=3, threads_per_process=2, harmonic=True, seed=6),
+    ),
+    _generated_entry(
+        "cabin_pressure",
+        "Cabin-pressure regulation: single process, four threads, shared state, harmonic.",
+        GeneratorConfig(name="CabinPressure", processes=1, threads_per_process=4, harmonic=True, seed=7),
+    ),
+    _generated_entry(
+        "fuel_management",
+        "Fuel-management design: two processes, five threads each, two shared data per process.",
+        GeneratorConfig(
+            name="FuelManagement", processes=2, threads_per_process=5, shared_data_per_process=2, seed=8
+        ),
+    ),
+    _generated_entry(
+        "autobrake",
+        "Auto-brake design: single process, non-harmonic, tight WCET fractions.",
+        GeneratorConfig(name="AutoBrake", processes=1, threads_per_process=5, harmonic=False, wcet_fraction=0.3, seed=9),
+    ),
+    _generated_entry(
+        "display_manager",
+        "Display-manager design: three processes driving a shared display buffer.",
+        GeneratorConfig(name="DisplayManager", processes=3, threads_per_process=3, shared_data_per_process=1, seed=10),
+    ),
+    _generated_entry(
+        "large_integration",
+        "Large integration model used to stress the transformation (10 processes, 6 threads each).",
+        GeneratorConfig(name="LargeIntegration", processes=10, threads_per_process=6, seed=11),
+    ),
+]
+
+
+def catalog_names() -> List[str]:
+    return [entry.name for entry in CATALOG]
+
+
+def load_case_study(name: str) -> CaseStudyEntry:
+    for entry in CATALOG:
+        if entry.name == name:
+            return entry
+    raise KeyError(f"unknown case study {name!r}; available: {', '.join(catalog_names())}")

@@ -1,0 +1,227 @@
+"""Parametric generator of synthetic AADL case studies.
+
+Used by the scalability experiment (E10): the paper claims that the clock
+calculus handles "several thousand clocks" and that "more than ten case
+studies have been tested, and there is no special size limitation on
+transformation".  The generator produces AADL models of controlled size —
+N periodic threads spread over M processes, optional shared data per process,
+optional cross-thread event connections — so that those claims can be checked
+against our re-implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..aadl.model import (
+    AadlModel,
+    AadlPackage,
+    AccessKind,
+    ComponentCategory,
+    ComponentImplementation,
+    ComponentType,
+    Connection,
+    ConnectionEnd,
+    ConnectionKind,
+    DataAccess,
+    Port,
+    PortDirection,
+    PortKind,
+    Subcomponent,
+)
+from ..aadl.properties import (
+    ListValue,
+    PropertyAssociation,
+    enum_value,
+    integer,
+    ms,
+    reference,
+)
+
+#: Periods (ms) drawn from when building harmonic / non-harmonic task sets.
+HARMONIC_PERIODS = [2, 4, 8, 16, 32]
+NON_HARMONIC_PERIODS = [3, 4, 5, 6, 8, 10, 12, 15, 20]
+
+
+@dataclass
+class GeneratorConfig:
+    """Shape of a generated case study."""
+
+    name: str = "Synthetic"
+    processes: int = 1
+    threads_per_process: int = 4
+    shared_data_per_process: int = 1
+    event_connections_per_process: int = 2
+    harmonic: bool = True
+    wcet_fraction: float = 0.08  # WCET as a fraction of the period
+    seed: int = 0
+
+    @property
+    def total_threads(self) -> int:
+        return self.processes * self.threads_per_process
+
+
+@dataclass
+class GeneratedCaseStudy:
+    """A generated model plus the ground truth used by tests."""
+
+    config: GeneratorConfig
+    model: AadlModel
+    root_implementation: str
+    thread_periods_ms: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def package_name(self) -> str:
+        return self.config.name
+
+
+def _make_thread_type(
+    package: AadlPackage,
+    name: str,
+    period: float,
+    deadline: float,
+    wcet: float,
+    access_right: str = "read_write",
+) -> None:
+    thread = ComponentType(name=name, category=ComponentCategory.THREAD)
+    thread.add_feature(Port(name="pIn", direction=PortDirection.IN, kind=PortKind.EVENT))
+    thread.add_feature(Port(name="pOut", direction=PortDirection.OUT, kind=PortKind.EVENT))
+    access = DataAccess(name="reqData", access=AccessKind.REQUIRES, classifier="SharedType.impl")
+    access.properties.add(PropertyAssociation("Access_Right", enum_value(access_right)))
+    thread.add_feature(access)
+    thread.properties.add(PropertyAssociation("Dispatch_Protocol", enum_value("Periodic")))
+    thread.properties.add(PropertyAssociation("Period", ms(period)))
+    thread.properties.add(PropertyAssociation("Deadline", ms(deadline)))
+    thread.properties.add(PropertyAssociation("Compute_Execution_Time", ms(wcet)))
+    package.add_type(thread)
+    package.add_implementation(ComponentImplementation(name=f"{name}.impl", category=ComponentCategory.THREAD))
+
+
+def generate_case_study(config: GeneratorConfig) -> GeneratedCaseStudy:
+    """Generate a synthetic case study according to *config*."""
+    rng = random.Random(config.seed)
+    model = AadlModel()
+    package = AadlPackage(name=config.name)
+    model.add_package(package)
+
+    shared_type = ComponentType(name="SharedType", category=ComponentCategory.DATA)
+    package.add_type(shared_type)
+    package.add_implementation(ComponentImplementation(name="SharedType.impl", category=ComponentCategory.DATA))
+
+    cpu = ComponentType(name="cpu", category=ComponentCategory.PROCESSOR)
+    cpu.properties.add(PropertyAssociation("Scheduling_Protocol", enum_value("RMS")))
+    package.add_type(cpu)
+    package.add_implementation(ComponentImplementation(name="cpu.impl", category=ComponentCategory.PROCESSOR))
+
+    periods_pool = HARMONIC_PERIODS if config.harmonic else NON_HARMONIC_PERIODS
+    thread_periods: Dict[str, float] = {}
+
+    process_names: List[str] = []
+    for process_index in range(config.processes):
+        process_name = f"proc{process_index}"
+        process_names.append(process_name)
+        process_type = ComponentType(name=process_name, category=ComponentCategory.PROCESS)
+        process_type.add_feature(Port(name="pIn", direction=PortDirection.IN, kind=PortKind.EVENT))
+        process_type.add_feature(Port(name="pOut", direction=PortDirection.OUT, kind=PortKind.EVENT))
+        package.add_type(process_type)
+        implementation = ComponentImplementation(name=f"{process_name}.impl", category=ComponentCategory.PROCESS)
+
+        thread_names: List[str] = []
+        for thread_index in range(config.threads_per_process):
+            thread_type_name = f"{process_name}_th{thread_index}"
+            period = float(rng.choice(periods_pool))
+            wcet = max(0.1, round(period * config.wcet_fraction, 1))
+            # The first accessor of each shared data component is its (only)
+            # writer; later accessors read it.  This keeps the generated
+            # models free of unconstrained concurrent writes, like the
+            # hand-written case study.
+            access_right = (
+                "write_only" if thread_index < config.shared_data_per_process else "read_only"
+            )
+            _make_thread_type(package, thread_type_name, period, period, wcet, access_right=access_right)
+            subcomponent_name = f"th{thread_index}"
+            thread_names.append(subcomponent_name)
+            implementation.add_subcomponent(
+                Subcomponent(
+                    name=subcomponent_name,
+                    category=ComponentCategory.THREAD,
+                    classifier=f"{thread_type_name}.impl",
+                )
+            )
+            thread_periods[f"{process_name}.{subcomponent_name}"] = period
+
+        for data_index in range(config.shared_data_per_process):
+            implementation.add_subcomponent(
+                Subcomponent(
+                    name=f"shared{data_index}",
+                    category=ComponentCategory.DATA,
+                    classifier="SharedType.impl",
+                )
+            )
+        # Access connections: each thread accesses shared data round-robin.
+        if config.shared_data_per_process > 0:
+            for thread_index, thread_name in enumerate(thread_names):
+                data_name = f"shared{thread_index % config.shared_data_per_process}"
+                implementation.add_connection(
+                    Connection(
+                        name=f"acc_{thread_name}",
+                        kind=ConnectionKind.DATA_ACCESS,
+                        source=ConnectionEnd(subcomponent=None, feature=data_name),
+                        destination=ConnectionEnd(subcomponent=thread_name, feature="reqData"),
+                    )
+                )
+        # Event connections between consecutive threads.
+        for connection_index in range(min(config.event_connections_per_process, len(thread_names) - 1)):
+            source = thread_names[connection_index]
+            destination = thread_names[connection_index + 1]
+            implementation.add_connection(
+                Connection(
+                    name=f"evt_{connection_index}",
+                    kind=ConnectionKind.PORT,
+                    source=ConnectionEnd(subcomponent=source, feature="pOut"),
+                    destination=ConnectionEnd(subcomponent=destination, feature="pIn"),
+                )
+            )
+        package.add_implementation(implementation)
+
+    # Root system with one processor per process so that every generated
+    # task set stays well below the non-preemptive schedulability limit.
+    root_type = ComponentType(name=f"{config.name}System", category=ComponentCategory.SYSTEM)
+    package.add_type(root_type)
+    root_impl = ComponentImplementation(
+        name=f"{config.name}System.impl", category=ComponentCategory.SYSTEM
+    )
+    processor_count = max(1, config.processes)
+    for processor_index in range(processor_count):
+        root_impl.add_subcomponent(
+            Subcomponent(
+                name=f"cpu{processor_index}",
+                category=ComponentCategory.PROCESSOR,
+                classifier="cpu.impl",
+            )
+        )
+    for process_index, process_name in enumerate(process_names):
+        root_impl.add_subcomponent(
+            Subcomponent(
+                name=process_name,
+                category=ComponentCategory.PROCESS,
+                classifier=f"{process_name}.impl",
+            )
+        )
+        root_impl.properties.add(
+            PropertyAssociation(
+                "Actual_Processor_Binding",
+                ListValue((reference(f"cpu{process_index % processor_count}"),)),
+                applies_to=((process_name,),),
+            )
+        )
+    package.add_implementation(root_impl)
+
+    return GeneratedCaseStudy(
+        config=config,
+        model=model,
+        root_implementation=f"{config.name}System.impl",
+        thread_periods_ms=thread_periods,
+    )

@@ -1,0 +1,460 @@
+"""The ProducerConsumer avionic tutorial case study (Sections II and V).
+
+The case study, initially provided by C-S Toulouse for the OPEES project, is
+re-modelled here from the description in the paper:
+
+* a root ``system`` composed of the process ``prProdCons``, the processor
+  ``Processor1`` it is bound to, and two subsystems ``sysEnv`` (environment)
+  and ``sysOperatorDisplay`` (informed when a timeout occurs);
+* ``prProdCons`` contains four periodic threads — ``thProducer`` (4 ms),
+  ``thConsumer`` (6 ms), ``thProdTimer`` (8 ms), ``thConsTimer`` (8 ms) — and
+  the shared data component ``Queue`` written by the producer and read by the
+  consumer;
+* each timer thread offers start/stop timer services and emits a ``pTimeOut``
+  event when the timer expires, which is forwarded both to the corresponding
+  worker thread and to the operator display;
+* ``thProducer`` carries the small mode automaton used by the determinism
+  experiment (E7): two transitions leave the ``producing`` mode on the same
+  ``pProdTimeOut`` trigger, which is non-deterministic unless priorities are
+  specified on the transitions.
+
+The module provides the model both as textual AADL (parsed by
+:mod:`repro.aadl.parser`) and as an equivalent programmatic construction, plus
+the timing facts quoted by the paper that the benchmarks check against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..aadl.instance import ComponentInstance, Instantiator
+from ..aadl.model import (
+    AadlModel,
+    AadlPackage,
+    AccessKind,
+    ComponentCategory,
+    ComponentImplementation,
+    ComponentType,
+    Connection,
+    ConnectionEnd,
+    ConnectionKind,
+    DataAccess,
+    Mode,
+    ModeTransition,
+    Port,
+    PortDirection,
+    PortKind,
+    Subcomponent,
+)
+from ..aadl.parser import parse_string
+from ..aadl.properties import (
+    PropertyAssociation,
+    enum_value,
+    integer,
+    io_time,
+    ListValue,
+    ms,
+    reference,
+)
+
+#: Facts stated in the paper, used by tests and the benchmark harness.
+CASE_STUDY_FACTS: Dict[str, object] = {
+    "process_name": "prProdCons",
+    "processor_name": "Processor1",
+    "subsystems": ["sysEnv", "sysOperatorDisplay"],
+    "threads": ["thProducer", "thConsumer", "thProdTimer", "thConsTimer"],
+    "periods_ms": {
+        "thProducer": 4.0,
+        "thConsumer": 6.0,
+        "thProdTimer": 8.0,
+        "thConsTimer": 8.0,
+    },
+    "shared_data": "Queue",
+    "hyperperiod_ms": 24.0,
+}
+
+
+PRODUCER_CONSUMER_AADL = """
+-- ProducerConsumer tutorial avionic case study (OPEES / C-S Toulouse),
+-- re-modelled from the description in the DATE 2013 paper.
+package ProducerConsumer
+public
+
+  data QueueType
+  properties
+    Concurrency_Control_Protocol => Protected_Access;
+  end QueueType;
+
+  data implementation QueueType.impl
+  end QueueType.impl;
+
+  thread thProducer
+  features
+    pProdStart: in event port;
+    pProdTimeOut: in event port;
+    pProdStartTimer: out event port;
+    pProdStopTimer: out event port;
+    pProdOK: out event data port;
+    reqQueue: requires data access QueueType.impl {Access_Right => write_only;};
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 4 ms;
+    Deadline => 4 ms;
+    Compute_Execution_Time => 0 ms .. 1 ms;
+    Input_Time => ([Time => Dispatch; Offset => 0 ms .. 0 ms;]);
+    Output_Time => ([Time => Completion; Offset => 0 ms .. 0 ms;]);
+  end thProducer;
+
+  thread implementation thProducer.impl
+  modes
+    idle: initial mode;
+    producing: mode;
+    error: mode;
+    t1: idle -[ pProdStart ]-> producing;
+    t2: producing -[ pProdTimeOut ]-> idle;
+    t3: producing -[ pProdTimeOut ]-> error;
+  end thProducer.impl;
+
+  thread thConsumer
+  features
+    pConsStart: in event port;
+    pConsTimeOut: in event port;
+    pConsStartTimer: out event port;
+    pConsStopTimer: out event port;
+    pConsOK: out event data port;
+    reqQueue: requires data access QueueType.impl {Access_Right => read_only;};
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 6 ms;
+    Deadline => 6 ms;
+    Compute_Execution_Time => 0 ms .. 1 ms;
+    Input_Time => ([Time => Dispatch; Offset => 0 ms .. 0 ms;]);
+    Output_Time => ([Time => Completion; Offset => 0 ms .. 0 ms;]);
+  end thConsumer;
+
+  thread implementation thConsumer.impl
+  end thConsumer.impl;
+
+  thread thTimer
+  features
+    pStartTimer: in event port {Queue_Size => 2;};
+    pStopTimer: in event port;
+    pTimeOut: out event port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Deadline => 8 ms;
+    Compute_Execution_Time => 0 ms .. 1 ms;
+  end thTimer;
+
+  thread implementation thTimer.impl
+  end thTimer.impl;
+
+  process prProdCons
+  features
+    pProdStart: in event port;
+    pConsStart: in event port;
+    pProdTimeOut: out event port;
+    pConsTimeOut: out event port;
+  end prProdCons;
+
+  process implementation prProdCons.impl
+  subcomponents
+    thProducer: thread thProducer.impl;
+    thConsumer: thread thConsumer.impl;
+    thProdTimer: thread thTimer.impl;
+    thConsTimer: thread thTimer.impl;
+    Queue: data QueueType.impl;
+  connections
+    cnxProdStart: port pProdStart -> thProducer.pProdStart;
+    cnxConsStart: port pConsStart -> thConsumer.pConsStart;
+    cnxProdStartTimer: port thProducer.pProdStartTimer -> thProdTimer.pStartTimer;
+    cnxProdStopTimer: port thProducer.pProdStopTimer -> thProdTimer.pStopTimer;
+    cnxProdTimeOut: port thProdTimer.pTimeOut -> thProducer.pProdTimeOut;
+    cnxConsStartTimer: port thConsumer.pConsStartTimer -> thConsTimer.pStartTimer;
+    cnxConsStopTimer: port thConsumer.pConsStopTimer -> thConsTimer.pStopTimer;
+    cnxConsTimeOut: port thConsTimer.pTimeOut -> thConsumer.pConsTimeOut;
+    cnxProdAlarm: port thProdTimer.pTimeOut -> pProdTimeOut;
+    cnxConsAlarm: port thConsTimer.pTimeOut -> pConsTimeOut;
+    accProducer: data access Queue -> thProducer.reqQueue;
+    accConsumer: data access Queue -> thConsumer.reqQueue;
+  end prProdCons.impl;
+
+  system sysEnv
+  features
+    pProdStart: out event port;
+    pConsStart: out event port;
+  end sysEnv;
+
+  system implementation sysEnv.impl
+  end sysEnv.impl;
+
+  system sysOperatorDisplay
+  features
+    pProdTimeOut: in event port;
+    pConsTimeOut: in event port;
+  end sysOperatorDisplay;
+
+  system implementation sysOperatorDisplay.impl
+  end sysOperatorDisplay.impl;
+
+  processor cpu
+  properties
+    Scheduling_Protocol => RMS;
+  end cpu;
+
+  processor implementation cpu.impl
+  end cpu.impl;
+
+  system ProducerConsumerSystem
+  end ProducerConsumerSystem;
+
+  system implementation ProducerConsumerSystem.others
+  subcomponents
+    prProdCons: process prProdCons.impl;
+    Processor1: processor cpu.impl;
+    sysEnv: system sysEnv.impl;
+    sysOperatorDisplay: system sysOperatorDisplay.impl;
+  connections
+    envProd: port sysEnv.pProdStart -> prProdCons.pProdStart;
+    envCons: port sysEnv.pConsStart -> prProdCons.pConsStart;
+    dispProd: port prProdCons.pProdTimeOut -> sysOperatorDisplay.pProdTimeOut;
+    dispCons: port prProdCons.pConsTimeOut -> sysOperatorDisplay.pConsTimeOut;
+  properties
+    Actual_Processor_Binding => (reference (Processor1)) applies to prProdCons;
+  end ProducerConsumerSystem.others;
+
+end ProducerConsumer;
+"""
+
+
+def load_producer_consumer_model() -> AadlModel:
+    """Parse the textual AADL source of the case study."""
+    return parse_string(PRODUCER_CONSUMER_AADL, filename="ProducerConsumer.aadl")
+
+
+def instantiate_producer_consumer(model: Optional[AadlModel] = None) -> ComponentInstance:
+    """Instantiate the root system of the case study."""
+    if model is None:
+        model = load_producer_consumer_model()
+    return Instantiator(model, default_package="ProducerConsumer").instantiate(
+        "ProducerConsumerSystem.others"
+    )
+
+
+# ----------------------------------------------------------------------
+# programmatic construction (same model, without going through the parser)
+# ----------------------------------------------------------------------
+def _periodic_thread_properties(period_ms: float, deadline_ms: float, wcet_ms: float):
+    return [
+        PropertyAssociation("Dispatch_Protocol", enum_value("Periodic")),
+        PropertyAssociation("Period", ms(period_ms)),
+        PropertyAssociation("Deadline", ms(deadline_ms)),
+        PropertyAssociation("Compute_Execution_Time", ms(wcet_ms)),
+        PropertyAssociation("Input_Time", ListValue((io_time("Dispatch", 0.0),))),
+        PropertyAssociation("Output_Time", ListValue((io_time("Completion", 0.0),))),
+    ]
+
+
+def _event_port(name: str, direction: PortDirection, kind: PortKind = PortKind.EVENT) -> Port:
+    return Port(name=name, direction=direction, kind=kind)
+
+
+def build_producer_consumer_model() -> AadlModel:
+    """Build the case-study model programmatically (used by property tests to
+    cross-check the parser)."""
+    model = AadlModel()
+    package = AadlPackage(name="ProducerConsumer")
+    model.add_package(package)
+
+    queue_type = ComponentType(name="QueueType", category=ComponentCategory.DATA)
+    queue_type.properties.add(
+        PropertyAssociation("Concurrency_Control_Protocol", enum_value("Protected_Access"))
+    )
+    package.add_type(queue_type)
+    package.add_implementation(
+        ComponentImplementation(name="QueueType.impl", category=ComponentCategory.DATA)
+    )
+
+    # -- thProducer -----------------------------------------------------
+    producer = ComponentType(name="thProducer", category=ComponentCategory.THREAD)
+    producer.add_feature(_event_port("pProdStart", PortDirection.IN))
+    producer.add_feature(_event_port("pProdTimeOut", PortDirection.IN))
+    producer.add_feature(_event_port("pProdStartTimer", PortDirection.OUT))
+    producer.add_feature(_event_port("pProdStopTimer", PortDirection.OUT))
+    producer.add_feature(_event_port("pProdOK", PortDirection.OUT, PortKind.EVENT_DATA))
+    producer_access = DataAccess(name="reqQueue", access=AccessKind.REQUIRES, classifier="QueueType.impl")
+    producer_access.properties.add(PropertyAssociation("Access_Right", enum_value("write_only")))
+    producer.add_feature(producer_access)
+    for association in _periodic_thread_properties(4.0, 4.0, 1.0):
+        producer.properties.add(association)
+    package.add_type(producer)
+
+    producer_impl = ComponentImplementation(name="thProducer.impl", category=ComponentCategory.THREAD)
+    producer_impl.modes["idle"] = Mode(name="idle", initial=True)
+    producer_impl.modes["producing"] = Mode(name="producing")
+    producer_impl.modes["error"] = Mode(name="error")
+    producer_impl.mode_transitions.extend(
+        [
+            ModeTransition(name="t1", source="idle", destination="producing", triggers=("pProdStart",)),
+            ModeTransition(name="t2", source="producing", destination="idle", triggers=("pProdTimeOut",)),
+            ModeTransition(name="t3", source="producing", destination="error", triggers=("pProdTimeOut",)),
+        ]
+    )
+    package.add_implementation(producer_impl)
+
+    # -- thConsumer -----------------------------------------------------
+    consumer = ComponentType(name="thConsumer", category=ComponentCategory.THREAD)
+    consumer.add_feature(_event_port("pConsStart", PortDirection.IN))
+    consumer.add_feature(_event_port("pConsTimeOut", PortDirection.IN))
+    consumer.add_feature(_event_port("pConsStartTimer", PortDirection.OUT))
+    consumer.add_feature(_event_port("pConsStopTimer", PortDirection.OUT))
+    consumer.add_feature(_event_port("pConsOK", PortDirection.OUT, PortKind.EVENT_DATA))
+    consumer_access = DataAccess(name="reqQueue", access=AccessKind.REQUIRES, classifier="QueueType.impl")
+    consumer_access.properties.add(PropertyAssociation("Access_Right", enum_value("read_only")))
+    consumer.add_feature(consumer_access)
+    for association in _periodic_thread_properties(6.0, 6.0, 1.0):
+        consumer.properties.add(association)
+    package.add_type(consumer)
+    package.add_implementation(
+        ComponentImplementation(name="thConsumer.impl", category=ComponentCategory.THREAD)
+    )
+
+    # -- thTimer ----------------------------------------------------------
+    timer = ComponentType(name="thTimer", category=ComponentCategory.THREAD)
+    start_timer = _event_port("pStartTimer", PortDirection.IN)
+    start_timer.properties.add(PropertyAssociation("Queue_Size", integer(2)))
+    timer.add_feature(start_timer)
+    timer.add_feature(_event_port("pStopTimer", PortDirection.IN))
+    timer.add_feature(_event_port("pTimeOut", PortDirection.OUT))
+    for association in _periodic_thread_properties(8.0, 8.0, 1.0):
+        if association.name in ("Input_Time", "Output_Time"):
+            continue
+        timer.properties.add(association)
+    package.add_type(timer)
+    package.add_implementation(
+        ComponentImplementation(name="thTimer.impl", category=ComponentCategory.THREAD)
+    )
+
+    # -- prProdCons -------------------------------------------------------
+    process_type = ComponentType(name="prProdCons", category=ComponentCategory.PROCESS)
+    process_type.add_feature(_event_port("pProdStart", PortDirection.IN))
+    process_type.add_feature(_event_port("pConsStart", PortDirection.IN))
+    process_type.add_feature(_event_port("pProdTimeOut", PortDirection.OUT))
+    process_type.add_feature(_event_port("pConsTimeOut", PortDirection.OUT))
+    package.add_type(process_type)
+
+    process_impl = ComponentImplementation(name="prProdCons.impl", category=ComponentCategory.PROCESS)
+    for thread_name, classifier in [
+        ("thProducer", "thProducer.impl"),
+        ("thConsumer", "thConsumer.impl"),
+        ("thProdTimer", "thTimer.impl"),
+        ("thConsTimer", "thTimer.impl"),
+    ]:
+        process_impl.add_subcomponent(
+            Subcomponent(name=thread_name, category=ComponentCategory.THREAD, classifier=classifier)
+        )
+    process_impl.add_subcomponent(
+        Subcomponent(name="Queue", category=ComponentCategory.DATA, classifier="QueueType.impl")
+    )
+
+    def port_connection(name: str, source: str, destination: str) -> Connection:
+        def end(text: str) -> ConnectionEnd:
+            if "." in text:
+                sub, feature = text.split(".")
+                return ConnectionEnd(subcomponent=sub, feature=feature)
+            return ConnectionEnd(subcomponent=None, feature=text)
+
+        return Connection(name=name, kind=ConnectionKind.PORT, source=end(source), destination=end(destination))
+
+    for name, source, destination in [
+        ("cnxProdStart", "pProdStart", "thProducer.pProdStart"),
+        ("cnxConsStart", "pConsStart", "thConsumer.pConsStart"),
+        ("cnxProdStartTimer", "thProducer.pProdStartTimer", "thProdTimer.pStartTimer"),
+        ("cnxProdStopTimer", "thProducer.pProdStopTimer", "thProdTimer.pStopTimer"),
+        ("cnxProdTimeOut", "thProdTimer.pTimeOut", "thProducer.pProdTimeOut"),
+        ("cnxConsStartTimer", "thConsumer.pConsStartTimer", "thConsTimer.pStartTimer"),
+        ("cnxConsStopTimer", "thConsumer.pConsStopTimer", "thConsTimer.pStopTimer"),
+        ("cnxConsTimeOut", "thConsTimer.pTimeOut", "thConsumer.pConsTimeOut"),
+        ("cnxProdAlarm", "thProdTimer.pTimeOut", "pProdTimeOut"),
+        ("cnxConsAlarm", "thConsTimer.pTimeOut", "pConsTimeOut"),
+    ]:
+        process_impl.add_connection(port_connection(name, source, destination))
+    process_impl.add_connection(
+        Connection(
+            name="accProducer",
+            kind=ConnectionKind.DATA_ACCESS,
+            source=ConnectionEnd(subcomponent=None, feature="Queue"),
+            destination=ConnectionEnd(subcomponent="thProducer", feature="reqQueue"),
+        )
+    )
+    process_impl.add_connection(
+        Connection(
+            name="accConsumer",
+            kind=ConnectionKind.DATA_ACCESS,
+            source=ConnectionEnd(subcomponent=None, feature="Queue"),
+            destination=ConnectionEnd(subcomponent="thConsumer", feature="reqQueue"),
+        )
+    )
+    package.add_implementation(process_impl)
+
+    # -- environment, display, processor ---------------------------------
+    env = ComponentType(name="sysEnv", category=ComponentCategory.SYSTEM)
+    env.add_feature(_event_port("pProdStart", PortDirection.OUT))
+    env.add_feature(_event_port("pConsStart", PortDirection.OUT))
+    package.add_type(env)
+    package.add_implementation(ComponentImplementation(name="sysEnv.impl", category=ComponentCategory.SYSTEM))
+
+    display = ComponentType(name="sysOperatorDisplay", category=ComponentCategory.SYSTEM)
+    display.add_feature(_event_port("pProdTimeOut", PortDirection.IN))
+    display.add_feature(_event_port("pConsTimeOut", PortDirection.IN))
+    package.add_type(display)
+    package.add_implementation(
+        ComponentImplementation(name="sysOperatorDisplay.impl", category=ComponentCategory.SYSTEM)
+    )
+
+    cpu = ComponentType(name="cpu", category=ComponentCategory.PROCESSOR)
+    cpu.properties.add(PropertyAssociation("Scheduling_Protocol", enum_value("RMS")))
+    package.add_type(cpu)
+    package.add_implementation(ComponentImplementation(name="cpu.impl", category=ComponentCategory.PROCESSOR))
+
+    # -- root system -------------------------------------------------------
+    root_type = ComponentType(name="ProducerConsumerSystem", category=ComponentCategory.SYSTEM)
+    package.add_type(root_type)
+    root_impl = ComponentImplementation(name="ProducerConsumerSystem.others", category=ComponentCategory.SYSTEM)
+    root_impl.add_subcomponent(
+        Subcomponent(name="prProdCons", category=ComponentCategory.PROCESS, classifier="prProdCons.impl")
+    )
+    root_impl.add_subcomponent(
+        Subcomponent(name="Processor1", category=ComponentCategory.PROCESSOR, classifier="cpu.impl")
+    )
+    root_impl.add_subcomponent(
+        Subcomponent(name="sysEnv", category=ComponentCategory.SYSTEM, classifier="sysEnv.impl")
+    )
+    root_impl.add_subcomponent(
+        Subcomponent(
+            name="sysOperatorDisplay", category=ComponentCategory.SYSTEM, classifier="sysOperatorDisplay.impl"
+        )
+    )
+    for name, source, destination in [
+        ("envProd", "sysEnv.pProdStart", "prProdCons.pProdStart"),
+        ("envCons", "sysEnv.pConsStart", "prProdCons.pConsStart"),
+        ("dispProd", "prProdCons.pProdTimeOut", "sysOperatorDisplay.pProdTimeOut"),
+        ("dispCons", "prProdCons.pConsTimeOut", "sysOperatorDisplay.pConsTimeOut"),
+    ]:
+        def end(text: str) -> ConnectionEnd:
+            sub, feature = text.split(".")
+            return ConnectionEnd(subcomponent=sub, feature=feature)
+
+        root_impl.add_connection(
+            Connection(name=name, kind=ConnectionKind.PORT, source=end(source), destination=end(destination))
+        )
+    root_impl.properties.add(
+        PropertyAssociation(
+            "Actual_Processor_Binding",
+            ListValue((reference("Processor1"),)),
+            applies_to=(("prProdCons",),),
+        )
+    )
+    package.add_implementation(root_impl)
+    return model

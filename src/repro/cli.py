@@ -1,0 +1,234 @@
+"""Command-line interface of the tool chain.
+
+``python -m repro`` exposes the paper's workflow on textual AADL files::
+
+    python -m repro analyse  model.aadl --root MySystem.impl          # full tool chain
+    python -m repro schedule model.aadl --root MySystem.impl --policy EDF
+    python -m repro translate model.aadl --root MySystem.impl -o out/ # SIGNAL sources
+    python -m repro simulate model.aadl --root MySystem.impl --hyperperiods 4 --vcd trace.vcd
+    python -m repro casestudy --list                                  # bundled case studies
+
+When ``--root`` is omitted the tool picks the first system implementation of
+the first package, which is the common single-system case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .aadl.model import AadlModel, ComponentCategory
+from .aadl.parser import parse_file, parse_string
+from .casestudies import CATALOG, PRODUCER_CONSUMER_AADL, load_case_study
+from .core import ToolchainOptions, TranslationConfig, run_toolchain
+from .scheduling import SchedulingPolicy, export_affine_clocks
+from .sig.printer import to_signal_source
+
+
+def _load_model(path: str) -> AadlModel:
+    if path == "producer_consumer":
+        return parse_string(PRODUCER_CONSUMER_AADL, filename="ProducerConsumer.aadl")
+    return parse_file(path)
+
+
+def _default_root(model: AadlModel) -> Optional[str]:
+    """Pick the most plausible root: a system implementation that is not itself
+    used as a subcomponent anywhere, preferring the one with the most
+    subcomponents; fall back to the first process implementation."""
+    used_classifiers = {
+        subcomponent.classifier
+        for implementation in model.all_implementations()
+        for subcomponent in implementation.subcomponents.values()
+        if subcomponent.classifier
+    }
+    candidates = [
+        implementation
+        for implementation in model.all_implementations()
+        if implementation.category is ComponentCategory.SYSTEM
+    ]
+    top_level = [c for c in candidates if c.name not in used_classifiers] or candidates
+    if top_level:
+        return max(top_level, key=lambda impl: len(impl.subcomponents)).name
+    for implementation in model.all_implementations():
+        if implementation.category is ComponentCategory.PROCESS:
+            return implementation.name
+    return None
+
+
+def _toolchain(args: argparse.Namespace, simulate: bool = True) -> "ToolchainResult":
+    model = _load_model(args.model)
+    root = args.root or _default_root(model)
+    if root is None:
+        raise SystemExit("error: no system implementation found; pass --root explicitly")
+    options = ToolchainOptions(
+        root_implementation=root,
+        default_package=next(iter(model.packages), None),
+        translation=TranslationConfig(
+            include_scheduler=not getattr(args, "no_scheduler", False),
+            scheduling_policy=SchedulingPolicy.from_name(getattr(args, "policy", "RM")),
+        ),
+        simulate_hyperperiods=getattr(args, "hyperperiods", 2) if simulate else 0,
+        strict_validation=not getattr(args, "lenient", False),
+    )
+    return run_toolchain(model, options)
+
+
+# ----------------------------------------------------------------------
+# sub-commands
+# ----------------------------------------------------------------------
+def cmd_analyse(args: argparse.Namespace) -> int:
+    result = _toolchain(args)
+    print(result.summary())
+    print()
+    print(result.clock_report.summary())
+    print()
+    print(result.determinism.summary())
+    print(result.deadlocks.summary())
+    for processor, report in result.schedulability.items():
+        print()
+        print(f"[{processor}]")
+        print(report.summary())
+    if result.diagnostics.diagnostics:
+        print()
+        print("Validation findings:")
+        print(result.diagnostics.summary())
+    return 0 if (result.determinism.deterministic and result.deadlocks.deadlock_free) else 1
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    result = _toolchain(args, simulate=False)
+    if not result.schedules:
+        print("no schedulable threads found (is the process bound to a processor?)")
+        return 1
+    for processor, schedule in result.schedules.items():
+        print(f"Schedule for {processor} ({schedule.policy.value}), "
+              f"hyper-period {schedule.hyperperiod_ms} ms, utilisation {schedule.processor_utilisation():.2f}")
+        for row in schedule.table():
+            print(
+                f"  {row['task']:<16s} job {row['job']:<2d} dispatch {row['dispatch_ms']:>7.2f}  "
+                f"start {row['start_ms']:>7.2f}  complete {row['complete_ms']:>7.2f}  "
+                f"deadline {row['deadline_ms']:>7.2f}"
+            )
+        if args.affine:
+            print()
+            print(export_affine_clocks(schedule).summary())
+    return 0
+
+
+def cmd_translate(args: argparse.Namespace) -> int:
+    result = _toolchain(args, simulate=False)
+    os.makedirs(args.output, exist_ok=True)
+    system_path = os.path.join(args.output, f"{result.translation.system_model.name}.sig")
+    with open(system_path, "w", encoding="utf-8") as handle:
+        handle.write(to_signal_source(result.translation.system_model))
+    written = [system_path]
+    for process in result.translation.processes.values():
+        path = os.path.join(args.output, f"{process.name}.sig")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(to_signal_source(process.model))
+        written.append(path)
+    print(f"wrote {len(written)} SIGNAL source file(s) to {args.output}")
+    for path in written:
+        print(f"  {path}")
+    stats = result.translation.statistics()
+    print(f"generated {stats['models']} process models, {stats['signals']} signals, "
+          f"{stats['equations']} equations, {stats['trace_links']} traceability links")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    result = _toolchain(args)
+    if result.trace is None:
+        print("nothing was simulated (no schedule could be synthesised)")
+        return 1
+    print(f"simulated {result.trace.length} instants "
+          f"({args.hyperperiods} hyper-period(s)), {len(result.trace.flows)} signals recorded")
+    alarms = {n: result.trace.clock_of(n) for n in result.trace.signals() if n.endswith("_Alarm")}
+    fired = {n: ticks for n, ticks in alarms.items() if ticks}
+    print(f"deadline alarms: {fired if fired else 'none'}")
+    if result.profile is not None:
+        print(result.profile.summary())
+    if args.vcd:
+        signals = None
+        if not args.all_signals:
+            signals = sorted(
+                n for n in result.trace.signals()
+                if n.endswith(("_dispatch", "_start", "_complete", "_Alarm"))
+            )
+        result.write_vcd(args.vcd, signals=signals)
+        print(f"VCD trace written to {args.vcd}")
+    return 0 if not fired else 1
+
+
+def cmd_casestudy(args: argparse.Namespace) -> int:
+    if args.list or not args.name:
+        print("bundled case studies:")
+        for entry in CATALOG:
+            print(f"  {entry.name:<20s} {entry.description}")
+        return 0
+    entry = load_case_study(args.name)
+    root = entry.instantiate()
+    from .aadl.instance import instance_report
+
+    report = instance_report(root)
+    print(f"{entry.name}: {entry.description}")
+    for key, value in report.as_dict().items():
+        print(f"  {key:<12s}: {value}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Polychronous analysis and validation for timed software architectures in AADL",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("model", help="path to an .aadl file (or 'producer_consumer' for the bundled case study)")
+        p.add_argument("--root", help="root system implementation (default: first system implementation found)")
+        p.add_argument("--policy", default="RM", help="scheduling policy: RM, DM, EDF or Priority (default RM)")
+        p.add_argument("--no-scheduler", action="store_true", help="translate without scheduler synthesis")
+        p.add_argument("--lenient", action="store_true", help="continue on validation errors")
+
+    analyse = sub.add_parser("analyse", help="run the complete tool chain and print every report")
+    add_common(analyse)
+    analyse.add_argument("--hyperperiods", type=int, default=2, help="hyper-periods to simulate (default 2)")
+    analyse.set_defaults(func=cmd_analyse)
+
+    schedule = sub.add_parser("schedule", help="synthesise and print the static schedule")
+    add_common(schedule)
+    schedule.add_argument("--affine", action="store_true", help="also print the affine clock export")
+    schedule.set_defaults(func=cmd_schedule)
+
+    translate = sub.add_parser("translate", help="generate the SIGNAL sources")
+    add_common(translate)
+    translate.add_argument("-o", "--output", default="signal_out", help="output directory (default signal_out/)")
+    translate.set_defaults(func=cmd_translate)
+
+    simulate = sub.add_parser("simulate", help="simulate the scheduled model and optionally dump a VCD trace")
+    add_common(simulate)
+    simulate.add_argument("--hyperperiods", type=int, default=2, help="hyper-periods to simulate (default 2)")
+    simulate.add_argument("--vcd", help="path of the VCD trace to write")
+    simulate.add_argument("--all-signals", action="store_true", help="record every signal in the VCD trace")
+    simulate.set_defaults(func=cmd_simulate)
+
+    casestudy = sub.add_parser("casestudy", help="inspect the bundled case studies")
+    casestudy.add_argument("name", nargs="?", help="case study name")
+    casestudy.add_argument("--list", action="store_true", help="list the available case studies")
+    casestudy.set_defaults(func=cmd_casestudy)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Core contribution: the AADL → polychronous (SIGNAL) translation.
+
+This package is the Python counterpart of the ASME2SSME model transformation
+of the paper: it takes an AADL instance model (built by :mod:`repro.aadl`) and
+produces a hierarchy of SIGNAL processes (built on :mod:`repro.sig`) endowed
+with the AADL timing execution model — input freezing, output sending, thread
+activation, shared data with partial definitions, processor binding and
+thread-level scheduling through affine clocks.
+"""
+
+from .timing import (
+    ThreadEvent,
+    ThreadTimingModel,
+    thread_timing_model,
+    input_freeze_instants,
+    output_send_instants,
+)
+from .traceability import TraceabilityMap, sanitize_identifier
+from .port_model import PortTranslator, TranslatedPort, standalone_in_event_port_model
+from .data_model import SharedDataTranslator, TranslatedSharedData, standalone_shared_data_model
+from .thread_model import ThreadBehaviour, ThreadTranslator, TranslatedThread, translate_thread
+from .process_model import ProcessTranslator, TranslatedProcess, translate_process
+from .processor_model import ProcessorTranslator, TranslatedProcessor, translate_processor
+from .system_model import SystemTranslator, TranslatedSystem, translate_root_system
+from .translator import Asme2SsmeTranslator, TranslationConfig, TranslationResult, translate_system
+from .toolchain import ToolchainOptions, ToolchainResult, run_toolchain
+
+__all__ = [
+    "PortTranslator", "TranslatedPort", "standalone_in_event_port_model",
+    "SharedDataTranslator", "TranslatedSharedData", "standalone_shared_data_model",
+    "ThreadBehaviour", "ThreadTranslator", "TranslatedThread", "translate_thread",
+    "ProcessTranslator", "TranslatedProcess", "translate_process",
+    "ProcessorTranslator", "TranslatedProcessor", "translate_processor",
+    "SystemTranslator", "TranslatedSystem", "translate_root_system",
+    "ThreadEvent",
+    "ThreadTimingModel",
+    "thread_timing_model",
+    "input_freeze_instants",
+    "output_send_instants",
+    "TraceabilityMap",
+    "sanitize_identifier",
+    "Asme2SsmeTranslator",
+    "TranslationConfig",
+    "TranslationResult",
+    "translate_system",
+    "ToolchainOptions",
+    "ToolchainResult",
+    "run_toolchain",
+]

@@ -1,0 +1,273 @@
+"""Translation of shared data components (Fig. 6).
+
+In contrast with threads — each translated into its own process instance — a
+shared data component is represented by a **single** FIFO process instance
+(`fifo_reset`) that the accessing threads read and write *at different time
+instants*:
+
+* the values written into the FIFO are contributed through **partial
+  definitions** of one shared signal (``Queue_w ::= producer_write`` in the
+  paper's eq4), one per writer, each present at the writer's access clock;
+* the read clock of the FIFO is the union of the readers' access clocks;
+* the clock calculus then computes sufficient conditions for the overall
+  definition to be consistent (the accesses must be pairwise exclusive — the
+  mutual exclusion access clocks of the paper).
+
+The direction of each access (read / write) is taken from the ``Access_Right``
+property of the thread's ``requires data access`` feature, defaulting to
+``read_write``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..aadl.instance import ComponentInstance, ConnectionInstance
+from ..aadl.model import ConnectionKind, DataAccess
+from ..sig import library
+from ..sig.expressions import ClockUnion, SignalRef, WhenClock, Const
+from ..sig.process import ProcessModel
+from ..sig.values import BOOLEAN, EVENT, INTEGER
+from .traceability import TraceabilityMap, sanitize_identifier
+
+#: Property giving the access direction of a data access feature.
+ACCESS_RIGHT = "Access_Right"
+
+
+@dataclass
+class DataAccessor:
+    """One thread access to a shared data component."""
+
+    thread_name: str
+    access_name: str
+    can_read: bool
+    can_write: bool
+
+    @property
+    def write_signal(self) -> str:
+        return f"{self.thread_name}_{self.access_name}_write"
+
+    @property
+    def read_request_signal(self) -> str:
+        return f"{self.thread_name}_{self.access_name}_read_req"
+
+    @property
+    def read_value_signal(self) -> str:
+        return f"{self.thread_name}_{self.access_name}_read_value"
+
+
+@dataclass
+class TranslatedSharedData:
+    """Book-keeping of one translated shared data component."""
+
+    data_name: str
+    instance_name: str
+    write_signal: str
+    read_clock_signal: str
+    read_value_signal: str
+    accessors: List[DataAccessor] = field(default_factory=list)
+
+    @property
+    def writers(self) -> List[DataAccessor]:
+        return [a for a in self.accessors if a.can_write]
+
+    @property
+    def readers(self) -> List[DataAccessor]:
+        return [a for a in self.accessors if a.can_read]
+
+
+def access_rights(feature_declaration: DataAccess) -> Tuple[bool, bool]:
+    """``(can_read, can_write)`` of a data access feature, from ``Access_Right``."""
+    value = feature_declaration.properties.value(ACCESS_RIGHT, "read_write")
+    literal = str(value).lower()
+    if literal in ("read_only", "read"):
+        return True, False
+    if literal in ("write_only", "write"):
+        return False, True
+    if literal in ("by_method", "access"):
+        return True, True
+    return True, True
+
+
+def collect_accessors(
+    process: ComponentInstance,
+    data: ComponentInstance,
+) -> List[DataAccessor]:
+    """Find the threads accessing *data* through data access connections."""
+    accessors: List[DataAccessor] = []
+    for connection in process.connections:
+        if connection.kind is not ConnectionKind.DATA_ACCESS:
+            continue
+        ends = (connection.source, connection.destination)
+        data_end = next((end for end in ends if end.owner is data), None)
+        other_end = next((end for end in ends if end.owner is not data), None)
+        if data_end is None or other_end is None:
+            continue
+        thread = other_end.owner
+        declaration = other_end.declaration
+        if not isinstance(declaration, DataAccess):
+            continue
+        can_read, can_write = access_rights(declaration)
+        accessors.append(
+            DataAccessor(
+                thread_name=sanitize_identifier(thread.name),
+                access_name=sanitize_identifier(other_end.name),
+                can_read=can_read,
+                can_write=can_write,
+            )
+        )
+    return accessors
+
+
+class SharedDataTranslator:
+    """Adds the shared-data FIFO instances to a translated process model."""
+
+    def __init__(self, process_model: ProcessModel, trace: Optional[TraceabilityMap] = None) -> None:
+        self.model = process_model
+        self.trace = trace
+
+    def translate(self, process: ComponentInstance, data: ComponentInstance) -> TranslatedSharedData:
+        """Translate one data subcomponent of *process* (Fig. 6)."""
+        data_name = sanitize_identifier(data.name)
+        accessors = collect_accessors(process, data)
+
+        write_signal = f"{data_name}_w"
+        reset_signal = f"{data_name}_reset"
+        read_clock = f"{data_name}_read"
+        read_value = f"{data_name}_r"
+
+        fifo = library.fifo_reset(name=f"fifo_reset_{data_name}", value_type=INTEGER, init=0)
+        self.model.add_submodel(fifo)
+        self.model.shared(write_signal, INTEGER, comment=f"values written to shared data {data.name}")
+        self.model.local(reset_signal, EVENT)
+        self.model.local(read_clock, EVENT)
+        self.model.local(read_value, INTEGER)
+        self.model.local(f"{data_name}_count", INTEGER)
+        self.model.local(f"{data_name}_empty", BOOLEAN)
+
+        instance_name = data_name
+        self.model.instantiate(
+            fifo,
+            instance_name=instance_name,
+            bindings={
+                "write": write_signal,
+                "reset": reset_signal,
+                "read": read_clock,
+                "read_value": read_value,
+                "count": f"{data_name}_count",
+                "empty": f"{data_name}_empty",
+            },
+            parameters={},
+        )
+        # eq1 in the paper: the data component is a single fifo_reset() instance.
+        if self.trace is not None:
+            self.trace.add(data.qualified_name, f"{self.model.name}.{instance_name}", "instance", "shared data (eq1)")
+
+        # The reset clock is never produced by this subset (no reset accessors):
+        # define it with a null clock so the FIFO is complete.
+        self.model.define(reset_signal, WhenClock(Const(False)), label="no reset access in this model")
+
+        translated = TranslatedSharedData(
+            data_name=data_name,
+            instance_name=instance_name,
+            write_signal=write_signal,
+            read_clock_signal=read_clock,
+            read_value_signal=read_value,
+            accessors=accessors,
+        )
+
+        # eq4 in the paper: one partial definition of the shared variable per
+        # writer, each at the writer's access clock.
+        for writer in translated.writers:
+            self.model.local(writer.write_signal, INTEGER)
+            self.model.define_partial(
+                write_signal,
+                SignalRef(writer.write_signal),
+                label=f"eq4: write access of {writer.thread_name}",
+            )
+            if self.trace is not None:
+                self.trace.add(
+                    f"{process.qualified_name}.{data.name}",
+                    f"{write_signal} ::= {writer.write_signal}",
+                    "equation",
+                    "partial definition (write access)",
+                )
+
+        # eq3-style read access: the FIFO is read at the union of the readers'
+        # access clocks; each reader observes the read value.
+        readers = translated.readers
+        if readers:
+            union = SignalRef(readers[0].read_request_signal)
+            self.model.local(readers[0].read_request_signal, EVENT)
+            for reader in readers[1:]:
+                self.model.local(reader.read_request_signal, EVENT)
+                union = ClockUnion(union, SignalRef(reader.read_request_signal))
+            self.model.define(read_clock, union, label="read clock = union of reader access clocks")
+            for reader in readers:
+                self.model.local(reader.read_value_signal, INTEGER)
+                self.model.define(
+                    reader.read_value_signal,
+                    SignalRef(read_value),
+                    label=f"read access of {reader.thread_name}",
+                )
+        else:
+            self.model.define(read_clock, WhenClock(Const(False)), label="no reader")
+
+        return translated
+
+
+def standalone_shared_data_model(
+    writer_names: Tuple[str, ...] = ("thProducer",),
+    reader_names: Tuple[str, ...] = ("thConsumer",),
+    data_name: str = "Queue",
+) -> ProcessModel:
+    """A standalone, simulable shared-data model (Fig. 6 benchmark).
+
+    Writers' write signals and readers' read-request events are inputs of the
+    returned process, so scenarios can drive accesses at arbitrary instants.
+    """
+    model = ProcessModel(f"shared_data_{data_name}", comment=f"Fig. 6: shared data {data_name}")
+    fifo = library.fifo_reset(name="fifo_reset", value_type=INTEGER, init=0)
+    model.add_submodel(fifo)
+
+    write_signal = f"{data_name}_w"
+    model.shared(write_signal, INTEGER)
+    model.local(f"{data_name}_reset", EVENT)
+    model.define(f"{data_name}_reset", WhenClock(Const(False)))
+    model.output(f"{data_name}_r", INTEGER)
+    model.output(f"{data_name}_count", INTEGER)
+    model.local(f"{data_name}_empty", BOOLEAN)
+    model.local(f"{data_name}_read", EVENT)
+
+    for writer in writer_names:
+        signal = f"{writer}_write"
+        model.input(signal, INTEGER)
+        model.define_partial(write_signal, SignalRef(signal), label=f"eq4: write access of {writer}")
+
+    read_requests = []
+    for reader in reader_names:
+        signal = f"{reader}_read_req"
+        model.input(signal, EVENT)
+        read_requests.append(signal)
+    if read_requests:
+        union = SignalRef(read_requests[0])
+        for signal in read_requests[1:]:
+            union = ClockUnion(union, SignalRef(signal))
+        model.define(f"{data_name}_read", union)
+    else:
+        model.define(f"{data_name}_read", WhenClock(Const(False)))
+
+    model.instantiate(
+        fifo,
+        instance_name=data_name,
+        bindings={
+            "write": write_signal,
+            "reset": f"{data_name}_reset",
+            "read": f"{data_name}_read",
+            "read_value": f"{data_name}_r",
+            "count": f"{data_name}_count",
+            "empty": f"{data_name}_empty",
+        },
+    )
+    return model

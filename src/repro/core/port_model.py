@@ -1,0 +1,204 @@
+"""Translation of AADL thread ports to SIGNAL processes (Fig. 5).
+
+A thread port is not a mere signal: it has timing semantics (freeze at
+*Input_Time*, send at *Output_Time*) and, for event and event-data ports, a
+queue.  Each port therefore becomes an *instance of a library process* inside
+the translated thread:
+
+* in event / event data ports → :func:`repro.sig.library.in_event_port`
+  (``in_fifo`` + ``frozen_fifo``, ``Queue_Size`` parameter, overflow event);
+* in data ports → :func:`repro.sig.library.data_port` (last value wins);
+* out ports → :func:`repro.sig.library.out_event_port` (values held until
+  *Output_Time*).
+
+The naming convention mirrors the paper's figures: the frozen value of port
+``pProdStart`` is ``pProdStart_frozen``, its freeze event is
+``time1_pProdStart_Frozen_time``, the output-time event of an out port ``q``
+is ``time1_q_Output_time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..aadl.instance import FeatureInstance
+from ..aadl.model import Port, PortKind
+from ..aadl.properties import QUEUE_SIZE
+from ..sig import library
+from ..sig.process import Direction, ProcessModel
+from ..sig.values import EVENT, INTEGER, SignalType
+from .traceability import TraceabilityMap, sanitize_identifier
+
+
+def port_value_type(port: Port) -> SignalType:
+    """SIGNAL type carried by a port (events are pure, data is uninterpreted int)."""
+    if port.kind is PortKind.EVENT:
+        return EVENT
+    return INTEGER
+
+
+def frozen_signal_name(port_name: str) -> str:
+    return f"{port_name}_frozen"
+
+
+def frozen_time_signal_name(port_name: str) -> str:
+    return f"time1_{port_name}_Frozen_time"
+
+
+def output_time_signal_name(port_name: str) -> str:
+    return f"time1_{port_name}_Output_time"
+
+
+@dataclass
+class TranslatedPort:
+    """Book-keeping of one translated port inside a thread model."""
+
+    feature: FeatureInstance
+    direction: str  # "in" | "out"
+    kind: PortKind
+    arrival_signal: Optional[str]
+    frozen_signal: Optional[str]
+    time_signal: str
+    instance_name: str
+    queue_size: int = 1
+
+
+class PortTranslator:
+    """Adds the port sub-processes of one thread to its SIGNAL model."""
+
+    def __init__(self, thread_model: ProcessModel, trace: Optional[TraceabilityMap] = None) -> None:
+        self.model = thread_model
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    def translate_in_port(self, feature: FeatureInstance) -> TranslatedPort:
+        """Translate an in (event / event data / data) port."""
+        port = feature.declaration
+        if not isinstance(port, Port):
+            raise TypeError(f"{feature.qualified_name} is not a port")
+        name = sanitize_identifier(feature.name)
+        value_type = port_value_type(port)
+        arrival = self.model.input(name, value_type, comment=f"in {port.kind.value} port {feature.name}")
+        freeze_event = self.model.input(
+            frozen_time_signal_name(name), EVENT, comment=f"Input_Time (frozen time) event of {feature.name}"
+        )
+        frozen = frozen_signal_name(name)
+
+        if port.kind in (PortKind.EVENT, PortKind.EVENT_DATA):
+            queue_size = int(feature.declaration.properties.value(QUEUE_SIZE, 1))
+            port_process = library.in_event_port(
+                name=f"in_event_port_{name}", queue_size=queue_size, value_type=value_type
+            )
+            self.model.add_submodel(port_process)
+            self.model.local(frozen, value_type)
+            self.model.local(f"{name}_frozen_count", INTEGER)
+            self.model.local(f"{name}_dropped", EVENT)
+            instance_name = f"port_{name}"
+            self.model.instantiate(
+                port_process,
+                instance_name=instance_name,
+                bindings={
+                    "arrival": name,
+                    "frozen_time": frozen_time_signal_name(name),
+                    "frozen_value": frozen,
+                    "frozen_count": f"{name}_frozen_count",
+                    "dropped": f"{name}_dropped",
+                },
+            )
+        else:  # data port
+            queue_size = 1
+            port_process = library.data_port(name=f"data_port_{name}", value_type=value_type)
+            self.model.add_submodel(port_process)
+            self.model.local(frozen, value_type)
+            instance_name = f"port_{name}"
+            self.model.instantiate(
+                port_process,
+                instance_name=instance_name,
+                bindings={
+                    "incoming": name,
+                    "frozen_time": frozen_time_signal_name(name),
+                    "frozen_value": frozen,
+                },
+            )
+        if self.trace is not None:
+            self.trace.add(feature.qualified_name, f"{self.model.name}.{instance_name}", "instance", "in port")
+        return TranslatedPort(
+            feature=feature,
+            direction="in",
+            kind=port.kind,
+            arrival_signal=name,
+            frozen_signal=frozen,
+            time_signal=frozen_time_signal_name(name),
+            instance_name=instance_name,
+            queue_size=queue_size,
+        )
+
+    # ------------------------------------------------------------------
+    def translate_out_port(self, feature: FeatureInstance, produced_signal: str) -> TranslatedPort:
+        """Translate an out port; *produced_signal* is the thread's computation output."""
+        port = feature.declaration
+        if not isinstance(port, Port):
+            raise TypeError(f"{feature.qualified_name} is not a port")
+        name = sanitize_identifier(feature.name)
+        value_type = port_value_type(port)
+        self.model.output(name, value_type, comment=f"out {port.kind.value} port {feature.name}")
+        send_event = self.model.input(
+            output_time_signal_name(name), EVENT, comment=f"Output_Time event of {feature.name}"
+        )
+        port_process = library.out_event_port(name=f"out_event_port_{name}", value_type=value_type)
+        self.model.add_submodel(port_process)
+        self.model.local(f"{name}_sent_count", INTEGER)
+        instance_name = f"port_{name}"
+        self.model.instantiate(
+            port_process,
+            instance_name=instance_name,
+            bindings={
+                "produced": produced_signal,
+                "send_time": output_time_signal_name(name),
+                "sent": name,
+                "sent_count": f"{name}_sent_count",
+            },
+        )
+        if self.trace is not None:
+            self.trace.add(feature.qualified_name, f"{self.model.name}.{instance_name}", "instance", "out port")
+        return TranslatedPort(
+            feature=feature,
+            direction="out",
+            kind=port.kind,
+            arrival_signal=None,
+            frozen_signal=None,
+            time_signal=output_time_signal_name(name),
+            instance_name=instance_name,
+        )
+
+
+def standalone_in_event_port_model(
+    port_name: str = "pProdStart", queue_size: int = 1, value_type: SignalType = INTEGER
+) -> ProcessModel:
+    """A standalone, simulable model of one in event port (Fig. 5 benchmark).
+
+    The returned process has the arrival and Frozen_time events as inputs and
+    the frozen value/count as outputs, with the same naming as inside a
+    translated thread.
+    """
+    model = ProcessModel(f"in_event_port_{port_name}", comment=f"Fig. 5: in event port {port_name}")
+    inner = library.in_event_port(name="in_event_port", queue_size=queue_size, value_type=value_type)
+    model.add_submodel(inner)
+    model.input(port_name, value_type)
+    model.input(frozen_time_signal_name(port_name), EVENT)
+    model.output(frozen_signal_name(port_name), value_type)
+    model.output(f"{port_name}_frozen_count", INTEGER)
+    model.output(f"{port_name}_dropped", EVENT)
+    model.instantiate(
+        inner,
+        instance_name=f"port_{port_name}",
+        bindings={
+            "arrival": port_name,
+            "frozen_time": frozen_time_signal_name(port_name),
+            "frozen_value": frozen_signal_name(port_name),
+            "frozen_count": f"{port_name}_frozen_count",
+            "dropped": f"{port_name}_dropped",
+        },
+    )
+    return model

@@ -1,0 +1,282 @@
+"""Translation of AADL processes: threads, shared data and connections.
+
+An AADL process becomes a SIGNAL process model that
+
+* instantiates the model of each contained thread (Fig. 4 each),
+* instantiates one ``fifo_reset`` per shared data subcomponent and merges the
+  writers' contributions as partial definitions (Fig. 6),
+* wires the port connections between threads and between threads and the
+  process boundary, honouring the connection ``Timing``: immediate
+  connections equate the destination with the source at the same logical
+  instant, delayed connections insert a unit delay (the value sent at the
+  previous occurrence),
+* exposes, as inputs, the per-thread control and timing events (``Dispatch``,
+  ``Resume``, ``Deadline``, the frozen/output time events) that the processor
+  model — which holds the scheduler — will provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..aadl.instance import ComponentInstance, ConnectionInstance
+from ..aadl.model import ConnectionKind, Port, PortKind
+from ..sig.expressions import Default, Delay, Expression, SignalRef
+from ..sig.process import ProcessModel
+from ..sig.values import EVENT, INTEGER
+from .data_model import SharedDataTranslator, TranslatedSharedData
+from .port_model import frozen_time_signal_name, output_time_signal_name, port_value_type
+from .thread_model import ThreadBehaviour, ThreadTranslator, TranslatedThread
+from .traceability import TraceabilityMap, sanitize_identifier
+
+#: Per-thread control events the process expects from its processor/scheduler.
+THREAD_CONTROL_KINDS = ("dispatch", "start", "deadline")
+
+
+@dataclass
+class TranslatedProcess:
+    """Book-keeping of one translated AADL process."""
+
+    instance: ComponentInstance
+    model: ProcessModel
+    threads: List[TranslatedThread] = field(default_factory=list)
+    shared_data: List[TranslatedSharedData] = field(default_factory=list)
+    control_inputs: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    timing_inputs: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    def control_signal(self, thread: str, kind: str) -> str:
+        return self.control_inputs[(thread, kind)]
+
+    def timing_signal(self, thread: str, port: str, kind: str) -> str:
+        return self.timing_inputs[(thread, port, kind)]
+
+
+class ProcessTranslator:
+    """Translate one AADL process instance into a SIGNAL process model."""
+
+    def __init__(
+        self,
+        trace: Optional[TraceabilityMap] = None,
+        resolve_mode_conflicts: bool = True,
+        behaviours: Optional[Dict[str, ThreadBehaviour]] = None,
+    ) -> None:
+        self.trace = trace
+        self.resolve_mode_conflicts = resolve_mode_conflicts
+        self.behaviours = behaviours or {}
+
+    # ------------------------------------------------------------------
+    def translate(self, process: ComponentInstance) -> TranslatedProcess:
+        name = sanitize_identifier(process.name)
+        model = ProcessModel(name, comment=f"AADL process {process.qualified_name}")
+        model.pragmas["aadl_name"] = process.qualified_name
+        model.pragmas["aadl_category"] = "process"
+        if self.trace is not None:
+            self.trace.add(process.qualified_name, name, "process", "process")
+
+        translated = TranslatedProcess(instance=process, model=model)
+
+        # Process boundary ports.
+        for feature in process.features.values():
+            declaration = feature.declaration
+            if not isinstance(declaration, Port):
+                continue
+            port_name = sanitize_identifier(feature.name)
+            value_type = port_value_type(declaration)
+            if declaration.is_in:
+                model.input(port_name, value_type, comment=f"process in port {feature.name}")
+            else:
+                model.output(port_name, value_type, comment=f"process out port {feature.name}")
+
+        # Threads.
+        thread_models: Dict[str, TranslatedThread] = {}
+        for thread in process.threads():
+            translator = ThreadTranslator(
+                trace=self.trace,
+                resolve_mode_conflicts=self.resolve_mode_conflicts,
+                behaviour=self.behaviours.get(thread.name),
+            )
+            translated_thread = translator.translate(thread)
+            thread_models[thread.name] = translated_thread
+            translated.threads.append(translated_thread)
+            model.add_submodel(translated_thread.model)
+
+        # Shared data components (before the thread instantiation so the local
+        # access signals exist when bindings are resolved).
+        data_translator = SharedDataTranslator(model, self.trace)
+        for data in process.data_components():
+            if data.parent is not process:
+                continue
+            translated.shared_data.append(data_translator.translate(process, data))
+
+        # Connection map: destination (thread, port) -> source expression name.
+        incoming = self._incoming_connections(process)
+
+        # Instantiate the threads with their bindings.
+        for thread in process.threads():
+            translated_thread = thread_models[thread.name]
+            thread_name = sanitize_identifier(thread.name)
+            bindings: Dict[str, str] = {}
+
+            # Control events provided by the processor / scheduler.
+            for kind, ctl_signal in (("dispatch", "ctl1_Dispatch"), ("start", "ctl1_Resume"), ("deadline", "ctl1_Deadline")):
+                external = f"{thread_name}_{kind}"
+                model.input(external, EVENT, comment=f"{kind} event of thread {thread.name} (from the scheduler)")
+                bindings[ctl_signal] = external
+                translated.control_inputs[(thread.name, kind)] = external
+
+            # Frozen / output time events.
+            for port in translated_thread.in_ports:
+                port_name = sanitize_identifier(port.feature.name)
+                external = f"{thread_name}_{port_name}_Frozen_time"
+                model.input(external, EVENT)
+                bindings[frozen_time_signal_name(port_name)] = external
+                translated.timing_inputs[(thread.name, port.feature.name, "frozen")] = external
+            for port in translated_thread.out_ports:
+                port_name = sanitize_identifier(port.feature.name)
+                external = f"{thread_name}_{port_name}_Output_time"
+                model.input(external, EVENT)
+                bindings[output_time_signal_name(port_name)] = external
+                translated.timing_inputs[(thread.name, port.feature.name, "output")] = external
+
+            # Data flows: in ports read the connection signal, out ports feed it.
+            for port in translated_thread.in_ports:
+                port_name = sanitize_identifier(port.feature.name)
+                source = incoming.get((thread.name, port.feature.name))
+                if source is None:
+                    # Unconnected in port: leave it to a never-present local.
+                    local = f"{thread_name}_{port_name}_unconnected"
+                    model.local(local, port_value_type(port.feature.declaration))
+                    bindings[port_name] = local
+                else:
+                    bindings[port_name] = source
+            for port in translated_thread.out_ports:
+                port_name = sanitize_identifier(port.feature.name)
+                local = f"{thread_name}_{port_name}"
+                model.local(local, port_value_type(port.feature.declaration))
+                bindings[port_name] = local
+
+            # Alarm / predeclared outputs exposed at the process level.
+            for output_name in ("Alarm", "ctl2_Complete", "ctl2_Error"):
+                external = f"{thread_name}_{output_name}"
+                model.output(external, EVENT)
+                bindings[output_name] = external
+
+            # Data access signals connect to the shared data model locals.
+            for access_name in translated_thread.data_accesses:
+                for suffix in ("write", "read_req", "read_value"):
+                    formal = f"{access_name}_{suffix}"
+                    if formal in translated_thread.model.signals:
+                        bindings[formal] = f"{thread_name}_{access_name}_{suffix}"
+            if self.trace is not None:
+                self.trace.add(thread.qualified_name, f"{name}.{thread_name}", "instance", "thread instance")
+            model.instantiate(translated_thread.model, instance_name=thread_name, bindings=bindings)
+
+        # Port connections towards the process boundary (out ports of the process).
+        self._connect_boundary_outputs(process, model)
+
+        return translated
+
+    # ------------------------------------------------------------------
+    def _incoming_connections(self, process: ComponentInstance) -> Dict[Tuple[str, str], str]:
+        """For each (thread, in-port), the name of the signal carrying its input.
+
+        The signal is created (with a defining equation) when the connection is
+        delayed or when several connections fan into the same port.
+        """
+        model_signals: Dict[Tuple[str, str], str] = {}
+        fan_in: Dict[Tuple[str, str], List[Tuple[str, bool]]] = {}
+
+        for connection in process.connections:
+            if connection.kind is not ConnectionKind.PORT:
+                continue
+            source_owner = connection.source.owner
+            destination_owner = connection.destination.owner
+            delayed = connection.timing == "delayed"
+
+            # Source signal name at the process level.
+            if source_owner is process:
+                source_signal = sanitize_identifier(connection.source.name)
+            else:
+                source_signal = f"{sanitize_identifier(source_owner.name)}_{sanitize_identifier(connection.source.name)}"
+
+            if destination_owner is process:
+                continue  # handled by _connect_boundary_outputs
+            key = (destination_owner.name, connection.destination.name)
+            fan_in.setdefault(key, []).append((source_signal, delayed))
+
+        return_signals: Dict[Tuple[str, str], str] = {}
+        for key, sources in fan_in.items():
+            thread_name, port_name = key
+            if len(sources) == 1 and not sources[0][1]:
+                return_signals[key] = sources[0][0]
+                continue
+            # Fan-in or delayed connection: introduce an intermediate signal.
+            local = f"{sanitize_identifier(thread_name)}_{sanitize_identifier(port_name)}_in"
+            expression: Optional[Expression] = None
+            for source_signal, delayed in sources:
+                term: Expression = SignalRef(source_signal)
+                if delayed:
+                    term = Delay(term, init=0)
+                expression = term if expression is None else Default(expression, term)
+            # The local may already exist if declared elsewhere.
+            return_signals[key] = local
+            self._define_local(key, local, expression)
+        self._pending_locals = return_signals
+        return return_signals
+
+    def _define_local(self, key: Tuple[str, str], local: str, expression: Expression) -> None:
+        # The model is created in translate(); stash definitions to apply there.
+        if not hasattr(self, "_deferred_definitions"):
+            self._deferred_definitions: List[Tuple[str, Expression]] = []
+        self._deferred_definitions.append((local, expression))
+
+    def _connect_boundary_outputs(self, process: ComponentInstance, model: ProcessModel) -> None:
+        """Define the process out ports from the connected thread outputs."""
+        # Apply the deferred fan-in/delayed definitions first.
+        for local, expression in getattr(self, "_deferred_definitions", []):
+            model.local(local, INTEGER)
+            model.define(local, expression, label="connection merge/delay")
+        self._deferred_definitions = []
+
+        outgoing: Dict[str, List[Tuple[str, bool]]] = {}
+        for connection in process.connections:
+            if connection.kind is not ConnectionKind.PORT:
+                continue
+            if connection.destination.owner is not process:
+                continue
+            source_owner = connection.source.owner
+            if source_owner is process:
+                source_signal = sanitize_identifier(connection.source.name)
+            else:
+                source_signal = (
+                    f"{sanitize_identifier(source_owner.name)}_{sanitize_identifier(connection.source.name)}"
+                )
+            outgoing.setdefault(sanitize_identifier(connection.destination.name), []).append(
+                (source_signal, connection.timing == "delayed")
+            )
+        for port_name, sources in outgoing.items():
+            expression: Optional[Expression] = None
+            for source_signal, delayed in sources:
+                term: Expression = SignalRef(source_signal)
+                if delayed:
+                    term = Delay(term, init=0)
+                expression = term if expression is None else Default(expression, term)
+            if expression is not None:
+                model.define(port_name, expression, label="process boundary connection")
+
+
+def translate_process(
+    process: ComponentInstance,
+    trace: Optional[TraceabilityMap] = None,
+    resolve_mode_conflicts: bool = True,
+    behaviours: Optional[Dict[str, ThreadBehaviour]] = None,
+) -> TranslatedProcess:
+    """Convenience wrapper around :class:`ProcessTranslator`."""
+    return ProcessTranslator(
+        trace=trace, resolve_mode_conflicts=resolve_mode_conflicts, behaviours=behaviours
+    ).translate(process)

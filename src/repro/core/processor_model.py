@@ -1,0 +1,166 @@
+"""Translation of processors and processor bindings.
+
+The ``Actual_Processor_Binding`` property maps each AADL process onto the
+processor that supports the dispatch protocol of its threads.  Following the
+paper, "the processes bound to this processor are implemented as SIGNAL
+subprocesses of the SIGNAL process that represents the processor": the
+processor model
+
+* owns the base ``tick`` clock of the schedule,
+* instantiates the thread-level **scheduler process** synthesised from the
+  static schedule (one affine clock divider per scheduled event stream), and
+* instantiates the model of every bound process, wiring the per-thread
+  control and timing inputs of the process to the corresponding scheduler
+  outputs.
+
+When no schedule is provided (translation without scheduler synthesis, the
+"incomplete, not executable" situation of Section IV-D), the control events
+remain inputs of the processor model, to be provided by the environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..aadl.instance import ComponentInstance
+from ..scheduling.affine_export import BASE_CLOCK, scheduler_process
+from ..scheduling.static_scheduler import StaticSchedule
+from ..sig.process import Direction, ProcessModel
+from ..sig.values import EVENT
+from .process_model import TranslatedProcess
+from .traceability import TraceabilityMap, sanitize_identifier
+
+
+@dataclass
+class TranslatedProcessor:
+    """Book-keeping of one translated processor and its bound processes."""
+
+    instance: Optional[ComponentInstance]
+    model: ProcessModel
+    bound_processes: List[TranslatedProcess] = field(default_factory=list)
+    schedule: Optional[StaticSchedule] = None
+    scheduler_instance: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+
+class ProcessorTranslator:
+    """Build the SIGNAL model of a processor with its bound processes."""
+
+    def __init__(self, trace: Optional[TraceabilityMap] = None) -> None:
+        self.trace = trace
+
+    def translate(
+        self,
+        processor: Optional[ComponentInstance],
+        bound_processes: List[TranslatedProcess],
+        schedule: Optional[StaticSchedule] = None,
+    ) -> TranslatedProcessor:
+        name = sanitize_identifier(processor.name) if processor is not None else "logical_processor"
+        model = ProcessModel(
+            name,
+            comment=(
+                f"AADL processor {processor.qualified_name}" if processor is not None else "logical processor"
+            ),
+        )
+        model.pragmas["aadl_category"] = "processor"
+        if processor is not None:
+            model.pragmas["aadl_name"] = processor.qualified_name
+            if self.trace is not None:
+                self.trace.add(processor.qualified_name, name, "process", "processor")
+
+        translated = TranslatedProcessor(instance=processor, model=model, bound_processes=list(bound_processes), schedule=schedule)
+
+        scheduler_outputs: Dict[Tuple[str, str], str] = {}
+        if schedule is not None:
+            model.input(BASE_CLOCK, EVENT, comment="base tick of the static schedule")
+            sched_model = scheduler_process(schedule, name=f"{name}_scheduler")
+            model.add_submodel(sched_model)
+            bindings = {BASE_CLOCK: BASE_CLOCK}
+            for decl in sched_model.outputs():
+                local = f"sched_{decl.name}"
+                model.local(local, EVENT)
+                bindings[decl.name] = local
+                task, _, kind = decl.name.rpartition("_")
+                # Output names are "<task>_<kind>" with kind one of the event kinds;
+                # kinds may contain underscores (input_freeze, output_send).
+                for event_kind in ("dispatch", "input_freeze", "start", "complete", "output_send", "deadline"):
+                    if decl.name.endswith(f"_{event_kind}"):
+                        task = decl.name[: -len(event_kind) - 1]
+                        kind = event_kind
+                        break
+                scheduler_outputs[(task, kind)] = local
+            translated.scheduler_instance = "scheduler"
+            model.instantiate(sched_model, instance_name="scheduler", bindings=bindings)
+            if self.trace is not None:
+                self.trace.add(
+                    processor.qualified_name if processor is not None else "logical_processor",
+                    f"{name}.scheduler",
+                    "instance",
+                    f"static scheduler ({schedule.policy.value})",
+                )
+
+        # Instantiate the bound processes.
+        for process in bound_processes:
+            process_name = process.name
+            bindings: Dict[str, str] = {}
+            for decl in process.model.inputs():
+                external = self._resolve_control_input(decl.name, process, scheduler_outputs)
+                if external is None:
+                    # Plain data/functional input: expose it at the processor level.
+                    exposed = f"{process_name}_{decl.name}"
+                    model.input(exposed, decl.type)
+                    bindings[decl.name] = exposed
+                else:
+                    bindings[decl.name] = external
+            for decl in process.model.outputs():
+                exposed = f"{process_name}_{decl.name}"
+                model.output(exposed, decl.type)
+                bindings[decl.name] = exposed
+            model.instantiate(process.model, instance_name=process_name, bindings=bindings)
+            if self.trace is not None and process.instance is not None:
+                self.trace.add(
+                    process.instance.qualified_name,
+                    f"{name}.{process_name}",
+                    "instance",
+                    "process bound to processor (Actual_Processor_Binding)",
+                )
+        return translated
+
+    # ------------------------------------------------------------------
+    def _resolve_control_input(
+        self,
+        input_name: str,
+        process: TranslatedProcess,
+        scheduler_outputs: Dict[Tuple[str, str], str],
+    ) -> Optional[str]:
+        """Map a process control/timing input to the scheduler output feeding it."""
+        if not scheduler_outputs:
+            return None
+        # Thread control events: "<thread>_dispatch" / "<thread>_start" / "<thread>_deadline".
+        for (thread_name, kind), external in process.control_inputs.items():
+            if external == input_name:
+                key = (sanitize_identifier(thread_name), kind)
+                return scheduler_outputs.get(key)
+        # Port timing events: "<thread>_<port>_Frozen_time" / "_Output_time".
+        for (thread_name, _port, kind), external in process.timing_inputs.items():
+            if external == input_name:
+                key = (
+                    sanitize_identifier(thread_name),
+                    "input_freeze" if kind == "frozen" else "output_send",
+                )
+                return scheduler_outputs.get(key)
+        return None
+
+
+def translate_processor(
+    processor: Optional[ComponentInstance],
+    bound_processes: List[TranslatedProcess],
+    schedule: Optional[StaticSchedule] = None,
+    trace: Optional[TraceabilityMap] = None,
+) -> TranslatedProcessor:
+    """Convenience wrapper around :class:`ProcessorTranslator`."""
+    return ProcessorTranslator(trace=trace).translate(processor, bound_processes, schedule)

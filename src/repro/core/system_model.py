@@ -1,0 +1,233 @@
+"""Translation of the root AADL system (Fig. 3).
+
+The SIGNAL process resulting from the system implementation instantiates
+
+* one process model per **processor** (each processor model containing the
+  processes bound to it and the thread-level scheduler),
+* one model per leaf **subsystem** that carries no software (such as the
+  ``sysEnv`` environment and ``sysOperatorDisplay`` display systems of the
+  case study) — their out ports become inputs of the system model (stimuli
+  provided by the simulation scenario) and their in ports become outputs
+  (observations),
+* two placeholder subprocesses ``<System>_behavior()`` and
+  ``<System>_property()`` as in Fig. 3, which hold system-level behaviour and
+  property observers when the designer provides them,
+
+and wires the system-level port connections between these instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..aadl.instance import ComponentInstance
+from ..aadl.model import ConnectionKind, Port
+from ..sig.expressions import Default, Delay, Expression, SignalRef
+from ..sig.process import ProcessModel
+from ..sig.values import EVENT
+from .port_model import port_value_type
+from .processor_model import TranslatedProcessor
+from .process_model import TranslatedProcess
+from .traceability import TraceabilityMap, sanitize_identifier
+
+
+@dataclass
+class TranslatedSystem:
+    """Book-keeping of the translated root system."""
+
+    instance: ComponentInstance
+    model: ProcessModel
+    processors: List[TranslatedProcessor] = field(default_factory=list)
+    subsystems: List[str] = field(default_factory=list)
+    unbound_processes: List[TranslatedProcess] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+
+def _leaf_system_model(subsystem: ComponentInstance, trace: Optional[TraceabilityMap]) -> ProcessModel:
+    """Model of a leaf subsystem (no software content interpreted)."""
+    name = sanitize_identifier(subsystem.name)
+    model = ProcessModel(name, comment=f"AADL system {subsystem.qualified_name} (environment/leaf system)")
+    model.pragmas["aadl_name"] = subsystem.qualified_name
+    model.pragmas["aadl_category"] = "system"
+    for feature in subsystem.features.values():
+        declaration = feature.declaration
+        if not isinstance(declaration, Port):
+            continue
+        port_name = sanitize_identifier(feature.name)
+        value_type = port_value_type(declaration)
+        if declaration.is_out:
+            # The environment produces these events: they are inputs of the
+            # model (driven by the simulation scenario) passed through.
+            stimulus = f"{port_name}_stimulus"
+            model.input(stimulus, value_type, comment=f"environment stimulus for {feature.name}")
+            model.output(port_name, value_type)
+            model.define(port_name, SignalRef(stimulus), label="environment pass-through")
+        else:
+            # The subsystem observes these events.
+            model.input(port_name, value_type, comment=f"observed event {feature.name}")
+            observed = f"{port_name}_observed"
+            model.output(observed, value_type)
+            model.define(observed, SignalRef(port_name), label="observation pass-through")
+    if trace is not None:
+        trace.add(subsystem.qualified_name, name, "process", "leaf system")
+    return model
+
+
+class SystemTranslator:
+    """Assemble the root system model from its translated parts."""
+
+    def __init__(self, trace: Optional[TraceabilityMap] = None) -> None:
+        self.trace = trace
+
+    def translate(
+        self,
+        root: ComponentInstance,
+        processors: List[TranslatedProcessor],
+        unbound_processes: Optional[List[TranslatedProcess]] = None,
+    ) -> TranslatedSystem:
+        unbound_processes = unbound_processes or []
+        name = sanitize_identifier(root.name) + "_others"
+        model = ProcessModel(name, comment=f"AADL system {root.qualified_name} (Fig. 3)")
+        model.pragmas["aadl_name"] = root.qualified_name
+        model.pragmas["aadl_category"] = "system"
+        if self.trace is not None:
+            self.trace.add(root.qualified_name, name, "process", "root system")
+
+        translated = TranslatedSystem(instance=root, model=model, processors=list(processors),
+                                      unbound_processes=list(unbound_processes))
+
+        # Fig. 3 placeholders: system-level behaviour and property subprocesses.
+        behaviour = ProcessModel(f"{sanitize_identifier(root.name)}_others_System_behavior",
+                                 comment="system-level behaviour placeholder (Fig. 3)")
+        prop = ProcessModel(f"{sanitize_identifier(root.name)}_others_System_property",
+                            comment="system-level property placeholder (Fig. 3)")
+        model.add_submodel(behaviour)
+        model.add_submodel(prop)
+        model.instantiate(behaviour, instance_name="System_behavior")
+        model.instantiate(prop, instance_name="System_property")
+
+        # Processor instances (each contains its bound processes and scheduler).
+        connection_signals = self._system_connection_map(root)
+
+        for processor in processors:
+            bindings: Dict[str, str] = {}
+            for decl in processor.model.inputs():
+                exposed = self._external_name(processor, decl.name, connection_signals)
+                if exposed is None:
+                    exposed = f"{processor.name}_{decl.name}" if decl.name != "tick" else "tick"
+                    model.input(exposed, decl.type)
+                bindings[decl.name] = exposed
+            for decl in processor.model.outputs():
+                exposed = f"{processor.name}_{decl.name}"
+                local_or_output = connection_signals.get((processor.name, decl.name))
+                if local_or_output is not None:
+                    exposed = local_or_output
+                    model.local(exposed, decl.type)
+                else:
+                    model.output(exposed, decl.type)
+                bindings[decl.name] = exposed
+            model.instantiate(processor.model, instance_name=processor.name, bindings=bindings)
+            if self.trace is not None and processor.instance is not None:
+                self.trace.add(processor.instance.qualified_name, f"{name}.{processor.name}", "instance", "processor")
+
+        # Unbound processes instantiated directly at the system level.
+        for process in unbound_processes:
+            bindings = {}
+            for decl in process.model.inputs():
+                exposed = f"{process.name}_{decl.name}"
+                model.input(exposed, decl.type)
+                bindings[decl.name] = exposed
+            for decl in process.model.outputs():
+                exposed = f"{process.name}_{decl.name}"
+                model.output(exposed, decl.type)
+                bindings[decl.name] = exposed
+            model.instantiate(process.model, instance_name=process.name, bindings=bindings)
+
+        # Leaf subsystems (environment, display, …).
+        software_process_names = {p.instance.name for proc in processors for p in proc.bound_processes}
+        software_process_names.update(p.instance.name for p in unbound_processes)
+        for subsystem in root.subcomponents.values():
+            if subsystem.category.value != "system":
+                continue
+            leaf = _leaf_system_model(subsystem, self.trace)
+            model.add_submodel(leaf)
+            translated.subsystems.append(leaf.name)
+            bindings = {}
+            for decl in leaf.inputs():
+                mapped = connection_signals.get((leaf.name, decl.name))
+                if mapped is not None:
+                    model.local(mapped, decl.type)
+                    bindings[decl.name] = mapped
+                else:
+                    exposed = f"{leaf.name}_{decl.name}"
+                    model.input(exposed, decl.type)
+                    bindings[decl.name] = exposed
+            for decl in leaf.outputs():
+                mapped = connection_signals.get((leaf.name, decl.name))
+                if mapped is not None:
+                    model.local(mapped, decl.type)
+                    bindings[decl.name] = mapped
+                else:
+                    exposed = f"{leaf.name}_{decl.name}"
+                    model.output(exposed, decl.type)
+                    bindings[decl.name] = exposed
+            model.instantiate(leaf, instance_name=leaf.name, bindings=bindings)
+
+        return translated
+
+    # ------------------------------------------------------------------
+    def _system_connection_map(self, root: ComponentInstance) -> Dict[Tuple[str, str], str]:
+        """Map (instance name, port-ish signal name) to a shared local signal.
+
+        System-level connections link a subsystem port to a process port; the
+        process itself lives inside a processor model, where its port appears
+        as ``<process>_<port>``.  Both ends of every connection are mapped to
+        one shared local signal named after the connection.
+        """
+        mapping: Dict[Tuple[str, str], str] = {}
+        for connection in root.connections:
+            if connection.kind is not ConnectionKind.PORT:
+                continue
+            local = f"conn_{sanitize_identifier(connection.name)}"
+            for end, role in ((connection.source, "src"), (connection.destination, "dst")):
+                owner = end.owner
+                owner_name = sanitize_identifier(owner.name)
+                port_name = sanitize_identifier(end.name)
+                if owner.category.value == "process":
+                    # The process port appears at the processor interface as
+                    # "<process>_<port>".
+                    bound_processor = self._processor_of(root, owner)
+                    key = (bound_processor, f"{owner_name}_{port_name}")
+                else:
+                    key = (owner_name, port_name)
+                mapping[key] = local
+        return mapping
+
+    def _processor_of(self, root: ComponentInstance, process: ComponentInstance) -> str:
+        from ..aadl.instance import processor_bindings
+
+        bindings = processor_bindings(root)
+        bound = bindings.get(process.qualified_name)
+        return sanitize_identifier(bound.name) if bound is not None else "logical_processor"
+
+    def _external_name(
+        self,
+        processor: TranslatedProcessor,
+        input_name: str,
+        connection_signals: Dict[Tuple[str, str], str],
+    ) -> Optional[str]:
+        return connection_signals.get((processor.name, input_name))
+
+
+def translate_root_system(
+    root: ComponentInstance,
+    processors: List[TranslatedProcessor],
+    unbound_processes: Optional[List[TranslatedProcess]] = None,
+    trace: Optional[TraceabilityMap] = None,
+) -> TranslatedSystem:
+    """Convenience wrapper around :class:`SystemTranslator`."""
+    return SystemTranslator(trace=trace).translate(root, processors, unbound_processes)

@@ -1,0 +1,341 @@
+"""Translation of AADL threads to SIGNAL processes (Fig. 4).
+
+A periodic AADL thread becomes a SIGNAL process composed of its behaviour,
+properties, ports and connections, plus the additional timing signals of the
+paper:
+
+* an input bundle ``ctl1`` with the event signals ``Dispatch``, ``Resume``
+  (start) and ``Deadline`` — implicit predeclared ports or added simulation
+  signals, produced by the thread-level scheduler;
+* an input bundle ``time1`` carrying the frozen-time and output-time events of
+  the ports (e.g. ``pProdStart_Frozen_time``);
+* an output bundle ``ctl2`` with the predeclared ``Complete`` and ``Error``
+  events;
+* an output ``Alarm`` that triggers when the timing properties are violated
+  (deadline missed).
+
+The computation itself is kept instantaneous (Section IV-C): latency and
+communication delays live in the memory processes of the ports, so the body
+is a data-flow over the *frozen* inputs activated at the ``Resume`` event.
+The default behaviour produces the job index on event-data outputs and a pure
+event on event outputs; a user-supplied behaviour can override this through
+:class:`ThreadBehaviour`.
+
+Mode automatons (used by the determinism experiment of Section V-C) are
+translated to a state signal: each transition contributes a definition of the
+state guarded by its trigger and source mode.  Without priorities the
+definitions are partial and possibly overlapping — exactly the situation the
+clock calculus flags as non-deterministic; with priorities (or when the
+translator is asked to resolve conflicts by document order) the definitions
+are merged deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..aadl.instance import ComponentInstance, FeatureInstance
+from ..aadl.model import DataAccess, Port, PortKind
+from ..sig import library
+from ..sig.expressions import (
+    ClockOf,
+    ClockUnion,
+    Const,
+    Default,
+    Delay,
+    Expression,
+    FunctionApp,
+    SignalRef,
+    When,
+    WhenClock,
+)
+from ..sig.process import ProcessModel
+from ..sig.values import BOOLEAN, EVENT, INTEGER
+from .data_model import access_rights
+from .port_model import PortTranslator, TranslatedPort, frozen_time_signal_name, output_time_signal_name
+from .timing import ThreadTimingModel, thread_timing_model
+from .traceability import TraceabilityMap, sanitize_identifier
+
+#: Names of the ctl1 / ctl2 bundle fields (Fig. 4).
+CTL1_FIELDS = ("Dispatch", "Resume", "Deadline")
+CTL2_FIELDS = ("Complete", "Error")
+
+
+@dataclass
+class ThreadBehaviour:
+    """Optional user-supplied behaviour of a thread.
+
+    ``output_expressions`` maps an out-port name to a function receiving the
+    thread model and returning the SIGNAL expression of the value produced at
+    each activation (it is sampled at the ``Resume`` clock by the caller).
+    """
+
+    output_expressions: Dict[str, Callable[[ProcessModel], Expression]] = field(default_factory=dict)
+
+
+@dataclass
+class TranslatedThread:
+    """Book-keeping of one translated thread."""
+
+    instance: ComponentInstance
+    model: ProcessModel
+    timing: ThreadTimingModel
+    in_ports: List[TranslatedPort] = field(default_factory=list)
+    out_ports: List[TranslatedPort] = field(default_factory=list)
+    data_accesses: List[str] = field(default_factory=list)
+    control_inputs: Dict[str, str] = field(default_factory=dict)
+    time_inputs: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+
+class ThreadTranslator:
+    """Translate one AADL thread instance into a SIGNAL process model."""
+
+    def __init__(
+        self,
+        trace: Optional[TraceabilityMap] = None,
+        resolve_mode_conflicts: bool = True,
+        behaviour: Optional[ThreadBehaviour] = None,
+    ) -> None:
+        self.trace = trace
+        self.resolve_mode_conflicts = resolve_mode_conflicts
+        self.behaviour = behaviour or ThreadBehaviour()
+
+    # ------------------------------------------------------------------
+    def translate(self, thread: ComponentInstance) -> TranslatedThread:
+        name = sanitize_identifier(thread.name)
+        timing = thread_timing_model(thread)
+        model = ProcessModel(
+            name,
+            comment=(
+                f"AADL thread {thread.qualified_name} "
+                f"({timing.dispatch_protocol.value}, period {timing.period_ms} ms, "
+                f"deadline {timing.deadline_ms} ms)"
+            ),
+        )
+        model.pragmas["aadl_name"] = thread.qualified_name
+        model.pragmas["aadl_category"] = "thread"
+        if self.trace is not None:
+            self.trace.add(thread.qualified_name, name, "process", "thread")
+
+        # ctl1 input bundle: Dispatch, Resume, Deadline.
+        model.input("ctl1_Dispatch", EVENT, comment="predeclared dispatch port (from the scheduler)")
+        model.input("ctl1_Resume", EVENT, comment="start/resume event (from the scheduler)")
+        model.input("ctl1_Deadline", EVENT, comment="deadline observation event (from the scheduler)")
+        model.add_bundle("ctl1", {f: f"ctl1_{f}" for f in CTL1_FIELDS})
+
+        # ctl2 output bundle: Complete, Error; plus the Alarm property output.
+        model.output("ctl2_Complete", EVENT, comment="predeclared complete port")
+        model.output("ctl2_Error", EVENT, comment="predeclared error port")
+        model.output("Alarm", EVENT, comment="raised when a timing property is violated")
+        model.add_bundle("ctl2", {f: f"ctl2_{f}" for f in CTL2_FIELDS})
+
+        translated = TranslatedThread(instance=thread, model=model, timing=timing)
+        translated.control_inputs = {
+            "dispatch": "ctl1_Dispatch",
+            "start": "ctl1_Resume",
+            "deadline": "ctl1_Deadline",
+        }
+
+        port_translator = PortTranslator(model, self.trace)
+        time_fields: Dict[str, str] = {}
+
+        # -- in ports ----------------------------------------------------
+        for feature in thread.in_ports():
+            translated_port = port_translator.translate_in_port(feature)
+            translated.in_ports.append(translated_port)
+            time_fields[f"{feature.name}_Frozen_time"] = translated_port.time_signal
+            translated.time_inputs.append(translated_port.time_signal)
+
+        # -- behaviour ----------------------------------------------------
+        self._add_job_counter(model)
+        produced_signals: Dict[str, str] = {}
+        for feature in thread.out_ports():
+            port = feature.declaration
+            assert isinstance(port, Port)
+            port_name = sanitize_identifier(feature.name)
+            produced = f"{port_name}_produced"
+            produced_signals[feature.name] = produced
+            if feature.name in self.behaviour.output_expressions:
+                expression = self.behaviour.output_expressions[feature.name](model)
+                model.local(produced, INTEGER if port.carries_data else EVENT)
+                model.define(produced, When(expression, ClockOf(SignalRef("ctl1_Resume"))),
+                             label=f"user behaviour of {feature.name}")
+            elif port.carries_data:
+                model.local(produced, INTEGER)
+                model.define(
+                    produced,
+                    When(SignalRef("job_index"), ClockOf(SignalRef("ctl1_Resume"))),
+                    label=f"default behaviour: job index on {feature.name}",
+                )
+            else:
+                model.local(produced, EVENT)
+                model.define(
+                    produced,
+                    ClockOf(SignalRef("ctl1_Resume")),
+                    label=f"default behaviour: event at each activation on {feature.name}",
+                )
+
+        # -- out ports ----------------------------------------------------
+        for feature in thread.out_ports():
+            translated_port = port_translator.translate_out_port(feature, produced_signals[feature.name])
+            translated.out_ports.append(translated_port)
+            time_fields[f"{feature.name}_Output_time"] = translated_port.time_signal
+            translated.time_inputs.append(translated_port.time_signal)
+
+        if time_fields:
+            model.add_bundle("time1", time_fields)
+
+        # -- data accesses --------------------------------------------------
+        for feature in thread.data_accesses():
+            declaration = feature.declaration
+            assert isinstance(declaration, DataAccess)
+            access_name = sanitize_identifier(feature.name)
+            can_read, can_write = access_rights(declaration)
+            translated.data_accesses.append(access_name)
+            if can_write:
+                model.output(f"{access_name}_write", INTEGER,
+                             comment=f"value written through data access {feature.name}")
+                model.define(
+                    f"{access_name}_write",
+                    When(SignalRef("job_index"), ClockOf(SignalRef("ctl1_Resume"))),
+                    label=f"write access through {feature.name} at the activation clock",
+                )
+            if can_read:
+                model.output(f"{access_name}_read_req", EVENT,
+                             comment=f"read access clock of data access {feature.name}")
+                model.define(f"{access_name}_read_req", ClockOf(SignalRef("ctl1_Resume")))
+                model.input(f"{access_name}_read_value", INTEGER,
+                            comment=f"value observed through data access {feature.name}")
+
+        # -- predeclared ports and the property observer ----------------------
+        model.define("ctl2_Complete", ClockOf(SignalRef("ctl1_Resume")),
+                     label="instantaneous computation: complete at the activation instant")
+        dropped = [f"{sanitize_identifier(p.feature.name)}_dropped" for p in translated.in_ports
+                   if p.kind in (PortKind.EVENT, PortKind.EVENT_DATA)]
+        if dropped:
+            union: Expression = SignalRef(dropped[0])
+            for signal in dropped[1:]:
+                union = ClockUnion(union, SignalRef(signal))
+            model.define("ctl2_Error", union, label="error on event queue overflow")
+        else:
+            model.define("ctl2_Error", WhenClock(Const(False)), label="no error source in this thread")
+
+        observer = library.thread_property_observer(name=f"property_observer_{name}")
+        model.add_submodel(observer)
+        model.local("deadline_violated", BOOLEAN)
+        model.instantiate(
+            observer,
+            instance_name="property_observer",
+            bindings={
+                "dispatch": "ctl1_Dispatch",
+                "complete": "ctl2_Complete",
+                "deadline": "ctl1_Deadline",
+                "alarm": "Alarm",
+                "violated": "deadline_violated",
+            },
+        )
+
+        # -- mode automaton ----------------------------------------------------
+        if thread.modes:
+            self._add_mode_automaton(model, thread)
+
+        return translated
+
+    # ------------------------------------------------------------------
+    def _add_job_counter(self, model: ProcessModel) -> None:
+        """Count activations; the job index is the default data produced."""
+        model.local("job_index", INTEGER)
+        model.local("zjob_index", INTEGER)
+        model.define("zjob_index", Delay(SignalRef("job_index"), init=0))
+        model.define(
+            "job_index",
+            When(FunctionApp("+", (SignalRef("zjob_index"), Const(1))), ClockOf(SignalRef("ctl1_Resume"))),
+        )
+        model.synchronise("job_index", "ctl1_Resume", label="one job per activation")
+
+    # ------------------------------------------------------------------
+    def _add_mode_automaton(self, model: ProcessModel, thread: ComponentInstance) -> None:
+        """Translate the mode automaton of *thread* into a state signal."""
+        mode_names = list(thread.modes)
+        mode_index = {mode: index for index, mode in enumerate(mode_names)}
+        initial = next((m.name for m in thread.modes.values() if m.initial), mode_names[0])
+
+        model.pragmas["modes"] = ",".join(mode_names)
+        model.output("current_mode", INTEGER, comment="index of the current mode of the automaton")
+        model.local("zmode", INTEGER)
+        model.local("mode_tick", EVENT)
+
+        # The automaton reacts to its trigger events and to every dispatch.
+        trigger_signals: List[str] = []
+        for transition in thread.mode_transitions:
+            for trigger in transition.triggers:
+                signal = sanitize_identifier(trigger.split(".")[-1])
+                if signal in model.signals and signal not in trigger_signals:
+                    trigger_signals.append(signal)
+        tick_expr: Expression = SignalRef("ctl1_Dispatch")
+        for signal in trigger_signals:
+            tick_expr = ClockUnion(tick_expr, SignalRef(signal))
+        model.define("mode_tick", tick_expr)
+        model.define("zmode", Delay(SignalRef("current_mode"), init=mode_index[initial]))
+
+        # One guarded definition per transition.
+        ordered = sorted(
+            enumerate(thread.mode_transitions),
+            key=lambda pair: (pair[1].priority if pair[1].priority is not None else 10**6, pair[0]),
+        )
+        guarded: List[Tuple[Expression, int, str]] = []
+        for order, transition in ordered:
+            trigger = sanitize_identifier(transition.triggers[0].split(".")[-1]) if transition.triggers else "ctl1_Dispatch"
+            if trigger not in model.signals:
+                trigger = "ctl1_Dispatch"
+            guard_name = f"fire_{transition.name or f't{order}'}"
+            model.local(guard_name, BOOLEAN)
+            model.define(
+                guard_name,
+                When(
+                    FunctionApp("=", (SignalRef("zmode"), Const(mode_index[transition.source]))),
+                    ClockOf(SignalRef(trigger)),
+                ),
+                label=f"transition {transition.source} -[{trigger}]-> {transition.destination}",
+            )
+            guarded.append((SignalRef(guard_name), mode_index[transition.destination], transition.name or f"t{order}"))
+
+        has_priorities = all(t.priority is not None for t in thread.mode_transitions) and bool(
+            thread.mode_transitions
+        )
+        deterministic = self.resolve_mode_conflicts or has_priorities
+        if deterministic:
+            # Deterministic merge (ordered by priority / document order).
+            expr: Expression = When(SignalRef("zmode"), ClockOf(SignalRef("mode_tick")))
+            for guard, destination, _label in reversed(guarded):
+                expr = Default(When(Const(destination), guard), expr)
+            model.define("current_mode", expr, label="mode automaton (deterministic merge)")
+        else:
+            # Faithful partial definitions: overlapping transitions are reported
+            # by the determinism analysis (Section V-C).
+            model.local("mode_update", INTEGER)
+            for guard, destination, label in guarded:
+                model.define_partial("mode_update", When(Const(destination), guard), label=f"transition {label}")
+            model.define(
+                "current_mode",
+                Default(SignalRef("mode_update"), When(SignalRef("zmode"), ClockOf(SignalRef("mode_tick")))),
+                label="mode automaton (state holder)",
+            )
+        model.synchronise("current_mode", "mode_tick", label="the automaton state lives on the mode tick")
+
+
+def translate_thread(
+    thread: ComponentInstance,
+    trace: Optional[TraceabilityMap] = None,
+    resolve_mode_conflicts: bool = True,
+    behaviour: Optional[ThreadBehaviour] = None,
+) -> TranslatedThread:
+    """Convenience wrapper around :class:`ThreadTranslator`."""
+    return ThreadTranslator(
+        trace=trace, resolve_mode_conflicts=resolve_mode_conflicts, behaviour=behaviour
+    ).translate(thread)

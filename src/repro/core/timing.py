@@ -1,0 +1,200 @@
+"""The AADL thread timing execution model (Section IV-A, Fig. 2).
+
+An AADL thread follows an *input-compute-output* execution model:
+
+* the thread is **dispatched** (periodically, or by arrival of events);
+* its inputs are **frozen** at *Input_Time* (by default the dispatch time):
+  values arriving after the freeze are not visible to the current execution
+  and wait for the next one;
+* the computation is performed between **start** and **complete**, and must
+  finish before the **deadline**;
+* outputs are made available at *Output_Time* (by default at complete for
+  immediate connections, at deadline for delayed connections).
+
+This module gives that model a concrete form used throughout the translation
+and the benchmarks: the list of per-job discrete events, their reference
+points, and helpers computing the freeze/send instants of a job — the
+executable version of Fig. 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aadl.instance import ComponentInstance
+from ..aadl.properties import (
+    COMPUTE_EXECUTION_TIME,
+    INPUT_TIME,
+    OUTPUT_TIME,
+    DEFAULT_INPUT_TIME,
+    DEFAULT_OUTPUT_TIME_DELAYED,
+    DEFAULT_OUTPUT_TIME_IMMEDIATE,
+    DispatchProtocol,
+    IOReference,
+    IOTimeSpec,
+    parse_io_time,
+    parse_time_value,
+)
+
+
+class ThreadEvent(enum.Enum):
+    """The discrete events of one thread job (Fig. 2)."""
+
+    DISPATCH = "dispatch"
+    INPUT_FREEZE = "input_freeze"
+    START = "start"
+    COMPLETE = "complete"
+    OUTPUT_SEND = "output_send"
+    DEADLINE = "deadline"
+    ERROR = "error"
+
+
+#: Predeclared thread ports of the AADL standard (Section IV-A).
+PREDECLARED_EVENT_PORTS = ("dispatch", "complete", "error")
+
+
+@dataclass
+class ThreadTimingModel:
+    """Interpreted timing properties of one AADL thread."""
+
+    name: str
+    dispatch_protocol: DispatchProtocol
+    period_ms: Optional[float]
+    deadline_ms: Optional[float]
+    wcet_ms: float
+    input_time: IOTimeSpec
+    output_time: IOTimeSpec
+    port_input_times: Dict[str, IOTimeSpec] = field(default_factory=dict)
+    port_output_times: Dict[str, IOTimeSpec] = field(default_factory=dict)
+
+    @property
+    def is_periodic(self) -> bool:
+        return self.dispatch_protocol is DispatchProtocol.PERIODIC
+
+    def input_time_of(self, port: str) -> IOTimeSpec:
+        return self.port_input_times.get(port, self.input_time)
+
+    def output_time_of(self, port: str) -> IOTimeSpec:
+        return self.port_output_times.get(port, self.output_time)
+
+    def job_events_ms(self, dispatch_ms: float, start_ms: Optional[float] = None) -> Dict[ThreadEvent, float]:
+        """Nominal event instants of the job dispatched at *dispatch_ms*.
+
+        When *start_ms* is not given the job is assumed to start right after
+        its input freeze (the unscheduled, single-thread view of Fig. 2).
+        """
+        deadline = dispatch_ms + (self.deadline_ms if self.deadline_ms is not None else self.period_ms or 0.0)
+        freeze = input_freeze_instants(self.input_time, dispatch_ms, start_ms)
+        start = start_ms if start_ms is not None else freeze
+        complete = start + self.wcet_ms
+        send = output_send_instants(self.output_time, complete, deadline, start)
+        return {
+            ThreadEvent.DISPATCH: dispatch_ms,
+            ThreadEvent.INPUT_FREEZE: freeze,
+            ThreadEvent.START: start,
+            ThreadEvent.COMPLETE: complete,
+            ThreadEvent.OUTPUT_SEND: send,
+            ThreadEvent.DEADLINE: deadline,
+        }
+
+    def visible_inputs(
+        self, arrivals_ms: Sequence[float], horizon_ms: float
+    ) -> Dict[float, List[float]]:
+        """Which arrival instants are visible at each freeze instant (Fig. 2).
+
+        Returns a mapping ``freeze instant -> arrivals frozen at that instant``
+        over periodic dispatches up to *horizon_ms*.  An arrival at exactly the
+        freeze instant is considered to arrive *after* the freeze (it will be
+        processed at the next one), matching the port model of Fig. 5.
+        """
+        if not self.is_periodic or not self.period_ms:
+            raise ValueError("visible_inputs is defined for periodic threads")
+        freezes: List[float] = []
+        dispatch = 0.0
+        while dispatch < horizon_ms:
+            freezes.append(self.job_events_ms(dispatch)[ThreadEvent.INPUT_FREEZE])
+            dispatch += self.period_ms
+        out: Dict[float, List[float]] = {}
+        previous = float("-inf")
+        for freeze in freezes:
+            out[freeze] = [a for a in sorted(arrivals_ms) if previous <= a < freeze]
+            previous = freeze
+        return out
+
+
+def input_freeze_instants(spec: IOTimeSpec, dispatch_ms: float, start_ms: Optional[float]) -> float:
+    """Instant at which inputs are frozen for a job."""
+    if spec.reference is IOReference.DISPATCH:
+        return dispatch_ms + spec.offset_ms()
+    if spec.reference is IOReference.START:
+        return (start_ms if start_ms is not None else dispatch_ms) + spec.offset_ms()
+    if spec.reference is IOReference.NO_IO:
+        return dispatch_ms
+    return dispatch_ms + spec.offset_ms()
+
+
+def output_send_instants(
+    spec: IOTimeSpec, complete_ms: float, deadline_ms: float, start_ms: float
+) -> float:
+    """Instant at which outputs are made available for a job."""
+    if spec.reference is IOReference.COMPLETION:
+        return complete_ms + spec.offset_ms()
+    if spec.reference is IOReference.DEADLINE:
+        return deadline_ms
+    if spec.reference is IOReference.START:
+        return start_ms + spec.offset_ms()
+    return complete_ms + spec.offset_ms()
+
+
+def thread_timing_model(thread: ComponentInstance, default_wcet_fraction: float = 0.25) -> ThreadTimingModel:
+    """Interpret the timing properties of an AADL thread instance."""
+    protocol_literal = thread.dispatch_protocol() or DispatchProtocol.PERIODIC.value
+    protocol = DispatchProtocol.from_literal(protocol_literal)
+    period = thread.period_ms()
+    deadline = thread.deadline_ms()
+    wcet_association = thread.properties.find(COMPUTE_EXECUTION_TIME)
+    if wcet_association is not None:
+        wcet = parse_time_value(wcet_association.value)
+    elif period is not None:
+        wcet = period * default_wcet_fraction
+    else:
+        wcet = 0.0
+
+    input_association = thread.properties.find(INPUT_TIME)
+    input_time = (
+        parse_io_time(input_association.value)[0] if input_association is not None else DEFAULT_INPUT_TIME
+    )
+    output_association = thread.properties.find(OUTPUT_TIME)
+    output_time = (
+        parse_io_time(output_association.value)[0]
+        if output_association is not None
+        else DEFAULT_OUTPUT_TIME_IMMEDIATE
+    )
+
+    port_input_times: Dict[str, IOTimeSpec] = {}
+    port_output_times: Dict[str, IOTimeSpec] = {}
+    for feature in thread.features.values():
+        in_assoc = feature.declaration.properties.find(INPUT_TIME)
+        if in_assoc is not None:
+            specs = parse_io_time(in_assoc.value)
+            if specs:
+                port_input_times[feature.name] = specs[0]
+        out_assoc = feature.declaration.properties.find(OUTPUT_TIME)
+        if out_assoc is not None:
+            specs = parse_io_time(out_assoc.value)
+            if specs:
+                port_output_times[feature.name] = specs[0]
+
+    return ThreadTimingModel(
+        name=thread.name,
+        dispatch_protocol=protocol,
+        period_ms=period,
+        deadline_ms=deadline,
+        wcet_ms=wcet,
+        input_time=input_time,
+        output_time=output_time,
+        port_input_times=port_input_times,
+        port_output_times=port_output_times,
+    )

@@ -1,0 +1,204 @@
+"""The complete and automatic tool chain (Section IV-E).
+
+:func:`run_toolchain` chains every stage of the paper's flow on one AADL
+model:
+
+1. **capture** — parse the textual AADL (or accept an already-built
+   declarative model) and instantiate the root system;
+2. **validation** — declarative and instance legality checks;
+3. **scheduling** — thread-level scheduler synthesis per processor (RM/EDF);
+4. **transformation** — the ASME2SSME translation to SIGNAL process models;
+5. **analysis** — clock calculus report, determinism identification, deadlock
+   detection, schedulability and synchronizability analyses;
+6. **simulation** — execution of the translated, scheduled model over a
+   scenario and VCD trace generation;
+7. **profiling** — cost-model-based performance estimation of the simulation.
+
+Each stage's artefacts are collected in a :class:`ToolchainResult`, so the
+examples and the benchmark harness can reproduce the case study of Section V
+with a single call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..aadl.errors import DiagnosticCollector
+from ..aadl.instance import ComponentInstance, Instantiator, instance_report
+from ..aadl.model import AadlModel
+from ..aadl.parser import parse_string
+from ..aadl.validation import validate
+from ..scheduling.analysis import SchedulabilityReport, SynchronizabilityReport, analyse_schedulability, analyse_synchronizability
+from ..scheduling.static_scheduler import SchedulingPolicy, StaticSchedule
+from ..scheduling.task import TaskSet, task_set_from_threads
+from ..sig.analysis import (
+    ClockReport,
+    DeadlockReport,
+    DeterminismReport,
+    build_clock_report,
+    check_determinism,
+    detect_deadlocks,
+)
+from ..sig.process import Direction, ProcessModel
+from ..sig.profiling import GENERIC_PROCESSOR, CostModel, DynamicProfile, Profiler
+from ..sig.simulator import Scenario, SimulationTrace, Simulator
+from ..sig.vcd import VcdWriter
+from .translator import Asme2SsmeTranslator, TranslationConfig, TranslationResult
+
+
+@dataclass
+class ToolchainOptions:
+    """Options of one tool-chain run."""
+
+    root_implementation: str = ""
+    default_package: Optional[str] = None
+    translation: TranslationConfig = field(default_factory=TranslationConfig)
+    #: Number of hyper-periods to simulate (0 disables simulation).
+    simulate_hyperperiods: int = 2
+    #: Environment stimuli added to the simulation scenario: signal -> period (ticks).
+    stimuli_periods: Dict[str, int] = field(default_factory=dict)
+    #: Cost model used by the profiling stage (None disables profiling).
+    cost_model: Optional[CostModel] = GENERIC_PROCESSOR
+    #: Record only these signals during simulation (None = all).
+    record_signals: Optional[Sequence[str]] = None
+    #: Fail on validation errors instead of carrying on.
+    strict_validation: bool = True
+
+
+@dataclass
+class ToolchainResult:
+    """All the artefacts produced by one tool-chain run."""
+
+    model: AadlModel
+    root: ComponentInstance
+    diagnostics: DiagnosticCollector
+    translation: TranslationResult
+    task_sets: Dict[str, TaskSet] = field(default_factory=dict)
+    schedules: Dict[str, StaticSchedule] = field(default_factory=dict)
+    clock_report: Optional[ClockReport] = None
+    determinism: Optional[DeterminismReport] = None
+    deadlocks: Optional[DeadlockReport] = None
+    schedulability: Dict[str, SchedulabilityReport] = field(default_factory=dict)
+    synchronizability: Dict[str, SynchronizabilityReport] = field(default_factory=dict)
+    trace: Optional[SimulationTrace] = None
+    profile: Optional[DynamicProfile] = None
+    scenario_length: int = 0
+
+    @property
+    def system_model(self) -> ProcessModel:
+        return self.translation.system_model
+
+    def write_vcd(self, path: str, signals: Optional[Sequence[str]] = None) -> str:
+        """Write the simulation trace as a VCD file (co-simulation demo)."""
+        if self.trace is None:
+            raise RuntimeError("the tool chain was run without simulation")
+        return VcdWriter(timescale="1 ms").write(self.trace, path, signals=signals)
+
+    def summary(self) -> str:
+        lines = [f"Tool chain summary for {self.root.qualified_name}"]
+        report = instance_report(self.root)
+        lines.append(
+            f"  instance model      : {report.components} components, {report.threads} threads, "
+            f"{report.connections} connections"
+        )
+        lines.append(f"  validation          : {len(self.diagnostics.errors)} error(s), "
+                     f"{len(self.diagnostics.warnings)} warning(s)")
+        for processor, schedule in self.schedules.items():
+            lines.append(
+                f"  schedule [{processor}]: {schedule.policy.value}, hyper-period {schedule.hyperperiod_ms} ms, "
+                f"{len(schedule.jobs)} jobs, utilisation {schedule.processor_utilisation():.2f}"
+            )
+        if self.clock_report is not None:
+            lines.append(
+                f"  clock calculus      : {self.clock_report.clock_count} classes over "
+                f"{self.clock_report.signal_count} signals, "
+                f"{'endochronous' if self.clock_report.endochronous else 'not endochronous'}"
+            )
+        if self.determinism is not None:
+            lines.append(f"  determinism         : {'ok' if self.determinism.deterministic else 'issues found'}")
+        if self.deadlocks is not None:
+            lines.append(f"  deadlock detection  : {'ok' if self.deadlocks.deadlock_free else 'cycles found'}")
+        if self.trace is not None:
+            lines.append(f"  simulation          : {self.trace.length} instants, "
+                         f"{len(self.trace.flows)} recorded signals")
+        if self.profile is not None:
+            lines.append(
+                f"  profiling           : total {self.profile.total:.1f} units on {self.profile.cost_model}"
+            )
+        return "\n".join(lines)
+
+
+def run_toolchain(
+    source: "str | AadlModel",
+    options: Optional[ToolchainOptions] = None,
+) -> ToolchainResult:
+    """Run the complete tool chain on AADL *source* (text or declarative model)."""
+    options = options or ToolchainOptions()
+
+    # 1. capture
+    model = parse_string(source) if isinstance(source, str) else source
+    instantiator = Instantiator(model, default_package=options.default_package)
+    if not options.root_implementation:
+        raise ValueError("ToolchainOptions.root_implementation must name the root system implementation")
+    root = instantiator.instantiate(options.root_implementation)
+
+    # 2. validation
+    diagnostics = validate(model, root)
+    if options.strict_validation and diagnostics.has_errors:
+        raise ValueError("AADL validation failed:\n" + diagnostics.summary())
+
+    # 3 + 4. scheduling and transformation (the translator drives the synthesis).
+    translation = Asme2SsmeTranslator(options.translation).translate(root)
+
+    result = ToolchainResult(
+        model=model,
+        root=root,
+        diagnostics=diagnostics,
+        translation=translation,
+        schedules=dict(translation.schedules),
+    )
+
+    # Per-processor task sets and schedulability/synchronizability analyses.
+    from ..aadl.instance import processor_bindings
+
+    bindings = processor_bindings(root)
+    groups: Dict[str, List[ComponentInstance]] = {}
+    for process in root.processes():
+        processor = bindings.get(process.qualified_name)
+        key = processor.qualified_name if processor is not None else "logical_processor"
+        groups.setdefault(key, []).extend(process.threads())
+    for processor_name, threads in groups.items():
+        task_set = task_set_from_threads(threads, processor_name=processor_name)
+        if not len(task_set):
+            continue
+        result.task_sets[processor_name] = task_set
+        result.schedulability[processor_name] = analyse_schedulability(task_set)
+        result.synchronizability[processor_name] = analyse_synchronizability(task_set)
+
+    # 5. formal analyses on the flattened system model.
+    flat = translation.system_model.flatten()
+    result.clock_report = build_clock_report(flat)
+    result.determinism = check_determinism(flat)
+    result.deadlocks = detect_deadlocks(flat)
+
+    # 6. simulation
+    if options.simulate_hyperperiods > 0 and result.schedules:
+        schedule = next(iter(result.schedules.values()))
+        length = schedule.hyperperiod_ticks * options.simulate_hyperperiods
+        scenario = Scenario(length)
+        # Base tick of every processor clock.
+        for decl in translation.system_model.inputs():
+            if decl.name == "tick" or decl.name.endswith("_tick"):
+                scenario.set_always(decl.name)
+        for signal, period in options.stimuli_periods.items():
+            scenario.set_periodic(signal, period)
+        simulator = Simulator(translation.system_model, strict=False)
+        result.trace = simulator.run(scenario, record=options.record_signals)
+        result.scenario_length = length
+
+        # 7. profiling
+        if options.cost_model is not None:
+            result.profile = Profiler(translation.system_model, options.cost_model).dynamic_profile(result.trace)
+
+    return result

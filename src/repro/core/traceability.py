@@ -1,0 +1,73 @@
+"""Traceability between AADL model elements and SIGNAL identifiers.
+
+The paper (Section IV-E) describes "a simple but efficient mechanism of
+traceability": the names of the high-level (AADL) model elements are either
+preserved as names of the generated SIGNAL objects or preserved in
+annotations.  This module implements that mechanism: identifier sanitisation
+(AADL identifiers are almost valid SIGNAL identifiers, but qualified names and
+feature paths need mangling) and a bidirectional map populated by the
+translator and queryable by the analyses and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_IDENTIFIER_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def sanitize_identifier(name: str) -> str:
+    """Turn an AADL (possibly qualified) name into a SIGNAL identifier."""
+    cleaned = _IDENTIFIER_RE.sub("_", name.replace("::", "_").replace(".", "_"))
+    if not cleaned:
+        return "_"
+    if cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+@dataclass
+class TraceLink:
+    """One traceability link between an AADL element and a SIGNAL object."""
+
+    aadl_name: str
+    signal_name: str
+    kind: str  # "process" | "signal" | "instance" | "equation"
+    detail: Optional[str] = None
+
+
+@dataclass
+class TraceabilityMap:
+    """Bidirectional AADL ↔ SIGNAL name map."""
+
+    links: List[TraceLink] = field(default_factory=list)
+    _by_aadl: Dict[str, List[TraceLink]] = field(default_factory=dict)
+    _by_signal: Dict[str, List[TraceLink]] = field(default_factory=dict)
+
+    def add(self, aadl_name: str, signal_name: str, kind: str, detail: Optional[str] = None) -> TraceLink:
+        link = TraceLink(aadl_name=aadl_name, signal_name=signal_name, kind=kind, detail=detail)
+        self.links.append(link)
+        self._by_aadl.setdefault(aadl_name, []).append(link)
+        self._by_signal.setdefault(signal_name, []).append(link)
+        return link
+
+    def signal_names_of(self, aadl_name: str) -> List[str]:
+        return [link.signal_name for link in self._by_aadl.get(aadl_name, [])]
+
+    def aadl_names_of(self, signal_name: str) -> List[str]:
+        return [link.aadl_name for link in self._by_signal.get(signal_name, [])]
+
+    def links_of_kind(self, kind: str) -> List[TraceLink]:
+        return [link for link in self.links if link.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def report(self) -> str:
+        lines = ["Traceability map (AADL -> SIGNAL)"]
+        for link in self.links:
+            detail = f" ({link.detail})" if link.detail else ""
+            lines.append(f"  [{link.kind:<8s}] {link.aadl_name} -> {link.signal_name}{detail}")
+        return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Thread-level scheduler synthesis and schedulability analysis.
+
+Implements Section IV-D of the paper:
+
+1. extract a task set from the AADL threads (:mod:`repro.scheduling.task`);
+2. compute the hyper-period as the LCM of the thread periods
+   (:mod:`repro.scheduling.hyperperiod`);
+3. synthesise a static, non-preemptive, single-processor schedule placing the
+   discrete events of each thread (dispatch, input-freeze, start, complete,
+   output-send, deadline) inside the hyper-period, under RM or EDF event
+   ordering (:mod:`repro.scheduling.static_scheduler`);
+4. export the schedule as affine clock relations on a base tick clock and as a
+   SIGNAL scheduler process (:mod:`repro.scheduling.affine_export`);
+5. analyse schedulability and synchronizability (:mod:`repro.scheduling.analysis`);
+6. compare against a Cheddar-like preemptive, simulation-based baseline
+   (:mod:`repro.scheduling.baseline`).
+"""
+
+from .task import Task, TaskSet, task_set_from_instance, task_set_from_threads
+from .hyperperiod import hyperperiod_ms, hyperperiod_ticks, tick_resolution_ms
+from .static_scheduler import (
+    ScheduledEvent,
+    ScheduledJob,
+    SchedulingError,
+    SchedulingPolicy,
+    StaticSchedule,
+    StaticSchedulerConfig,
+    synthesise_schedule,
+)
+from .affine_export import AffineScheduleExport, export_affine_clocks, scheduler_process
+from .analysis import (
+    SchedulabilityReport,
+    SynchronizabilityReport,
+    analyse_schedulability,
+    analyse_synchronizability,
+    utilisation,
+)
+from .baseline import BaselineResult, PreemptiveScheduler, simulate_preemptive
+
+__all__ = [
+    "Task", "TaskSet", "task_set_from_instance", "task_set_from_threads",
+    "hyperperiod_ms", "hyperperiod_ticks", "tick_resolution_ms",
+    "ScheduledEvent", "ScheduledJob", "SchedulingError", "SchedulingPolicy",
+    "StaticSchedule", "StaticSchedulerConfig", "synthesise_schedule",
+    "AffineScheduleExport", "export_affine_clocks", "scheduler_process",
+    "SchedulabilityReport", "SynchronizabilityReport", "analyse_schedulability",
+    "analyse_synchronizability", "utilisation",
+    "BaselineResult", "PreemptiveScheduler", "simulate_preemptive",
+]

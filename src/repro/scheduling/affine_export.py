@@ -1,0 +1,177 @@
+"""Export of a static schedule to affine clock relations and SIGNAL.
+
+Step 3 of the paper's scheduler synthesis: "export schedules to SIGNAL affine
+clocks in a direct way".  Given a :class:`~repro.scheduling.static_scheduler.StaticSchedule`:
+
+* each strictly periodic event stream (the dispatch and deadline events of a
+  task always are; start/complete streams are whenever the schedule gives the
+  same offset to every job of the task) is exported as **one** affine sampling
+  ``{period·t + phase}`` of the base tick clock;
+* event streams that are periodic only at the hyper-period level (e.g. the
+  start events of a task whose jobs are shifted differently inside the
+  hyper-period) are exported as a **union** of affine samplings, one per job,
+  all with the hyper-period as their period;
+* the whole schedule can also be materialised as an executable SIGNAL process
+  (one :func:`~repro.sig.library.periodic_clock_divider` instance per affine
+  clock) that produces the event signals driving the translated threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sig.affine import AffineClock, AffineRelation, mutually_disjoint
+from ..sig.library import periodic_clock_divider
+from ..sig.process import ProcessModel
+from ..sig.values import EVENT
+from .static_scheduler import EVENT_KINDS, StaticSchedule
+
+#: Name of the base reference clock (the tick of the chosen resolution).
+BASE_CLOCK = "tick"
+
+
+@dataclass
+class AffineScheduleExport:
+    """Affine clocks of every (task, event-kind) stream of a schedule."""
+
+    tick_ms: float
+    hyperperiod_ticks: int
+    clocks: Dict[Tuple[str, str], List[AffineClock]] = field(default_factory=dict)
+
+    def clock_of(self, task: str, kind: str) -> List[AffineClock]:
+        return self.clocks.get((task, kind), [])
+
+    def single_affine(self, task: str, kind: str) -> Optional[AffineClock]:
+        """The event stream as one affine clock, or ``None`` if it needs a union."""
+        clocks = self.clock_of(task, kind)
+        return clocks[0] if len(clocks) == 1 else None
+
+    def is_strictly_periodic(self, task: str, kind: str) -> bool:
+        return len(self.clock_of(task, kind)) == 1
+
+    def all_clocks(self) -> List[Tuple[str, str, AffineClock]]:
+        out: List[Tuple[str, str, AffineClock]] = []
+        for (task, kind), clocks in sorted(self.clocks.items()):
+            for clock in clocks:
+                out.append((task, kind, clock))
+        return out
+
+    def relations(self, kind: str = "dispatch") -> List[AffineRelation]:
+        """Pairwise affine relations between the (single) clocks of one event kind."""
+        singles = [
+            (task, self.single_affine(task, kind))
+            for task, k in {key for key in self.clocks}
+            if k == kind
+        ]
+        singles = [(task, clock) for task, clock in singles if clock is not None]
+        relations: List[AffineRelation] = []
+        for i, (task_a, clock_a) in enumerate(singles):
+            for task_b, clock_b in singles[i + 1:]:
+                n, phi, d = clock_a.relative_relation(clock_b)
+                relations.append(AffineRelation(source=f"{task_a}.{kind}", target=f"{task_b}.{kind}", n=n, phase=phi, d=d))
+        return relations
+
+    def start_clocks_mutually_disjoint(self) -> bool:
+        """Check that no two *strictly periodic* start clocks ever coincide.
+
+        Tasks whose start stream needed a union of affine clocks are checked
+        pairwise over all their components.
+        """
+        start_clocks: List[AffineClock] = []
+        for (task, kind), clocks in self.clocks.items():
+            if kind == "start":
+                start_clocks.extend(clocks)
+        return mutually_disjoint(start_clocks)
+
+    def summary(self) -> str:
+        lines = [
+            f"Affine export (tick = {self.tick_ms} ms, hyper-period = {self.hyperperiod_ticks} ticks)"
+        ]
+        for (task, kind), clocks in sorted(self.clocks.items()):
+            rendered = " U ".join(str(c) for c in clocks)
+            lines.append(f"  {task}.{kind:<13s} = {rendered}")
+        return "\n".join(lines)
+
+
+def export_affine_clocks(schedule: StaticSchedule) -> AffineScheduleExport:
+    """Derive the affine clock of every (task, event kind) stream of *schedule*."""
+    export = AffineScheduleExport(tick_ms=schedule.tick_ms, hyperperiod_ticks=schedule.hyperperiod_ticks)
+    tasks = sorted({job.task for job in schedule.jobs})
+    for task in tasks:
+        jobs = sorted(schedule.jobs_of(task), key=lambda j: j.job_index)
+        if not jobs:
+            continue
+        for kind in EVENT_KINDS:
+            ticks = [getattr(job, f"{kind}_tick") for job in jobs]
+            export.clocks[(task, kind)] = _affine_decomposition(ticks, schedule.hyperperiod_ticks)
+    return export
+
+
+def _affine_decomposition(ticks: Sequence[int], hyperperiod: int) -> List[AffineClock]:
+    """Express a finite periodic tick pattern as a union of affine clocks.
+
+    When the pattern is an arithmetic progression whose step divides the
+    hyper-period, a single affine clock suffices; otherwise one affine clock
+    per tick (period = hyper-period) is returned.
+    """
+    if not ticks:
+        return []
+    if len(ticks) == 1:
+        return [AffineClock(BASE_CLOCK, period=hyperperiod, phase=ticks[0])]
+    steps = {b - a for a, b in zip(ticks, ticks[1:])}
+    if len(steps) == 1:
+        step = steps.pop()
+        if step > 0 and hyperperiod % step == 0 and ticks[0] + step * len(ticks) == ticks[0] + hyperperiod:
+            return [AffineClock(BASE_CLOCK, period=step, phase=ticks[0])]
+    return [AffineClock(BASE_CLOCK, period=hyperperiod, phase=tick) for tick in ticks]
+
+
+def scheduler_process(schedule: StaticSchedule, name: str = "static_scheduler") -> ProcessModel:
+    """Build the SIGNAL scheduler process realising *schedule*.
+
+    The process has the base ``tick`` event as its only input and one output
+    event per (task, event kind).  Each affine clock becomes an instance of
+    the ``periodic_clock`` library process; unions of affine clocks are merged
+    through intermediate signals.
+    """
+    export = export_affine_clocks(schedule)
+    model = ProcessModel(
+        name,
+        comment=(
+            f"thread-level static scheduler ({schedule.policy.value}), "
+            f"hyper-period {schedule.hyperperiod_ms} ms, tick {schedule.tick_ms} ms"
+        ),
+    )
+    model.pragmas["hyperperiod_ticks"] = str(schedule.hyperperiod_ticks)
+    model.pragmas["policy"] = schedule.policy.value
+    model.input(BASE_CLOCK, EVENT, comment="base tick of the schedule (one per tick_ms)")
+
+    from ..sig.expressions import ClockUnion, SignalRef
+
+    for (task, kind), clocks in sorted(export.clocks.items()):
+        output_name = f"{task}_{kind}"
+        model.output(output_name, EVENT)
+        part_names: List[str] = []
+        for index, clock in enumerate(clocks):
+            divider = periodic_clock_divider(
+                name=f"periodic_clock_{task}_{kind}_{index}",
+                period=clock.period,
+                phase=clock.phase,
+            )
+            model.add_submodel(divider)
+            part_name = output_name if len(clocks) == 1 else f"{output_name}_part{index}"
+            if len(clocks) > 1:
+                model.local(part_name, EVENT)
+            part_names.append(part_name)
+            model.instantiate(
+                divider,
+                instance_name=f"clk_{task}_{kind}_{index}",
+                bindings={"tick": BASE_CLOCK, "out": part_name},
+            )
+        if len(part_names) > 1:
+            union = SignalRef(part_names[0])
+            for part in part_names[1:]:
+                union = ClockUnion(union, SignalRef(part))
+            model.define(output_name, union)
+    return model

@@ -1,0 +1,210 @@
+"""Schedulability and synchronizability analysis.
+
+Two families of checks complement the constructive scheduler synthesis:
+
+* **schedulability analysis** — classical utilisation-based and response-time
+  based tests adapted to the non-preemptive single-processor setting of the
+  paper (blocking by at most one lower-priority job, since jobs are never
+  preempted once started);
+* **synchronizability analysis** — the paper uses affine clock relations to
+  decide whether the clocks of multi-periodic threads can be synchronised
+  ("synchronizability analysis can be carried out between multi-period
+  threads", Section IV-B).  Two periodic thread clocks are *harmonically
+  related* when one period divides the other (one clock is an affine
+  sub-sampling of the other after re-phasing) and *synchronisable* when their
+  periods are equal (a common affine re-phasing makes them identical).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sig.affine import AffineClock, lcm
+from .hyperperiod import hyperperiod_ms, tick_resolution_ms, to_ticks
+from .task import Task, TaskSet
+
+
+@dataclass
+class TaskAnalysis:
+    """Per-task outcome of the schedulability analysis."""
+
+    name: str
+    utilisation: float
+    blocking_ms: float
+    response_time_ms: Optional[float]
+    deadline_ms: float
+    schedulable: bool
+
+
+@dataclass
+class SchedulabilityReport:
+    """Outcome of the utilisation / response-time analysis of a task set."""
+
+    total_utilisation: float
+    liu_layland_bound: float
+    utilisation_test_passed: bool
+    tasks: List[TaskAnalysis] = field(default_factory=list)
+
+    @property
+    def schedulable(self) -> bool:
+        return all(task.schedulable for task in self.tasks)
+
+    def task(self, name: str) -> TaskAnalysis:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        lines = [
+            f"Schedulability report: U = {self.total_utilisation:.3f}, "
+            f"Liu-Layland bound = {self.liu_layland_bound:.3f} "
+            f"({'passes' if self.utilisation_test_passed else 'exceeds'})",
+        ]
+        for task in self.tasks:
+            response = f"{task.response_time_ms:.2f} ms" if task.response_time_ms is not None else "n/a"
+            lines.append(
+                f"  {task.name:<16s} U={task.utilisation:.3f} B={task.blocking_ms:.2f} ms "
+                f"R={response} D={task.deadline_ms:.2f} ms -> "
+                f"{'ok' if task.schedulable else 'MISS'}"
+            )
+        return "\n".join(lines)
+
+
+def utilisation(task_set: TaskSet) -> float:
+    """Total processor utilisation of the task set."""
+    return sum(task.utilisation for task in task_set)
+
+
+def liu_layland_bound(n: int) -> float:
+    """The rate-monotonic utilisation bound ``n (2^{1/n} - 1)``."""
+    if n <= 0:
+        return 1.0
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def analyse_schedulability(task_set: TaskSet, preemptive: bool = False) -> SchedulabilityReport:
+    """Utilisation + response-time analysis under rate-monotonic priorities.
+
+    In the non-preemptive case (the paper's setting), each task additionally
+    suffers a blocking term equal to the largest execution time among the
+    lower-priority tasks (a job that started just before the release cannot be
+    preempted).
+    """
+    tasks = task_set.rm_sorted()
+    total = utilisation(task_set)
+    bound = liu_layland_bound(len(tasks))
+    report = SchedulabilityReport(
+        total_utilisation=total,
+        liu_layland_bound=bound,
+        utilisation_test_passed=total <= bound + 1e-12,
+    )
+    for index, task in enumerate(tasks):
+        higher = tasks[:index]
+        lower = tasks[index + 1:]
+        blocking = 0.0 if preemptive else max((t.wcet_ms for t in lower), default=0.0)
+        response = _response_time(task, higher, blocking)
+        report.tasks.append(
+            TaskAnalysis(
+                name=task.name,
+                utilisation=task.utilisation,
+                blocking_ms=blocking,
+                response_time_ms=response,
+                deadline_ms=task.deadline_ms,
+                schedulable=response is not None and response <= task.deadline_ms + 1e-9,
+            )
+        )
+    return report
+
+
+def _response_time(task: Task, higher: List[Task], blocking: float, max_iterations: int = 1000) -> Optional[float]:
+    """Classical fixed-point response-time iteration (returns None on divergence)."""
+    response = task.wcet_ms + blocking
+    for _ in range(max_iterations):
+        interference = sum(math.ceil(response / t.period_ms) * t.wcet_ms for t in higher)
+        updated = task.wcet_ms + blocking + interference
+        if abs(updated - response) < 1e-9:
+            return updated
+        if updated > 1000 * max(task.deadline_ms, task.period_ms):
+            return None
+        response = updated
+    return None
+
+
+# ----------------------------------------------------------------------
+# synchronizability (affine clock relations between thread clocks)
+# ----------------------------------------------------------------------
+@dataclass
+class PairSynchronizability:
+    """Affine relation between the dispatch clocks of two tasks."""
+
+    task_a: str
+    task_b: str
+    relation: Tuple[int, int, int]  # (n, phase, d) over the common tick
+    harmonic: bool
+    synchronisable: bool
+    common_hyperperiod_ms: float
+
+
+@dataclass
+class SynchronizabilityReport:
+    """Pairwise synchronizability of all the tasks of a set."""
+
+    tick_ms: float
+    pairs: List[PairSynchronizability] = field(default_factory=list)
+
+    def pair(self, a: str, b: str) -> PairSynchronizability:
+        for pair in self.pairs:
+            if {pair.task_a, pair.task_b} == {a, b}:
+                return pair
+        raise KeyError((a, b))
+
+    @property
+    def all_harmonic(self) -> bool:
+        return all(pair.harmonic for pair in self.pairs)
+
+    def summary(self) -> str:
+        lines = [f"Synchronizability report (tick = {self.tick_ms} ms)"]
+        for pair in self.pairs:
+            n, phi, d = pair.relation
+            lines.append(
+                f"  {pair.task_a} ~ {pair.task_b}: relation (n={n}, phi={phi}, d={d}), "
+                f"{'harmonic' if pair.harmonic else 'non-harmonic'}, "
+                f"{'synchronisable' if pair.synchronisable else 'not synchronisable'}, "
+                f"hyper-period {pair.common_hyperperiod_ms} ms"
+            )
+        return "\n".join(lines)
+
+
+def analyse_synchronizability(task_set: TaskSet) -> SynchronizabilityReport:
+    """Compute the pairwise affine relations between the task dispatch clocks."""
+    tasks = list(task_set)
+    tick = tick_resolution_ms(tasks)
+    report = SynchronizabilityReport(tick_ms=tick)
+    clocks: Dict[str, AffineClock] = {}
+    for task in tasks:
+        clocks[task.name] = AffineClock(
+            "tick",
+            period=to_ticks(task.period_ms, tick),
+            phase=to_ticks(task.offset_ms, tick) if task.offset_ms else 0,
+        )
+    for i, task_a in enumerate(tasks):
+        for task_b in tasks[i + 1:]:
+            clock_a, clock_b = clocks[task_a.name], clocks[task_b.name]
+            relation = clock_a.relative_relation(clock_b)
+            harmonic = (
+                task_a.period_ms % task_b.period_ms == 0 or task_b.period_ms % task_a.period_ms == 0
+            )
+            report.pairs.append(
+                PairSynchronizability(
+                    task_a=task_a.name,
+                    task_b=task_b.name,
+                    relation=relation,
+                    harmonic=harmonic,
+                    synchronisable=clock_a.synchronisable_with(clock_b),
+                    common_hyperperiod_ms=clock_a.union_hyperperiod(clock_b) * tick,
+                )
+            )
+    return report

@@ -1,0 +1,196 @@
+"""Cheddar-like preemptive scheduling baseline.
+
+The paper positions its static affine-clock scheduler against classical AADL
+scheduling tools such as Cheddar, which perform (usually preemptive)
+schedulability analysis and scheduling simulation *inside the tool*, without a
+formal, verifiable artefact coming out.  This module provides that comparison
+point: an event-driven, preemptive, fixed- or dynamic-priority scheduling
+simulation over the hyper-period, reporting deadline misses, preemption counts
+and per-task response times.
+
+The benchmark E12 contrasts the two along the axes discussed in Section IV-D:
+ability to find a feasible schedule, predictability (preemptions), and whether
+the result can be exported to affine clocks for formal verification (only the
+static scheduler's can).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .hyperperiod import hyperperiod_ms, tick_resolution_ms, to_ticks
+from .static_scheduler import SchedulingPolicy
+from .task import Task, TaskSet
+
+
+@dataclass
+class BaselineJobRecord:
+    """Execution record of one job in the preemptive simulation."""
+
+    task: str
+    job_index: int
+    release_tick: int
+    completion_tick: Optional[int]
+    deadline_tick: int
+    preemptions: int
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.completion_tick is not None and self.completion_tick <= self.deadline_tick
+
+    @property
+    def response_ticks(self) -> Optional[int]:
+        if self.completion_tick is None:
+            return None
+        return self.completion_tick - self.release_tick
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of the preemptive scheduling simulation."""
+
+    policy: SchedulingPolicy
+    tick_ms: float
+    hyperperiod_ticks: int
+    jobs: List[BaselineJobRecord] = field(default_factory=list)
+    context_switches: int = 0
+
+    @property
+    def schedulable(self) -> bool:
+        return all(job.met_deadline for job in self.jobs)
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(0 if job.met_deadline else 1 for job in self.jobs)
+
+    @property
+    def total_preemptions(self) -> int:
+        return sum(job.preemptions for job in self.jobs)
+
+    def max_response_ms(self, task: str) -> Optional[float]:
+        responses = [job.response_ticks for job in self.jobs if job.task == task and job.response_ticks is not None]
+        if not responses:
+            return None
+        return max(responses) * self.tick_ms
+
+    def exportable_to_affine_clocks(self) -> bool:
+        """A dynamic/preemptive schedule has no static event table to export."""
+        return False
+
+    def summary(self) -> str:
+        return (
+            f"Preemptive {self.policy.value} baseline: "
+            f"{'schedulable' if self.schedulable else f'{self.deadline_misses} deadline miss(es)'}, "
+            f"{self.total_preemptions} preemption(s), {self.context_switches} context switch(es)"
+        )
+
+
+@dataclass
+class _ActiveJob:
+    task: Task
+    index: int
+    release: int
+    deadline: int
+    remaining: int
+    preemptions: int = 0
+
+
+class PreemptiveScheduler:
+    """Event-driven preemptive scheduling simulation over the hyper-period."""
+
+    def __init__(self, task_set: TaskSet, policy: SchedulingPolicy = SchedulingPolicy.RATE_MONOTONIC) -> None:
+        self.task_set = task_set
+        self.policy = policy
+
+    def _priority(self, job: _ActiveJob) -> Tuple:
+        task = job.task
+        if self.policy is SchedulingPolicy.RATE_MONOTONIC:
+            return (task.period_ms, task.name)
+        if self.policy is SchedulingPolicy.DEADLINE_MONOTONIC:
+            return (task.deadline_ms, task.name)
+        if self.policy is SchedulingPolicy.EARLIEST_DEADLINE_FIRST:
+            return (job.deadline, task.period_ms, task.name)
+        priority = task.priority if task.priority is not None else 10**6
+        return (priority, task.period_ms, task.name)
+
+    def run(self, horizon_ticks: Optional[int] = None) -> BaselineResult:
+        tasks = list(self.task_set)
+        if not tasks:
+            raise ValueError("empty task set")
+        tick_ms = tick_resolution_ms(tasks)
+        horizon = horizon_ticks or to_ticks(hyperperiod_ms(tasks), tick_ms)
+
+        releases: List[Tuple[int, Task, int]] = []
+        for task in tasks:
+            period = to_ticks(task.period_ms, tick_ms)
+            offset = to_ticks(task.offset_ms, tick_ms) if task.offset_ms else 0
+            index = 0
+            release = offset
+            while release < horizon:
+                releases.append((release, task, index))
+                index += 1
+                release += period
+        releases.sort(key=lambda item: item[0])
+
+        result = BaselineResult(policy=self.policy, tick_ms=tick_ms, hyperperiod_ticks=horizon)
+        active: List[_ActiveJob] = []
+        records: Dict[Tuple[str, int], BaselineJobRecord] = {}
+        running: Optional[_ActiveJob] = None
+        release_index = 0
+
+        for now in range(horizon + 1):
+            # Release new jobs.
+            while release_index < len(releases) and releases[release_index][0] == now:
+                _, task, job_index = releases[release_index]
+                job = _ActiveJob(
+                    task=task,
+                    index=job_index,
+                    release=now,
+                    deadline=now + to_ticks(task.deadline_ms, tick_ms),
+                    remaining=to_ticks(task.wcet_ms, tick_ms) if task.wcet_ms > 0 else 0,
+                )
+                active.append(job)
+                records[(task.name, job_index)] = BaselineJobRecord(
+                    task=task.name,
+                    job_index=job_index,
+                    release_tick=now,
+                    completion_tick=now if job.remaining == 0 else None,
+                    deadline_tick=job.deadline,
+                    preemptions=0,
+                )
+                if job.remaining == 0:
+                    active.remove(job)
+                release_index += 1
+
+            if now >= horizon:
+                break
+
+            if not active:
+                running = None
+                continue
+            # Pick the highest-priority active job; preempt if needed.
+            active.sort(key=self._priority)
+            chosen = active[0]
+            if running is not None and running is not chosen and running in active:
+                running.preemptions += 1
+                records[(running.task.name, running.index)].preemptions = running.preemptions
+                result.context_switches += 1
+            elif running is not chosen:
+                result.context_switches += 1
+            running = chosen
+            chosen.remaining -= 1
+            if chosen.remaining == 0:
+                records[(chosen.task.name, chosen.index)].completion_tick = now + 1
+                active.remove(chosen)
+                running = None
+
+        result.jobs = [records[key] for key in sorted(records)]
+        return result
+
+
+def simulate_preemptive(
+    task_set: TaskSet, policy: SchedulingPolicy = SchedulingPolicy.RATE_MONOTONIC
+) -> BaselineResult:
+    """Convenience wrapper around :class:`PreemptiveScheduler`."""
+    return PreemptiveScheduler(task_set, policy).run()

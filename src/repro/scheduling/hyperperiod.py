@@ -1,0 +1,96 @@
+"""Hyper-period and tick-resolution computation.
+
+The first step of the paper's scheduler synthesis is to "calculate the
+hyper-period from the periods of all the threads according to the least
+common multiple principle".  Periods are given in milliseconds (possibly
+fractional); to keep the affine clock relations integral, a common tick
+resolution is computed (the greatest value that divides every period, offset,
+deadline and execution time) and everything is expressed in ticks of that
+resolution.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, List, Sequence
+
+from .task import Task, TaskSet
+
+
+def _to_fraction(value: float) -> Fraction:
+    return Fraction(value).limit_denominator(10**6)
+
+
+def tick_resolution_ms(task_set: "TaskSet | Sequence[Task]", include_wcet: bool = True) -> float:
+    """Largest tick (in ms) that measures every period/deadline/offset/WCET.
+
+    Falls back to 1 ms when the task set is empty.
+    """
+    tasks = list(task_set)
+    if not tasks:
+        return 1.0
+    values: List[Fraction] = []
+    for task in tasks:
+        values.append(_to_fraction(task.period_ms))
+        values.append(_to_fraction(task.deadline_ms))
+        if task.offset_ms:
+            values.append(_to_fraction(task.offset_ms))
+        if include_wcet and task.wcet_ms > 0:
+            values.append(_to_fraction(task.wcet_ms))
+        if task.input_time.offset_ms():
+            values.append(_to_fraction(task.input_time.offset_ms()))
+        if task.output_time.offset_ms():
+            values.append(_to_fraction(task.output_time.offset_ms()))
+    # gcd of fractions: gcd of numerators / lcm of denominators
+    numerators = [v.numerator for v in values if v != 0]
+    denominators = [v.denominator for v in values if v != 0]
+    if not numerators:
+        return 1.0
+    num_gcd = numerators[0]
+    for n in numerators[1:]:
+        num_gcd = gcd(num_gcd, n)
+    den_lcm = 1
+    for d in denominators:
+        den_lcm = den_lcm * d // gcd(den_lcm, d)
+    return float(Fraction(num_gcd, den_lcm))
+
+
+def hyperperiod_ms(task_set: "TaskSet | Sequence[Task]") -> float:
+    """Hyper-period (LCM of the task periods) in milliseconds."""
+    tasks = list(task_set)
+    if not tasks:
+        return 0.0
+    fractions = [_to_fraction(task.period_ms) for task in tasks]
+    # lcm of fractions: lcm of numerators / gcd of denominators
+    num_lcm = fractions[0].numerator
+    for f in fractions[1:]:
+        num_lcm = num_lcm * f.numerator // gcd(num_lcm, f.numerator)
+    den_gcd = fractions[0].denominator
+    for f in fractions[1:]:
+        den_gcd = gcd(den_gcd, f.denominator)
+    return float(Fraction(num_lcm, den_gcd))
+
+
+def hyperperiod_ticks(task_set: "TaskSet | Sequence[Task]", tick_ms: float = None) -> int:
+    """Hyper-period expressed in ticks of the (possibly supplied) resolution."""
+    tasks = list(task_set)
+    if not tasks:
+        return 0
+    if tick_ms is None:
+        tick_ms = tick_resolution_ms(tasks)
+    hyper = hyperperiod_ms(tasks)
+    ticks = _to_fraction(hyper) / _to_fraction(tick_ms)
+    if ticks.denominator != 1:
+        raise ValueError(
+            f"hyper-period {hyper} ms is not an integral number of ticks of {tick_ms} ms"
+        )
+    return int(ticks)
+
+
+def to_ticks(value_ms: float, tick_ms: float) -> int:
+    """Convert a duration in ms to an integral number of ticks (rounding up)."""
+    ratio = _to_fraction(value_ms) / _to_fraction(tick_ms)
+    if ratio.denominator == 1:
+        return int(ratio)
+    return int(ratio) + 1

@@ -1,0 +1,127 @@
+"""Polychronous (SIGNAL) model of computation.
+
+This subpackage is the from-scratch substitute for the Polychrony/SIGNAL
+toolset used by the paper: the signal value domain, the expression and process
+models, the clock calculus, the affine clock calculus, static analyses
+(determinism, deadlock), a reference simulator, a VCD trace writer, the
+AADL2SIGNAL process library and the profiling-based performance estimation.
+"""
+
+from .values import (
+    ABSENT,
+    BOOLEAN,
+    EVENT,
+    INTEGER,
+    REAL,
+    STRING,
+    Flow,
+    SignalKind,
+    SignalType,
+    bundle,
+    is_absent,
+    is_present,
+    opaque,
+    stutter_free,
+)
+from .expressions import (
+    Cell,
+    ClockDifference,
+    ClockIntersection,
+    ClockOf,
+    ClockUnion,
+    Const,
+    Default,
+    Delay,
+    Expression,
+    FunctionApp,
+    SignalRef,
+    Var,
+    When,
+    WhenClock,
+    register_stepwise_operation,
+)
+from .process import (
+    Bundle,
+    ClockConstraint,
+    ConstraintKind,
+    Direction,
+    Equation,
+    ProcessInstance,
+    ProcessModel,
+    SignalDecl,
+)
+from .clocks import Clock, ClockAtom, false_clock, signal_clock, true_clock
+from .clock_calculus import (
+    ClockCalculus,
+    ClockCalculusError,
+    ClockCalculusResult,
+    run_clock_calculus,
+)
+from .affine import (
+    AffineClock,
+    AffineRelation,
+    first_conflict,
+    hyperperiod_of,
+    lcm,
+    lcm_many,
+    mutually_disjoint,
+    relation_between,
+    solve_congruences,
+)
+from .simulator import (
+    ClockViolation,
+    InstantaneousCycle,
+    NonDeterministicDefinition,
+    Scenario,
+    SimulationError,
+    SimulationTrace,
+    Simulator,
+    simulate,
+)
+from .printer import SignalPrinter, interface_summary, module_source, to_signal_source
+from .vcd import VcdDocument, VcdWriter, parse_vcd, write_vcd
+from .profiling import (
+    EMBEDDED_CPU,
+    GENERIC_PROCESSOR,
+    MICROCONTROLLER,
+    CostModel,
+    DynamicProfile,
+    Profiler,
+    StaticProfile,
+    compare_architectures,
+)
+from .scheduler_graph import DependencyGraph, build_dependency_graph
+from . import analysis, builder, library
+
+__all__ = [
+    # values
+    "ABSENT", "BOOLEAN", "EVENT", "INTEGER", "REAL", "STRING", "Flow",
+    "SignalKind", "SignalType", "bundle", "is_absent", "is_present", "opaque",
+    "stutter_free",
+    # expressions
+    "Cell", "ClockDifference", "ClockIntersection", "ClockOf", "ClockUnion",
+    "Const", "Default", "Delay", "Expression", "FunctionApp", "SignalRef",
+    "Var", "When", "WhenClock", "register_stepwise_operation",
+    # process
+    "Bundle", "ClockConstraint", "ConstraintKind", "Direction", "Equation",
+    "ProcessInstance", "ProcessModel", "SignalDecl",
+    # clocks
+    "Clock", "ClockAtom", "false_clock", "signal_clock", "true_clock",
+    "ClockCalculus", "ClockCalculusError", "ClockCalculusResult", "run_clock_calculus",
+    # affine
+    "AffineClock", "AffineRelation", "first_conflict", "hyperperiod_of",
+    "lcm", "lcm_many", "mutually_disjoint", "relation_between", "solve_congruences",
+    # simulation
+    "ClockViolation", "InstantaneousCycle", "NonDeterministicDefinition",
+    "Scenario", "SimulationError", "SimulationTrace", "Simulator", "simulate",
+    # printing / traces
+    "SignalPrinter", "interface_summary", "module_source", "to_signal_source",
+    "VcdDocument", "VcdWriter", "parse_vcd", "write_vcd",
+    # profiling
+    "EMBEDDED_CPU", "GENERIC_PROCESSOR", "MICROCONTROLLER", "CostModel",
+    "DynamicProfile", "Profiler", "StaticProfile", "compare_architectures",
+    # graph
+    "DependencyGraph", "build_dependency_graph",
+    # submodules
+    "analysis", "builder", "library",
+]

@@ -1,0 +1,300 @@
+"""Affine clock calculus.
+
+The paper (Section IV-D) schedules AADL threads by relating the clocks of
+their discrete events (dispatch, input-frozen, start, complete, output-send,
+deadline) to a single reference tick clock through *affine sampling
+relations*:
+
+    ``y = { d·t + φ | t ∈ x }``
+
+meaning that ``y`` ticks at the instants of ``x`` whose index is ``φ``,
+``φ + d``, ``φ + 2d``, …  ``d`` is the (strictly positive) period and ``φ``
+the (non-negative) phase, both counted in instants of the reference clock.
+
+The affine clock calculus (Smarandache, Gautier, Le Guernic — FM'99) gives a
+decidable set of rules to compare such clocks: equality, inclusion,
+disjointness and the existence of a common super-sampling.  These rules are
+what the scheduler synthesis uses to prove the synchronisation constraints of
+a static schedule, and what the synchronizability analysis between
+multi-periodic threads relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor (non-negative)."""
+    return math.gcd(a, b)
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple; ``lcm(0, x) = 0`` by convention."""
+    if a == 0 or b == 0:
+        return 0
+    return abs(a * b) // math.gcd(a, b)
+
+
+def lcm_many(values: Iterable[int]) -> int:
+    """Least common multiple of a collection (1 for an empty collection)."""
+    out = 1
+    for v in values:
+        out = lcm(out, v)
+    return out
+
+
+def extended_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Return ``(g, x, y)`` with ``a·x + b·y = g = gcd(a, b)``."""
+    if b == 0:
+        return a, 1, 0
+    g, x, y = extended_gcd(b, a % b)
+    return g, y, x - (a // b) * y
+
+
+def solve_congruences(r1: int, m1: int, r2: int, m2: int) -> Optional[Tuple[int, int]]:
+    """Solve ``x ≡ r1 (mod m1)`` and ``x ≡ r2 (mod m2)``.
+
+    Returns ``(r, m)`` describing the solution set ``x ≡ r (mod m)`` with
+    ``m = lcm(m1, m2)``, or ``None`` when the system has no solution.
+    """
+    g, p, _q = extended_gcd(m1, m2)
+    if (r2 - r1) % g != 0:
+        return None
+    l = lcm(m1, m2)
+    diff = (r2 - r1) // g
+    r = (r1 + m1 * diff * p) % l
+    return r, l
+
+
+@dataclass(frozen=True)
+class AffineClock:
+    """An affine sampling ``{ period·t + phase | t ∈ reference }`` of a reference clock.
+
+    ``reference`` is a symbolic name (for the scheduler it is the base tick
+    clock of the hyper-period); ``period`` must be strictly positive,
+    ``phase`` non-negative and conventionally smaller than ``period`` although
+    larger phases (initial offsets) are accepted.
+    """
+
+    reference: str
+    period: int
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"affine clock period must be positive, got {self.period}")
+        if self.phase < 0:
+            raise ValueError(f"affine clock phase must be non-negative, got {self.phase}")
+
+    # -- enumeration ------------------------------------------------------
+    def instants(self, horizon: int) -> List[int]:
+        """Reference-clock indices of the ticks strictly below *horizon*."""
+        return list(range(self.phase, horizon, self.period))
+
+    def contains(self, tick: int) -> bool:
+        """True when the reference instant *tick* is a tick of this clock."""
+        return tick >= self.phase and (tick - self.phase) % self.period == 0
+
+    def tick_index(self, tick: int) -> Optional[int]:
+        """Index of *tick* on this clock (0 for the first tick) or ``None``."""
+        if not self.contains(tick):
+            return None
+        return (tick - self.phase) // self.period
+
+    def nth_tick(self, n: int) -> int:
+        """Reference index of the n-th tick (n ≥ 0)."""
+        if n < 0:
+            raise ValueError("tick index must be non-negative")
+        return self.phase + n * self.period
+
+    # -- algebraic relations ------------------------------------------------
+    def _check_same_reference(self, other: "AffineClock") -> None:
+        if self.reference != other.reference:
+            raise ValueError(
+                f"affine clocks on different references: {self.reference!r} vs {other.reference!r}"
+            )
+
+    def equals(self, other: "AffineClock") -> bool:
+        """Exact equality of the tick sets (same reference, period and phase)."""
+        self._check_same_reference(other)
+        return self.period == other.period and self.phase == other.phase
+
+    def is_subclock_of(self, other: "AffineClock") -> bool:
+        """True when every tick of ``self`` is a tick of ``other``.
+
+        ``{d1·t + φ1} ⊆ {d2·t + φ2}`` iff ``d2 | d1`` and ``φ1 ≡ φ2 (mod d2)``
+        with ``φ1 ≥ φ2``.
+        """
+        self._check_same_reference(other)
+        return (
+            self.period % other.period == 0
+            and self.phase >= other.phase
+            and (self.phase - other.phase) % other.period == 0
+        )
+
+    def intersection(self, other: "AffineClock") -> Optional["AffineClock"]:
+        """The affine clock of common ticks, or ``None`` when disjoint."""
+        self._check_same_reference(other)
+        solution = solve_congruences(self.phase, self.period, other.phase, other.period)
+        if solution is None:
+            return None
+        r, m = solution
+        start = max(self.phase, other.phase)
+        if r < start:
+            r += ((start - r) + m - 1) // m * m
+        return AffineClock(self.reference, m, r)
+
+    def disjoint_with(self, other: "AffineClock") -> bool:
+        """True when the two clocks never tick at the same reference instant.
+
+        Clocks with phases below ``max(phase)`` may still intersect later, so
+        the test accounts for the common start.
+        """
+        return self.intersection(other) is None
+
+    def union_hyperperiod(self, other: "AffineClock") -> int:
+        """Length (in reference ticks) after which the joint pattern repeats."""
+        self._check_same_reference(other)
+        return lcm(self.period, other.period)
+
+    def relative_relation(self, other: "AffineClock") -> Tuple[int, int, int]:
+        """The affine relation ``(n, φ, d)`` between *self* and *other*.
+
+        Both clocks being affine samplings of the same reference, *self* and
+        *other* are in relation ``(n, φ, d)``: positioning the ticks of *self*
+        at multiples of ``n`` and the ticks of *other* at ``φ + k·d`` on a
+        common super-clock of step ``gcd(period_self, period_other)``.
+        """
+        self._check_same_reference(other)
+        g = gcd(self.period, other.period)
+        n = self.period // g
+        d = other.period // g
+        phi_ref = other.phase - self.phase
+        # Express the phase offset in steps of the common super-clock.
+        if phi_ref % g == 0:
+            phi = phi_ref // g
+        else:
+            # Not commensurable at step g: keep the raw offset with a negative
+            # marker period so callers can detect the irregular case.
+            phi = phi_ref
+        return n, phi, d
+
+    def synchronisable_with(self, other: "AffineClock") -> bool:
+        """Synchronisability in the sense of the affine clock calculus.
+
+        Two affine samplings of a common reference are synchronisable (their
+        synchronisation constraint ``self ^= other`` admits a solution by
+        re-phasing on a common super-sample) iff they have the same period.
+        They are *synchronous* as-is iff they also share the same phase.
+        """
+        self._check_same_reference(other)
+        return self.period == other.period
+
+    def compose(self, inner: "AffineClock") -> "AffineClock":
+        """Affine sampling of an affine clock.
+
+        If ``self`` samples clock ``c`` and ``inner`` samples the reference
+        with ``c = inner``, the composition samples the reference directly:
+        ``(d1, φ1) ∘ (d2, φ2) = (d1·d2, φ2 + φ1·d2)``.
+        """
+        if self.reference != "__inner__" and self.reference != inner_name(inner):
+            # The composition is positional: `self` is interpreted over the
+            # ticks of `inner` regardless of its symbolic reference name.
+            pass
+        return AffineClock(inner.reference, self.period * inner.period, inner.phase + self.phase * inner.period)
+
+    def __str__(self) -> str:
+        return f"{{{self.period}*t + {self.phase} | t in {self.reference}}}"
+
+
+def inner_name(clock: AffineClock) -> str:
+    """Symbolic name used when an affine clock itself serves as a reference."""
+    return f"{clock.reference}[{clock.period},{clock.phase}]"
+
+
+@dataclass(frozen=True)
+class AffineRelation:
+    """An affine relation ``(n, φ, d)`` between two named clocks.
+
+    ``source`` and ``target`` are clock names; the relation states that there
+    exists a common reference on which ``source`` ticks every ``n`` instants
+    (phase 0) and ``target`` every ``d`` instants with phase ``φ``.
+    """
+
+    source: str
+    target: str
+    n: int
+    phase: int
+    d: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.d <= 0:
+            raise ValueError("affine relation periods must be strictly positive")
+
+    def inverse(self) -> "AffineRelation":
+        """The relation read from *target* to *source* (phase sign flipped)."""
+        return AffineRelation(self.target, self.source, self.d, -self.phase, self.n)
+
+    def compose(self, other: "AffineRelation") -> Optional["AffineRelation"]:
+        """Compose ``self: a→b`` with ``other: b→c`` into ``a→c`` when possible.
+
+        Composition is exact when the intermediate clock is sampled with
+        commensurable steps; otherwise ``None`` is returned (the calculus then
+        falls back to enumeration over the hyper-period).
+        """
+        if self.target != other.source:
+            raise ValueError("relations are not composable: intermediate clocks differ")
+        # Normalise both relations on a common reference of step gcd.
+        g = gcd(self.d, other.n)
+        scale_self = other.n // g
+        scale_other = self.d // g
+        return AffineRelation(
+            self.source,
+            other.target,
+            self.n * scale_self,
+            self.phase * scale_self + other.phase * scale_other,
+            other.d * scale_other,
+        )
+
+    def is_identity(self) -> bool:
+        return self.n == self.d and self.phase == 0
+
+    def __str__(self) -> str:
+        return f"{self.source} --({self.n}, {self.phase}, {self.d})--> {self.target}"
+
+
+def relation_between(a: AffineClock, b: AffineClock) -> AffineRelation:
+    """Build the :class:`AffineRelation` between two samplings of one reference."""
+    n, phi, d = a.relative_relation(b)
+    return AffineRelation(source=f"clk_{a.period}_{a.phase}", target=f"clk_{b.period}_{b.phase}", n=n, phase=phi, d=d)
+
+
+def mutually_disjoint(clocks: Sequence[AffineClock]) -> bool:
+    """True when no two clocks of the collection ever tick simultaneously."""
+    for i, a in enumerate(clocks):
+        for b in clocks[i + 1:]:
+            if not a.disjoint_with(b):
+                return False
+    return True
+
+
+def first_conflict(clocks: Sequence[Tuple[str, AffineClock]]) -> Optional[Tuple[str, str, int]]:
+    """Return the first pair of named clocks that share a tick, with the tick.
+
+    Used by the scheduler to report which two events collide when a candidate
+    static schedule violates mutual exclusion on the processor.
+    """
+    for i, (name_a, a) in enumerate(clocks):
+        for name_b, b in clocks[i + 1:]:
+            inter = a.intersection(b)
+            if inter is not None:
+                return name_a, name_b, inter.phase
+    return None
+
+
+def hyperperiod_of(clocks: Sequence[AffineClock]) -> int:
+    """Hyper-period (in reference ticks) of a set of affine clocks."""
+    return lcm_many([c.period for c in clocks]) if clocks else 1

@@ -1,0 +1,27 @@
+"""Static analyses over polychronous processes.
+
+The paper lists the analyses enabled by the polychronous semantics
+(Section I): determinism identification, deadlock detection, clock-relation
+analysis and synchronizability checks.  Each analysis lives in its own module:
+
+* :mod:`repro.sig.analysis.determinism` — non-determinism identification
+  (overlapping partial definitions, unguarded concurrent writes);
+* :mod:`repro.sig.analysis.deadlock` — instantaneous-cycle (deadlock)
+  detection on the conditional dependency graph;
+* :mod:`repro.sig.analysis.clocks_report` — clock hierarchy and
+  synchronisation report built on top of the clock calculus.
+"""
+
+from .determinism import DeterminismIssue, DeterminismReport, check_determinism
+from .deadlock import DeadlockReport, detect_deadlocks
+from .clocks_report import ClockReport, build_clock_report
+
+__all__ = [
+    "DeterminismIssue",
+    "DeterminismReport",
+    "check_determinism",
+    "DeadlockReport",
+    "detect_deadlocks",
+    "ClockReport",
+    "build_clock_report",
+]

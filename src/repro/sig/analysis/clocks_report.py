@@ -1,0 +1,73 @@
+"""Clock hierarchy and synchronisation reporting.
+
+This module packages the raw result of the clock calculus into the kind of
+report Polychrony presents after compilation: the number of clocks, the
+hierarchy (which clock is a down-sampling of which), whether the process is
+endochronous (has a fastest/master simulation clock — "Polychrony
+automatically synthesizes the fastest simulation clock", Section III), and
+which synchronisation constraints remain unproven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..clock_calculus import ClockCalculusResult, run_clock_calculus
+from ..process import ProcessModel
+
+
+@dataclass
+class ClockReport:
+    """Digest of a clock-calculus run."""
+
+    process_name: str
+    clock_count: int
+    signal_count: int
+    roots: List[str]
+    endochronous: bool
+    master_clock: Optional[str]
+    null_clock_signals: List[str]
+    unresolved_constraints: List[str]
+    hierarchy_depth: int
+    classes: List[Tuple[str, Tuple[str, ...]]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [
+            f"Clock report for {self.process_name}",
+            f"  signals                : {self.signal_count}",
+            f"  synchronisation classes: {self.clock_count}",
+            f"  hierarchy roots        : {', '.join(self.roots) or '(none)'}",
+            f"  master clock           : {self.master_clock or '(multiple roots)'}",
+            f"  endochronous           : {'yes' if self.endochronous else 'no'}",
+            f"  hierarchy depth        : {self.hierarchy_depth}",
+        ]
+        if self.null_clock_signals:
+            lines.append(f"  null clocks            : {', '.join(self.null_clock_signals)}")
+        if self.unresolved_constraints:
+            lines.append("  unresolved constraints :")
+            lines.extend(f"    - {c}" for c in self.unresolved_constraints)
+        return "\n".join(lines)
+
+
+def build_clock_report(
+    process: ProcessModel,
+    result: Optional[ClockCalculusResult] = None,
+) -> ClockReport:
+    """Run the clock calculus (unless a result is supplied) and digest it."""
+    flat = process.flatten() if (process.instances or process.submodels) else process
+    if result is None:
+        result = run_clock_calculus(flat, flatten=False)
+    depth = max((node.depth for node in result.hierarchy), default=0)
+    return ClockReport(
+        process_name=result.process_name,
+        clock_count=result.clock_count(),
+        signal_count=flat.signal_count(),
+        roots=list(result.roots),
+        endochronous=result.endochronous,
+        master_clock=result.master_clock(),
+        null_clock_signals=list(result.null_clock_signals),
+        unresolved_constraints=list(result.unresolved_constraints),
+        hierarchy_depth=depth,
+        classes=[(cls.representative, tuple(sorted(cls.members))) for cls in result.classes],
+    )

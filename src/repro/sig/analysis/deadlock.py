@@ -1,0 +1,53 @@
+"""Deadlock (instantaneous causality cycle) detection.
+
+A polychronous program deadlocks when, at some instant, a set of signals each
+need another member of the set *at the same instant* to compute their value —
+an instantaneous dependency cycle.  Delays break such cycles (their value only
+depends on past instants), so a program is deadlock-free when the conditional
+dependency graph restricted to same-instant value dependencies is acyclic.
+
+The static analysis reported here is the conservative graph-based check used
+by Polychrony's compilation; cycles whose guards are actually exclusive are
+reported as *potential* deadlocks, mirroring the tool's behaviour of asking
+the designer to refine the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..process import ProcessModel
+from ..scheduler_graph import DependencyGraph, build_dependency_graph
+
+
+@dataclass
+class DeadlockReport:
+    """Outcome of the deadlock analysis on one process."""
+
+    process_name: str
+    cycles: List[List[str]] = field(default_factory=list)
+    graph: DependencyGraph = None
+
+    @property
+    def deadlock_free(self) -> bool:
+        return not self.cycles
+
+    def summary(self) -> str:
+        status = "deadlock-free" if self.deadlock_free else "POTENTIAL DEADLOCK"
+        lines = [f"Deadlock report for {self.process_name}: {status}"]
+        for cycle in self.cycles:
+            lines.append("  - cycle: " + " -> ".join(cycle + cycle[:1]))
+        return "\n".join(lines)
+
+
+def detect_deadlocks(process: ProcessModel, include_clock_edges: bool = False) -> DeadlockReport:
+    """Detect instantaneous dependency cycles in *process*.
+
+    ``include_clock_edges`` additionally treats presence-only dependencies as
+    blocking, which is stricter than necessary but can be useful to understand
+    why the clock calculus could not order the computations.
+    """
+    graph = build_dependency_graph(process, include_clock_edges=include_clock_edges)
+    cycles = graph.cycles()
+    return DeadlockReport(process_name=graph.process_name, cycles=cycles, graph=graph)

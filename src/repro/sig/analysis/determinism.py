@@ -1,0 +1,131 @@
+"""Determinism identification.
+
+A polychronous specification is *deterministic* when every signal has, at
+every instant, at most one defined value.  Non-determinism creeps in through:
+
+* several **full definitions** of the same signal (always an error);
+* several **partial definitions** (``::=``) whose clocks are not provably
+  pairwise disjoint — this is exactly the situation of the paper's case
+  study: "without correct priority properties specified on the transitions,
+  the automaton [of thProducer] is found to be non-deterministic";
+* shared variables written by several components at potentially overlapping
+  access clocks.
+
+The check is performed syntactically with the clock algebra of
+:mod:`repro.sig.clocks`: two partial definitions are accepted when their
+clocks normalise to provably disjoint clock expressions (for instance
+``x when b`` and ``y when not b``), and reported otherwise.  The analysis is
+therefore conservative (sound for rejection): every reported issue is a
+definition pair the clock calculus could not separate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..clock_calculus import ClockCalculus
+from ..clocks import Clock
+from ..process import Equation, ProcessModel
+
+
+@dataclass
+class DeterminismIssue:
+    """One potential source of non-determinism."""
+
+    signal: str
+    kind: str  # "multiple-full-definitions" | "overlapping-partial-definitions"
+    definitions: Tuple[str, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.signal}: {self.detail}"
+
+
+@dataclass
+class DeterminismReport:
+    """Outcome of the determinism identification on one process."""
+
+    process_name: str
+    issues: List[DeterminismIssue] = field(default_factory=list)
+    checked_signals: int = 0
+
+    @property
+    def deterministic(self) -> bool:
+        return not self.issues
+
+    def issues_for(self, signal: str) -> List[DeterminismIssue]:
+        return [issue for issue in self.issues if issue.signal == signal]
+
+    def summary(self) -> str:
+        status = "deterministic" if self.deterministic else "NON-DETERMINISTIC"
+        lines = [f"Determinism report for {self.process_name}: {status} "
+                 f"({self.checked_signals} defined signals checked)"]
+        for issue in self.issues:
+            lines.append(f"  - {issue}")
+        return "\n".join(lines)
+
+
+def _definition_clock(calculus: ClockCalculus, equation: Equation) -> Optional[Clock]:
+    return calculus.expression_clock(equation.expr)
+
+
+def check_determinism(process: ProcessModel) -> DeterminismReport:
+    """Identify potential non-determinism in *process* (flattened first)."""
+    if process.instances or process.submodels:
+        process = process.flatten()
+    calculus = ClockCalculus(process)
+    report = DeterminismReport(process_name=process.name)
+
+    by_target = {}
+    for eq in process.equations:
+        by_target.setdefault(eq.target, []).append(eq)
+    report.checked_signals = len(by_target)
+
+    for target, equations in sorted(by_target.items()):
+        full = [eq for eq in equations if not eq.partial]
+        partial = [eq for eq in equations if eq.partial]
+
+        if len(full) > 1:
+            report.issues.append(
+                DeterminismIssue(
+                    signal=target,
+                    kind="multiple-full-definitions",
+                    definitions=tuple(str(eq) for eq in full),
+                    detail=f"{len(full)} full definitions of the same signal",
+                )
+            )
+        if full and partial:
+            report.issues.append(
+                DeterminismIssue(
+                    signal=target,
+                    kind="mixed-full-and-partial-definitions",
+                    definitions=tuple(str(eq) for eq in equations),
+                    detail="signal has both a full definition and partial definitions",
+                )
+            )
+
+        # Pairwise disjointness of partial definitions.
+        for i, eq_a in enumerate(partial):
+            clock_a = _definition_clock(calculus, eq_a)
+            for eq_b in partial[i + 1:]:
+                clock_b = _definition_clock(calculus, eq_b)
+                if clock_a is None or clock_b is None:
+                    disjoint = False
+                else:
+                    disjoint = clock_a.disjoint_with(clock_b)
+                if not disjoint:
+                    label_a = eq_a.label or str(eq_a.expr)
+                    label_b = eq_b.label or str(eq_b.expr)
+                    report.issues.append(
+                        DeterminismIssue(
+                            signal=target,
+                            kind="overlapping-partial-definitions",
+                            definitions=(str(eq_a), str(eq_b)),
+                            detail=(
+                                f"partial definitions '{label_a}' and '{label_b}' have clocks "
+                                f"{clock_a} and {clock_b} that are not provably disjoint"
+                            ),
+                        )
+                    )
+    return report

@@ -1,0 +1,135 @@
+"""A small Python DSL for assembling SIGNAL expressions and processes.
+
+The translator and the tests build many expressions; these helpers keep that
+construction readable::
+
+    from repro.sig import builder as b
+
+    model = ProcessModel("counter")
+    model.input("tick")
+    model.output("count", INTEGER)
+    model.local("zcount", INTEGER)
+    model.define("zcount", b.delay(b.ref("count"), init=0))
+    model.define("count", b.when(b.ref("zcount") + 1, b.clock("tick")))
+    model.synchronise("count", "tick")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from .expressions import (
+    Cell,
+    ClockDifference,
+    ClockIntersection,
+    ClockOf,
+    ClockUnion,
+    Const,
+    Default,
+    Delay,
+    Expression,
+    FunctionApp,
+    SignalRef,
+    Var,
+    When,
+    WhenClock,
+    lift,
+)
+
+
+def ref(name: str) -> SignalRef:
+    """Reference to a signal."""
+    return SignalRef(name)
+
+
+def var(name: str) -> Var:
+    """Reference to a shared variable."""
+    return Var(name)
+
+
+def const(value: Any) -> Const:
+    """A constant expression."""
+    return Const(value)
+
+
+def func(op: str, *args: Any) -> FunctionApp:
+    """Stepwise application ``op(args…)``."""
+    return FunctionApp(op, tuple(lift(a) for a in args))
+
+
+def delay(operand: Any, init: Any = None, depth: int = 1) -> Delay:
+    """``operand $ depth init init``."""
+    return Delay(lift(operand), init=init, depth=depth)
+
+
+def when(operand: Any, condition: Any) -> When:
+    """``operand when condition``."""
+    return When(lift(operand), lift(condition))
+
+
+def when_clock(condition: Any) -> WhenClock:
+    """``when condition`` — the event clock of the true instants of *condition*."""
+    return WhenClock(lift(condition))
+
+
+def default(left: Any, right: Any) -> Default:
+    """``left default right``."""
+    return Default(lift(left), lift(right))
+
+
+def merge(*operands: Any) -> Expression:
+    """Right-associated chain of ``default`` merges."""
+    if not operands:
+        raise ValueError("merge needs at least one operand")
+    expr = lift(operands[-1])
+    for operand in reversed(operands[:-1]):
+        expr = Default(lift(operand), expr)
+    return expr
+
+
+def cell(operand: Any, condition: Any, init: Any = None) -> Cell:
+    """``operand cell condition init init`` — the memory operator."""
+    return Cell(lift(operand), lift(condition), init=init)
+
+
+def clock(operand: Any) -> ClockOf:
+    """``^operand`` — the clock of a signal as an event."""
+    if isinstance(operand, str):
+        operand = SignalRef(operand)
+    return ClockOf(lift(operand))
+
+
+def clock_union(*operands: Any) -> Expression:
+    """``a ^+ b ^+ …`` — union of clocks."""
+    if not operands:
+        raise ValueError("clock_union needs at least one operand")
+    exprs = [SignalRef(o) if isinstance(o, str) else lift(o) for o in operands]
+    out = exprs[0]
+    for expr in exprs[1:]:
+        out = ClockUnion(out, expr)
+    return out
+
+
+def clock_intersection(left: Any, right: Any) -> ClockIntersection:
+    """``a ^* b`` — intersection of clocks."""
+    left = SignalRef(left) if isinstance(left, str) else lift(left)
+    right = SignalRef(right) if isinstance(right, str) else lift(right)
+    return ClockIntersection(left, right)
+
+
+def clock_difference(left: Any, right: Any) -> ClockDifference:
+    """``a ^- b`` — instants of ``a`` without those of ``b``."""
+    left = SignalRef(left) if isinstance(left, str) else lift(left)
+    right = SignalRef(right) if isinstance(right, str) else lift(right)
+    return ClockDifference(left, right)
+
+
+def counter(increment_clock: Any, init: int = 0) -> Sequence[Expression]:
+    """Expressions for a counter incremented at *increment_clock*.
+
+    Returns ``(zcount_expr, count_expr)`` to be bound to two signals by the
+    caller (plus a ``count ^= clock`` constraint).
+    """
+    zcount = delay(ref("count"), init=init)
+    count = when(func("+", ref("zcount"), const(1)), increment_clock)
+    return zcount, count

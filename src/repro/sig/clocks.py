@@ -1,0 +1,238 @@
+"""Symbolic clock expressions and the clock algebra.
+
+The clock of a signal is the set of logical instants at which it is present.
+The clock calculus manipulates clocks symbolically: clocks of signals are
+variables, sampling conditions introduce the *true* and *false* sub-clocks
+``[b]`` and ``[¬b]`` of a boolean signal ``b``, and clocks are combined with
+union, intersection and difference.
+
+The representation chosen here is a normalised union of products of atoms
+(a small, BDD-free boolean algebra), which is sufficient for the analyses in
+the paper: building the clock hierarchy, checking synchronisation constraints,
+identifying non-determinism (overlapping partial definitions) and detecting
+null clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class ClockAtom:
+    """An atomic clock.
+
+    ``kind`` is one of:
+
+    * ``"sig"``   — the clock of signal *name*;
+    * ``"true"``  — the instants of boolean signal *name* carrying ``true``;
+    * ``"false"`` — the instants of boolean signal *name* carrying ``false``.
+    """
+
+    kind: str
+    name: str
+
+    def __str__(self) -> str:
+        if self.kind == "sig":
+            return f"^{self.name}"
+        if self.kind == "true":
+            return f"[{self.name}]"
+        return f"[not {self.name}]"
+
+    def complement_in(self) -> Optional["ClockAtom"]:
+        """For condition atoms, the complementary sub-clock of the same signal."""
+        if self.kind == "true":
+            return ClockAtom("false", self.name)
+        if self.kind == "false":
+            return ClockAtom("true", self.name)
+        return None
+
+    @property
+    def base_signal(self) -> str:
+        return self.name
+
+
+def signal_clock(name: str) -> "Clock":
+    """The clock ``^name`` of a signal."""
+    return Clock.from_product((ClockAtom("sig", name),))
+
+
+def true_clock(name: str) -> "Clock":
+    """The sub-clock ``[name]`` of the instants where boolean *name* is true."""
+    return Clock.from_product((ClockAtom("sig", name), ClockAtom("true", name)))
+
+
+def false_clock(name: str) -> "Clock":
+    """The sub-clock ``[not name]`` of the instants where *name* is false."""
+    return Clock.from_product((ClockAtom("sig", name), ClockAtom("false", name)))
+
+
+Product = FrozenSet[ClockAtom]
+
+
+def _product_is_contradictory(product: Product) -> bool:
+    """A product containing both ``[b]`` and ``[not b]`` denotes the null clock."""
+    names_true = {a.name for a in product if a.kind == "true"}
+    names_false = {a.name for a in product if a.kind == "false"}
+    return bool(names_true & names_false)
+
+
+def _normalise_products(products: Iterable[Product]) -> Tuple[Product, ...]:
+    """Drop contradictory and absorbed products and return a canonical tuple."""
+    cleaned = [p for p in set(products) if not _product_is_contradictory(p)]
+    # Absorption: a product P is redundant if some other product Q ⊆ P exists
+    # (Q denotes a larger clock, so P ∪ Q = Q... careful: more atoms = more
+    # constraints = *smaller* clock, hence P with Q ⊆ P is contained in Q).
+    kept = []
+    for p in cleaned:
+        if any(q < p for q in cleaned):
+            continue
+        kept.append(p)
+    return tuple(sorted(kept, key=lambda pr: sorted((a.kind, a.name) for a in pr)))
+
+
+@dataclass(frozen=True)
+class Clock:
+    """A clock expression in union-of-products normal form.
+
+    The empty union is the **null clock** (never present).  There is also a
+    distinguished symbolic **unknown** used for signals whose clock could not
+    be computed (free clocks of input signals are represented by their own
+    ``sig`` atom instead).
+    """
+
+    products: Tuple[Product, ...]
+
+    # -- constructors -------------------------------------------------
+    @staticmethod
+    def null() -> "Clock":
+        return Clock(products=())
+
+    @staticmethod
+    def from_product(atoms: Iterable[ClockAtom]) -> "Clock":
+        return Clock(products=_normalise_products([frozenset(atoms)]))
+
+    @staticmethod
+    def of_signal(name: str) -> "Clock":
+        return signal_clock(name)
+
+    # -- predicates ---------------------------------------------------
+    @property
+    def is_null(self) -> bool:
+        return not self.products
+
+    def atoms(self) -> FrozenSet[ClockAtom]:
+        out: set = set()
+        for product in self.products:
+            out.update(product)
+        return frozenset(out)
+
+    def base_signals(self) -> FrozenSet[str]:
+        """All signal names mentioned by this clock."""
+        return frozenset(a.name for a in self.atoms())
+
+    # -- algebra ------------------------------------------------------
+    def union(self, other: "Clock") -> "Clock":
+        return Clock(products=_normalise_products(self.products + other.products))
+
+    def intersection(self, other: "Clock") -> "Clock":
+        if self.is_null or other.is_null:
+            return Clock.null()
+        products = []
+        for p in self.products:
+            for q in other.products:
+                products.append(p | q)
+        return Clock(products=_normalise_products(products))
+
+    def difference(self, other: "Clock") -> "Clock":
+        """Syntactic difference.
+
+        Exact difference is not expressible in the union-of-products form
+        without negation of signal-clock atoms; the clock calculus only needs
+        the cases where *other* is built from condition atoms over the same
+        boolean signals (``c ^- (c when b) = c when not b``).  For other cases
+        a conservative result (``self``) is returned and the caller records a
+        residual constraint.
+        """
+        if other.is_null:
+            return self
+        if self.is_null:
+            return Clock.null()
+        result_products = list(self.products)
+        changed = []
+        for p in result_products:
+            complements = []
+            for q in other.products:
+                extra = q - p
+                condition_atoms = [a for a in extra if a.kind in ("true", "false")]
+                signal_atoms = [a for a in extra if a.kind == "sig"]
+                # The subtracted product must differ only by one boolean
+                # condition (plus, possibly, the redundant ^b atom of that
+                # same boolean) for the complement to be expressible.
+                if (
+                    len(condition_atoms) == 1
+                    and all(a.name == condition_atoms[0].name for a in signal_atoms)
+                ):
+                    atom = condition_atoms[0]
+                    comp = atom.complement_in()
+                    if comp is not None:
+                        complements.append(comp)
+                        complements.append(ClockAtom("sig", atom.name))
+                        continue
+                complements = None
+                break
+            if complements is None:
+                changed.append(p)
+            else:
+                changed.append(p | frozenset(complements))
+        return Clock(products=_normalise_products(changed))
+
+    # -- ordering -----------------------------------------------------
+    def included_in(self, other: "Clock") -> bool:
+        """Syntactic inclusion test: every product of *self* refines one of *other*."""
+        if self.is_null:
+            return True
+        if other.is_null:
+            return False
+        return all(any(q <= p for q in other.products) for p in self.products)
+
+    def equivalent_to(self, other: "Clock") -> bool:
+        return self.included_in(other) and other.included_in(self)
+
+    def disjoint_with(self, other: "Clock") -> bool:
+        """Syntactic disjointness: the intersection normalises to the null clock."""
+        return self.intersection(other).is_null
+
+    # -- substitution ---------------------------------------------------
+    def substitute_signal(self, name: str, replacement: "Clock") -> "Clock":
+        """Replace the ``sig`` atom of *name* by *replacement* (used when a
+        signal's clock gets resolved to an expression over other clocks)."""
+        products = []
+        for p in self.products:
+            sig_atom = ClockAtom("sig", name)
+            if sig_atom in p:
+                rest = p - {sig_atom}
+                if replacement.is_null:
+                    continue
+                for q in replacement.products:
+                    products.append(q | rest)
+            else:
+                products.append(p)
+        return Clock(products=_normalise_products(products))
+
+    # -- display --------------------------------------------------------
+    def __str__(self) -> str:
+        if self.is_null:
+            return "^0"
+        parts = []
+        for product in self.products:
+            atoms = sorted(product, key=lambda a: (a.name, a.kind))
+            # Hide the redundant ^b atom when [b] or [not b] is present.
+            cond_names = {a.name for a in atoms if a.kind in ("true", "false")}
+            shown = [a for a in atoms if not (a.kind == "sig" and a.name in cond_names)]
+            parts.append(" ^* ".join(str(a) for a in shown) or "^1")
+        return " ^+ ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Clock({self})"

@@ -1,0 +1,393 @@
+"""Signal expression AST of the polychronous kernel.
+
+The SIGNAL language defines signals by equations ``y := E`` where ``E`` is an
+expression built from a small set of primitive operators:
+
+* **stepwise functions** ``f(x1, …, xn)`` — present when all operands are
+  present (the operands are constrained to be synchronous), value obtained by
+  applying ``f`` point-wise;
+* **delay** ``x $ 1 init v`` — same clock as ``x``, value is the previous
+  present value of ``x`` (``v`` at the first instant);
+* **sampling** ``x when b`` — present when ``x`` is present and the boolean
+  ``b`` is present and true;
+* **deterministic merge** ``x default y`` — present when ``x`` or ``y`` is,
+  value of ``x`` when ``x`` is present, else value of ``y``;
+* **cell** ``x cell b init v`` — the *memory* operator: present when ``x`` is
+  present or ``b`` is present and true; holds the last value of ``x``.  This
+  is the ``fm`` memory process of the paper (Section IV-C);
+* **clock operators** ``^x`` (the clock of ``x``), ``x ^+ y``, ``x ^* y``,
+  ``x ^- y`` (union, intersection, difference of clocks), ``when b`` (the
+  instants at which ``b`` is true).
+
+Expressions are plain immutable dataclasses; the clock calculus
+(:mod:`repro.sig.clock_calculus`) and the simulator
+(:mod:`repro.sig.simulator`) interpret them.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Sequence, Tuple
+
+from .values import ABSENT, SignalType, is_absent, is_present
+
+
+class Expression:
+    """Base class of all signal expressions."""
+
+    def signals(self) -> Tuple[str, ...]:
+        """Names of the signals this expression reads, in appearance order."""
+        raise NotImplementedError
+
+    # Convenience constructors so expressions can be combined with operators
+    # in the Python DSL (see :mod:`repro.sig.builder`).
+    def __add__(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("+", (self, lift(other)))
+
+    def __radd__(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("+", (lift(other), self))
+
+    def __sub__(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("-", (self, lift(other)))
+
+    def __rsub__(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("-", (lift(other), self))
+
+    def __mul__(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("*", (self, lift(other)))
+
+    def __rmul__(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("*", (lift(other), self))
+
+    def __neg__(self) -> "FunctionApp":
+        return FunctionApp("neg", (self,))
+
+    def eq(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("=", (self, lift(other)))
+
+    def ne(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("/=", (self, lift(other)))
+
+    def lt(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("<", (self, lift(other)))
+
+    def le(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("<=", (self, lift(other)))
+
+    def gt(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp(">", (self, lift(other)))
+
+    def ge(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp(">=", (self, lift(other)))
+
+    def and_(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("and", (self, lift(other)))
+
+    def or_(self, other: "ExpressionLike") -> "FunctionApp":
+        return FunctionApp("or", (self, lift(other)))
+
+    def not_(self) -> "FunctionApp":
+        return FunctionApp("not", (self,))
+
+    def when(self, cond: "ExpressionLike") -> "When":
+        return When(self, lift(cond))
+
+    def default(self, other: "ExpressionLike") -> "Default":
+        return Default(self, lift(other))
+
+    def delay(self, init: Any = None, depth: int = 1) -> "Delay":
+        return Delay(self, init=init, depth=depth)
+
+    def cell(self, cond: "ExpressionLike", init: Any = None) -> "Cell":
+        return Cell(self, lift(cond), init=init)
+
+    def clock(self) -> "ClockOf":
+        return ClockOf(self)
+
+
+ExpressionLike = Any
+
+
+def lift(value: ExpressionLike) -> Expression:
+    """Lift a Python constant into a :class:`Const` expression if needed."""
+    if isinstance(value, Expression):
+        return value
+    return Const(value)
+
+
+@dataclass(frozen=True)
+class SignalRef(Expression):
+    """Reference to a named signal."""
+
+    name: str
+
+    def signals(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """A constant.
+
+    A constant is present whenever the context requires it; by itself it does
+    not constrain any clock (in full SIGNAL a lone constant has no clock and
+    must be sampled or merged to acquire one).
+    """
+
+    value: Any
+
+    def signals(self) -> Tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FunctionApp(Expression):
+    """Stepwise extension of an instantaneous function over synchronous operands."""
+
+    op: str
+    args: Tuple[Expression, ...]
+
+    def signals(self) -> Tuple[str, ...]:
+        out: list = []
+        for arg in self.args:
+            out.extend(arg.signals())
+        return tuple(out)
+
+    def __str__(self) -> str:
+        if self.op in _INFIX_OPS and len(self.args) == 2:
+            return f"({self.args[0]} {self.op} {self.args[1]})"
+        if self.op == "not" and len(self.args) == 1:
+            return f"(not {self.args[0]})"
+        if self.op == "neg" and len(self.args) == 1:
+            return f"(-{self.args[0]})"
+        joined = ", ".join(str(a) for a in self.args)
+        return f"{self.op}({joined})"
+
+
+@dataclass(frozen=True)
+class Delay(Expression):
+    """``x $ depth init v`` — the previous (depth-th previous) value of ``x``."""
+
+    operand: Expression
+    init: Any = None
+    depth: int = 1
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals()
+
+    def __str__(self) -> str:
+        init = Const(self.init) if not isinstance(self.init, Expression) else self.init
+        suffix = f" init {init}" if self.init is not None else ""
+        depth = f" {self.depth}" if self.depth != 1 else ""
+        return f"({self.operand} ${depth}{suffix})"
+
+
+@dataclass(frozen=True)
+class When(Expression):
+    """``x when b`` — sample ``x`` at the instants where ``b`` is present and true."""
+
+    operand: Expression
+    condition: Expression
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals() + self.condition.signals()
+
+    def __str__(self) -> str:
+        return f"({self.operand} when {self.condition})"
+
+
+@dataclass(frozen=True)
+class Default(Expression):
+    """``x default y`` — deterministic merge with priority to ``x``."""
+
+    left: Expression
+    right: Expression
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.left.signals() + self.right.signals()
+
+    def __str__(self) -> str:
+        return f"({self.left} default {self.right})"
+
+
+@dataclass(frozen=True)
+class Cell(Expression):
+    """``x cell b init v`` — the memory process ``fm`` of the paper.
+
+    The result is present when ``x`` is present, or when ``b`` is present and
+    true; its value is the current value of ``x`` if present, otherwise the
+    last present value of ``x`` (``v`` before the first one).
+    """
+
+    operand: Expression
+    condition: Expression
+    init: Any = None
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals() + self.condition.signals()
+
+    def __str__(self) -> str:
+        suffix = f" init {Const(self.init)}" if self.init is not None else ""
+        return f"({self.operand} cell {self.condition}{suffix})"
+
+
+@dataclass(frozen=True)
+class ClockOf(Expression):
+    """``^x`` — the clock of ``x`` seen as an event signal."""
+
+    operand: Expression
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals()
+
+    def __str__(self) -> str:
+        return f"(^{self.operand})"
+
+
+@dataclass(frozen=True)
+class WhenClock(Expression):
+    """``when b`` — the event clock of the instants at which ``b`` is true."""
+
+    condition: Expression
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.condition.signals()
+
+    def __str__(self) -> str:
+        return f"(when {self.condition})"
+
+
+@dataclass(frozen=True)
+class ClockUnion(Expression):
+    """``x ^+ y`` — union of the clocks of ``x`` and ``y`` (an event signal)."""
+
+    left: Expression
+    right: Expression
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.left.signals() + self.right.signals()
+
+    def __str__(self) -> str:
+        return f"({self.left} ^+ {self.right})"
+
+
+@dataclass(frozen=True)
+class ClockIntersection(Expression):
+    """``x ^* y`` — intersection of the clocks of ``x`` and ``y``."""
+
+    left: Expression
+    right: Expression
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.left.signals() + self.right.signals()
+
+    def __str__(self) -> str:
+        return f"({self.left} ^* {self.right})"
+
+
+@dataclass(frozen=True)
+class ClockDifference(Expression):
+    """``x ^- y`` — instants of ``x`` at which ``y`` is absent."""
+
+    left: Expression
+    right: Expression
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.left.signals() + self.right.signals()
+
+    def __str__(self) -> str:
+        return f"({self.left} ^- {self.right})"
+
+
+@dataclass(frozen=True)
+class Var(Expression):
+    """Reference to a state (shared) variable, read at the instants of its context.
+
+    Shared variables are the SIGNAL mechanism used by the paper for shared
+    data components: several partial definitions contribute to one variable.
+    """
+
+    name: str
+
+    def signals(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return f"var {self.name}"
+
+
+_INFIX_OPS = {
+    "+", "-", "*", "/", "%", "=", "/=", "<", "<=", ">", ">=", "and", "or", "xor",
+    "min", "max",
+}
+
+
+def _safe_div(a: Any, b: Any) -> Any:
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise ZeroDivisionError("SIGNAL integer division by zero")
+        return a // b if (a >= 0) == (b >= 0) or a % b == 0 else -((-a) // b if a < 0 else a // (-b))
+    return a / b
+
+
+#: Semantics of the stepwise operators used by :class:`FunctionApp`.
+STEPWISE_OPERATIONS: Dict[str, Callable[..., Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": _safe_div,
+    "%": operator.mod,
+    "neg": operator.neg,
+    "=": operator.eq,
+    "/=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+    "xor": lambda a, b: bool(a) != bool(b),
+    "not": lambda a: not a,
+    "min": min,
+    "max": max,
+    "abs": abs,
+}
+
+
+def register_stepwise_operation(name: str, func: Callable[..., Any]) -> None:
+    """Register a user-defined stepwise function usable in :class:`FunctionApp`.
+
+    The AADL translation registers uninterpreted computation functions of
+    threads and subprograms this way when a behaviour is supplied.
+    """
+    STEPWISE_OPERATIONS[name] = func
+
+
+def apply_stepwise(op: str, args: Sequence[Any]) -> Any:
+    """Apply a stepwise operator to already-present argument values."""
+    if any(is_absent(a) for a in args):
+        raise ValueError(f"stepwise operator {op!r} applied to an absent operand")
+    try:
+        func = STEPWISE_OPERATIONS[op]
+    except KeyError as exc:
+        raise KeyError(f"unknown stepwise operator {op!r}") from exc
+    return func(*args)
+
+
+def free_signals(expr: Expression) -> Tuple[str, ...]:
+    """Distinct signal names read by *expr*, preserving first-appearance order."""
+    seen: Dict[str, None] = {}
+    for name in expr.signals():
+        seen.setdefault(name, None)
+    return tuple(seen.keys())

@@ -1,0 +1,437 @@
+"""AADL2SIGNAL library: reusable polychronous processes for the translation.
+
+The paper's tool chain ships an *AADL2SIGNAL library* of common SIGNAL
+processes that "reduces significantly the transformation complexity and
+cost".  This module is that library: each function builds a parametric
+:class:`~repro.sig.process.ProcessModel` implementing one of the timing
+idioms of Section IV of the paper:
+
+* :func:`memory_process` — the ``o = fm(i, b)`` memory process (Section IV-C);
+* :func:`input_freezing` — ``z = x ◮ t`` input freezing at *Input_Time*;
+* :func:`output_sending` — ``w = y ⊲ t`` output sending at *Output_Time*;
+* :func:`in_event_port` — queued in event port with ``in_fifo``/``frozen_fifo``
+  behaviour (Fig. 5);
+* :func:`out_event_port` — out event port buffering values until *Output_Time*;
+* :func:`data_port` — (event-)data port keeping the last received value;
+* :func:`fifo_reset` — the shared-data FIFO with read/write/reset access
+  clocks (Fig. 6);
+* :func:`thread_property_observer` — the deadline-miss observer producing the
+  ``Alarm`` output of a translated thread (Fig. 4);
+* :func:`periodic_clock_divider` — derivation of a periodic sub-clock from a
+  base tick, the executable counterpart of an affine sampling relation.
+
+All processes follow the same conventions: event inputs carry the value
+``True`` when present; stateful signals are anchored on an explicit ``tick``
+clock (the union of the relevant event clocks) through a ``^=`` constraint so
+that both the clock calculus and the reference simulator resolve them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .expressions import (
+    ClockOf,
+    ClockUnion,
+    Const,
+    Default,
+    Delay,
+    Cell,
+    FunctionApp,
+    SignalRef,
+    When,
+    WhenClock,
+)
+from .process import Direction, ProcessModel
+from .values import BOOLEAN, EVENT, INTEGER, SignalType
+
+
+def _clock(name: str) -> ClockOf:
+    return ClockOf(SignalRef(name))
+
+
+def memory_process(
+    value_type: SignalType = INTEGER,
+    name: str = "fm",
+    init: Any = None,
+) -> ProcessModel:
+    """The memory process ``o = fm(i, b)`` of Section IV-C.
+
+    ``o`` is present at the instants where ``b`` is present and true; it then
+    carries the current value of ``i`` when ``i`` is present, and the last
+    previous value of ``i`` otherwise.
+    """
+    model = ProcessModel(name, comment="memory process o = fm(i, b)")
+    model.input("i", value_type)
+    model.input("b", BOOLEAN)
+    model.output("o", value_type)
+    model.define("o", When(Cell(SignalRef("i"), SignalRef("b"), init=init), SignalRef("b")))
+    return model
+
+
+def input_freezing(
+    value_type: SignalType = INTEGER,
+    name: str = "input_freeze",
+    init: Any = None,
+) -> ProcessModel:
+    """Input freezing ``z = x ◮ t``: the value of ``x`` frozen at event ``t``.
+
+    ``z`` is present exactly at the instants of the freeze event ``t`` and
+    carries the last value received on ``x`` (``init`` before the first one).
+    """
+    model = ProcessModel(name, comment="input freezing z = x |> t (fm over the frozen-time event)")
+    model.input("x", value_type)
+    model.input("t", EVENT)
+    model.output("z", value_type)
+    model.define("z", When(Cell(SignalRef("x"), _clock("t"), init=init), _clock("t")))
+    return model
+
+
+def output_sending(
+    value_type: SignalType = INTEGER,
+    name: str = "output_send",
+    init: Any = None,
+) -> ProcessModel:
+    """Output sending ``w = y ⊲ t``: the output of the computation held and
+    made available to the connected components at *Output_Time* ``t``."""
+    model = ProcessModel(name, comment="output sending w = y <| t")
+    model.input("y", value_type)
+    model.input("t", EVENT)
+    model.output("w", value_type)
+    model.define("w", When(Cell(SignalRef("y"), _clock("t"), init=init), _clock("t")))
+    return model
+
+
+def in_event_port(
+    name: str = "in_event_port",
+    queue_size: int = 1,
+    value_type: SignalType = INTEGER,
+) -> ProcessModel:
+    """Queued in event (data) port: ``in_fifo`` + ``frozen_fifo`` (Fig. 5).
+
+    Interface:
+
+    * input ``arrival`` — the incoming event (with its data when the port is
+      an event data port; pure events carry ``True``);
+    * input ``frozen_time`` — the *Input_Time* event at which the pending
+      items are frozen (moved from ``in_fifo`` to ``frozen_fifo``);
+    * output ``frozen_count`` — number of items made available to the thread
+      at this freeze (``in_fifo`` content, bounded by ``Queue_Size``);
+    * output ``frozen_value`` — the most recent frozen item (present only when
+      ``frozen_count`` > 0);
+    * output ``dropped`` — event raised when an arrival overflows the queue.
+
+    Items arriving at the same instant as the freeze are *not* included in the
+    current freeze (they arrived "after Input_Time" in the sense of Fig. 2 and
+    will be processed at the next dispatch).
+    """
+    if queue_size < 1:
+        raise ValueError("Queue_Size must be at least 1")
+    model = ProcessModel(
+        name,
+        parameters={"queue_size": queue_size},
+        comment=f"in event port, Queue_Size = {queue_size}, FIFO queue processing protocol",
+    )
+    arrival = model.input("arrival", value_type)
+    model.input("frozen_time", EVENT, comment="Frozen_time_event (Input_Time)")
+    model.output("frozen_count", INTEGER)
+    model.output("frozen_value", value_type)
+    model.output("dropped", EVENT)
+    model.local("tick", EVENT)
+    model.local("pending", INTEGER, comment="in_fifo occupancy")
+    model.local("zpending", INTEGER)
+    model.local("after_freeze", INTEGER)
+    model.local("stored", value_type, comment="most recent queued item")
+    model.local("have_data", BOOLEAN)
+    model.local("overflow_flag", BOOLEAN)
+
+    freeze_clk = _clock("frozen_time")
+    arrival_clk = _clock("arrival")
+
+    model.define("tick", ClockUnion(SignalRef("arrival"), SignalRef("frozen_time")))
+    model.define("zpending", Delay(SignalRef("pending"), init=0))
+    model.define(
+        "after_freeze",
+        Default(When(Const(0), freeze_clk), SignalRef("zpending")),
+        label="in_fifo content after serving the freeze",
+    )
+    model.define(
+        "pending",
+        Default(
+            When(
+                FunctionApp("min", (FunctionApp("+", (SignalRef("after_freeze"), Const(1))), Const(queue_size))),
+                arrival_clk,
+            ),
+            SignalRef("after_freeze"),
+        ),
+        label="in_fifo content after a possible arrival",
+    )
+    model.synchronise("pending", "tick", label="in_fifo state lives on the port tick")
+    model.define(
+        "overflow_flag",
+        When(
+            FunctionApp(">", (FunctionApp("+", (SignalRef("after_freeze"), Const(1))), Const(queue_size))),
+            arrival_clk,
+        ),
+    )
+    model.define("dropped", WhenClock(SignalRef("overflow_flag")))
+    model.define("frozen_count", When(SignalRef("zpending"), freeze_clk))
+    model.define("stored", Cell(arrival, freeze_clk))
+    model.define(
+        "have_data",
+        When(FunctionApp(">", (SignalRef("zpending"), Const(0))), freeze_clk),
+    )
+    model.define("frozen_value", When(SignalRef("stored"), SignalRef("have_data")))
+    return model
+
+
+def out_event_port(
+    name: str = "out_event_port",
+    value_type: SignalType = INTEGER,
+) -> ProcessModel:
+    """Out event (data) port: values produced by the thread are buffered and
+    sent out at *Output_Time* (``send_time``).
+
+    Interface: input ``produced`` (the value computed by the thread), input
+    ``send_time`` (the Output_Time event), outputs ``sent`` (the value made
+    available to the connection at Output_Time, present only when something
+    was produced since the previous send) and ``sent_count``.
+    """
+    model = ProcessModel(name, comment="out event port: hold values until Output_Time")
+    model.input("produced", value_type)
+    model.input("send_time", EVENT, comment="Output_Time event")
+    model.output("sent", value_type)
+    model.output("sent_count", INTEGER)
+    model.local("tick", EVENT)
+    model.local("count", INTEGER)
+    model.local("zcount", INTEGER)
+    model.local("after_send", INTEGER)
+    model.local("have_data", BOOLEAN)
+
+    send_clk = _clock("send_time")
+    produced_clk = _clock("produced")
+
+    model.define("tick", ClockUnion(SignalRef("produced"), SignalRef("send_time")))
+    model.define("zcount", Delay(SignalRef("count"), init=0))
+    model.define("after_send", Default(When(Const(0), send_clk), SignalRef("zcount")))
+    model.define(
+        "count",
+        Default(
+            When(FunctionApp("+", (SignalRef("after_send"), Const(1))), produced_clk),
+            SignalRef("after_send"),
+        ),
+    )
+    model.synchronise("count", "tick")
+    model.define("have_data", When(FunctionApp(">", (SignalRef("zcount"), Const(0))), send_clk))
+    model.define("sent_count", When(SignalRef("zcount"), send_clk))
+    model.define("sent", When(Cell(SignalRef("produced"), send_clk), SignalRef("have_data")))
+    return model
+
+
+def data_port(
+    name: str = "data_port",
+    value_type: SignalType = INTEGER,
+    init: Any = None,
+) -> ProcessModel:
+    """In data port: the most recent received value, frozen at *Input_Time*.
+
+    AADL data ports have no queue (the newest value overwrites the previous
+    one); the frozen value is simply the last received value at the freeze
+    event, i.e. the ``fm`` memory process applied to the connection.
+    """
+    model = ProcessModel(name, comment="in data port (no queue, last value wins)")
+    model.input("incoming", value_type)
+    model.input("frozen_time", EVENT)
+    model.output("frozen_value", value_type)
+    model.define(
+        "frozen_value",
+        When(Cell(SignalRef("incoming"), _clock("frozen_time"), init=init), _clock("frozen_time")),
+    )
+    return model
+
+
+def fifo_reset(
+    name: str = "fifo_reset",
+    value_type: SignalType = INTEGER,
+    init: Any = 0,
+    capacity: Optional[int] = None,
+) -> ProcessModel:
+    """Shared data component as a single FIFO instance (Fig. 6).
+
+    The data component is represented by *one* process instance whose content
+    can be written, read and reset by different components at different time
+    instants:
+
+    * input ``write`` — a value written by a producer (its clock is the
+      producer's write clock);
+    * input ``reset`` — event resetting the FIFO to its initial value;
+    * input ``read`` — event marking a consumer read access;
+    * output ``read_value`` — the content observed at each read instant;
+    * output ``count`` — the FIFO occupancy (writes push, reads pop), clamped
+      to ``capacity`` when given;
+    * output ``empty`` — boolean, sampled at read instants.
+
+    Mutual-exclusion of accesses is the responsibility of the scheduler (the
+    paper's mutual exclusion access clocks); when a write and a read do occur
+    at the same instant the write is served first.
+    """
+    model = ProcessModel(
+        name,
+        parameters={"capacity": capacity if capacity is not None else -1},
+        comment="shared data as a FIFO with read/write/reset access clocks",
+    )
+    model.input("write", value_type)
+    model.input("reset", EVENT)
+    model.input("read", EVENT)
+    model.output("read_value", value_type)
+    model.output("count", INTEGER)
+    model.output("empty", BOOLEAN)
+    model.local("tick", EVENT)
+    model.local("current", value_type)
+    model.local("zcurrent", value_type)
+    model.local("zcount", INTEGER)
+    model.local("occupancy", INTEGER)
+
+    write_clk = _clock("write")
+    reset_clk = _clock("reset")
+    read_clk = _clock("read")
+
+    model.define(
+        "tick",
+        ClockUnion(SignalRef("write"), ClockUnion(SignalRef("reset"), SignalRef("read"))),
+    )
+    model.define("zcurrent", Delay(SignalRef("current"), init=init))
+    model.define(
+        "current",
+        Default(
+            SignalRef("write"),
+            Default(When(Const(init), reset_clk), SignalRef("zcurrent")),
+        ),
+        label="eq1: value held by the shared FIFO",
+    )
+    model.synchronise("current", "tick")
+    model.define("zcount", Delay(SignalRef("occupancy"), init=0))
+    push = FunctionApp("+", (SignalRef("zcount"), Const(1)))
+    if capacity is not None:
+        push = FunctionApp("min", (push, Const(capacity)))
+    model.define(
+        "occupancy",
+        Default(
+            When(Const(0), reset_clk),
+            Default(
+                When(push, write_clk),
+                Default(
+                    When(FunctionApp("max", (FunctionApp("-", (SignalRef("zcount"), Const(1))), Const(0))), read_clk),
+                    SignalRef("zcount"),
+                ),
+            ),
+        ),
+        label="eq2: FIFO occupancy",
+    )
+    model.synchronise("occupancy", "tick")
+    model.define("count", SignalRef("occupancy"))
+    model.define("read_value", When(SignalRef("current"), read_clk), label="eq3: consumer read access")
+    model.define("empty", When(FunctionApp("=", (SignalRef("zcount"), Const(0))), read_clk))
+    return model
+
+
+def thread_property_observer(name: str = "thread_property_observer") -> ProcessModel:
+    """Deadline observer producing the ``Alarm`` output of a translated thread.
+
+    A dispatch opens an execution window; the window closes at the matching
+    ``complete`` event.  If the window is still open when the ``deadline``
+    event occurs, the timing property is violated and ``alarm`` is emitted.
+    When the deadline instant coincides with the next dispatch (the common
+    ``Deadline => Period`` case) the observer checks the *previous* window.
+    """
+    model = ProcessModel(name, comment="timing property observer: alarm on deadline miss")
+    model.input("dispatch", EVENT)
+    model.input("complete", EVENT)
+    model.input("deadline", EVENT)
+    model.output("alarm", EVENT)
+    model.output("violated", BOOLEAN)
+    model.local("tick", EVENT)
+    model.local("pending", BOOLEAN)
+    model.local("zpending", BOOLEAN)
+
+    model.define(
+        "tick",
+        ClockUnion(SignalRef("dispatch"), ClockUnion(SignalRef("complete"), SignalRef("deadline"))),
+    )
+    model.define("zpending", Delay(SignalRef("pending"), init=False))
+    model.define(
+        "pending",
+        Default(
+            When(Const(False), _clock("complete")),
+            Default(When(Const(True), _clock("dispatch")), SignalRef("zpending")),
+        ),
+    )
+    model.synchronise("pending", "tick")
+    model.define("violated", When(SignalRef("zpending"), _clock("deadline")))
+    model.define("alarm", WhenClock(SignalRef("violated")))
+    return model
+
+
+def periodic_clock_divider(
+    name: str = "periodic_clock",
+    period: int = 1,
+    phase: int = 0,
+) -> ProcessModel:
+    """Derive a periodic sub-clock ``out = {period·t + phase | t ∈ tick}``.
+
+    This is the executable form of an affine sampling relation: the output
+    event is present at the instants of the input ``tick`` whose index is
+    ``phase``, ``phase + period``, ``phase + 2·period``, …  The scheduler
+    synthesis exports each scheduled event as one such divider instance.
+    """
+    if period <= 0:
+        raise ValueError("period must be strictly positive")
+    if phase < 0:
+        raise ValueError("phase must be non-negative")
+    model = ProcessModel(
+        name,
+        parameters={"period": period, "phase": phase},
+        comment=f"affine sampling {{{period}*t + {phase}}} of the base tick",
+    )
+    model.input("tick", EVENT)
+    model.output("out", EVENT)
+    model.local("index", INTEGER)
+    model.local("zindex", INTEGER)
+    model.local("hit", BOOLEAN)
+
+    model.define("zindex", Delay(SignalRef("index"), init=-1))
+    model.define(
+        "index",
+        When(FunctionApp("+", (SignalRef("zindex"), Const(1))), _clock("tick")),
+    )
+    model.synchronise("index", "tick")
+    model.define(
+        "hit",
+        FunctionApp(
+            "and",
+            (
+                FunctionApp(">=", (SignalRef("index"), Const(phase))),
+                FunctionApp(
+                    "=",
+                    (
+                        FunctionApp("%", (FunctionApp("-", (SignalRef("index"), Const(phase))), Const(period))),
+                        Const(0),
+                    ),
+                ),
+            ),
+        ),
+    )
+    model.define("out", WhenClock(SignalRef("hit")))
+    return model
+
+
+def event_counter(name: str = "event_counter") -> ProcessModel:
+    """Count occurrences of an event signal (used by profiling and tests)."""
+    model = ProcessModel(name, comment="count the occurrences of an event")
+    model.input("e", EVENT)
+    model.output("count", INTEGER)
+    model.local("zcount", INTEGER)
+    model.define("zcount", Delay(SignalRef("count"), init=0))
+    model.define("count", When(FunctionApp("+", (SignalRef("zcount"), Const(1))), _clock("e")))
+    model.synchronise("count", "e")
+    return model

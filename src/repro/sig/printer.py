@@ -1,0 +1,185 @@
+"""SIGNAL textual syntax pretty-printer.
+
+The ASME2SSME tool chain of the paper produces SSME models that Polychrony
+unparses to the SIGNAL surface language; Figures 3–6 of the paper show such
+generated code.  This module renders a :class:`~repro.sig.process.ProcessModel`
+in a faithful approximation of that syntax::
+
+    process thProducer =
+      ( ? event ctl1_Dispatch, ctl1_Resume, ctl1_Deadline;
+          integer pProdOK;
+        ! event ctl2_Complete, ctl2_Error;
+          boolean Alarm;
+      )
+      (| pProdOK_frozen := pProdOK cell time1_pProdStart_Frozen_time |
+         ...
+      |)
+      where
+        ...
+      end;
+
+so that the benchmark harness can regenerate the paper's figures as text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .process import Direction, ProcessModel, SignalDecl
+from .values import SignalKind, SignalType
+
+
+def _type_keyword(sig_type: SignalType) -> str:
+    if sig_type.kind is SignalKind.EVENT:
+        return "event"
+    if sig_type.kind is SignalKind.BOOLEAN:
+        return "boolean"
+    if sig_type.kind is SignalKind.INTEGER:
+        return "integer"
+    if sig_type.kind is SignalKind.REAL:
+        return "real"
+    if sig_type.kind is SignalKind.STRING:
+        return "string"
+    if sig_type.kind is SignalKind.OPAQUE:
+        return sig_type.name or "any"
+    return "any"
+
+
+def _group_by_type(decls: List[SignalDecl]) -> List[str]:
+    """Render declarations grouped by type, preserving declaration order."""
+    lines: List[str] = []
+    current_type: Optional[str] = None
+    current_names: List[str] = []
+
+    def flush() -> None:
+        if current_names:
+            lines.append(f"{current_type} {', '.join(current_names)};")
+
+    for decl in decls:
+        keyword = _type_keyword(decl.type)
+        if keyword != current_type:
+            flush()
+            current_type = keyword
+            current_names = [decl.name]
+        else:
+            current_names.append(decl.name)
+    flush()
+    return lines
+
+
+class SignalPrinter:
+    """Pretty-print process models in SIGNAL-like concrete syntax."""
+
+    def __init__(self, indent: str = "  ") -> None:
+        self.indent = indent
+
+    # ------------------------------------------------------------------
+    def print_process(self, model: ProcessModel, depth: int = 0, include_submodels: bool = True) -> str:
+        pad = self.indent * depth
+        lines: List[str] = []
+        if model.comment:
+            lines.append(f"{pad}%% {model.comment} %%")
+        for key, value in sorted(model.pragmas.items()):
+            lines.append(f"{pad}pragma {key} \"{value}\" end pragma")
+        lines.append(f"{pad}process {model.name} =")
+        lines.extend(self._interface(model, depth + 1))
+        lines.extend(self._body(model, depth + 1))
+        where = self._where(model, depth + 1, include_submodels)
+        if where:
+            lines.extend(where)
+        lines.append(f"{pad};")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def _interface(self, model: ProcessModel, depth: int) -> List[str]:
+        pad = self.indent * depth
+        inner = self.indent * (depth + 1)
+        lines = [f"{pad}( ? %% inputs %%"]
+        input_lines = _group_by_type(model.inputs())
+        if not input_lines:
+            input_lines = [";"]
+        lines.extend(f"{inner}{line}" for line in input_lines)
+        lines.append(f"{pad}  ! %% outputs %%")
+        output_lines = _group_by_type(model.outputs())
+        if not output_lines:
+            output_lines = [";"]
+        lines.extend(f"{inner}{line}" for line in output_lines)
+        lines.append(f"{pad})")
+        if model.bundles:
+            for bundle in model.bundles.values():
+                fields = ", ".join(f"{field}={signal}" for field, signal in bundle.fields.items())
+                lines.append(f"{pad}%% bundle {bundle.name}: {fields} %%")
+        return lines
+
+    def _body(self, model: ProcessModel, depth: int) -> List[str]:
+        pad = self.indent * depth
+        inner = self.indent * (depth + 1)
+        items: List[str] = []
+        for eq in model.equations:
+            op = "::=" if eq.partial else ":="
+            label = f" %% {eq.label} %%" if eq.label else ""
+            items.append(f"{eq.target} {op} {eq.expr}{label}")
+        for constraint in model.constraints:
+            label = f" %% {constraint.label} %%" if constraint.label else ""
+            items.append(f"{constraint}{label}")
+        for instance in model.instances:
+            bindings = ", ".join(f"{actual}" for actual in instance.bindings.values())
+            params = ""
+            if instance.parameters:
+                params = "{" + ", ".join(f"{k}={v}" for k, v in sorted(instance.parameters.items())) + "}"
+            items.append(f"{instance.instance_name} :: {instance.model.name}{params}({bindings})")
+        if not items:
+            items = ["%% empty body %%"]
+        lines = [f"{pad}(| {items[0]}"]
+        for item in items[1:]:
+            lines.append(f"{pad} | {item}")
+        lines.append(f"{pad}|)")
+        return lines
+
+    def _where(self, model: ProcessModel, depth: int, include_submodels: bool) -> List[str]:
+        pad = self.indent * depth
+        locals_ = model.locals() + model.shared_signals()
+        has_where = bool(locals_) or (include_submodels and model.submodels)
+        if not has_where:
+            return []
+        lines = [f"{pad}where"]
+        inner = self.indent * (depth + 1)
+        for line in _group_by_type(locals_):
+            lines.append(f"{inner}{line}")
+        shared = model.shared_signals()
+        if shared:
+            names = ", ".join(d.name for d in shared)
+            lines.append(f"{inner}%% shared variables: {names} %%")
+        if include_submodels:
+            for sub in model.submodels.values():
+                lines.append(self.print_process(sub, depth + 1))
+        lines.append(f"{pad}end")
+        return lines
+
+
+def to_signal_source(model: ProcessModel, include_submodels: bool = True) -> str:
+    """Render *model* as SIGNAL-like source text."""
+    return SignalPrinter().print_process(model, include_submodels=include_submodels)
+
+
+def module_source(models: List[ProcessModel], module_name: str = "ASME2SSME_output") -> str:
+    """Render several process models as a SIGNAL module (library file)."""
+    printer = SignalPrinter()
+    parts = [f"module {module_name} ="]
+    for model in models:
+        parts.append(printer.print_process(model, depth=1))
+    parts.append("end %% module %%")
+    return "\n".join(parts)
+
+
+def interface_summary(model: ProcessModel) -> Dict[str, List[str]]:
+    """Summary of a process interface, used by tests and the figure benches."""
+    return {
+        "inputs": [d.name for d in model.inputs()],
+        "outputs": [d.name for d in model.outputs()],
+        "locals": [d.name for d in model.locals()],
+        "shared": [d.name for d in model.shared_signals()],
+        "bundles": sorted(model.bundles),
+        "instances": [inst.instance_name for inst in model.instances],
+        "submodels": sorted(model.submodels),
+    }

@@ -1,0 +1,541 @@
+"""Process model of the polychronous kernel.
+
+A SIGNAL *process* is a set of equations over signals, composed with other
+processes, together with clock constraints.  The paper's translation produces
+a hierarchy of such processes: one per AADL system, processor, process,
+thread, port and shared data component.
+
+This module defines the declarative structure:
+
+* :class:`SignalDecl` — a typed signal of the interface or of the body;
+* :class:`Equation` — a full (``:=``) or partial (``::=``) definition;
+* :class:`ClockConstraint` — synchronisation (``^=``), inclusion (``^<``) or
+  mutual exclusion (``^#``) constraints between clock expressions;
+* :class:`ProcessInstance` — the instantiation of another process model with
+  actual signals bound to its interface;
+* :class:`ProcessModel` — the process itself, with sub-models, instances,
+  bundles (polychronous tuples of interface signals) and pragmas used for
+  traceability back to the AADL model.
+
+:meth:`ProcessModel.flatten` inlines all instances (with hierarchical name
+mangling) and returns a single flat process, which is what the clock
+calculus, static analyses and the simulator consume.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .expressions import (
+    Cell,
+    ClockDifference,
+    ClockIntersection,
+    ClockOf,
+    ClockUnion,
+    Const,
+    Default,
+    Delay,
+    Expression,
+    FunctionApp,
+    SignalRef,
+    Var,
+    When,
+    WhenClock,
+)
+from .values import EVENT, SignalType
+
+
+class Direction(enum.Enum):
+    """Role of a signal in a process interface."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    LOCAL = "local"
+    SHARED = "shared"  # state variable, target of partial definitions
+
+
+@dataclass
+class SignalDecl:
+    """Declaration of a typed signal."""
+
+    name: str
+    type: SignalType = EVENT
+    direction: Direction = Direction.LOCAL
+    comment: Optional[str] = None
+
+    def copy(self) -> "SignalDecl":
+        return SignalDecl(self.name, self.type, self.direction, self.comment)
+
+
+@dataclass
+class Equation:
+    """``target := expr`` (full) or ``target ::= expr`` (partial) definition."""
+
+    target: str
+    expr: Expression
+    partial: bool = False
+    label: Optional[str] = None
+
+    def __str__(self) -> str:
+        op = "::=" if self.partial else ":="
+        return f"{self.target} {op} {self.expr}"
+
+
+class ConstraintKind(enum.Enum):
+    """Kinds of explicit clock constraints."""
+
+    SYNCHRONOUS = "^="
+    SUBCLOCK = "^<"
+    EXCLUSIVE = "^#"
+
+
+@dataclass
+class ClockConstraint:
+    """An explicit clock constraint between expressions (usually signal refs)."""
+
+    kind: ConstraintKind
+    operands: Tuple[Expression, ...]
+    label: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f" {self.kind.value} ".join(str(o) for o in self.operands)
+
+
+@dataclass
+class Bundle:
+    """A polychronous tuple of signals exposed as one named interface group.
+
+    The AADL translation groups the control events of a thread into bundles
+    ``ctl1`` (Dispatch, Resume, Deadline), ``time1`` (frozen/output time
+    events) and ``ctl2`` (Error, Complete) as in Fig. 4 of the paper.
+    """
+
+    name: str
+    fields: Dict[str, str] = field(default_factory=dict)  # field name -> signal name
+
+    def signal_names(self) -> List[str]:
+        return list(self.fields.values())
+
+
+@dataclass
+class ProcessInstance:
+    """Instantiation of a process model inside another one.
+
+    ``bindings`` maps the *formal* interface signal names of the instantiated
+    model to the *actual* signal names of the enclosing process.  Formals left
+    unbound are exposed as fresh local signals of the parent after flattening.
+    """
+
+    model: "ProcessModel"
+    instance_name: str
+    bindings: Dict[str, str] = field(default_factory=dict)
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+
+class ProcessModel:
+    """A polychronous process: interface, equations, constraints, sub-processes."""
+
+    def __init__(
+        self,
+        name: str,
+        parameters: Optional[Mapping[str, Any]] = None,
+        comment: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.parameters: Dict[str, Any] = dict(parameters or {})
+        self.comment = comment
+        self.signals: Dict[str, SignalDecl] = {}
+        self.equations: List[Equation] = []
+        self.constraints: List[ClockConstraint] = []
+        self.instances: List[ProcessInstance] = []
+        self.submodels: Dict[str, "ProcessModel"] = {}
+        self.bundles: Dict[str, Bundle] = {}
+        self.pragmas: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # declaration helpers
+    # ------------------------------------------------------------------
+    def add_signal(
+        self,
+        name: str,
+        type: SignalType = EVENT,
+        direction: Direction = Direction.LOCAL,
+        comment: Optional[str] = None,
+    ) -> SignalRef:
+        """Declare a signal and return a reference to it.
+
+        Re-declaring an existing signal with a compatible direction is
+        accepted (and ignored), which makes incremental construction by the
+        translator simpler.
+        """
+        existing = self.signals.get(name)
+        if existing is not None:
+            if existing.direction is not direction and direction is not Direction.LOCAL:
+                existing.direction = direction
+            return SignalRef(name)
+        self.signals[name] = SignalDecl(name, type, direction, comment)
+        return SignalRef(name)
+
+    def input(self, name: str, type: SignalType = EVENT, comment: Optional[str] = None) -> SignalRef:
+        return self.add_signal(name, type, Direction.INPUT, comment)
+
+    def output(self, name: str, type: SignalType = EVENT, comment: Optional[str] = None) -> SignalRef:
+        return self.add_signal(name, type, Direction.OUTPUT, comment)
+
+    def local(self, name: str, type: SignalType = EVENT, comment: Optional[str] = None) -> SignalRef:
+        return self.add_signal(name, type, Direction.LOCAL, comment)
+
+    def shared(self, name: str, type: SignalType = EVENT, comment: Optional[str] = None) -> SignalRef:
+        return self.add_signal(name, type, Direction.SHARED, comment)
+
+    def add_bundle(self, name: str, fields: Mapping[str, str]) -> Bundle:
+        bundle = Bundle(name, dict(fields))
+        self.bundles[name] = bundle
+        return bundle
+
+    # ------------------------------------------------------------------
+    # body helpers
+    # ------------------------------------------------------------------
+    def define(self, target: str, expr: Expression, label: Optional[str] = None) -> Equation:
+        """Add a full definition ``target := expr``."""
+        if target not in self.signals:
+            self.add_signal(target)
+        eq = Equation(target, expr, partial=False, label=label)
+        self.equations.append(eq)
+        return eq
+
+    def define_partial(self, target: str, expr: Expression, label: Optional[str] = None) -> Equation:
+        """Add a partial definition ``target ::= expr`` (shared variable style)."""
+        if target not in self.signals:
+            self.add_signal(target, direction=Direction.SHARED)
+        eq = Equation(target, expr, partial=True, label=label)
+        self.equations.append(eq)
+        return eq
+
+    def synchronise(self, *signals: str, label: Optional[str] = None) -> ClockConstraint:
+        """Constrain the given signals to share the same clock (``x ^= y``)."""
+        constraint = ClockConstraint(
+            ConstraintKind.SYNCHRONOUS,
+            tuple(SignalRef(s) if isinstance(s, str) else s for s in signals),
+            label=label,
+        )
+        self.constraints.append(constraint)
+        return constraint
+
+    def subclock(self, smaller: str, larger: str, label: Optional[str] = None) -> ClockConstraint:
+        constraint = ClockConstraint(
+            ConstraintKind.SUBCLOCK,
+            (SignalRef(smaller), SignalRef(larger)),
+            label=label,
+        )
+        self.constraints.append(constraint)
+        return constraint
+
+    def exclusive(self, *signals: str, label: Optional[str] = None) -> ClockConstraint:
+        constraint = ClockConstraint(
+            ConstraintKind.EXCLUSIVE,
+            tuple(SignalRef(s) for s in signals),
+            label=label,
+        )
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_submodel(self, model: "ProcessModel") -> "ProcessModel":
+        """Register a locally defined process model (nested declaration)."""
+        self.submodels[model.name] = model
+        return model
+
+    def instantiate(
+        self,
+        model: "ProcessModel",
+        instance_name: str,
+        bindings: Optional[Mapping[str, str]] = None,
+        parameters: Optional[Mapping[str, Any]] = None,
+    ) -> ProcessInstance:
+        """Instantiate *model* inside this process, binding formals to actuals."""
+        instance = ProcessInstance(
+            model=model,
+            instance_name=instance_name,
+            bindings=dict(bindings or {}),
+            parameters=dict(parameters or {}),
+        )
+        self.instances.append(instance)
+        for formal, actual in instance.bindings.items():
+            if actual not in self.signals:
+                decl = model.signals.get(formal)
+                self.add_signal(actual, decl.type if decl else EVENT)
+        return instance
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def inputs(self) -> List[SignalDecl]:
+        return [d for d in self.signals.values() if d.direction is Direction.INPUT]
+
+    def outputs(self) -> List[SignalDecl]:
+        return [d for d in self.signals.values() if d.direction is Direction.OUTPUT]
+
+    def locals(self) -> List[SignalDecl]:
+        return [d for d in self.signals.values() if d.direction is Direction.LOCAL]
+
+    def shared_signals(self) -> List[SignalDecl]:
+        return [d for d in self.signals.values() if d.direction is Direction.SHARED]
+
+    def interface_names(self) -> List[str]:
+        return [d.name for d in self.signals.values() if d.direction in (Direction.INPUT, Direction.OUTPUT)]
+
+    def equations_for(self, target: str) -> List[Equation]:
+        return [eq for eq in self.equations if eq.target == target]
+
+    def defined_signals(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for eq in self.equations:
+            seen.setdefault(eq.target, None)
+        return list(seen)
+
+    def signal_count(self) -> int:
+        return len(self.signals)
+
+    def equation_count(self) -> int:
+        return len(self.equations)
+
+    def all_models(self) -> List["ProcessModel"]:
+        """This model plus, recursively, every instantiated/nested model."""
+        seen: Dict[int, ProcessModel] = {}
+
+        def visit(model: "ProcessModel") -> None:
+            if id(model) in seen:
+                return
+            seen[id(model)] = model
+            for sub in model.submodels.values():
+                visit(sub)
+            for inst in model.instances:
+                visit(inst.model)
+
+        visit(self)
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
+    # flattening
+    # ------------------------------------------------------------------
+    def flatten(self, prefix: str = "") -> "ProcessModel":
+        """Inline every instance and return an equivalent flat process.
+
+        Hierarchical names are built as ``instance_name + "_" + signal`` so
+        that traceability back to the AADL component hierarchy is preserved
+        (the paper's "simple but efficient mechanism of traceability").
+        """
+        flat = ProcessModel(self.name if not prefix else f"{prefix}{self.name}", dict(self.parameters), self.comment)
+        flat.pragmas.update(self.pragmas)
+        self._flatten_into(flat, prefix="", top=True)
+        return flat
+
+    def _flatten_into(self, flat: "ProcessModel", prefix: str, top: bool) -> None:
+        rename: Dict[str, str] = {}
+        for decl in self.signals.values():
+            new_name = decl.name if top else f"{prefix}{decl.name}"
+            rename[decl.name] = new_name
+
+        for decl in self.signals.values():
+            new_name = rename[decl.name]
+            direction = decl.direction if top else (
+                Direction.SHARED if decl.direction is Direction.SHARED else Direction.LOCAL
+            )
+            if new_name not in flat.signals:
+                flat.signals[new_name] = SignalDecl(new_name, decl.type, direction, decl.comment)
+
+        for bundle in self.bundles.values():
+            bname = bundle.name if top else f"{prefix}{bundle.name}"
+            flat.bundles[bname] = Bundle(bname, {f: rename.get(s, s) for f, s in bundle.fields.items()})
+
+        for eq in self.equations:
+            flat.equations.append(
+                Equation(
+                    rename.get(eq.target, eq.target),
+                    rename_expression(eq.expr, rename),
+                    partial=eq.partial,
+                    label=eq.label,
+                )
+            )
+        for constraint in self.constraints:
+            flat.constraints.append(
+                ClockConstraint(
+                    constraint.kind,
+                    tuple(rename_expression(op, rename) for op in constraint.operands),
+                    label=constraint.label,
+                )
+            )
+
+        for instance in self.instances:
+            child_prefix = f"{prefix}{instance.instance_name}_"
+            child = instance.model
+            child_rename: Dict[str, str] = {}
+            for decl in child.signals.values():
+                if decl.name in instance.bindings:
+                    child_rename[decl.name] = rename.get(
+                        instance.bindings[decl.name], instance.bindings[decl.name]
+                    )
+                else:
+                    child_rename[decl.name] = f"{child_prefix}{decl.name}"
+            child._flatten_bound(flat, child_prefix, child_rename, instance.parameters)
+
+    def _flatten_bound(
+        self,
+        flat: "ProcessModel",
+        prefix: str,
+        rename: Dict[str, str],
+        parameters: Mapping[str, Any],
+    ) -> None:
+        for decl in self.signals.values():
+            new_name = rename[decl.name]
+            if new_name not in flat.signals:
+                direction = Direction.SHARED if decl.direction is Direction.SHARED else Direction.LOCAL
+                flat.signals[new_name] = SignalDecl(new_name, decl.type, direction, decl.comment)
+
+        for bundle in self.bundles.values():
+            bname = f"{prefix}{bundle.name}"
+            flat.bundles[bname] = Bundle(bname, {f: rename.get(s, s) for f, s in bundle.fields.items()})
+
+        substitution = dict(self.parameters)
+        substitution.update(parameters)
+
+        for eq in self.equations:
+            flat.equations.append(
+                Equation(
+                    rename.get(eq.target, eq.target),
+                    rename_expression(substitute_parameters(eq.expr, substitution), rename),
+                    partial=eq.partial,
+                    label=eq.label,
+                )
+            )
+        for constraint in self.constraints:
+            flat.constraints.append(
+                ClockConstraint(
+                    constraint.kind,
+                    tuple(
+                        rename_expression(substitute_parameters(op, substitution), rename)
+                        for op in constraint.operands
+                    ),
+                    label=constraint.label,
+                )
+            )
+        for instance in self.instances:
+            child_prefix = f"{prefix}{instance.instance_name}_"
+            child = instance.model
+            child_rename: Dict[str, str] = {}
+            for decl in child.signals.values():
+                if decl.name in instance.bindings:
+                    bound = instance.bindings[decl.name]
+                    child_rename[decl.name] = rename.get(bound, f"{prefix}{bound}")
+                else:
+                    child_rename[decl.name] = f"{child_prefix}{decl.name}"
+            merged_params = dict(substitution)
+            merged_params.update(instance.parameters)
+            child._flatten_bound(flat, child_prefix, child_rename, merged_params)
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "ProcessModel":
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ProcessModel({self.name!r}, signals={len(self.signals)}, "
+            f"equations={len(self.equations)}, instances={len(self.instances)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# expression rewriting helpers
+# ----------------------------------------------------------------------
+def rename_expression(expr: Expression, rename: Mapping[str, str]) -> Expression:
+    """Return *expr* with every signal reference renamed through *rename*."""
+    if isinstance(expr, SignalRef):
+        return SignalRef(rename.get(expr.name, expr.name))
+    if isinstance(expr, Var):
+        return Var(rename.get(expr.name, expr.name))
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, FunctionApp):
+        return FunctionApp(expr.op, tuple(rename_expression(a, rename) for a in expr.args))
+    if isinstance(expr, Delay):
+        return Delay(rename_expression(expr.operand, rename), expr.init, expr.depth)
+    if isinstance(expr, When):
+        return When(rename_expression(expr.operand, rename), rename_expression(expr.condition, rename))
+    if isinstance(expr, Default):
+        return Default(rename_expression(expr.left, rename), rename_expression(expr.right, rename))
+    if isinstance(expr, Cell):
+        return Cell(
+            rename_expression(expr.operand, rename),
+            rename_expression(expr.condition, rename),
+            expr.init,
+        )
+    if isinstance(expr, ClockOf):
+        return ClockOf(rename_expression(expr.operand, rename))
+    if isinstance(expr, WhenClock):
+        return WhenClock(rename_expression(expr.condition, rename))
+    if isinstance(expr, ClockUnion):
+        return ClockUnion(rename_expression(expr.left, rename), rename_expression(expr.right, rename))
+    if isinstance(expr, ClockIntersection):
+        return ClockIntersection(rename_expression(expr.left, rename), rename_expression(expr.right, rename))
+    if isinstance(expr, ClockDifference):
+        return ClockDifference(rename_expression(expr.left, rename), rename_expression(expr.right, rename))
+    raise TypeError(f"cannot rename expression of type {type(expr).__name__}")
+
+
+def substitute_parameters(expr: Expression, parameters: Mapping[str, Any]) -> Expression:
+    """Replace signal references whose name is a static parameter by constants."""
+    if not parameters:
+        return expr
+    if isinstance(expr, SignalRef) and expr.name in parameters:
+        return Const(parameters[expr.name])
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, FunctionApp):
+        return FunctionApp(expr.op, tuple(substitute_parameters(a, parameters) for a in expr.args))
+    if isinstance(expr, Delay):
+        init = expr.init
+        if isinstance(init, str) and init in parameters:
+            init = parameters[init]
+        return Delay(substitute_parameters(expr.operand, parameters), init, expr.depth)
+    if isinstance(expr, When):
+        return When(
+            substitute_parameters(expr.operand, parameters),
+            substitute_parameters(expr.condition, parameters),
+        )
+    if isinstance(expr, Default):
+        return Default(
+            substitute_parameters(expr.left, parameters),
+            substitute_parameters(expr.right, parameters),
+        )
+    if isinstance(expr, Cell):
+        init = expr.init
+        if isinstance(init, str) and init in parameters:
+            init = parameters[init]
+        return Cell(
+            substitute_parameters(expr.operand, parameters),
+            substitute_parameters(expr.condition, parameters),
+            init,
+        )
+    if isinstance(expr, ClockOf):
+        return ClockOf(substitute_parameters(expr.operand, parameters))
+    if isinstance(expr, WhenClock):
+        return WhenClock(substitute_parameters(expr.condition, parameters))
+    if isinstance(expr, ClockUnion):
+        return ClockUnion(
+            substitute_parameters(expr.left, parameters),
+            substitute_parameters(expr.right, parameters),
+        )
+    if isinstance(expr, ClockIntersection):
+        return ClockIntersection(
+            substitute_parameters(expr.left, parameters),
+            substitute_parameters(expr.right, parameters),
+        )
+    if isinstance(expr, ClockDifference):
+        return ClockDifference(
+            substitute_parameters(expr.left, parameters),
+            substitute_parameters(expr.right, parameters),
+        )
+    return expr

@@ -1,0 +1,231 @@
+"""Profiling-based performance evaluation of polychronous processes.
+
+The paper relies on the SIGNAL profiling technique of Kountouris & Le Guernic
+[16]: once a hardware architecture is chosen, a *temporal specification* of
+the SIGNAL program (a cost per elementary operation on that architecture) is
+defined, and the profiling evaluates the timing of the design implementation.
+
+Our substitution keeps the same structure:
+
+* a :class:`CostModel` gives the cost (in abstract time units, e.g. µs) of
+  every elementary SIGNAL operation (stepwise arithmetic, delay, sampling,
+  merge, memory access) on a candidate processor;
+* a **static profile** weights each equation of the process by the cost of its
+  operators, giving a per-activation cost of each signal;
+* a **dynamic profile** replays a simulation trace and accumulates the cost of
+  the operations actually activated at each instant, yielding per-instant and
+  total execution-time estimates — the figure of merit used when comparing
+  candidate architectures or bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .expressions import (
+    Cell,
+    ClockDifference,
+    ClockIntersection,
+    ClockOf,
+    ClockUnion,
+    Const,
+    Default,
+    Delay,
+    Expression,
+    FunctionApp,
+    SignalRef,
+    Var,
+    When,
+    WhenClock,
+)
+from .process import ProcessModel
+from .simulator import SimulationTrace
+from .values import is_present
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation costs (abstract time units) of a candidate processor."""
+
+    name: str
+    stepwise: float = 1.0
+    delay: float = 0.5
+    sampling: float = 0.2
+    merge: float = 0.3
+    memory: float = 0.8
+    clock_op: float = 0.1
+    per_operator: Mapping[str, float] = field(default_factory=dict)
+    frequency_scale: float = 1.0
+
+    def cost_of_operator(self, op: str) -> float:
+        return self.per_operator.get(op, self.stepwise) * self.frequency_scale
+
+
+#: A generic reference processor, roughly one unit per arithmetic operation.
+GENERIC_PROCESSOR = CostModel(name="generic")
+#: A slower micro-controller-class processor.
+MICROCONTROLLER = CostModel(
+    name="microcontroller",
+    stepwise=4.0,
+    delay=2.0,
+    sampling=1.0,
+    merge=1.5,
+    memory=6.0,
+    clock_op=0.5,
+)
+#: A faster embedded processor with cheap memory accesses.
+EMBEDDED_CPU = CostModel(
+    name="embedded_cpu",
+    stepwise=0.5,
+    delay=0.25,
+    sampling=0.1,
+    merge=0.15,
+    memory=0.4,
+    clock_op=0.05,
+)
+
+
+def expression_cost(expr: Expression, model: CostModel) -> float:
+    """Static cost of evaluating *expr* once (all operands present)."""
+    if isinstance(expr, (SignalRef, Var, Const)):
+        return 0.0
+    if isinstance(expr, FunctionApp):
+        return model.cost_of_operator(expr.op) * model.frequency_scale + sum(
+            expression_cost(a, model) for a in expr.args
+        )
+    if isinstance(expr, Delay):
+        return model.delay + expression_cost(expr.operand, model)
+    if isinstance(expr, When):
+        return model.sampling + expression_cost(expr.operand, model) + expression_cost(expr.condition, model)
+    if isinstance(expr, WhenClock):
+        return model.sampling + expression_cost(expr.condition, model)
+    if isinstance(expr, Default):
+        return model.merge + expression_cost(expr.left, model) + expression_cost(expr.right, model)
+    if isinstance(expr, Cell):
+        return model.memory + expression_cost(expr.operand, model) + expression_cost(expr.condition, model)
+    if isinstance(expr, ClockOf):
+        return model.clock_op + expression_cost(expr.operand, model)
+    if isinstance(expr, (ClockUnion, ClockIntersection, ClockDifference)):
+        return model.clock_op + expression_cost(expr.left, model) + expression_cost(expr.right, model)
+    raise TypeError(f"unsupported expression {type(expr).__name__}")
+
+
+@dataclass
+class StaticProfile:
+    """Per-signal worst-case activation cost of a process on one cost model."""
+
+    process_name: str
+    cost_model: str
+    per_signal: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_signal.values())
+
+    def most_expensive(self, count: int = 5) -> List[Tuple[str, float]]:
+        return sorted(self.per_signal.items(), key=lambda kv: (-kv[1], kv[0]))[:count]
+
+    def summary(self) -> str:
+        lines = [
+            f"Static profile of {self.process_name} on {self.cost_model}",
+            f"  total per-reaction worst case: {self.total:.2f} units",
+        ]
+        for name, cost in self.most_expensive():
+            lines.append(f"  {name:<30s} {cost:8.2f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class DynamicProfile:
+    """Cost of a recorded simulation on one cost model."""
+
+    process_name: str
+    cost_model: str
+    instants: int
+    per_instant: List[float]
+    per_signal: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_instant)
+
+    @property
+    def average_per_instant(self) -> float:
+        return self.total / self.instants if self.instants else 0.0
+
+    @property
+    def peak_instant(self) -> float:
+        return max(self.per_instant) if self.per_instant else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"Dynamic profile of {self.process_name} on {self.cost_model}: "
+            f"{self.instants} instants, total {self.total:.2f} units, "
+            f"avg {self.average_per_instant:.2f}/instant, peak {self.peak_instant:.2f}"
+        )
+
+
+class Profiler:
+    """Static and trace-driven profiling of a polychronous process."""
+
+    def __init__(self, process: ProcessModel, cost_model: CostModel = GENERIC_PROCESSOR) -> None:
+        if process.instances or process.submodels:
+            process = process.flatten()
+        self.process = process
+        self.cost_model = cost_model
+
+    def static_profile(self) -> StaticProfile:
+        """Worst-case cost per defined signal (every equation activated)."""
+        per_signal: Dict[str, float] = {}
+        for eq in self.process.equations:
+            per_signal[eq.target] = per_signal.get(eq.target, 0.0) + expression_cost(eq.expr, self.cost_model)
+        return StaticProfile(
+            process_name=self.process.name,
+            cost_model=self.cost_model.name,
+            per_signal=per_signal,
+        )
+
+    def dynamic_profile(self, trace: SimulationTrace) -> DynamicProfile:
+        """Accumulate the cost of the equations activated at each instant.
+
+        An equation is charged at an instant when its target signal is present
+        at that instant in the recorded trace; signals that were not recorded
+        are charged at every instant (conservative).
+        """
+        static = self.static_profile()
+        per_instant = [0.0] * trace.length
+        per_signal: Dict[str, float] = {name: 0.0 for name in static.per_signal}
+        for name, cost in static.per_signal.items():
+            flow = trace.flows.get(name)
+            if flow is None:
+                activations = range(trace.length)
+            else:
+                activations = [i for i, value in enumerate(flow) if is_present(value)]
+            for instant in activations:
+                per_instant[instant] += cost
+                per_signal[name] += cost
+        return DynamicProfile(
+            process_name=self.process.name,
+            cost_model=self.cost_model.name,
+            instants=trace.length,
+            per_instant=per_instant,
+            per_signal=per_signal,
+        )
+
+
+def compare_architectures(
+    process: ProcessModel,
+    trace: SimulationTrace,
+    cost_models: Mapping[str, CostModel],
+) -> Dict[str, DynamicProfile]:
+    """Profile the same trace against several candidate architectures.
+
+    This mirrors the architecture-exploration use of profiling in the paper:
+    the designer picks the binding whose estimated timing fits the period and
+    deadline budget of the threads.
+    """
+    return {
+        label: Profiler(process, model).dynamic_profile(trace)
+        for label, model in cost_models.items()
+    }

@@ -1,0 +1,231 @@
+"""Value domain of the polychronous model of computation.
+
+In the polychronous model (the SIGNAL language), a *signal* is an unbounded
+series of values implicitly indexed by a discrete, partially ordered time.  At
+any logical instant a signal is either *present* and carries a value of its
+type, or *absent*.  Absence is denoted by the bottom value ``⊥`` in the paper;
+here it is represented by the :data:`ABSENT` singleton so that ``None`` stays
+available as an ordinary (if unusual) signal value.
+
+The module also defines the small type system used by the SIGNAL kernel:
+``event``, ``boolean``, ``integer``, ``real``, ``string`` and named/opaque
+types used when translating AADL data classifiers whose content is not
+interpreted by the analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+class _Absent:
+    """Singleton marking the absence (``⊥``) of a signal at an instant."""
+
+    _instance: Optional["_Absent"] = None
+
+    def __new__(cls) -> "_Absent":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __copy__(self) -> "_Absent":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "_Absent":
+        return self
+
+
+#: The absence value ``⊥``.  A signal holding :data:`ABSENT` at an instant is
+#: simply not present at that instant.
+ABSENT = _Absent()
+
+
+def is_present(value: Any) -> bool:
+    """Return ``True`` when *value* is a real value (not :data:`ABSENT`)."""
+    return value is not ABSENT
+
+
+def is_absent(value: Any) -> bool:
+    """Return ``True`` when *value* is the absence marker :data:`ABSENT`."""
+    return value is ABSENT
+
+
+class SignalKind(enum.Enum):
+    """Base kinds of the SIGNAL type system used by the kernel."""
+
+    EVENT = "event"
+    BOOLEAN = "boolean"
+    INTEGER = "integer"
+    REAL = "real"
+    STRING = "string"
+    OPAQUE = "opaque"
+    BUNDLE = "bundle"
+
+
+@dataclass(frozen=True)
+class SignalType:
+    """Type of a signal.
+
+    ``event`` signals are pure synchronization signals: when present they
+    always carry the value ``True``.  ``opaque`` types carry a name (for
+    instance the AADL data classifier they come from) but their values are
+    not interpreted by the analyses.
+    """
+
+    kind: SignalKind
+    name: Optional[str] = None
+    element_types: Optional[tuple] = None
+
+    def __str__(self) -> str:
+        if self.kind is SignalKind.OPAQUE and self.name:
+            return self.name
+        if self.kind is SignalKind.BUNDLE:
+            inner = ", ".join(str(t) for t in (self.element_types or ()))
+            return f"bundle({inner})"
+        return self.kind.value
+
+    @property
+    def is_event(self) -> bool:
+        return self.kind is SignalKind.EVENT
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.kind is SignalKind.BOOLEAN
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in (SignalKind.INTEGER, SignalKind.REAL)
+
+    def accepts(self, value: Any) -> bool:
+        """Check that a present *value* is compatible with this type."""
+        if is_absent(value):
+            return True
+        if self.kind is SignalKind.EVENT:
+            return value is True
+        if self.kind is SignalKind.BOOLEAN:
+            return isinstance(value, bool)
+        if self.kind is SignalKind.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.kind is SignalKind.REAL:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self.kind is SignalKind.STRING:
+            return isinstance(value, str)
+        return True
+
+    def default_value(self) -> Any:
+        """A neutral initial value for delays whose ``init`` is omitted."""
+        if self.kind is SignalKind.EVENT:
+            return True
+        if self.kind is SignalKind.BOOLEAN:
+            return False
+        if self.kind is SignalKind.INTEGER:
+            return 0
+        if self.kind is SignalKind.REAL:
+            return 0.0
+        if self.kind is SignalKind.STRING:
+            return ""
+        return None
+
+
+#: Pre-built types, matching the SIGNAL surface syntax keywords.
+EVENT = SignalType(SignalKind.EVENT)
+BOOLEAN = SignalType(SignalKind.BOOLEAN)
+INTEGER = SignalType(SignalKind.INTEGER)
+REAL = SignalType(SignalKind.REAL)
+STRING = SignalType(SignalKind.STRING)
+
+
+def opaque(name: str) -> SignalType:
+    """Create an opaque named type (uninterpreted data classifier)."""
+    return SignalType(SignalKind.OPAQUE, name=name)
+
+
+def bundle(*element_types: SignalType) -> SignalType:
+    """Create a bundle (polychronous tuple) type.
+
+    Bundles are used by the AADL translation for the ``ctl1``, ``time1`` and
+    ``ctl2`` interface groups of a translated thread (Fig. 4 in the paper).
+    """
+    return SignalType(SignalKind.BUNDLE, element_types=tuple(element_types))
+
+
+class Flow:
+    """A finite recorded flow of one signal: a list of values or ``⊥``.
+
+    Flows are what the reference simulator produces and what scenario
+    generators feed it with.  The instants are the instants of the chosen
+    simulation (master) clock.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, values: Optional[Iterable[Any]] = None) -> None:
+        self.name = name
+        self.values: List[Any] = list(values) if values is not None else []
+
+    def append(self, value: Any) -> None:
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Flow):
+            return self.name == other.name and self.values == other.values
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        shown = ", ".join("⊥" if is_absent(v) else repr(v) for v in self.values)
+        return f"Flow({self.name}: [{shown}])"
+
+    @property
+    def clock(self) -> List[int]:
+        """Indices of the instants at which the signal is present."""
+        return [i for i, v in enumerate(self.values) if is_present(v)]
+
+    def present_values(self) -> List[Any]:
+        """The sub-sequence of present values (the signal 'as observed')."""
+        return [v for v in self.values if is_present(v)]
+
+    def count_present(self) -> int:
+        return len(self.clock)
+
+    def synchronous_with(self, other: "Flow") -> bool:
+        """Two flows are synchronous when they are present at the same instants."""
+        return self.clock == other.clock
+
+    def restricted_to(self, instants: Sequence[int]) -> "Flow":
+        """Return a copy keeping only the given instants (others absent)."""
+        keep = set(instants)
+        return Flow(
+            self.name,
+            [v if i in keep else ABSENT for i, v in enumerate(self.values)],
+        )
+
+    def pad_to(self, length: int) -> "Flow":
+        """Return a copy padded with ⊥ up to *length* instants."""
+        padded = list(self.values) + [ABSENT] * max(0, length - len(self.values))
+        return Flow(self.name, padded)
+
+
+def stutter_free(values: Iterable[Any]) -> List[Any]:
+    """Drop the ⊥ entries of a sequence, keeping only present values.
+
+    The asynchronous observation of a flow is its stutter-free projection;
+    flow equivalence (used by several tests) compares these projections.
+    """
+    return [v for v in values if is_present(v)]

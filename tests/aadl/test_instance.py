@@ -1,0 +1,145 @@
+"""Tests of the instance model: instantiation, properties, bindings."""
+
+import pytest
+
+from repro.aadl.errors import AadlInstantiationError
+from repro.aadl.instance import Instantiator, instance_report, instantiate, processor_bindings
+from repro.aadl.model import ComponentCategory
+from repro.aadl.parser import parse_string
+
+
+class TestCaseStudyInstance:
+    def test_instance_tree_shape(self, pc_root):
+        assert pc_root.category is ComponentCategory.SYSTEM
+        assert set(pc_root.subcomponents) == {"prProdCons", "Processor1", "sysEnv", "sysOperatorDisplay"}
+
+    def test_report_counts(self, pc_root):
+        report = instance_report(pc_root)
+        assert report.threads == 4
+        assert report.processes == 1
+        assert report.processors == 1
+        assert report.data == 1
+        assert report.connections == 16
+
+    def test_qualified_names_and_paths(self, pc_root):
+        producer = pc_root.find(["prProdCons", "thProducer"])
+        assert producer.qualified_name == "ProducerConsumerSystem.prProdCons.thProducer"
+        assert producer.path == ("ProducerConsumerSystem", "prProdCons", "thProducer")
+        assert producer.root() is pc_root
+
+    def test_thread_features_inherited_from_type(self, pc_root):
+        producer = pc_root.find(["prProdCons", "thProducer"])
+        assert "pProdStart" in producer.features
+        assert producer.features["pProdStart"].is_port
+        assert "reqQueue" in producer.features
+        assert producer.features["reqQueue"].is_data_access
+
+    def test_period_and_deadline_interpretation(self, pc_root, pc_process):
+        periods = {t.name: t.period_ms() for t in pc_process.threads()}
+        assert periods == {"thProducer": 4.0, "thConsumer": 6.0, "thProdTimer": 8.0, "thConsTimer": 8.0}
+        assert pc_process.subcomponents["thProducer"].deadline_ms() == 4.0
+
+    def test_dispatch_protocol(self, pc_root):
+        producer = pc_root.find(["prProdCons", "thProducer"])
+        assert producer.dispatch_protocol() == "Periodic"
+
+    def test_connection_instances_resolved(self, pc_process):
+        names = {c.name for c in pc_process.connections}
+        assert "cnxProdStartTimer" in names
+        connection = next(c for c in pc_process.connections if c.name == "cnxProdStartTimer")
+        assert connection.source.owner.name == "thProducer"
+        assert connection.destination.owner.name == "thProdTimer"
+
+    def test_data_access_connection_uses_synthetic_feature(self, pc_process):
+        access = next(c for c in pc_process.connections if c.name == "accProducer")
+        assert access.source.owner.name == "Queue"
+
+    def test_in_out_port_queries(self, pc_root):
+        producer = pc_root.find(["prProdCons", "thProducer"])
+        in_names = {f.name for f in producer.in_ports()}
+        out_names = {f.name for f in producer.out_ports()}
+        assert in_names == {"pProdStart", "pProdTimeOut"}
+        assert "pProdStartTimer" in out_names
+
+    def test_processor_binding_resolution(self, pc_root):
+        bindings = processor_bindings(pc_root)
+        assert bindings["ProducerConsumerSystem.prProdCons"].name == "Processor1"
+
+    def test_mode_automaton_instantiated(self, pc_root):
+        producer = pc_root.find(["prProdCons", "thProducer"])
+        assert set(producer.modes) == {"idle", "producing", "error"}
+        assert len(producer.mode_transitions) == 3
+
+    def test_port_queue_size_property(self, pc_root):
+        timer = pc_root.find(["prProdCons", "thProdTimer"])
+        assert timer.features["pStartTimer"].declaration.properties.value("Queue_Size") == 2
+
+    def test_find_feature_by_path(self, pc_root):
+        feature = pc_root.find_feature(["prProdCons", "thProducer", "pProdStart"])
+        assert feature is not None and feature.name == "pProdStart"
+        assert pc_root.find_feature(["nope"]) is None
+
+    def test_instances_of_category(self, pc_root):
+        assert len(pc_root.instances_of(ComponentCategory.SYSTEM)) == 3
+        assert len(pc_root.devices()) == 0
+
+
+class TestInstantiationErrors:
+    def test_unknown_root_raises(self, pc_model):
+        with pytest.raises(AadlInstantiationError):
+            Instantiator(pc_model).instantiate("Missing.impl")
+
+    def test_unknown_subcomponent_classifier_raises(self):
+        text = """
+        package P
+        public
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            t: thread ghost.impl;
+          end p.impl;
+        end P;
+        """
+        model = parse_string(text)
+        with pytest.raises(AadlInstantiationError):
+            instantiate(model, "p.impl")
+
+    def test_unresolvable_connection_raises(self):
+        text = """
+        package P
+        public
+          thread t
+          features
+            i: in event port;
+          end t;
+          thread implementation t.impl
+          end t.impl;
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            a: thread t.impl;
+          connections
+            c: port a.missing -> a.i;
+          end p.impl;
+        end P;
+        """
+        model = parse_string(text)
+        with pytest.raises(AadlInstantiationError):
+            instantiate(model, "p.impl")
+
+    def test_subcomponent_without_classifier_ok(self):
+        text = """
+        package P
+        public
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            buffer: data;
+          end p.impl;
+        end P;
+        """
+        root = instantiate(parse_string(text), "p.impl")
+        assert root.subcomponents["buffer"].component_type is None

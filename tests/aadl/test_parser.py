@@ -1,0 +1,247 @@
+"""Tests of the AADL parser on the textual subset."""
+
+import pytest
+
+from repro.aadl.errors import AadlSyntaxError
+from repro.aadl.model import (
+    AccessKind,
+    ComponentCategory,
+    ConnectionKind,
+    DataAccess,
+    Port,
+    PortDirection,
+    PortKind,
+)
+from repro.aadl.parser import parse_string
+from repro.aadl.properties import IntegerValue, ListValue, RangeValue, RecordValue, ReferenceValue
+
+
+SMALL_PACKAGE = """
+package Small
+public
+  thread worker
+  features
+    input: in event data port;
+    output: out data port;
+    command: in event port {Queue_Size => 3;};
+    store: requires data access;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 10 ms;
+    Compute_Execution_Time => 1 ms .. 2 ms;
+    Input_Time => ([Time => Dispatch; Offset => 0 ms .. 0 ms;]);
+  end worker;
+
+  thread implementation worker.impl
+  end worker.impl;
+
+  process host
+  features
+    feed: in event port;
+  end host;
+
+  process implementation host.impl
+  subcomponents
+    w1: thread worker.impl;
+    w2: thread worker.impl;
+    buffer: data;
+  connections
+    c0: port feed -> w1.command;
+    c1: port w1.output -> w2.input {Timing => Delayed;};
+    a0: data access buffer -> w1.store;
+  end host.impl;
+
+  processor cpu
+  end cpu;
+
+  system rig
+  end rig;
+
+  system implementation rig.impl
+  subcomponents
+    host: process host.impl;
+    cpu0: processor cpu;
+  properties
+    Actual_Processor_Binding => (reference (cpu0)) applies to host;
+  end rig.impl;
+end Small;
+"""
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return parse_string(SMALL_PACKAGE)
+
+
+class TestPackagesAndClassifiers:
+    def test_package_parsed(self, small_model):
+        assert "Small" in small_model.packages
+        package = small_model.packages["Small"]
+        assert set(package.types) == {"worker", "host", "cpu", "rig"}
+        assert set(package.implementations) == {"worker.impl", "host.impl", "rig.impl"}
+
+    def test_categories(self, small_model):
+        package = small_model.packages["Small"]
+        assert package.types["worker"].category is ComponentCategory.THREAD
+        assert package.types["cpu"].category is ComponentCategory.PROCESSOR
+        assert package.implementations["rig.impl"].category is ComponentCategory.SYSTEM
+
+    def test_lookup_helpers(self, small_model):
+        assert small_model.find_type("worker") is not None
+        assert small_model.find_implementation("worker.impl") is not None
+        assert small_model.find_classifier("Small::worker") is not None
+        assert small_model.find_type("nonexistent") is None
+
+    def test_component_counts(self, small_model):
+        counts = small_model.component_counts()
+        assert counts["thread"] == 1
+        assert counts["system"] == 1
+        assert small_model.classifier_count() == 7
+
+
+class TestFeatures:
+    def test_port_kinds_and_directions(self, small_model):
+        worker = small_model.find_type("worker")
+        input_port = worker.features["input"]
+        assert isinstance(input_port, Port)
+        assert input_port.kind is PortKind.EVENT_DATA
+        assert input_port.direction is PortDirection.IN
+        assert worker.features["output"].kind is PortKind.DATA
+        assert worker.features["output"].direction is PortDirection.OUT
+        assert worker.features["command"].kind is PortKind.EVENT
+
+    def test_feature_property_block(self, small_model):
+        worker = small_model.find_type("worker")
+        assert worker.features["command"].properties.value("Queue_Size") == 3
+
+    def test_data_access_feature(self, small_model):
+        worker = small_model.find_type("worker")
+        store = worker.features["store"]
+        assert isinstance(store, DataAccess)
+        assert store.access is AccessKind.REQUIRES
+
+
+class TestProperties:
+    def test_time_property_with_unit(self, small_model):
+        worker = small_model.find_type("worker")
+        period = worker.properties.find("Period")
+        assert isinstance(period.value, IntegerValue)
+        assert period.value.unit == "ms"
+
+    def test_range_property(self, small_model):
+        worker = small_model.find_type("worker")
+        wcet = worker.properties.find("Compute_Execution_Time")
+        assert isinstance(wcet.value, RangeValue)
+
+    def test_record_list_property(self, small_model):
+        worker = small_model.find_type("worker")
+        input_time = worker.properties.find("Input_Time")
+        assert isinstance(input_time.value, ListValue)
+        assert isinstance(input_time.value.items[0], RecordValue)
+
+    def test_reference_with_applies_to(self, small_model):
+        rig = small_model.find_implementation("rig.impl")
+        binding = rig.properties.find("Actual_Processor_Binding")
+        assert binding.applies_to == (("host",),)
+        assert isinstance(binding.value.items[0], ReferenceValue)
+
+
+class TestSubcomponentsAndConnections:
+    def test_subcomponents(self, small_model):
+        host = small_model.find_implementation("host.impl")
+        assert set(host.subcomponents) == {"w1", "w2", "buffer"}
+        assert host.subcomponents["buffer"].category is ComponentCategory.DATA
+        assert host.subcomponents["buffer"].classifier is None
+        assert host.subcomponents["w1"].classifier == "worker.impl"
+
+    def test_port_connections(self, small_model):
+        host = small_model.find_implementation("host.impl")
+        c0 = host.connections[0]
+        assert c0.kind is ConnectionKind.PORT
+        assert c0.source.subcomponent is None and c0.source.feature == "feed"
+        assert c0.destination.subcomponent == "w1"
+
+    def test_connection_timing_property_block(self, small_model):
+        host = small_model.find_implementation("host.impl")
+        c1 = next(c for c in host.connections if c.name == "c1")
+        assert c1.timing == "delayed"
+
+    def test_data_access_connection(self, small_model):
+        host = small_model.find_implementation("host.impl")
+        a0 = next(c for c in host.connections if c.name == "a0")
+        assert a0.kind is ConnectionKind.DATA_ACCESS
+
+
+class TestModesAndPropertySets:
+    MODES = """
+    package M
+    public
+      thread t
+      end t;
+      thread implementation t.impl
+      modes
+        idle: initial mode;
+        busy: mode;
+        go: idle -[ start ]-> busy;
+        busy -[ stop ]-> idle {Priority => 2;};
+      end t.impl;
+    end M;
+    """
+
+    def test_modes_and_transitions(self):
+        model = parse_string(self.MODES)
+        impl = model.find_implementation("t.impl")
+        assert impl.modes["idle"].initial
+        assert not impl.modes["busy"].initial
+        assert len(impl.mode_transitions) == 2
+        named = impl.mode_transitions[0]
+        assert named.name == "go" and named.triggers == ("start",)
+        assert impl.mode_transitions[1].priority == 2
+
+    def test_property_set_recorded(self):
+        text = """
+        property set MyProps is
+          Budget: aadlinteger applies to (thread);
+        end MyProps;
+        package P
+        public
+          data d
+          end d;
+        end P;
+        """
+        model = parse_string(text)
+        assert "MyProps" in model.property_sets
+        assert "Budget" in model.property_sets["MyProps"].declarations
+
+    def test_with_clause_and_none_sections(self):
+        text = """
+        package P
+        public
+          with Base_Types;
+          thread t
+          features
+            none;
+          properties
+            none;
+          end t;
+        end P;
+        """
+        model = parse_string(text)
+        assert model.packages["P"].imports == ["Base_Types"]
+        assert model.find_type("t").features == {}
+
+
+class TestErrors:
+    def test_missing_end_raises(self):
+        with pytest.raises(AadlSyntaxError):
+            parse_string("package P\npublic\n  thread t\n")
+
+    def test_unknown_top_level_raises(self):
+        with pytest.raises(AadlSyntaxError):
+            parse_string("banana P;")
+
+    def test_bad_range_bounds(self):
+        with pytest.raises(AadlSyntaxError):
+            parse_string(
+                "package P\npublic\n  thread t\n  properties\n    Period => abc .. 3;\n  end t;\nend P;"
+            )

@@ -1,0 +1,100 @@
+"""Tests of the AADL unparser (round-trips) and the standard property knowledge."""
+
+import pytest
+
+from repro.aadl import stdlib
+from repro.aadl.instance import instance_report, instantiate
+from repro.aadl.model import ComponentCategory
+from repro.aadl.parser import parse_string
+from repro.aadl.printer import render_component_type, render_model, render_package
+
+
+class TestRoundTrip:
+    def test_case_study_roundtrip_preserves_classifiers(self, pc_model):
+        text = render_model(pc_model)
+        reparsed = parse_string(text)
+        assert reparsed.classifier_count() == pc_model.classifier_count()
+
+    def test_case_study_roundtrip_preserves_instance_shape(self, pc_model, pc_root):
+        text = render_model(pc_model)
+        reparsed = parse_string(text)
+        root = instantiate(reparsed, "ProducerConsumerSystem.others", default_package="ProducerConsumer")
+        assert instance_report(root).as_dict() == instance_report(pc_root).as_dict()
+
+    def test_roundtrip_preserves_thread_properties(self, pc_model):
+        reparsed = parse_string(render_model(pc_model))
+        original = pc_model.find_type("thProducer")
+        round_tripped = reparsed.find_type("thProducer")
+        assert round_tripped.properties.value("Period") == original.properties.value("Period")
+        assert round_tripped.properties.value("Dispatch_Protocol") == "Periodic"
+
+    def test_roundtrip_preserves_modes(self, pc_model):
+        reparsed = parse_string(render_model(pc_model))
+        impl = reparsed.find_implementation("thProducer.impl")
+        assert set(impl.modes) == {"idle", "producing", "error"}
+        assert len(impl.mode_transitions) == 3
+
+    def test_roundtrip_preserves_connection_timing(self):
+        text = """
+        package P
+        public
+          thread a
+          features
+            o: out data port;
+            i: in data port;
+          end a;
+          thread implementation a.impl
+          end a.impl;
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            x: thread a.impl;
+            y: thread a.impl;
+          connections
+            c: port x.o -> y.i {Timing => Delayed;};
+          end p.impl;
+        end P;
+        """
+        reparsed = parse_string(render_model(parse_string(text)))
+        impl = reparsed.find_implementation("p.impl")
+        assert impl.connections[0].timing == "delayed"
+
+    def test_render_package_and_type_fragments(self, pc_model):
+        package = pc_model.packages["ProducerConsumer"]
+        assert "package ProducerConsumer" in render_package(package)
+        fragment = render_component_type(pc_model.find_type("thProducer"))
+        assert "thread thProducer" in fragment
+        assert "Period => 4 ms;" in fragment
+
+    def test_generated_models_roundtrip(self):
+        from repro.casestudies import GeneratorConfig, generate_case_study
+
+        generated = generate_case_study(GeneratorConfig(name="RT", processes=2, threads_per_process=3))
+        reparsed = parse_string(render_model(generated.model))
+        assert reparsed.classifier_count() == generated.model.classifier_count()
+
+
+class TestStdlib:
+    def test_lookup_is_case_insensitive_and_strips_qualifier(self):
+        assert stdlib.lookup("period").name == "Period"
+        assert stdlib.lookup("Timing_Properties::Period").name == "Period"
+        assert stdlib.lookup("NotAProperty") is None
+
+    def test_defaults(self):
+        assert stdlib.default_value("Queue_Size") == 1
+        assert stdlib.default_value("Queue_Processing_Protocol") == "FIFO"
+        assert stdlib.default_value("Input_Time") == "Dispatch"
+        assert stdlib.default_value("Period") is None
+
+    def test_is_standard(self):
+        assert stdlib.is_standard("Dispatch_Protocol")
+        assert not stdlib.is_standard("My_Custom_Property")
+
+    def test_applicability_categories(self):
+        definition = stdlib.lookup("Actual_Processor_Binding")
+        assert ComponentCategory.PROCESS in definition.applies_to
+
+    def test_dispatch_protocol_literals(self):
+        definition = stdlib.lookup("Dispatch_Protocol")
+        assert "Periodic" in definition.literals and "Sporadic" in definition.literals

@@ -1,0 +1,167 @@
+"""Tests of AADL property values, units and interpreted timing properties."""
+
+import pytest
+
+from repro.aadl.errors import AadlSemanticError
+from repro.aadl.properties import (
+    BooleanValue,
+    DispatchProtocol,
+    EnumerationValue,
+    IntegerValue,
+    IOReference,
+    IOTimeSpec,
+    ListValue,
+    PropertyAssociation,
+    PropertyMap,
+    RangeValue,
+    RealValue,
+    RecordValue,
+    ReferenceValue,
+    StringValue,
+    convert_time,
+    io_time,
+    ms,
+    parse_io_time,
+    parse_time_value,
+)
+
+
+class TestUnits:
+    def test_ms_to_us(self):
+        assert convert_time(4, "ms", "us") == pytest.approx(4000)
+
+    def test_sec_to_ms(self):
+        assert convert_time(1, "sec", "ms") == pytest.approx(1000)
+
+    def test_identity(self):
+        assert convert_time(7, "ms", "ms") == pytest.approx(7)
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(AadlSemanticError):
+            convert_time(1, "fortnight")
+
+
+class TestValues:
+    def test_integer_with_unit(self):
+        value = IntegerValue(4, "ms")
+        assert value.python_value() == 4
+        assert str(value) == "4 ms"
+
+    def test_real_and_boolean_and_string(self):
+        assert RealValue(1.5).python_value() == 1.5
+        assert BooleanValue(True).python_value() is True
+        assert str(BooleanValue(False)) == "false"
+        assert StringValue("hi").python_value() == "hi"
+
+    def test_enumeration(self):
+        assert EnumerationValue("Periodic").python_value() == "Periodic"
+
+    def test_reference(self):
+        value = ReferenceValue(("Processor1",))
+        assert value.python_value() == "Processor1"
+        assert "reference" in str(value)
+
+    def test_range(self):
+        value = RangeValue(IntegerValue(0, "ms"), IntegerValue(1, "ms"))
+        assert value.python_value() == (0, 1)
+
+    def test_list(self):
+        value = ListValue((IntegerValue(1), IntegerValue(2)))
+        assert value.python_value() == [1, 2]
+
+    def test_record_get_case_insensitive(self):
+        record = RecordValue((("Time", EnumerationValue("Dispatch")),))
+        assert record.get("time").literal == "Dispatch"
+        assert record.get("missing") is None
+        assert record.python_value() == {"Time": "Dispatch"}
+
+    def test_ms_helper(self):
+        assert isinstance(ms(4), IntegerValue)
+        assert ms(4).unit == "ms"
+        assert ms(2.5).python_value() == 2.5
+
+
+class TestPropertyMap:
+    def make_map(self):
+        return PropertyMap(
+            [
+                PropertyAssociation("Period", ms(4)),
+                PropertyAssociation("Timing_Properties::Deadline", ms(4)),
+                PropertyAssociation("Period", ms(8)),
+            ]
+        )
+
+    def test_case_insensitive_lookup(self):
+        pmap = self.make_map()
+        assert pmap.value("period") == 8  # last association wins
+        assert pmap.value("DEADLINE") == 4
+
+    def test_qualified_name_matches_base_name(self):
+        pmap = self.make_map()
+        assert pmap.value("Timing_Properties::Period") == 8
+
+    def test_find_all(self):
+        assert len(self.make_map().find_all("Period")) == 2
+
+    def test_contains_and_default(self):
+        pmap = self.make_map()
+        assert "Period" in pmap
+        assert "Priority" not in pmap
+        assert pmap.value("Priority", 42) == 42
+
+    def test_copy_is_independent(self):
+        pmap = self.make_map()
+        clone = pmap.copy()
+        clone.add(PropertyAssociation("Priority", IntegerValue(1)))
+        assert len(pmap) == 3 and len(clone) == 4
+
+    def test_association_str_with_applies_to(self):
+        association = PropertyAssociation(
+            "Actual_Processor_Binding",
+            ListValue((ReferenceValue(("Processor1",)),)),
+            applies_to=(("prProdCons",),),
+        )
+        text = str(association)
+        assert "applies to prProdCons" in text
+
+
+class TestInterpretedProperties:
+    def test_dispatch_protocol_from_literal(self):
+        assert DispatchProtocol.from_literal("periodic") is DispatchProtocol.PERIODIC
+        with pytest.raises(AadlSemanticError):
+            DispatchProtocol.from_literal("quantum")
+
+    def test_io_reference_from_literal(self):
+        assert IOReference.from_literal("Completion") is IOReference.COMPLETION
+        with pytest.raises(AadlSemanticError):
+            IOReference.from_literal("whenever")
+
+    def test_parse_time_value_integer_ms(self):
+        assert parse_time_value(ms(4)) == 4.0
+
+    def test_parse_time_value_range_uses_upper_bound(self):
+        assert parse_time_value(RangeValue(ms(0), ms(2))) == 2.0
+
+    def test_parse_time_value_converts_units(self):
+        assert parse_time_value(IntegerValue(1, "sec")) == 1000.0
+
+    def test_parse_time_value_rejects_strings(self):
+        with pytest.raises(AadlSemanticError):
+            parse_time_value(StringValue("soon"))
+
+    def test_parse_io_time_record(self):
+        specs = parse_io_time(io_time("Dispatch", 1.0))
+        assert specs[0].reference is IOReference.DISPATCH
+        assert specs[0].offset_ms() == 1.0
+
+    def test_parse_io_time_list(self):
+        value = ListValue((io_time("Start", 0.0), io_time("Completion", 0.5)))
+        specs = parse_io_time(value)
+        assert [s.reference for s in specs] == [IOReference.START, IOReference.COMPLETION]
+
+    def test_parse_io_time_bare_enumeration(self):
+        specs = parse_io_time(EnumerationValue("Deadline"))
+        assert specs[0].reference is IOReference.DEADLINE
+
+    def test_io_time_spec_str(self):
+        assert "Dispatch" in str(IOTimeSpec(IOReference.DISPATCH))

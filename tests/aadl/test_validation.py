@@ -1,0 +1,215 @@
+"""Tests of the declarative and instance-level validation passes."""
+
+import pytest
+
+from repro.aadl.instance import instantiate
+from repro.aadl.parser import parse_string
+from repro.aadl.validation import validate, validate_declarative_model, validate_instance_model
+
+
+def build(text, root=None):
+    model = parse_string(text)
+    instance = instantiate(model, root) if root else None
+    return model, instance
+
+
+class TestDeclarativeChecks:
+    def test_case_study_is_clean(self, pc_model, pc_root):
+        diagnostics = validate(pc_model, pc_root)
+        assert not diagnostics.has_errors
+        assert diagnostics.warnings == []
+
+    def test_implementation_without_type(self):
+        text = """
+        package P
+        public
+          thread implementation ghost.impl
+          end ghost.impl;
+        end P;
+        """
+        model, _ = build(text)
+        diagnostics = validate_declarative_model(model)
+        assert any("no matching component type" in d.message for d in diagnostics.errors)
+
+    def test_illegal_subcomponent_category(self):
+        text = """
+        package P
+        public
+          thread t
+          end t;
+          thread implementation t.impl
+          end t.impl;
+          processor cpu
+          end cpu;
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            c: processor cpu;
+          end p.impl;
+        end P;
+        """
+        model, _ = build(text)
+        diagnostics = validate_declarative_model(model)
+        assert any("not allowed inside" in d.message for d in diagnostics.errors)
+
+    def test_unknown_classifier_reported(self):
+        text = """
+        package P
+        public
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            t: thread missing.impl;
+          end p.impl;
+        end P;
+        """
+        model, _ = build(text)
+        diagnostics = validate_declarative_model(model)
+        assert any("not found" in d.message for d in diagnostics.errors)
+
+    def test_mode_transition_to_undeclared_mode(self):
+        text = """
+        package P
+        public
+          thread t
+          features
+            go: in event port;
+          end t;
+          thread implementation t.impl
+          modes
+            idle: initial mode;
+            idle -[ go ]-> phantom;
+          end t.impl;
+        end P;
+        """
+        model, _ = build(text)
+        diagnostics = validate_declarative_model(model)
+        assert any("undeclared mode" in d.message for d in diagnostics.errors)
+
+
+THREAD_TEMPLATE = """
+package P
+public
+  thread t
+  properties
+    Dispatch_Protocol => Periodic;
+    {properties}
+  end t;
+  thread implementation t.impl
+  end t.impl;
+  process p
+  end p;
+  process implementation p.impl
+  subcomponents
+    worker: thread t.impl;
+  end p.impl;
+end P;
+"""
+
+
+class TestInstanceChecks:
+    def test_periodic_thread_without_period(self):
+        model, root = build(THREAD_TEMPLATE.format(properties=""), "p.impl")
+        diagnostics = validate_instance_model(root)
+        assert any("no Period" in d.message for d in diagnostics.errors)
+
+    def test_deadline_larger_than_period_warns(self):
+        model, root = build(
+            THREAD_TEMPLATE.format(properties="Period => 4 ms; Deadline => 6 ms;"), "p.impl"
+        )
+        diagnostics = validate_instance_model(root)
+        assert any("exceeds Period" in d.message for d in diagnostics.warnings)
+
+    def test_wcet_exceeding_deadline_is_error(self):
+        model, root = build(
+            THREAD_TEMPLATE.format(
+                properties="Period => 4 ms; Deadline => 4 ms; Compute_Execution_Time => 0 ms .. 6 ms;"
+            ),
+            "p.impl",
+        )
+        diagnostics = validate_instance_model(root)
+        assert any("exceeds Deadline" in d.message for d in diagnostics.errors)
+
+    def test_missing_dispatch_protocol_warns_and_assumes_periodic(self):
+        text = THREAD_TEMPLATE.replace("Dispatch_Protocol => Periodic;\n    {properties}", "Period => 4 ms;")
+        model, root = build(text, "p.impl")
+        diagnostics = validate_instance_model(root)
+        assert any("Periodic is assumed" in d.message for d in diagnostics.warnings)
+
+    def test_unbound_process_warns_when_processor_exists(self):
+        text = """
+        package P
+        public
+          thread t
+          properties
+            Dispatch_Protocol => Periodic;
+            Period => 4 ms;
+          end t;
+          thread implementation t.impl
+          end t.impl;
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            worker: thread t.impl;
+          end p.impl;
+          processor cpu
+          end cpu;
+          system s
+          end s;
+          system implementation s.impl
+          subcomponents
+            host: process p.impl;
+            cpu0: processor cpu;
+          end s.impl;
+        end P;
+        """
+        model, root = build(text, "s.impl")
+        diagnostics = validate_instance_model(root)
+        assert any("Actual_Processor_Binding" in d.message for d in diagnostics.warnings)
+
+    def test_event_to_data_port_connection_is_error(self):
+        text = """
+        package P
+        public
+          thread src
+          features
+            o: out event port;
+          end src;
+          thread implementation src.impl
+          end src.impl;
+          thread dst
+          features
+            i: in data port;
+          end dst;
+          thread implementation dst.impl
+          end dst.impl;
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            a: thread src.impl;
+            b: thread dst.impl;
+          connections
+            c: port a.o -> b.i;
+          end p.impl;
+        end P;
+        """
+        model, root = build(text, "p.impl")
+        diagnostics = validate_instance_model(root)
+        assert any("event port connected to a data port" in d.message for d in diagnostics.errors)
+
+    def test_shared_data_info_emitted(self, pc_root):
+        diagnostics = validate_instance_model(pc_root)
+        assert any("mutual exclusion" in d.message for d in diagnostics.diagnostics if d.severity == "info")
+
+
+class TestDiagnosticsCollector:
+    def test_summary_and_counts(self):
+        model, root = build(THREAD_TEMPLATE.format(properties=""), "p.impl")
+        diagnostics = validate(model, root)
+        assert diagnostics.has_errors
+        assert "error" in diagnostics.summary()
+        assert len(diagnostics.errors) + len(diagnostics.warnings) <= len(diagnostics.diagnostics)

@@ -1,0 +1,132 @@
+"""Tests of the ProducerConsumer case study, the generator and the catalog."""
+
+import pytest
+
+from repro.aadl.instance import instance_report, processor_bindings
+from repro.aadl.validation import validate
+from repro.casestudies import (
+    CASE_STUDY_FACTS,
+    CATALOG,
+    GeneratorConfig,
+    build_producer_consumer_model,
+    catalog_names,
+    generate_case_study,
+    instantiate_producer_consumer,
+    load_case_study,
+    load_producer_consumer_model,
+)
+from repro.scheduling import hyperperiod_ms, task_set_from_instance
+
+
+class TestProducerConsumer:
+    def test_facts_match_paper(self):
+        assert CASE_STUDY_FACTS["periods_ms"] == {
+            "thProducer": 4.0,
+            "thConsumer": 6.0,
+            "thProdTimer": 8.0,
+            "thConsTimer": 8.0,
+        }
+        assert CASE_STUDY_FACTS["hyperperiod_ms"] == 24.0
+
+    def test_parsed_model_matches_facts(self, pc_root):
+        process = pc_root.find(["prProdCons"])
+        periods = {t.name: t.period_ms() for t in process.threads()}
+        assert periods == CASE_STUDY_FACTS["periods_ms"]
+        assert {s for s in pc_root.subcomponents} >= set(CASE_STUDY_FACTS["subsystems"])
+
+    def test_validation_clean(self, pc_model, pc_root):
+        assert not validate(pc_model, pc_root).has_errors
+
+    def test_hyperperiod_from_model(self, pc_root):
+        task_set = task_set_from_instance(pc_root, ["prProdCons"])
+        assert hyperperiod_ms(task_set) == CASE_STUDY_FACTS["hyperperiod_ms"]
+
+    def test_programmatic_builder_equivalent_to_text(self, pc_model):
+        built = build_producer_consumer_model()
+        assert built.classifier_count() == pc_model.classifier_count()
+        text_root = instantiate_producer_consumer(pc_model)
+        built_root = instantiate_producer_consumer(built)
+        assert instance_report(built_root).as_dict() == instance_report(text_root).as_dict()
+        built_periods = {t.name: t.period_ms() for t in built_root.find(["prProdCons"]).threads()}
+        assert built_periods == CASE_STUDY_FACTS["periods_ms"]
+
+    def test_programmatic_builder_binding(self):
+        root = instantiate_producer_consumer(build_producer_consumer_model())
+        bindings = processor_bindings(root)
+        assert bindings["ProducerConsumerSystem.prProdCons"].name == "Processor1"
+
+    def test_producer_automaton_shape(self, pc_root):
+        producer = pc_root.find(["prProdCons", "thProducer"])
+        triggers = [t.triggers[0] for t in producer.mode_transitions]
+        assert triggers.count("pProdTimeOut") == 2  # the overlapping pair of E7
+
+
+class TestGenerator:
+    def test_thread_count_matches_config(self):
+        config = GeneratorConfig(name="G1", processes=3, threads_per_process=4, seed=1)
+        generated = generate_case_study(config)
+        root = load_case_study  # silence linters
+        from repro.aadl.instance import Instantiator
+
+        instance = Instantiator(generated.model, default_package="G1").instantiate(generated.root_implementation)
+        assert len(instance.threads()) == 12
+        assert len(generated.thread_periods_ms) == 12
+
+    def test_harmonic_periods_only_from_pool(self):
+        from repro.casestudies.generator import HARMONIC_PERIODS
+
+        generated = generate_case_study(GeneratorConfig(name="G2", harmonic=True, seed=3))
+        assert set(generated.thread_periods_ms.values()) <= set(float(p) for p in HARMONIC_PERIODS)
+
+    def test_generation_is_deterministic_per_seed(self):
+        a = generate_case_study(GeneratorConfig(name="G3", seed=7))
+        b = generate_case_study(GeneratorConfig(name="G3", seed=7))
+        assert a.thread_periods_ms == b.thread_periods_ms
+
+    def test_generated_model_is_valid(self):
+        generated = generate_case_study(GeneratorConfig(name="G4", processes=2, seed=5))
+        from repro.aadl.instance import Instantiator
+
+        root = Instantiator(generated.model, default_package="G4").instantiate(generated.root_implementation)
+        diagnostics = validate(generated.model, root)
+        assert not diagnostics.has_errors
+
+    def test_shared_data_and_connections_generated(self):
+        generated = generate_case_study(
+            GeneratorConfig(name="G5", threads_per_process=4, shared_data_per_process=2,
+                            event_connections_per_process=3, seed=2)
+        )
+        from repro.aadl.instance import Instantiator
+
+        root = Instantiator(generated.model, default_package="G5").instantiate(generated.root_implementation)
+        report = instance_report(root)
+        assert report.data == 2
+        assert report.connections >= 4
+
+    def test_processor_bindings_cover_processes(self):
+        generated = generate_case_study(GeneratorConfig(name="G6", processes=4, seed=9))
+        from repro.aadl.instance import Instantiator
+
+        root = Instantiator(generated.model, default_package="G6").instantiate(generated.root_implementation)
+        bindings = processor_bindings(root)
+        assert len(bindings) == 4
+
+
+class TestCatalog:
+    def test_more_than_ten_case_studies(self):
+        assert len(CATALOG) > 10
+        assert len(set(catalog_names())) == len(CATALOG)
+
+    def test_lookup(self):
+        entry = load_case_study("producer_consumer")
+        assert entry.root_implementation == "ProducerConsumerSystem.others"
+        with pytest.raises(KeyError):
+            load_case_study("missing")
+
+    def test_every_entry_instantiates(self):
+        for entry in CATALOG:
+            root = entry.instantiate()
+            assert instance_report(root).threads >= 2, entry.name
+
+    def test_every_entry_has_description(self):
+        assert all(entry.description for entry in CATALOG)

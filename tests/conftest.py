@@ -1,0 +1,60 @@
+"""Shared fixtures of the test suite.
+
+The heavier artefacts (the parsed ProducerConsumer model, its instance tree,
+the full translation and a complete tool-chain run) are session-scoped so the
+many tests that inspect them do not rebuild them over and over.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies import (
+    PRODUCER_CONSUMER_AADL,
+    instantiate_producer_consumer,
+    load_producer_consumer_model,
+)
+from repro.core import ToolchainOptions, TranslationConfig, run_toolchain, translate_system
+from repro.scheduling import task_set_from_instance
+
+
+@pytest.fixture(scope="session")
+def pc_model():
+    """Parsed declarative model of the ProducerConsumer case study."""
+    return load_producer_consumer_model()
+
+
+@pytest.fixture(scope="session")
+def pc_root(pc_model):
+    """Instance tree of the ProducerConsumer case study."""
+    return instantiate_producer_consumer(pc_model)
+
+
+@pytest.fixture(scope="session")
+def pc_process(pc_root):
+    """The prProdCons process instance."""
+    return pc_root.find(["prProdCons"])
+
+
+@pytest.fixture(scope="session")
+def pc_task_set(pc_root):
+    """Task set of the four case-study threads."""
+    return task_set_from_instance(pc_root, ["prProdCons"])
+
+
+@pytest.fixture(scope="session")
+def pc_translation(pc_root):
+    """Full ASME2SSME translation of the case study (with scheduler)."""
+    return translate_system(pc_root)
+
+
+@pytest.fixture(scope="session")
+def pc_toolchain():
+    """Complete tool-chain run on the case study (2 hyper-periods simulated)."""
+    options = ToolchainOptions(
+        root_implementation="ProducerConsumerSystem.others",
+        default_package="ProducerConsumer",
+        simulate_hyperperiods=2,
+        stimuli_periods={"sysEnv_pProdStart_stimulus": 4, "sysEnv_pConsStart_stimulus": 6},
+    )
+    return run_toolchain(PRODUCER_CONSUMER_AADL, options)

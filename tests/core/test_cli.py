@@ -1,0 +1,91 @@
+"""Tests of the command-line interface (python -m repro …)."""
+
+import os
+
+import pytest
+
+from repro.casestudies import PRODUCER_CONSUMER_AADL
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def model_file(tmp_path):
+    path = tmp_path / "producer_consumer.aadl"
+    path.write_text(PRODUCER_CONSUMER_AADL)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyse_defaults(self, model_file):
+        args = build_parser().parse_args(["analyse", model_file])
+        assert args.policy == "RM"
+        assert args.hyperperiods == 2
+        assert args.root is None
+
+
+class TestCommands:
+    def test_schedule_command_prints_table(self, model_file, capsys):
+        code = main(["schedule", model_file, "--affine"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hyper-period 24.0 ms" in out
+        assert "thProducer" in out
+        assert "Affine export" in out
+
+    def test_schedule_with_edf_policy(self, model_file, capsys):
+        assert main(["schedule", model_file, "--policy", "EDF"]) == 0
+        assert "(EDF)" in capsys.readouterr().out
+
+    def test_analyse_command_reports_clean_model(self, model_file, capsys):
+        code = main(["analyse", model_file, "--hyperperiods", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Determinism report" in out
+        assert "deadlock-free" in out
+
+    def test_translate_command_writes_signal_sources(self, model_file, tmp_path, capsys):
+        output = str(tmp_path / "sig")
+        code = main(["translate", model_file, "-o", output])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert os.path.isdir(output)
+        files = os.listdir(output)
+        assert any(name.endswith(".sig") for name in files)
+        assert "traceability links" in out
+
+    def test_simulate_command_with_vcd(self, model_file, tmp_path, capsys):
+        vcd = str(tmp_path / "trace.vcd")
+        code = main(["simulate", model_file, "--hyperperiods", "1", "--vcd", vcd])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert os.path.exists(vcd)
+        assert "deadline alarms: none" in out
+
+    def test_default_root_detection(self, model_file, capsys):
+        # No --root: the first system implementation is used.
+        assert main(["schedule", model_file]) == 0
+        assert "thConsumer" in capsys.readouterr().out
+
+    def test_builtin_case_study_alias(self, capsys):
+        assert main(["schedule", "producer_consumer"]) == 0
+        assert "thProdTimer" in capsys.readouterr().out
+
+    def test_casestudy_list(self, capsys):
+        assert main(["casestudy", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "producer_consumer" in out and "flight_guidance" in out
+
+    def test_casestudy_detail(self, capsys):
+        assert main(["casestudy", "producer_consumer"]) == 0
+        out = capsys.readouterr().out
+        assert "threads" in out and ": 4" in out
+
+    def test_missing_root_error(self, tmp_path):
+        path = tmp_path / "datatypes.aadl"
+        path.write_text("package Empty\npublic\n  data d\n  end d;\nend Empty;\n")
+        with pytest.raises(SystemExit):
+            main(["schedule", str(path)])

@@ -1,0 +1,144 @@
+"""Tests of the port translation (Fig. 5) and shared-data translation (Fig. 6)."""
+
+import pytest
+
+from repro.core.data_model import access_rights, standalone_shared_data_model
+from repro.core.port_model import (
+    frozen_signal_name,
+    frozen_time_signal_name,
+    output_time_signal_name,
+    port_value_type,
+    standalone_in_event_port_model,
+)
+from repro.aadl.model import AccessKind, DataAccess, Port, PortKind
+from repro.aadl.properties import PropertyAssociation, enum_value
+from repro.sig.analysis import check_determinism, detect_deadlocks
+from repro.sig.simulator import Scenario, Simulator
+from repro.sig.values import EVENT, INTEGER
+
+
+class TestNamingConventions:
+    def test_signal_names_follow_figure_conventions(self):
+        assert frozen_signal_name("pProdStart") == "pProdStart_frozen"
+        assert frozen_time_signal_name("pProdStart") == "time1_pProdStart_Frozen_time"
+        assert output_time_signal_name("pProdOK") == "time1_pProdOK_Output_time"
+
+    def test_port_value_types(self):
+        assert port_value_type(Port(name="e", kind=PortKind.EVENT)) is EVENT
+        assert port_value_type(Port(name="d", kind=PortKind.DATA)) is INTEGER
+        assert port_value_type(Port(name="ed", kind=PortKind.EVENT_DATA)) is INTEGER
+
+
+class TestStandaloneInEventPort:
+    def simulate(self, arrivals, freezes, queue_size=1, length=16):
+        model = standalone_in_event_port_model("pProdStart", queue_size=queue_size)
+        sc = Scenario(length)
+        sc.set_at("pProdStart", arrivals)
+        sc.set_at("time1_pProdStart_Frozen_time", {t: True for t in freezes})
+        return Simulator(model).run(sc)
+
+    def test_fig5_in_fifo_then_frozen_fifo(self):
+        """Items received between freezes are moved to the frozen fifo at Input_Time."""
+        trace = self.simulate(arrivals={1: 11, 5: 22}, freezes=[0, 4, 8], queue_size=2)
+        assert trace.present_values("pProdStart_frozen_count") == [0, 1, 1]
+        assert trace.present_values("pProdStart_frozen") == [11, 22]
+
+    def test_fig2_late_values_wait_for_next_freeze(self):
+        """The two values arriving after the first Input_Time are not processed
+        until the next Input_Time (the 2 and 3 of Fig. 2)."""
+        trace = self.simulate(arrivals={1: 2, 2: 3}, freezes=[0, 4], queue_size=2)
+        assert trace.present_values("pProdStart_frozen_count") == [0, 2]
+        assert trace.present_values("pProdStart_frozen") == [3]
+
+    def test_queue_size_one_drops_second_arrival(self):
+        trace = self.simulate(arrivals={1: 2, 2: 3}, freezes=[0, 4], queue_size=1)
+        assert trace.clock_of("pProdStart_dropped") == [2]
+
+    def test_model_is_deadlock_free_and_deterministic(self):
+        model = standalone_in_event_port_model("p", queue_size=2)
+        assert detect_deadlocks(model).deadlock_free
+        assert check_determinism(model).deterministic
+
+
+class TestAccessRights:
+    def make_access(self, right=None):
+        access = DataAccess(name="reqQueue", access=AccessKind.REQUIRES)
+        if right:
+            access.properties.add(PropertyAssociation("Access_Right", enum_value(right)))
+        return access
+
+    def test_default_is_read_write(self):
+        assert access_rights(self.make_access()) == (True, True)
+
+    def test_read_only(self):
+        assert access_rights(self.make_access("read_only")) == (True, False)
+
+    def test_write_only(self):
+        assert access_rights(self.make_access("write_only")) == (False, True)
+
+    def test_read_write_explicit(self):
+        assert access_rights(self.make_access("read_write")) == (True, True)
+
+
+class TestStandaloneSharedData:
+    def test_fig6_write_then_read(self):
+        model = standalone_shared_data_model(("thProducer",), ("thConsumer",), data_name="Queue")
+        sc = Scenario(10)
+        sc.set_at("thProducer_write", {0: 7, 4: 9})
+        sc.set_at("thConsumer_read_req", {2: True, 6: True})
+        trace = Simulator(model).run(sc)
+        assert trace.present_values("Queue_r") == [7, 9]
+
+    def test_partial_definitions_per_writer(self):
+        model = standalone_shared_data_model(("w1", "w2"), ("r1",))
+        flat = model.flatten()
+        partial = [eq for eq in flat.equations if eq.partial and eq.target == "Queue_w"]
+        assert len(partial) == 2
+
+    def test_two_writers_at_disjoint_instants_are_deterministic_at_runtime(self):
+        model = standalone_shared_data_model(("w1", "w2"), ("r1",))
+        sc = Scenario(8)
+        sc.set_at("w1_write", {0: 1, 4: 2})
+        sc.set_at("w2_write", {2: 10})
+        sc.set_at("r1_read_req", {1: True, 3: True, 5: True})
+        trace = Simulator(model).run(sc)
+        assert trace.present_values("Queue_r") == [1, 10, 2]
+
+    def test_two_writers_same_instant_detected_as_nondeterministic(self):
+        from repro.sig.simulator import NonDeterministicDefinition
+
+        model = standalone_shared_data_model(("w1", "w2"), ("r1",))
+        sc = Scenario(2)
+        sc.set_at("w1_write", {0: 1})
+        sc.set_at("w2_write", {0: 2})
+        with pytest.raises(NonDeterministicDefinition):
+            Simulator(model).run(sc)
+
+    def test_static_determinism_check_flags_unconstrained_writers(self):
+        # The clock calculus cannot prove the two writer clocks disjoint without
+        # the scheduler's mutual exclusion clocks: the analysis reports it.
+        model = standalone_shared_data_model(("w1", "w2"), ("r1",))
+        report = check_determinism(model)
+        assert not report.deterministic
+        assert report.issues_for("Queue_w")
+
+    def test_single_writer_is_statically_deterministic(self):
+        model = standalone_shared_data_model(("w1",), ("r1",))
+        assert check_determinism(model).deterministic
+
+    def test_reader_only_model_never_produces_values(self):
+        model = standalone_shared_data_model((), ("r1",))
+        sc = Scenario(4)
+        sc.set_at("r1_read_req", {1: True})
+        trace = Simulator(model).run(sc)
+        assert trace.present_values("Queue_r") == [0]  # initial value
+
+    def test_count_tracks_writes_and_reads(self):
+        model = standalone_shared_data_model(("w1",), ("r1",))
+        sc = Scenario(6)
+        sc.set_at("w1_write", {0: 5, 1: 6})
+        sc.set_at("r1_read_req", {3: True})
+        trace = Simulator(model).run(sc)
+        counts = trace.present_values("Queue_count")
+        assert counts[:2] == [1, 2]
+        assert counts[-1] == 1

@@ -1,0 +1,174 @@
+"""Tests of the process / processor / system translation and the ASME2SSME driver."""
+
+import pytest
+
+from repro.core import TranslationConfig, translate_process, translate_system
+from repro.core.process_model import translate_process as translate_process_fn
+from repro.scheduling.static_scheduler import SchedulingPolicy
+from repro.sig.analysis import check_determinism, detect_deadlocks
+from repro.sig.printer import interface_summary, to_signal_source
+
+
+@pytest.fixture(scope="module")
+def translated_process(pc_process):
+    return translate_process_fn(pc_process)
+
+
+class TestProcessTranslation:
+    def test_threads_instantiated(self, translated_process):
+        names = {inst.instance_name for inst in translated_process.model.instances}
+        assert {"thProducer", "thConsumer", "thProdTimer", "thConsTimer"} <= names
+
+    def test_shared_data_instantiated_once(self, translated_process):
+        names = [inst.instance_name for inst in translated_process.model.instances]
+        assert names.count("Queue") == 1
+        assert len(translated_process.shared_data) == 1
+
+    def test_queue_partial_definition_from_single_writer(self, translated_process):
+        queue = translated_process.shared_data[0]
+        assert [w.thread_name for w in queue.writers] == ["thProducer"]
+        assert [r.thread_name for r in queue.readers] == ["thConsumer"]
+        partial = [eq for eq in translated_process.model.equations if eq.partial]
+        assert any(eq.target == "Queue_w" for eq in partial)
+
+    def test_control_inputs_exposed_per_thread(self, translated_process):
+        inputs = {d.name for d in translated_process.model.inputs()}
+        assert {"thProducer_dispatch", "thProducer_start", "thProducer_deadline"} <= inputs
+        assert translated_process.control_signal("thProducer", "start") == "thProducer_start"
+
+    def test_timing_inputs_exposed_per_port(self, translated_process):
+        inputs = {d.name for d in translated_process.model.inputs()}
+        assert "thProducer_pProdStart_Frozen_time" in inputs
+        assert "thProducer_pProdOK_Output_time" in inputs
+        assert translated_process.timing_signal("thProducer", "pProdStart", "frozen") == \
+            "thProducer_pProdStart_Frozen_time"
+
+    def test_process_boundary_ports(self, translated_process):
+        summary = interface_summary(translated_process.model)
+        assert "pProdStart" in summary["inputs"]
+        assert "pProdTimeOut" in summary["outputs"]
+
+    def test_alarm_outputs_exposed(self, translated_process):
+        outputs = {d.name for d in translated_process.model.outputs()}
+        assert "thProducer_Alarm" in outputs and "thConsTimer_Alarm" in outputs
+
+    def test_connection_wiring_to_timer(self, translated_process):
+        # thProducer.pProdStartTimer -> thProdTimer.pStartTimer: the timer's
+        # arrival input is bound to the producer's out-port local.
+        instance = next(i for i in translated_process.model.instances if i.instance_name == "thProdTimer")
+        assert instance.bindings["pStartTimer"] == "thProducer_pProdStartTimer"
+
+    def test_process_statically_clean(self, translated_process):
+        assert detect_deadlocks(translated_process.model).deadlock_free
+        assert check_determinism(translated_process.model).deterministic
+
+
+class TestSystemTranslation:
+    def test_fig3_structure(self, pc_translation):
+        system = pc_translation.system
+        instance_names = {inst.instance_name for inst in system.model.instances}
+        assert "Processor1" in instance_names
+        assert "sysEnv" in instance_names
+        assert "sysOperatorDisplay" in instance_names
+        assert "System_behavior" in instance_names
+        assert "System_property" in instance_names
+
+    def test_processor_contains_bound_process_and_scheduler(self, pc_translation):
+        processor = pc_translation.processors["ProducerConsumerSystem.Processor1"]
+        instance_names = {inst.instance_name for inst in processor.model.instances}
+        assert "prProdCons" in instance_names
+        assert "scheduler" in instance_names
+        assert processor.schedule is not None
+
+    def test_schedule_synthesised_for_bound_processor(self, pc_translation):
+        assert "ProducerConsumerSystem.Processor1" in pc_translation.schedules
+        schedule = pc_translation.schedules["ProducerConsumerSystem.Processor1"]
+        assert schedule.hyperperiod_ms == 24.0
+
+    def test_environment_ports_become_system_inputs(self, pc_translation):
+        inputs = {d.name for d in pc_translation.system_model.inputs()}
+        assert "sysEnv_pProdStart_stimulus" in inputs
+        assert "tick" in inputs
+
+    def test_timeout_routed_to_operator_display(self, pc_translation):
+        # The system connection dispProd links the process out port to the
+        # display observation through one shared local signal.
+        system = pc_translation.system.model
+        locals_ = {d.name for d in system.locals()}
+        assert "conn_dispProd" in locals_ and "conn_envProd" in locals_
+
+    def test_statistics_and_model_lookup(self, pc_translation):
+        stats = pc_translation.statistics()
+        assert stats["models"] > 50
+        assert stats["signals"] > 300
+        assert stats["trace_links"] > 20
+        assert pc_translation.thread_model("thProducer").name == "thProducer"
+        assert pc_translation.process_model("prProdCons").name == "prProdCons"
+        with pytest.raises(KeyError):
+            pc_translation.thread_model("ghost")
+        with pytest.raises(KeyError):
+            pc_translation.process_model("ghost")
+
+    def test_system_source_rendering_mentions_fig3_instances(self, pc_translation):
+        text = to_signal_source(pc_translation.system_model, include_submodels=False)
+        assert "Processor1 ::" in text
+        assert "sysEnv ::" in text
+        assert "System_behavior ::" in text
+
+    def test_whole_system_deadlock_free_and_deterministic(self, pc_translation):
+        flat = pc_translation.system_model.flatten()
+        assert detect_deadlocks(flat).deadlock_free
+        assert check_determinism(flat).deterministic
+
+
+class TestTranslationConfig:
+    def test_translation_without_scheduler_keeps_control_inputs_free(self, pc_root):
+        result = translate_system(pc_root, TranslationConfig(include_scheduler=False))
+        assert not result.schedules
+        processor = next(iter(result.processors.values()))
+        inputs = {d.name for d in processor.model.inputs()}
+        assert any(name.endswith("thProducer_dispatch") for name in inputs)
+
+    def test_translation_with_edf_policy(self, pc_root):
+        result = translate_system(pc_root, TranslationConfig(scheduling_policy=SchedulingPolicy.EARLIEST_DEADLINE_FIRST))
+        schedule = next(iter(result.schedules.values()))
+        assert schedule.policy is SchedulingPolicy.EARLIEST_DEADLINE_FIRST
+
+    def test_faithful_mode_translation_config(self, pc_root):
+        result = translate_system(pc_root, TranslationConfig(resolve_mode_conflicts=False))
+        report = check_determinism(result.thread_model("thProducer"))
+        assert not report.deterministic
+
+    def test_unbound_process_gets_logical_processor(self):
+        from repro.aadl.instance import instantiate
+        from repro.aadl.parser import parse_string
+
+        text = """
+        package P
+        public
+          thread t
+          properties
+            Dispatch_Protocol => Periodic;
+            Period => 4 ms;
+            Compute_Execution_Time => 0 ms .. 1 ms;
+          end t;
+          thread implementation t.impl
+          end t.impl;
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            w: thread t.impl;
+          end p.impl;
+          system s
+          end s;
+          system implementation s.impl
+          subcomponents
+            host: process p.impl;
+          end s.impl;
+        end P;
+        """
+        root = instantiate(parse_string(text), "s.impl")
+        result = translate_system(root)
+        assert "logical_processor" in result.processors
+        assert "logical_processor" in result.schedules

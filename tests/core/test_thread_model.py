@@ -1,0 +1,194 @@
+"""Tests of the thread translation (Fig. 4): bundles, ports, observer, modes."""
+
+import pytest
+
+from repro.core.thread_model import ThreadBehaviour, translate_thread
+from repro.core.traceability import TraceabilityMap
+from repro.sig import builder as b
+from repro.sig.analysis import check_determinism, detect_deadlocks
+from repro.sig.printer import interface_summary, to_signal_source
+from repro.sig.simulator import Scenario, Simulator
+
+
+@pytest.fixture(scope="module")
+def producer_thread(pc_root):
+    return pc_root.find(["prProdCons", "thProducer"])
+
+
+@pytest.fixture(scope="module")
+def translated_producer(producer_thread):
+    return translate_thread(producer_thread)
+
+
+class TestInterface:
+    def test_ctl1_bundle_fields(self, translated_producer):
+        model = translated_producer.model
+        assert set(model.bundles["ctl1"].fields) == {"Dispatch", "Resume", "Deadline"}
+        for signal in model.bundles["ctl1"].signal_names():
+            assert model.signals[signal].direction.value == "input"
+
+    def test_ctl2_bundle_and_alarm_outputs(self, translated_producer):
+        model = translated_producer.model
+        assert set(model.bundles["ctl2"].fields) == {"Complete", "Error"}
+        outputs = {d.name for d in model.outputs()}
+        assert {"ctl2_Complete", "ctl2_Error", "Alarm"} <= outputs
+
+    def test_time1_bundle_lists_port_timing_events(self, translated_producer):
+        model = translated_producer.model
+        fields = set(model.bundles["time1"].fields)
+        assert "pProdStart_Frozen_time" in fields
+        assert "pProdStartTimer_Output_time" in fields
+
+    def test_in_and_out_ports_appear_in_interface(self, translated_producer):
+        summary = interface_summary(translated_producer.model)
+        assert "pProdStart" in summary["inputs"]
+        assert "pProdTimeOut" in summary["inputs"]
+        assert "pProdStartTimer" in summary["outputs"]
+        assert "pProdOK" in summary["outputs"]
+
+    def test_data_access_signals(self, translated_producer):
+        summary = interface_summary(translated_producer.model)
+        assert "reqQueue_write" in summary["outputs"]  # write_only access
+        assert "reqQueue_read_value" not in summary["inputs"]
+
+    def test_port_instances_created(self, translated_producer):
+        names = {inst.instance_name for inst in translated_producer.model.instances}
+        assert "port_pProdStart" in names
+        assert "port_pProdOK" in names
+        assert "property_observer" in names
+
+    def test_pragmas_preserve_aadl_name(self, translated_producer):
+        assert translated_producer.model.pragmas["aadl_name"].endswith("thProducer")
+
+    def test_signal_source_looks_like_fig4(self, translated_producer):
+        text = to_signal_source(translated_producer.model, include_submodels=False)
+        assert "process thProducer =" in text
+        assert "ctl1_Dispatch" in text and "Alarm" in text
+
+    def test_traceability_links_recorded(self, producer_thread):
+        trace = TraceabilityMap()
+        translate_thread(producer_thread, trace=trace)
+        assert trace.signal_names_of(producer_thread.qualified_name)
+        assert any("port" in (link.detail or "") for link in trace.links)
+
+
+class TestBehaviourSimulation:
+    def simulate(self, translated, length=24, resumes=None, dispatches=None, deadlines=None,
+                 arrivals=None, send_times=None):
+        model = translated.model
+        sc = Scenario(length)
+        sc.set_at("ctl1_Dispatch", {t: True for t in (dispatches or [])})
+        sc.set_at("ctl1_Resume", {t: True for t in (resumes or [])})
+        sc.set_at("ctl1_Deadline", {t: True for t in (deadlines or [])})
+        for name, at in (arrivals or {}).items():
+            sc.set_at(name, at)
+        for name, at in (send_times or {}).items():
+            sc.set_at(name, {t: True for t in at})
+        return Simulator(model, strict=False).run(sc)
+
+    def test_complete_follows_resume(self, translated_producer):
+        trace = self.simulate(translated_producer, resumes=[0, 4, 8], dispatches=[0, 4, 8])
+        assert trace.clock_of("ctl2_Complete") == [0, 4, 8]
+
+    def test_job_index_counts_activations(self, translated_producer):
+        trace = self.simulate(translated_producer, resumes=[0, 4, 8], dispatches=[0, 4, 8])
+        assert trace.present_values("job_index") == [1, 2, 3]
+
+    def test_event_data_output_sent_at_output_time(self, translated_producer):
+        trace = self.simulate(
+            translated_producer,
+            resumes=[0, 4],
+            dispatches=[0, 4],
+            send_times={"time1_pProdOK_Output_time": [1, 5]},
+        )
+        assert trace.clock_of("pProdOK") == [1, 5]
+        assert trace.present_values("pProdOK") == [1, 2]
+
+    def test_no_alarm_when_completing_each_period(self, translated_producer):
+        trace = self.simulate(
+            translated_producer,
+            dispatches=[0, 4, 8],
+            resumes=[0, 4, 8],
+            deadlines=[4, 8, 12],
+            length=16,
+        )
+        assert trace.clock_of("Alarm") == []
+
+    def test_alarm_raised_when_activation_missing(self, translated_producer):
+        trace = self.simulate(
+            translated_producer,
+            dispatches=[0, 4, 8],
+            resumes=[0, 8],  # the job dispatched at 4 never runs
+            deadlines=[4, 8, 12],
+            length=16,
+        )
+        assert 8 in trace.clock_of("Alarm")
+
+    def test_write_access_produces_value_at_resume(self, translated_producer):
+        trace = self.simulate(translated_producer, resumes=[0, 4], dispatches=[0, 4])
+        assert trace.clock_of("reqQueue_write") == [0, 4]
+        assert trace.present_values("reqQueue_write") == [1, 2]
+
+    def test_custom_behaviour_overrides_default(self, producer_thread):
+        behaviour = ThreadBehaviour(
+            output_expressions={"pProdOK": lambda model: b.func("*", b.ref("job_index"), 10)}
+        )
+        translated = translate_thread(producer_thread, behaviour=behaviour)
+        trace = self.simulate(
+            translated,
+            resumes=[0, 4],
+            dispatches=[0, 4],
+            send_times={"time1_pProdOK_Output_time": [1, 5]},
+        )
+        assert trace.present_values("pProdOK") == [10, 20]
+
+
+class TestModeAutomaton:
+    def test_deterministic_translation_by_default(self, producer_thread):
+        translated = translate_thread(producer_thread, resolve_mode_conflicts=True)
+        assert check_determinism(translated.model).deterministic
+
+    def test_faithful_translation_is_flagged_nondeterministic(self, producer_thread):
+        translated = translate_thread(producer_thread, resolve_mode_conflicts=False)
+        report = check_determinism(translated.model)
+        assert not report.deterministic
+        assert report.issues_for("mode_update")
+
+    def test_current_mode_output_present(self, producer_thread):
+        translated = translate_thread(producer_thread)
+        assert "current_mode" in {d.name for d in translated.model.outputs()}
+        assert translated.model.pragmas["modes"] == "idle,producing,error"
+
+    def test_mode_transition_simulation(self, producer_thread):
+        translated = translate_thread(producer_thread)
+        model = translated.model
+        sc = Scenario(10)
+        sc.set_at("ctl1_Dispatch", {0: True, 4: True, 8: True})
+        sc.set_at("ctl1_Resume", {0: True, 4: True, 8: True})
+        sc.set_at("pProdStart", {2: True})     # idle -> producing
+        sc.set_at("pProdTimeOut", {6: True})   # producing -> idle (t2 wins by document order)
+        trace = Simulator(model, strict=False).run(sc)
+        modes = trace.present_values("current_mode")
+        # mode indices: idle=0, producing=1, error=2 (declaration order)
+        assert modes[0] == 0
+        assert 1 in modes
+        assert modes[-1] == 0
+
+    def test_threads_without_modes_have_no_automaton(self, pc_root):
+        consumer = pc_root.find(["prProdCons", "thConsumer"])
+        translated = translate_thread(consumer)
+        assert "current_mode" not in translated.model.signals
+
+
+class TestStaticProperties:
+    def test_translated_thread_deadlock_free(self, translated_producer):
+        assert detect_deadlocks(translated_producer.model).deadlock_free
+
+    def test_translated_thread_deterministic(self, translated_producer):
+        assert check_determinism(translated_producer.model).deterministic
+
+    def test_timer_thread_queue_size_respected(self, pc_root):
+        timer = pc_root.find(["prProdCons", "thProdTimer"])
+        translated = translate_thread(timer)
+        port_model = translated.model.submodels["in_event_port_pStartTimer"]
+        assert port_model.parameters["queue_size"] == 2

@@ -1,0 +1,142 @@
+"""Tests of the thread timing execution model (Fig. 2) and the traceability map."""
+
+import pytest
+
+from repro.aadl.properties import DispatchProtocol, IOReference, IOTimeSpec
+from repro.core.timing import (
+    PREDECLARED_EVENT_PORTS,
+    ThreadEvent,
+    ThreadTimingModel,
+    input_freeze_instants,
+    output_send_instants,
+    thread_timing_model,
+)
+from repro.core.traceability import TraceabilityMap, sanitize_identifier
+
+
+class TestThreadTimingModel:
+    def make_model(self, input_ref=IOReference.DISPATCH, output_ref=IOReference.COMPLETION,
+                   period=4.0, deadline=4.0, wcet=1.0):
+        return ThreadTimingModel(
+            name="th",
+            dispatch_protocol=DispatchProtocol.PERIODIC,
+            period_ms=period,
+            deadline_ms=deadline,
+            wcet_ms=wcet,
+            input_time=IOTimeSpec(input_ref),
+            output_time=IOTimeSpec(output_ref),
+        )
+
+    def test_job_events_default_profile(self):
+        events = self.make_model().job_events_ms(8.0)
+        assert events[ThreadEvent.DISPATCH] == 8.0
+        assert events[ThreadEvent.INPUT_FREEZE] == 8.0
+        assert events[ThreadEvent.START] == 8.0
+        assert events[ThreadEvent.COMPLETE] == 9.0
+        assert events[ThreadEvent.OUTPUT_SEND] == 9.0
+        assert events[ThreadEvent.DEADLINE] == 12.0
+
+    def test_job_events_with_scheduled_start(self):
+        events = self.make_model().job_events_ms(8.0, start_ms=10.0)
+        assert events[ThreadEvent.START] == 10.0
+        assert events[ThreadEvent.COMPLETE] == 11.0
+
+    def test_output_at_deadline_for_delayed_connection(self):
+        events = self.make_model(output_ref=IOReference.DEADLINE).job_events_ms(0.0)
+        assert events[ThreadEvent.OUTPUT_SEND] == 4.0
+
+    def test_input_freeze_at_start(self):
+        events = self.make_model(input_ref=IOReference.START).job_events_ms(0.0, start_ms=2.0)
+        assert events[ThreadEvent.INPUT_FREEZE] == 2.0
+
+    def test_visible_inputs_fig2_scenario(self):
+        """Fig. 2: values arriving after Input_Time wait for the next dispatch."""
+        model = self.make_model(period=4.0)
+        visible = model.visible_inputs(arrivals_ms=[1.0, 5.0, 6.5], horizon_ms=12.0)
+        assert visible[0.0] == []
+        assert visible[4.0] == [1.0]
+        assert visible[8.0] == [5.0, 6.5]
+
+    def test_visible_inputs_requires_periodic(self):
+        model = ThreadTimingModel(
+            name="t", dispatch_protocol=DispatchProtocol.SPORADIC, period_ms=None, deadline_ms=None,
+            wcet_ms=0.0, input_time=IOTimeSpec(IOReference.DISPATCH), output_time=IOTimeSpec(IOReference.COMPLETION),
+        )
+        with pytest.raises(ValueError):
+            model.visible_inputs([], 10)
+
+    def test_per_port_io_times_override_default(self):
+        model = self.make_model()
+        model.port_input_times["special"] = IOTimeSpec(IOReference.START)
+        assert model.input_time_of("special").reference is IOReference.START
+        assert model.input_time_of("other").reference is IOReference.DISPATCH
+
+    def test_helper_functions(self):
+        assert input_freeze_instants(IOTimeSpec(IOReference.DISPATCH, 0, 1), 4.0, None) == 5.0
+        assert input_freeze_instants(IOTimeSpec(IOReference.NO_IO), 4.0, None) == 4.0
+        assert output_send_instants(IOTimeSpec(IOReference.START, 0, 1), 6.0, 8.0, 5.0) == 6.0
+
+    def test_predeclared_ports_list(self):
+        assert PREDECLARED_EVENT_PORTS == ("dispatch", "complete", "error")
+
+
+class TestExtractionFromInstance:
+    def test_case_study_thread_timing(self, pc_root):
+        producer = pc_root.find(["prProdCons", "thProducer"])
+        timing = thread_timing_model(producer)
+        assert timing.is_periodic
+        assert timing.period_ms == 4.0
+        assert timing.deadline_ms == 4.0
+        assert timing.wcet_ms == 1.0
+        assert timing.input_time.reference is IOReference.DISPATCH
+        assert timing.output_time.reference is IOReference.COMPLETION
+
+    def test_default_wcet_fraction_when_missing(self):
+        from repro.aadl.instance import instantiate
+        from repro.aadl.parser import parse_string
+
+        text = """
+        package P
+        public
+          thread t
+          properties
+            Dispatch_Protocol => Periodic;
+            Period => 10 ms;
+          end t;
+          thread implementation t.impl
+          end t.impl;
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            w: thread t.impl;
+          end p.impl;
+        end P;
+        """
+        root = instantiate(parse_string(text), "p.impl")
+        timing = thread_timing_model(root.subcomponents["w"], default_wcet_fraction=0.3)
+        assert timing.wcet_ms == pytest.approx(3.0)
+
+
+class TestTraceability:
+    def test_sanitize_identifier(self):
+        assert sanitize_identifier("prProdCons") == "prProdCons"
+        assert sanitize_identifier("Pkg::Comp.impl") == "Pkg_Comp_impl"
+        assert sanitize_identifier("a.b c") == "a_b_c"
+        assert sanitize_identifier("1st") == "_1st"
+        assert sanitize_identifier("") == "_"
+
+    def test_bidirectional_links(self):
+        trace = TraceabilityMap()
+        trace.add("sys.proc.th", "th", "process", "thread")
+        trace.add("sys.proc.th.port", "th.port_p", "instance")
+        assert trace.signal_names_of("sys.proc.th") == ["th"]
+        assert trace.aadl_names_of("th") == ["sys.proc.th"]
+        assert len(trace) == 2
+        assert len(trace.links_of_kind("process")) == 1
+        assert "sys.proc.th" in trace.report()
+
+    def test_case_study_trace_preserves_names(self, pc_translation):
+        trace = pc_translation.trace
+        assert "thProducer" in trace.signal_names_of("ProducerConsumerSystem.prProdCons.thProducer")
+        assert trace.links_of_kind("instance")

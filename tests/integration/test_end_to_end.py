@@ -1,0 +1,106 @@
+"""Integration tests spanning the whole pipeline on several case studies."""
+
+import pytest
+
+from repro.aadl.instance import Instantiator, instance_report
+from repro.casestudies import CATALOG, GeneratorConfig, generate_case_study, load_case_study
+from repro.core import TranslationConfig, translate_system
+from repro.scheduling import (
+    SchedulingError,
+    SchedulingPolicy,
+    StaticSchedulerConfig,
+    export_affine_clocks,
+    synthesise_schedule,
+    task_set_from_threads,
+)
+from repro.sig.analysis import build_clock_report, check_determinism, detect_deadlocks
+from repro.sig.simulator import Scenario, Simulator
+
+
+class TestCatalogTranslation:
+    @pytest.mark.parametrize("name", ["flight_guidance", "cruise_control", "landing_gear", "cabin_pressure"])
+    def test_catalog_entry_translates_and_analyses(self, name):
+        entry = load_case_study(name)
+        root = entry.instantiate()
+        result = translate_system(root)
+        flat = result.system_model.flatten()
+        assert flat.signal_count() > 20
+        assert detect_deadlocks(flat).deadlock_free
+        report = build_clock_report(flat)
+        assert report.clock_count > 5
+
+    def test_non_harmonic_case_study_schedules(self):
+        entry = load_case_study("cruise_control")
+        root = entry.instantiate()
+        threads = root.threads()
+        task_set = task_set_from_threads(threads)
+        schedule = synthesise_schedule(task_set)
+        assert schedule.is_valid()
+        export = export_affine_clocks(schedule)
+        assert export.start_clocks_mutually_disjoint()
+
+    def test_every_catalog_entry_translates(self):
+        failures = []
+        for entry in CATALOG:
+            root = entry.instantiate()
+            try:
+                result = translate_system(root, TranslationConfig(include_scheduler=False))
+            except Exception as exc:  # pragma: no cover - reported as failure
+                failures.append((entry.name, str(exc)))
+                continue
+            assert result.system_model.flatten().signal_count() > 10, entry.name
+        assert failures == []
+
+
+class TestScheduledSimulation:
+    def test_generated_model_simulates_one_hyperperiod(self):
+        generated = generate_case_study(GeneratorConfig(name="Sim", processes=1, threads_per_process=3,
+                                                        harmonic=True, seed=12))
+        root = Instantiator(generated.model, default_package="Sim").instantiate(generated.root_implementation)
+        result = translate_system(root)
+        schedule = next(iter(result.schedules.values()))
+        scenario = Scenario(schedule.hyperperiod_ticks).set_always("tick")
+        trace = Simulator(result.system_model, strict=False).run(scenario)
+        # Every thread dispatch clock is periodic with its period.
+        for thread_path, period in generated.thread_periods_ms.items():
+            thread = thread_path.split(".")[-1]
+            signal = next(n for n in trace.signals() if n.endswith(f"sched_{thread}_dispatch"))
+            ticks = trace.clock_of(signal)
+            assert ticks[0] == 0
+            steps = {b - a for a, b in zip(ticks, ticks[1:])}
+            assert steps <= {int(period / schedule.tick_ms)} or len(ticks) == 1
+
+    def test_alarms_raised_when_scheduler_is_too_slow(self, pc_root):
+        """Deliberately stretch the producer WCET so its deadline is missed and
+        the translated Alarm output fires during simulation."""
+        from repro.scheduling.task import task_set_from_instance
+
+        task_set = task_set_from_instance(pc_root, ["prProdCons"])
+        task_set.by_name("thProducer").__dict__["wcet_ms"] = 3.0
+        task_set.by_name("thConsumer").__dict__["wcet_ms"] = 3.0
+        with pytest.raises(SchedulingError):
+            synthesise_schedule(task_set, StaticSchedulerConfig(policy=SchedulingPolicy.RATE_MONOTONIC))
+
+
+class TestCrossChecks:
+    def test_translation_statistics_scale_with_model_size(self):
+        small = generate_case_study(GeneratorConfig(name="SizeS", processes=1, threads_per_process=2, seed=1))
+        large = generate_case_study(GeneratorConfig(name="SizeL", processes=2, threads_per_process=6, seed=1))
+        small_root = Instantiator(small.model, default_package="SizeS").instantiate(small.root_implementation)
+        large_root = Instantiator(large.model, default_package="SizeL").instantiate(large.root_implementation)
+        small_stats = translate_system(small_root, TranslationConfig(include_scheduler=False)).statistics()
+        large_stats = translate_system(large_root, TranslationConfig(include_scheduler=False)).statistics()
+        assert large_stats["signals"] > small_stats["signals"]
+        assert large_stats["equations"] > small_stats["equations"]
+
+    def test_translated_models_deterministic_across_catalog_subset(self):
+        for name in ("flight_guidance", "engine_monitor"):
+            root = load_case_study(name).instantiate()
+            result = translate_system(root, TranslationConfig(include_scheduler=False))
+            assert check_determinism(result.system_model.flatten()).deterministic, name
+
+    def test_instance_report_consistency(self):
+        for entry in CATALOG[:5]:
+            root = entry.instantiate()
+            report = instance_report(root)
+            assert report.components >= report.threads + report.processes

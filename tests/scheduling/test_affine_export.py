@@ -1,0 +1,131 @@
+"""Tests of the schedule → affine clocks → SIGNAL scheduler export."""
+
+import pytest
+
+from repro.scheduling.affine_export import (
+    BASE_CLOCK,
+    AffineScheduleExport,
+    export_affine_clocks,
+    scheduler_process,
+)
+from repro.scheduling.static_scheduler import SchedulingPolicy, StaticSchedulerConfig, synthesise_schedule
+from repro.sig.simulator import Scenario, Simulator
+
+
+@pytest.fixture(scope="module")
+def rm_schedule(pc_task_set):
+    return synthesise_schedule(pc_task_set)
+
+
+@pytest.fixture(scope="module")
+def export(rm_schedule):
+    return export_affine_clocks(rm_schedule)
+
+
+class TestAffineExport:
+    def test_dispatch_clocks_are_single_affine_relations(self, export):
+        for task, period in [("thProducer", 4), ("thConsumer", 6), ("thProdTimer", 8), ("thConsTimer", 8)]:
+            clock = export.single_affine(task, "dispatch")
+            assert clock is not None, task
+            assert clock.period == period and clock.phase == 0
+            assert clock.reference == BASE_CLOCK
+
+    def test_deadline_clocks_follow_periods(self, export):
+        clock = export.single_affine("thProducer", "deadline")
+        assert clock.period == 4 and clock.phase == 4
+
+    def test_input_freeze_matches_dispatch_for_default_input_time(self, export):
+        for task in ("thProducer", "thConsumer"):
+            dispatch = export.single_affine(task, "dispatch")
+            freeze = export.single_affine(task, "input_freeze")
+            assert freeze is not None and freeze.equals(dispatch)
+
+    def test_producer_start_is_strictly_periodic(self, export):
+        # The highest-priority thread always starts right at its dispatch.
+        start = export.single_affine("thProducer", "start")
+        assert start is not None
+        assert start.period == 4
+
+    def test_non_periodic_streams_become_unions(self, export, rm_schedule):
+        # The timer threads start at irregular offsets inside the hyper-period.
+        clocks = export.clock_of("thConsTimer", "start")
+        assert len(clocks) >= 1
+        if len(clocks) > 1:
+            assert all(c.period == rm_schedule.hyperperiod_ticks for c in clocks)
+        assert not export.is_strictly_periodic("thConsTimer", "start") or len(clocks) == 1
+
+    def test_all_clocks_cover_every_event_kind(self, export):
+        kinds = {kind for _, kind in export.clocks}
+        assert kinds == {"dispatch", "input_freeze", "start", "complete", "output_send", "deadline"}
+
+    def test_start_clocks_mutually_disjoint(self, export):
+        # Non-preemptive single processor: two jobs never start at the same tick.
+        assert export.start_clocks_mutually_disjoint()
+
+    def test_relations_between_dispatch_clocks(self, export):
+        relations = export.relations("dispatch")
+        assert relations
+        producers = [r for r in relations if "thProducer" in (r.source.split(".")[0], r.target.split(".")[0])
+                     and "thConsumer" in (r.source.split(".")[0], r.target.split(".")[0])]
+        assert producers
+        relation = producers[0]
+        assert {relation.n, relation.d} == {2, 3}
+
+    def test_summary_lists_every_stream(self, export):
+        text = export.summary()
+        assert "thProducer.dispatch" in text
+        assert "hyper-period = 24 ticks" in text
+
+    def test_clocks_match_schedule_ticks(self, export, rm_schedule):
+        for job in rm_schedule.jobs:
+            clocks = export.clock_of(job.task, "start")
+            assert any(clock.contains(job.start_tick) for clock in clocks)
+
+
+class TestSchedulerProcess:
+    def test_process_has_one_output_per_stream(self, rm_schedule):
+        model = scheduler_process(rm_schedule)
+        outputs = {d.name for d in model.outputs()}
+        assert "thProducer_dispatch" in outputs
+        assert "thConsTimer_output_send" in outputs
+        assert len(outputs) == 6 * 4
+
+    def test_simulated_dispatch_clocks_match_affine_relations(self, rm_schedule):
+        model = scheduler_process(rm_schedule)
+        sc = Scenario(rm_schedule.hyperperiod_ticks).set_always(BASE_CLOCK)
+        trace = Simulator(model).run(sc)
+        assert trace.clock_of("thProducer_dispatch") == [0, 4, 8, 12, 16, 20]
+        assert trace.clock_of("thConsumer_dispatch") == [0, 6, 12, 18]
+        assert trace.clock_of("thProdTimer_dispatch") == [0, 8, 16]
+
+    def test_simulated_start_times_match_schedule(self, rm_schedule):
+        model = scheduler_process(rm_schedule)
+        sc = Scenario(rm_schedule.hyperperiod_ticks).set_always(BASE_CLOCK)
+        trace = Simulator(model).run(sc)
+        for task in ("thProducer", "thConsumer", "thProdTimer", "thConsTimer"):
+            expected = sorted(job.start_tick for job in rm_schedule.jobs_of(task))
+            assert trace.clock_of(f"{task}_start") == expected
+
+    def test_schedule_repeats_over_two_hyperperiods(self, rm_schedule):
+        model = scheduler_process(rm_schedule)
+        horizon = rm_schedule.hyperperiod_ticks
+        sc = Scenario(2 * horizon).set_always(BASE_CLOCK)
+        trace = Simulator(model).run(sc)
+        first = [t for t in trace.clock_of("thConsumer_start") if t < horizon]
+        second = [t - horizon for t in trace.clock_of("thConsumer_start") if t >= horizon]
+        assert first == second
+
+    def test_pragmas_record_policy_and_hyperperiod(self, rm_schedule):
+        model = scheduler_process(rm_schedule)
+        assert model.pragmas["policy"] == "RM"
+        assert model.pragmas["hyperperiod_ticks"] == "24"
+
+    def test_edf_process_differs_from_rm_only_in_placement(self, pc_task_set):
+        edf = synthesise_schedule(pc_task_set, StaticSchedulerConfig(policy=SchedulingPolicy.EARLIEST_DEADLINE_FIRST))
+        model = scheduler_process(edf, name="edf_scheduler")
+        assert model.name == "edf_scheduler"
+        assert {d.name for d in model.outputs()} == {
+            f"{task}_{kind}"
+            for task in ("thProducer", "thConsumer", "thProdTimer", "thConsTimer")
+            for kind in ("dispatch", "input_freeze", "start", "complete", "output_send", "deadline")
+        }

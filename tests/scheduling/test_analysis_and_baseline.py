@@ -1,0 +1,148 @@
+"""Tests of the schedulability / synchronizability analyses and the preemptive baseline."""
+
+import pytest
+
+from repro.scheduling.analysis import (
+    analyse_schedulability,
+    analyse_synchronizability,
+    liu_layland_bound,
+    utilisation,
+)
+from repro.scheduling.baseline import PreemptiveScheduler, simulate_preemptive
+from repro.scheduling.static_scheduler import SchedulingPolicy, synthesise_schedule
+from repro.scheduling.task import Task, TaskSet
+
+
+def make_task(name, period, wcet, deadline=None, priority=None):
+    return Task(name=name, period_ms=period, deadline_ms=deadline or period, wcet_ms=wcet, priority=priority)
+
+
+def task_set(*tasks):
+    ts = TaskSet()
+    for t in tasks:
+        ts.add(t)
+    return ts
+
+
+class TestSchedulability:
+    def test_case_study_passes_utilisation_test(self, pc_task_set):
+        report = analyse_schedulability(pc_task_set)
+        assert report.total_utilisation == pytest.approx(2 / 3)
+        assert report.utilisation_test_passed
+        assert report.schedulable
+
+    def test_liu_layland_bound_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(0.828, abs=1e-3)
+        assert liu_layland_bound(0) == 1.0
+
+    def test_non_preemptive_blocking_accounted(self, pc_task_set):
+        report = analyse_schedulability(pc_task_set)
+        producer = report.task("thProducer")
+        assert producer.blocking_ms == 1.0  # blocked by one lower-priority job
+        preemptive = analyse_schedulability(pc_task_set, preemptive=True)
+        assert preemptive.task("thProducer").blocking_ms == 0.0
+
+    def test_response_times_monotone_in_priority(self, pc_task_set):
+        report = analyse_schedulability(pc_task_set)
+        assert report.task("thProducer").response_time_ms <= report.task("thConsTimer").response_time_ms
+
+    def test_unschedulable_set_detected(self):
+        ts = task_set(make_task("a", 4, 3), make_task("b", 4, 3))
+        report = analyse_schedulability(ts)
+        assert not report.schedulable
+
+    def test_utilisation_helper(self, pc_task_set):
+        assert utilisation(pc_task_set) == pytest.approx(2 / 3)
+
+    def test_summary_text(self, pc_task_set):
+        text = analyse_schedulability(pc_task_set).summary()
+        assert "Liu-Layland" in text and "thProducer" in text
+
+    def test_unknown_task_lookup(self, pc_task_set):
+        with pytest.raises(KeyError):
+            analyse_schedulability(pc_task_set).task("ghost")
+
+
+class TestSynchronizability:
+    def test_case_study_relations(self, pc_task_set):
+        report = analyse_synchronizability(pc_task_set)
+        pair = report.pair("thProducer", "thConsumer")
+        assert pair.relation[0:1] + pair.relation[2:3] == (2, 3)
+        assert not pair.harmonic
+        assert pair.common_hyperperiod_ms == 12.0
+
+    def test_harmonic_pairs_detected(self, pc_task_set):
+        report = analyse_synchronizability(pc_task_set)
+        assert report.pair("thProducer", "thProdTimer").harmonic
+        assert not report.all_harmonic
+
+    def test_equal_periods_are_synchronisable(self, pc_task_set):
+        report = analyse_synchronizability(pc_task_set)
+        assert report.pair("thProdTimer", "thConsTimer").synchronisable
+
+    def test_pair_count(self, pc_task_set):
+        report = analyse_synchronizability(pc_task_set)
+        assert len(report.pairs) == 6  # C(4, 2)
+
+    def test_summary_and_missing_pair(self, pc_task_set):
+        report = analyse_synchronizability(pc_task_set)
+        assert "Synchronizability report" in report.summary()
+        with pytest.raises(KeyError):
+            report.pair("thProducer", "ghost")
+
+
+class TestPreemptiveBaseline:
+    def test_case_study_schedulable_under_preemptive_rm(self, pc_task_set):
+        result = simulate_preemptive(pc_task_set)
+        assert result.schedulable
+        assert result.deadline_misses == 0
+        assert result.hyperperiod_ticks == 24
+
+    def test_response_times_within_deadlines(self, pc_task_set):
+        result = simulate_preemptive(pc_task_set)
+        assert result.max_response_ms("thProducer") <= 4.0
+        assert result.max_response_ms("thConsumer") <= 6.0
+
+    def test_preemption_occurs_when_long_low_priority_job_runs(self):
+        ts = task_set(make_task("long", 20, 6), make_task("short", 5, 1))
+        result = simulate_preemptive(ts)
+        assert result.schedulable
+        assert result.total_preemptions >= 1
+
+    def test_blocking_breaks_non_preemptive_but_not_preemptive(self):
+        # A long non-preemptable job blocks a tight short task: the static
+        # non-preemptive synthesis fails while the preemptive baseline succeeds —
+        # the predictability-vs-flexibility trade-off discussed in Section IV-D.
+        from repro.scheduling.static_scheduler import SchedulingError
+
+        ts = task_set(make_task("long", 20, 7), make_task("short", 5, 1, deadline=3))
+        with pytest.raises(SchedulingError):
+            synthesise_schedule(ts)
+        assert simulate_preemptive(ts).schedulable
+
+    def test_edf_baseline(self, pc_task_set):
+        result = PreemptiveScheduler(pc_task_set, SchedulingPolicy.EARLIEST_DEADLINE_FIRST).run()
+        assert result.schedulable
+
+    def test_overload_reports_misses(self):
+        ts = task_set(make_task("a", 4, 3), make_task("b", 4, 3))
+        result = simulate_preemptive(ts)
+        assert not result.schedulable
+        assert result.deadline_misses >= 1
+
+    def test_not_exportable_to_affine_clocks(self, pc_task_set):
+        result = simulate_preemptive(pc_task_set)
+        assert result.exportable_to_affine_clocks() is False
+
+    def test_summary(self, pc_task_set):
+        assert "baseline" in simulate_preemptive(pc_task_set).summary()
+
+    def test_empty_task_set_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_preemptive(task_set())
+
+    def test_job_records_complete(self, pc_task_set):
+        result = simulate_preemptive(pc_task_set)
+        assert len(result.jobs) == 16
+        assert all(job.completion_tick is not None for job in result.jobs)

@@ -1,0 +1,113 @@
+"""Property-based tests on the scheduler invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.analysis import analyse_schedulability
+from repro.scheduling.baseline import simulate_preemptive
+from repro.scheduling.hyperperiod import hyperperiod_ms
+from repro.scheduling.static_scheduler import (
+    SchedulingError,
+    SchedulingPolicy,
+    StaticSchedulerConfig,
+    synthesise_schedule,
+)
+from repro.scheduling.task import Task, TaskSet
+
+# Small harmonic-ish periods keep hyper-periods (and test time) bounded.
+periods = st.sampled_from([2, 3, 4, 5, 6, 8, 10, 12])
+
+
+@st.composite
+def task_sets(draw, max_tasks=4, max_utilisation=0.75):
+    count = draw(st.integers(min_value=1, max_value=max_tasks))
+    tasks = []
+    remaining = max_utilisation
+    for index in range(count):
+        period = draw(periods)
+        max_wcet = max(1, int(period * min(remaining, 0.5)))
+        wcet = draw(st.integers(min_value=1, max_value=max_wcet))
+        remaining -= wcet / period
+        if remaining < 0:
+            break
+        tasks.append(Task(name=f"t{index}", period_ms=float(period), deadline_ms=float(period), wcet_ms=float(wcet)))
+    assume(tasks)
+    ts = TaskSet()
+    for task in tasks:
+        ts.add(task)
+    return ts
+
+
+@given(task_sets())
+@settings(max_examples=40, deadline=None)
+def test_static_schedule_invariants(ts):
+    """Whenever a static schedule is found, it satisfies all its constraints."""
+    try:
+        schedule = synthesise_schedule(ts)
+    except SchedulingError:
+        return
+    assert schedule.is_valid()
+    assert schedule.hyperperiod_ms == hyperperiod_ms(ts)
+    # Every task has exactly hyperperiod/period jobs.
+    for task in ts:
+        expected_jobs = int(schedule.hyperperiod_ms / task.period_ms)
+        assert len(schedule.jobs_of(task.name)) == expected_jobs
+    # Dispatches are strictly periodic.
+    for task in ts:
+        dispatches = sorted(job.dispatch_tick for job in schedule.jobs_of(task.name))
+        steps = {b - a for a, b in zip(dispatches, dispatches[1:])}
+        assert steps <= {int(task.period_ms / schedule.tick_ms)}
+
+
+@given(task_sets())
+@settings(max_examples=40, deadline=None)
+def test_static_schedulability_implies_preemptive_schedulability(ts):
+    """A non-preemptive static schedule is also feasible for the preemptive baseline."""
+    try:
+        synthesise_schedule(ts)
+    except SchedulingError:
+        return
+    assert simulate_preemptive(ts).schedulable
+
+
+@given(task_sets())
+@settings(max_examples=40, deadline=None)
+def test_affine_export_covers_every_job(ts):
+    from repro.scheduling.affine_export import export_affine_clocks
+
+    try:
+        schedule = synthesise_schedule(ts)
+    except SchedulingError:
+        return
+    export = export_affine_clocks(schedule)
+    for job in schedule.jobs:
+        for kind in ("dispatch", "start", "complete", "deadline"):
+            tick = getattr(job, f"{kind}_tick")
+            assert any(clock.contains(tick) for clock in export.clock_of(job.task, kind))
+
+
+@given(task_sets())
+@settings(max_examples=40, deadline=None)
+def test_utilisation_bound_sufficiency(ts):
+    """If the Liu-Layland test passes, the preemptive RM simulation meets all deadlines."""
+    report = analyse_schedulability(ts, preemptive=True)
+    if report.utilisation_test_passed:
+        assert simulate_preemptive(ts).schedulable
+
+
+@given(task_sets(), st.sampled_from([SchedulingPolicy.RATE_MONOTONIC, SchedulingPolicy.EARLIEST_DEADLINE_FIRST,
+                                     SchedulingPolicy.DEADLINE_MONOTONIC]))
+@settings(max_examples=40, deadline=None)
+def test_policies_agree_on_job_population(ts, policy):
+    """All policies schedule the same set of jobs (only placement differs)."""
+    try:
+        schedule = synthesise_schedule(ts, StaticSchedulerConfig(policy=policy))
+    except SchedulingError:
+        return
+    rm_jobs = {(job.task, job.job_index, job.dispatch_tick) for job in schedule.jobs}
+    try:
+        reference = synthesise_schedule(ts)
+    except SchedulingError:
+        return
+    ref_jobs = {(job.task, job.job_index, job.dispatch_tick) for job in reference.jobs}
+    assert rm_jobs == ref_jobs

@@ -1,0 +1,144 @@
+"""Tests of the task model extraction and the hyper-period computation."""
+
+import pytest
+
+from repro.aadl.properties import IOReference
+from repro.scheduling.hyperperiod import hyperperiod_ms, hyperperiod_ticks, tick_resolution_ms, to_ticks
+from repro.scheduling.task import Task, TaskSet, task_set_from_instance, task_set_from_threads
+
+
+def make_task(name="t", period=4.0, deadline=None, wcet=1.0, offset=0.0, priority=None):
+    return Task(
+        name=name,
+        period_ms=period,
+        deadline_ms=deadline if deadline is not None else period,
+        wcet_ms=wcet,
+        offset_ms=offset,
+        priority=priority,
+    )
+
+
+class TestTask:
+    def test_utilisation(self):
+        assert make_task(period=4, wcet=1).utilisation == pytest.approx(0.25)
+
+    def test_release_times(self):
+        assert make_task(period=4, offset=1).release_times(13) == [1, 5, 9]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_task(period=0)
+        with pytest.raises(ValueError):
+            make_task(deadline=-1)
+        with pytest.raises(ValueError):
+            make_task(wcet=5, deadline=4)
+
+    def test_str_mentions_parameters(self):
+        assert "T=4" in str(make_task()).replace(".0", "")
+
+
+class TestTaskSet:
+    def make_set(self):
+        ts = TaskSet(processor_name="cpu0")
+        ts.add(make_task("a", period=8, wcet=2))
+        ts.add(make_task("b", period=4, wcet=1))
+        ts.add(make_task("c", period=6, deadline=5, wcet=1))
+        return ts
+
+    def test_accessors(self):
+        ts = self.make_set()
+        assert len(ts) == 3
+        assert ts.names() == ["a", "b", "c"]
+        assert ts.by_name("b").period_ms == 4
+        with pytest.raises(KeyError):
+            ts.by_name("zzz")
+
+    def test_utilisation_sum(self):
+        assert self.make_set().utilisation == pytest.approx(2 / 8 + 1 / 4 + 1 / 6)
+
+    def test_rm_and_dm_orders(self):
+        ts = self.make_set()
+        assert [t.name for t in ts.rm_sorted()] == ["b", "c", "a"]
+        assert [t.name for t in ts.dm_sorted()] == ["b", "c", "a"]
+
+
+class TestExtractionFromAadl:
+    def test_case_study_task_set(self, pc_task_set):
+        assert set(pc_task_set.names()) == {"thProducer", "thConsumer", "thProdTimer", "thConsTimer"}
+        assert pc_task_set.by_name("thProducer").period_ms == 4.0
+        assert pc_task_set.by_name("thConsumer").period_ms == 6.0
+        assert pc_task_set.processor_name == "Processor1"
+
+    def test_wcet_from_compute_execution_time(self, pc_task_set):
+        assert pc_task_set.by_name("thProducer").wcet_ms == 1.0
+
+    def test_io_time_specs_extracted(self, pc_task_set):
+        producer = pc_task_set.by_name("thProducer")
+        assert producer.input_time.reference is IOReference.DISPATCH
+        assert producer.output_time.reference is IOReference.COMPLETION
+
+    def test_default_wcet_fraction_applies(self, pc_root):
+        threads = pc_root.find(["prProdCons"]).threads()
+        task_set = task_set_from_threads(threads, default_wcet_fraction=0.5)
+        # thTimer has an explicit Compute_Execution_Time, so only threads
+        # without one would use the fraction; all case-study threads have one.
+        assert task_set.by_name("thProdTimer").wcet_ms == 1.0
+
+    def test_unknown_process_path_raises(self, pc_root):
+        with pytest.raises(KeyError):
+            task_set_from_instance(pc_root, ["missing"])
+
+    def test_thread_without_period_raises(self):
+        from repro.aadl.parser import parse_string
+        from repro.aadl.instance import instantiate
+        from repro.scheduling.task import task_from_thread
+
+        text = """
+        package P
+        public
+          thread t
+          properties
+            Dispatch_Protocol => Periodic;
+          end t;
+          thread implementation t.impl
+          end t.impl;
+          process p
+          end p;
+          process implementation p.impl
+          subcomponents
+            w: thread t.impl;
+          end p.impl;
+        end P;
+        """
+        root = instantiate(parse_string(text), "p.impl")
+        with pytest.raises(ValueError):
+            task_from_thread(root.subcomponents["w"])
+
+
+class TestHyperperiod:
+    def test_case_study_hyperperiod(self, pc_task_set):
+        assert hyperperiod_ms(pc_task_set) == 24.0
+        assert hyperperiod_ticks(pc_task_set) == 24
+
+    def test_tick_resolution_integral_periods(self, pc_task_set):
+        assert tick_resolution_ms(pc_task_set) == 1.0
+
+    def test_tick_resolution_fractional_periods(self):
+        tasks = [make_task("a", period=2.5, wcet=0.5), make_task("b", period=5.0, wcet=0.5)]
+        assert tick_resolution_ms(tasks) == pytest.approx(0.5)
+        assert hyperperiod_ms(tasks) == pytest.approx(5.0)
+        assert hyperperiod_ticks(tasks) == 10
+
+    def test_empty_task_set(self):
+        assert hyperperiod_ms([]) == 0.0
+        assert hyperperiod_ticks([]) == 0
+        assert tick_resolution_ms([]) == 1.0
+
+    def test_to_ticks_rounds_up(self):
+        assert to_ticks(3.0, 1.0) == 3
+        assert to_ticks(2.5, 1.0) == 3
+        assert to_ticks(2.5, 0.5) == 5
+
+    def test_non_harmonic_hyperperiod(self):
+        tasks = [make_task("a", period=3), make_task("b", period=5), make_task("c", period=7)]
+        assert hyperperiod_ms(tasks) == 105.0

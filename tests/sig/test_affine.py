@@ -1,0 +1,170 @@
+"""Tests of the affine clock calculus (Section IV-D of the paper)."""
+
+import pytest
+
+from repro.sig.affine import (
+    AffineClock,
+    AffineRelation,
+    first_conflict,
+    gcd,
+    hyperperiod_of,
+    lcm,
+    lcm_many,
+    mutually_disjoint,
+    relation_between,
+    solve_congruences,
+)
+
+
+class TestArithmetic:
+    def test_gcd_lcm(self):
+        assert gcd(12, 8) == 4
+        assert lcm(4, 6) == 12
+        assert lcm(0, 5) == 0
+        assert lcm_many([4, 6, 8]) == 24
+        assert lcm_many([]) == 1
+
+    def test_case_study_hyperperiod(self):
+        # Thread periods of the paper's case study: 4, 6, 8, 8 ms -> 24 ms.
+        assert lcm_many([4, 6, 8, 8]) == 24
+
+    def test_solve_congruences_compatible(self):
+        solution = solve_congruences(1, 4, 3, 6)
+        assert solution is not None
+        r, m = solution
+        assert m == 12
+        assert r % 4 == 1 and r % 6 == 3
+
+    def test_solve_congruences_incompatible(self):
+        assert solve_congruences(0, 4, 1, 2) is None
+
+
+class TestAffineClock:
+    def test_instants(self):
+        clock = AffineClock("tick", period=4, phase=1)
+        assert clock.instants(14) == [1, 5, 9, 13]
+
+    def test_contains_and_index(self):
+        clock = AffineClock("tick", period=3, phase=2)
+        assert clock.contains(2) and clock.contains(8)
+        assert not clock.contains(3)
+        assert clock.tick_index(8) == 2
+        assert clock.tick_index(3) is None
+        assert clock.nth_tick(3) == 11
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AffineClock("tick", period=0)
+        with pytest.raises(ValueError):
+            AffineClock("tick", period=2, phase=-1)
+        with pytest.raises(ValueError):
+            AffineClock("tick", period=2).nth_tick(-1)
+
+    def test_equality_and_subclock(self):
+        a = AffineClock("tick", 4, 0)
+        b = AffineClock("tick", 8, 4)
+        assert b.is_subclock_of(a)
+        assert not a.is_subclock_of(b)
+        assert a.equals(AffineClock("tick", 4, 0))
+
+    def test_different_references_raise(self):
+        with pytest.raises(ValueError):
+            AffineClock("t1", 2).equals(AffineClock("t2", 2))
+
+    def test_intersection_harmonic(self):
+        a = AffineClock("tick", 4, 0)
+        b = AffineClock("tick", 6, 0)
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.period == 12 and inter.phase == 0
+
+    def test_intersection_disjoint(self):
+        a = AffineClock("tick", 4, 0)
+        b = AffineClock("tick", 4, 1)
+        assert a.intersection(b) is None
+        assert a.disjoint_with(b)
+
+    def test_intersection_with_offset(self):
+        a = AffineClock("tick", 4, 1)
+        b = AffineClock("tick", 6, 3)
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.contains(9)
+        assert (inter.phase - 1) % 4 == 0 and (inter.phase - 3) % 6 == 0
+
+    def test_union_hyperperiod(self):
+        assert AffineClock("tick", 4).union_hyperperiod(AffineClock("tick", 6)) == 12
+
+    def test_relative_relation_case_study(self):
+        producer = AffineClock("tick", 4, 0)
+        consumer = AffineClock("tick", 6, 0)
+        assert producer.relative_relation(consumer) == (2, 0, 3)
+
+    def test_synchronisable_iff_same_period(self):
+        assert AffineClock("tick", 4, 0).synchronisable_with(AffineClock("tick", 4, 2))
+        assert not AffineClock("tick", 4, 0).synchronisable_with(AffineClock("tick", 8, 0))
+
+    def test_compose(self):
+        outer = AffineClock("inner", period=2, phase=1)
+        inner = AffineClock("tick", period=3, phase=1)
+        composed = outer.compose(inner)
+        assert composed.reference == "tick"
+        assert composed.period == 6
+        # phase = inner.phase + outer.phase * inner.period = 1 + 1*3 = 4
+        assert composed.phase == 4
+        # The composed ticks must be a subset of the inner ticks.
+        assert all(inner.contains(t) for t in composed.instants(30))
+
+
+class TestRelations:
+    def test_relation_inverse(self):
+        relation = AffineRelation("a", "b", n=2, phase=1, d=3)
+        inverse = relation.inverse()
+        assert inverse.source == "b" and inverse.target == "a"
+        assert inverse.n == 3 and inverse.d == 2 and inverse.phase == -1
+
+    def test_relation_identity(self):
+        assert AffineRelation("a", "b", 1, 0, 1).is_identity()
+        assert not AffineRelation("a", "b", 2, 0, 1).is_identity()
+
+    def test_relation_composition(self):
+        ab = AffineRelation("a", "b", n=1, phase=0, d=2)
+        bc = AffineRelation("b", "c", n=1, phase=0, d=3)
+        ac = ab.compose(bc)
+        assert ac is not None
+        assert (ac.n, ac.d) == (1, 6)
+
+    def test_relation_composition_mismatch(self):
+        ab = AffineRelation("a", "b", 1, 0, 2)
+        cd = AffineRelation("c", "d", 1, 0, 3)
+        with pytest.raises(ValueError):
+            ab.compose(cd)
+
+    def test_relation_between(self):
+        rel = relation_between(AffineClock("tick", 4), AffineClock("tick", 6))
+        assert (rel.n, rel.d) == (2, 3)
+
+    def test_invalid_relation(self):
+        with pytest.raises(ValueError):
+            AffineRelation("a", "b", 0, 0, 1)
+
+
+class TestCollections:
+    def test_mutually_disjoint(self):
+        clocks = [AffineClock("tick", 4, 0), AffineClock("tick", 4, 1), AffineClock("tick", 4, 2)]
+        assert mutually_disjoint(clocks)
+        assert not mutually_disjoint(clocks + [AffineClock("tick", 8, 0)])
+
+    def test_first_conflict_reports_pair(self):
+        named = [("a", AffineClock("tick", 4, 0)), ("b", AffineClock("tick", 6, 0))]
+        conflict = first_conflict(named)
+        assert conflict is not None
+        assert conflict[0] == "a" and conflict[1] == "b"
+
+    def test_first_conflict_none(self):
+        named = [("a", AffineClock("tick", 2, 0)), ("b", AffineClock("tick", 2, 1))]
+        assert first_conflict(named) is None
+
+    def test_hyperperiod_of(self):
+        assert hyperperiod_of([AffineClock("tick", 4), AffineClock("tick", 6)]) == 12
+        assert hyperperiod_of([]) == 1

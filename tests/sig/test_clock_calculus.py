@@ -1,0 +1,160 @@
+"""Tests of the clock calculus: synchronisation classes, hierarchy, endochrony."""
+
+import pytest
+
+from repro.sig import builder as b
+from repro.sig import library
+from repro.sig.clock_calculus import ClockCalculus, run_clock_calculus
+from repro.sig.process import ProcessModel
+from repro.sig.values import BOOLEAN, EVENT, INTEGER
+
+
+def simple_sampler():
+    """y := x when b ; z := x + 1  — a classic hierarchy example."""
+    model = ProcessModel("sampler")
+    model.input("x", INTEGER)
+    model.input("b", BOOLEAN)
+    model.output("y", INTEGER)
+    model.output("z", INTEGER)
+    model.define("y", b.when(b.ref("x"), b.ref("b")))
+    model.define("z", b.func("+", b.ref("x"), 1))
+    model.synchronise("x", "b")
+    return model
+
+
+class TestExpressionClocks:
+    def test_function_clock_is_operand_clock(self):
+        model = simple_sampler()
+        calculus = ClockCalculus(model)
+        clock = calculus.expression_clock(b.func("+", b.ref("x"), 1))
+        assert clock.base_signals() == frozenset({"x"})
+
+    def test_constant_has_no_clock(self):
+        calculus = ClockCalculus(ProcessModel("p"))
+        assert calculus.expression_clock(b.const(5)) is None
+
+    def test_when_clock_adds_condition(self):
+        calculus = ClockCalculus(ProcessModel("p"))
+        clock = calculus.expression_clock(b.when(b.ref("x"), b.ref("c")))
+        kinds = {atom.kind for atom in clock.atoms()}
+        assert "true" in kinds
+
+    def test_when_not_condition(self):
+        calculus = ClockCalculus(ProcessModel("p"))
+        clock = calculus.expression_clock(b.when(b.ref("x"), b.func("not", b.ref("c"))))
+        kinds = {atom.kind for atom in clock.atoms()}
+        assert "false" in kinds
+
+    def test_default_clock_is_union(self):
+        calculus = ClockCalculus(ProcessModel("p"))
+        clock = calculus.expression_clock(b.default(b.ref("x"), b.ref("y")))
+        assert clock.base_signals() == frozenset({"x", "y"})
+
+    def test_delay_clock_is_operand_clock(self):
+        calculus = ClockCalculus(ProcessModel("p"))
+        clock = calculus.expression_clock(b.delay(b.ref("x"), init=0))
+        assert clock.base_signals() == frozenset({"x"})
+
+    def test_when_false_constant_is_null(self):
+        calculus = ClockCalculus(ProcessModel("p"))
+        clock = calculus.expression_clock(b.when_clock(b.const(False)))
+        assert clock.is_null
+
+
+class TestResolution:
+    def test_synchronous_class_from_function(self):
+        model = simple_sampler()
+        result = run_clock_calculus(model)
+        assert result.synchronous("z", "x")
+        assert result.synchronous("x", "b")
+
+    def test_sampled_signal_below_parent(self):
+        model = simple_sampler()
+        result = run_clock_calculus(model)
+        y_class = result.class_of("y")
+        assert y_class is not None
+        assert y_class.parent == result.class_of("x").representative
+
+    def test_endochronous_single_root(self):
+        model = simple_sampler()
+        result = run_clock_calculus(model)
+        assert result.endochronous
+        assert result.master_clock() == result.class_of("x").representative
+
+    def test_two_independent_inputs_not_endochronous(self):
+        model = ProcessModel("two_inputs")
+        model.input("a", INTEGER)
+        model.input("c", INTEGER)
+        model.output("y", INTEGER)
+        model.output("z", INTEGER)
+        model.define("y", b.func("+", b.ref("a"), 1))
+        model.define("z", b.func("+", b.ref("c"), 1))
+        result = run_clock_calculus(model)
+        assert not result.endochronous
+        assert len(result.roots) == 2
+
+    def test_null_clock_detected(self):
+        model = ProcessModel("nullclock")
+        model.input("b", BOOLEAN)
+        model.output("y", EVENT)
+        # y present when b and not b: never.
+        model.define("y", b.clock_intersection(b.when_clock(b.ref("b")), b.when_clock(b.func("not", b.ref("b")))))
+        result = run_clock_calculus(model)
+        assert "y" in result.null_clock_signals
+        assert any("null clock" in c for c in result.unresolved_constraints)
+
+    def test_clock_count_counts_classes(self):
+        model = simple_sampler()
+        result = run_clock_calculus(model)
+        # {x, b, z} and {y} -> 2 classes.
+        assert result.clock_count() == 2
+
+    def test_report_mentions_process(self):
+        result = run_clock_calculus(simple_sampler())
+        text = result.report()
+        assert "sampler" in text
+        assert "endochronous" in text
+
+    def test_explicit_exclusive_constraint_unproven_is_reported(self):
+        model = ProcessModel("p")
+        model.input("a", EVENT)
+        model.input("c", EVENT)
+        model.exclusive("a", "c")
+        result = run_clock_calculus(model)
+        assert any("^#" in item for item in result.unresolved_constraints)
+
+    def test_subclock_constraint_proven(self):
+        model = ProcessModel("p")
+        model.input("x", INTEGER)
+        model.input("b", BOOLEAN)
+        model.local("y", INTEGER)
+        model.define("y", b.when(b.ref("x"), b.ref("b")))
+        model.subclock("y", "x")
+        result = run_clock_calculus(model)
+        assert not any("^<" in item for item in result.unresolved_constraints)
+
+
+class TestLibraryProcesses:
+    def test_memory_process_endochronous_on_b(self):
+        result = run_clock_calculus(library.memory_process())
+        # o = (i cell b) when b: o's clock is [b], below ^b.
+        assert result.class_of("o").parent is not None
+
+    def test_in_event_port_clock_count(self):
+        result = run_clock_calculus(library.in_event_port(queue_size=2))
+        assert result.clock_count() >= 5
+
+    def test_fifo_reset_free_clocks_are_inputs(self):
+        model = library.fifo_reset()
+        result = run_clock_calculus(model)
+        assert set(result.free_signals) <= {"write", "reset", "read"}
+
+    def test_scheduler_hierarchy_rooted_at_tick(self):
+        divider = library.periodic_clock_divider(period=4, phase=0)
+        result = run_clock_calculus(divider)
+        assert result.class_of("index").representative == result.class_of("tick").representative
+
+    def test_flatten_before_analysis(self, pc_translation):
+        # The full translated system runs through the clock calculus without error.
+        result = run_clock_calculus(pc_translation.system_model)
+        assert result.clock_count() > 50

@@ -1,0 +1,119 @@
+"""Tests of the symbolic clock algebra (union-of-products normal form)."""
+
+from repro.sig.clocks import Clock, ClockAtom, false_clock, signal_clock, true_clock
+
+
+class TestConstruction:
+    def test_signal_clock_single_atom(self):
+        clock = signal_clock("x")
+        assert clock.base_signals() == frozenset({"x"})
+        assert not clock.is_null
+
+    def test_true_clock_contains_condition_atom(self):
+        clock = true_clock("b")
+        kinds = {atom.kind for atom in clock.atoms()}
+        assert "true" in kinds
+
+    def test_null_clock(self):
+        assert Clock.null().is_null
+
+    def test_contradictory_product_is_null(self):
+        clock = true_clock("b").intersection(false_clock("b"))
+        assert clock.is_null
+
+
+class TestAlgebra:
+    def test_union_is_commutative_syntactically(self):
+        a, b = signal_clock("a"), signal_clock("b")
+        assert a.union(b).equivalent_to(b.union(a))
+
+    def test_intersection_with_null_is_null(self):
+        assert signal_clock("a").intersection(Clock.null()).is_null
+
+    def test_union_with_null_is_identity(self):
+        a = signal_clock("a")
+        assert a.union(Clock.null()).equivalent_to(a)
+
+    def test_intersection_idempotent(self):
+        a = signal_clock("a")
+        assert a.intersection(a).equivalent_to(a)
+
+    def test_union_absorption(self):
+        # a ∪ (a ∩ b) = a
+        a, b = signal_clock("a"), signal_clock("b")
+        assert a.union(a.intersection(b)).equivalent_to(a)
+
+    def test_true_false_subclocks_are_disjoint(self):
+        assert true_clock("b").disjoint_with(false_clock("b"))
+
+    def test_different_signal_clocks_not_provably_disjoint(self):
+        assert not signal_clock("a").disjoint_with(signal_clock("b"))
+
+    def test_difference_with_complementable_condition(self):
+        # ^x ^- (^x ^* [b]) = ^x ^* [not b]
+        x = signal_clock("x")
+        sampled = x.intersection(true_clock("b"))
+        difference = x.difference(sampled)
+        assert difference.included_in(x)
+        assert difference.disjoint_with(sampled)
+
+    def test_difference_with_null_is_identity(self):
+        a = signal_clock("a")
+        assert a.difference(Clock.null()).equivalent_to(a)
+
+
+class TestOrdering:
+    def test_intersection_included_in_operands(self):
+        a, b = signal_clock("a"), true_clock("b")
+        inter = a.intersection(b)
+        assert inter.included_in(a)
+        assert inter.included_in(b)
+
+    def test_operands_included_in_union(self):
+        a, b = signal_clock("a"), signal_clock("b")
+        union = a.union(b)
+        assert a.included_in(union)
+        assert b.included_in(union)
+
+    def test_null_included_in_everything(self):
+        assert Clock.null().included_in(signal_clock("a"))
+        assert not signal_clock("a").included_in(Clock.null())
+
+    def test_equivalence_reflexive(self):
+        a = signal_clock("a").intersection(true_clock("b"))
+        assert a.equivalent_to(a)
+
+
+class TestSubstitution:
+    def test_substitute_signal_by_expression(self):
+        # clock of y = ^x; substituting ^x by [b] yields [b]
+        y = signal_clock("x")
+        substituted = y.substitute_signal("x", true_clock("b"))
+        assert substituted.equivalent_to(true_clock("b"))
+
+    def test_substitute_by_null_removes_products(self):
+        y = signal_clock("x")
+        assert y.substitute_signal("x", Clock.null()).is_null
+
+    def test_substitute_unrelated_signal_is_noop(self):
+        y = signal_clock("x")
+        assert y.substitute_signal("z", true_clock("b")).equivalent_to(y)
+
+
+class TestDisplay:
+    def test_null_clock_prints_zero(self):
+        assert str(Clock.null()) == "^0"
+
+    def test_condition_clock_hides_redundant_signal_atom(self):
+        text = str(true_clock("b"))
+        assert "[b]" in text
+        assert "^b" not in text
+
+    def test_atom_str(self):
+        assert str(ClockAtom("sig", "x")) == "^x"
+        assert str(ClockAtom("true", "b")) == "[b]"
+        assert str(ClockAtom("false", "b")) == "[not b]"
+
+    def test_atom_complement(self):
+        assert ClockAtom("true", "b").complement_in() == ClockAtom("false", "b")
+        assert ClockAtom("sig", "x").complement_in() is None

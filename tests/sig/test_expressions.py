@@ -1,0 +1,127 @@
+"""Tests of the SIGNAL expression AST and the stepwise operator table."""
+
+import pytest
+
+from repro.sig.expressions import (
+    Cell,
+    ClockOf,
+    ClockUnion,
+    Const,
+    Default,
+    Delay,
+    FunctionApp,
+    SignalRef,
+    When,
+    WhenClock,
+    apply_stepwise,
+    free_signals,
+    lift,
+    register_stepwise_operation,
+)
+
+
+class TestConstruction:
+    def test_signal_ref_signals(self):
+        assert SignalRef("x").signals() == ("x",)
+
+    def test_const_has_no_signals(self):
+        assert Const(5).signals() == ()
+
+    def test_function_app_collects_signals_in_order(self):
+        expr = FunctionApp("+", (SignalRef("a"), SignalRef("b")))
+        assert expr.signals() == ("a", "b")
+
+    def test_operator_overloads_build_function_apps(self):
+        expr = SignalRef("a") + 1
+        assert isinstance(expr, FunctionApp)
+        assert expr.op == "+"
+        assert isinstance(expr.args[1], Const)
+
+    def test_comparison_helpers(self):
+        assert SignalRef("a").eq(1).op == "="
+        assert SignalRef("a").lt(1).op == "<"
+        assert SignalRef("a").ge(1).op == ">="
+
+    def test_when_default_helpers(self):
+        expr = SignalRef("a").when(SignalRef("b")).default(Const(0))
+        assert isinstance(expr, Default)
+        assert isinstance(expr.left, When)
+
+    def test_lift_passthrough_for_expressions(self):
+        ref = SignalRef("x")
+        assert lift(ref) is ref
+        assert isinstance(lift(3), Const)
+
+    def test_free_signals_dedup_preserves_order(self):
+        expr = FunctionApp("+", (SignalRef("a"), FunctionApp("*", (SignalRef("b"), SignalRef("a")))))
+        assert free_signals(expr) == ("a", "b")
+
+
+class TestStringRendering:
+    def test_infix_rendering(self):
+        assert str(SignalRef("a") + SignalRef("b")) == "(a + b)"
+
+    def test_delay_rendering(self):
+        assert "$" in str(Delay(SignalRef("x"), init=0))
+        assert "init 0" in str(Delay(SignalRef("x"), init=0))
+
+    def test_when_default_rendering(self):
+        assert str(When(SignalRef("x"), SignalRef("b"))) == "(x when b)"
+        assert str(Default(SignalRef("x"), SignalRef("y"))) == "(x default y)"
+
+    def test_cell_rendering(self):
+        text = str(Cell(SignalRef("x"), SignalRef("b"), init=1))
+        assert "cell" in text and "init 1" in text
+
+    def test_clock_rendering(self):
+        assert str(ClockOf(SignalRef("x"))) == "(^x)"
+        assert "^+" in str(ClockUnion(SignalRef("x"), SignalRef("y")))
+        assert str(WhenClock(SignalRef("b"))) == "(when b)"
+
+    def test_boolean_constant_rendering(self):
+        assert str(Const(True)) == "true"
+        assert str(Const(False)) == "false"
+        assert str(Const("s")) == '"s"'
+
+
+class TestStepwiseOperations:
+    def test_arithmetic(self):
+        assert apply_stepwise("+", [2, 3]) == 5
+        assert apply_stepwise("-", [2, 3]) == -1
+        assert apply_stepwise("*", [2, 3]) == 6
+        assert apply_stepwise("%", [7, 3]) == 1
+
+    def test_comparisons(self):
+        assert apply_stepwise("=", [2, 2]) is True
+        assert apply_stepwise("/=", [2, 3]) is True
+        assert apply_stepwise("<", [1, 2]) is True
+        assert apply_stepwise(">=", [2, 2]) is True
+
+    def test_boolean_operators(self):
+        assert apply_stepwise("and", [True, False]) is False
+        assert apply_stepwise("or", [True, False]) is True
+        assert apply_stepwise("xor", [True, True]) is False
+        assert apply_stepwise("not", [False]) is True
+
+    def test_min_max_abs(self):
+        assert apply_stepwise("min", [3, 5]) == 3
+        assert apply_stepwise("max", [3, 5]) == 5
+        assert apply_stepwise("abs", [-2]) == 2
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(KeyError):
+            apply_stepwise("frobnicate", [1])
+
+    def test_absent_operand_raises(self):
+        from repro.sig.values import ABSENT
+
+        with pytest.raises(ValueError):
+            apply_stepwise("+", [1, ABSENT])
+
+    def test_register_custom_operation(self):
+        register_stepwise_operation("triple", lambda x: 3 * x)
+        assert apply_stepwise("triple", [4]) == 12
+
+    def test_integer_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            apply_stepwise("/", [1, 0])

@@ -1,0 +1,216 @@
+"""Tests of the AADL2SIGNAL library processes (memory, ports, FIFOs, observers)."""
+
+import pytest
+
+from repro.sig import library
+from repro.sig.simulator import Scenario, Simulator
+from repro.sig.values import ABSENT, INTEGER
+
+
+class TestMemoryProcess:
+    def test_fm_definition_from_paper(self):
+        """o = fm(i, b): value of i when present and b true, previous i when
+        i absent and b true, absent otherwise (Section IV-C)."""
+        model = library.memory_process(init=-1)
+        sc = Scenario(6)
+        sc.set_at("i", {0: 10, 3: 20})
+        sc.set_flow("b", [True, True, False, ABSENT, True, True])
+        trace = Simulator(model).run(sc)
+        # t0: i=10, b true -> 10 ; t1: i absent, b true -> 10 ; t2: b false -> absent
+        # t3: b absent -> absent ; t4: b true -> 20 ; t5: 20
+        assert trace.clock_of("o") == [0, 1, 4, 5]
+        assert trace.present_values("o") == [10, 10, 20, 20]
+
+    def test_fm_initial_value(self):
+        model = library.memory_process(init=99)
+        sc = Scenario(2)
+        sc.set_flow("b", [True, True])
+        trace = Simulator(model).run(sc)
+        assert trace.present_values("o") == [99, 99]
+
+
+class TestInputFreezingAndSending:
+    def test_input_freezing_freezes_last_value(self):
+        """z = x |> t : frozen value visible only at the freeze event."""
+        model = library.input_freezing(init=0)
+        sc = Scenario(8)
+        sc.set_at("x", {1: 5, 2: 6, 5: 7})
+        sc.set_periodic("t", 4, 0)
+        trace = Simulator(model).run(sc)
+        assert trace.clock_of("z") == [0, 4]
+        assert trace.present_values("z") == [0, 6]
+
+    def test_output_sending(self):
+        model = library.output_sending(init=0)
+        sc = Scenario(6)
+        sc.set_at("y", {1: 11, 3: 13})
+        sc.set_periodic("t", 3, 2)
+        trace = Simulator(model).run(sc)
+        assert trace.clock_of("w") == [2, 5]
+        assert trace.present_values("w") == [11, 13]
+
+
+class TestInEventPort:
+    def make_trace(self, queue_size=2, arrivals=None, freeze_period=4, length=12):
+        model = library.in_event_port(queue_size=queue_size)
+        sc = Scenario(length)
+        sc.set_at("arrival", arrivals or {})
+        sc.set_periodic("frozen_time", freeze_period, 0)
+        return Simulator(model).run(sc)
+
+    def test_counts_pending_events(self):
+        trace = self.make_trace(arrivals={1: 10, 2: 20, 5: 30})
+        assert trace.present_values("frozen_count") == [0, 2, 1]
+
+    def test_frozen_value_is_latest_item(self):
+        trace = self.make_trace(arrivals={1: 10, 2: 20, 5: 30})
+        assert trace.present_values("frozen_value") == [20, 30]
+
+    def test_arrival_at_freeze_instant_deferred_to_next(self):
+        """Values arriving at/after Input_Time wait for the next dispatch (Fig. 2)."""
+        trace = self.make_trace(arrivals={4: 99})
+        # freeze at 4 does not see the arrival at 4; freeze at 8 does.
+        assert trace.present_values("frozen_count") == [0, 0, 1]
+
+    def test_queue_overflow_raises_dropped(self):
+        trace = self.make_trace(queue_size=1, arrivals={1: 10, 2: 20})
+        assert trace.clock_of("dropped") == [2]
+        # occupancy is clamped at Queue_Size
+        assert max(trace.present_values("frozen_count")) <= 1
+
+    def test_no_frozen_value_when_queue_empty(self):
+        trace = self.make_trace(arrivals={})
+        assert trace.present_values("frozen_value") == []
+        assert set(trace.present_values("frozen_count")) == {0}
+
+    def test_invalid_queue_size(self):
+        with pytest.raises(ValueError):
+            library.in_event_port(queue_size=0)
+
+
+class TestOutEventPort:
+    def test_sends_at_output_time_only_when_produced(self):
+        model = library.out_event_port()
+        sc = Scenario(10)
+        sc.set_at("produced", {1: 100, 6: 200})
+        sc.set_periodic("send_time", 4, 0)
+        trace = Simulator(model).run(sc)
+        # sends at 4 (value 100) and 8 (value 200); nothing at 0.
+        assert trace.clock_of("sent") == [4, 8]
+        assert trace.present_values("sent") == [100, 200]
+
+    def test_sent_count_reports_buffered_items(self):
+        model = library.out_event_port()
+        sc = Scenario(5)
+        sc.set_at("produced", {0: 1, 1: 2, 2: 3})
+        sc.set_at("send_time", {4: True})
+        trace = Simulator(model).run(sc)
+        assert trace.present_values("sent_count") == [3]
+
+
+class TestDataPort:
+    def test_keeps_last_value(self):
+        model = library.data_port(init=0)
+        sc = Scenario(9)
+        sc.set_at("incoming", {1: 1, 2: 2, 6: 3})
+        sc.set_periodic("frozen_time", 4, 0)
+        trace = Simulator(model).run(sc)
+        assert trace.present_values("frozen_value") == [0, 2, 3]
+
+
+class TestFifoReset:
+    def test_read_sees_last_write(self):
+        model = library.fifo_reset(init=0)
+        sc = Scenario(8)
+        sc.set_at("write", {1: 5, 4: 9})
+        sc.set_at("read", {2: True, 6: True})
+        trace = Simulator(model).run(sc)
+        assert trace.present_values("read_value") == [5, 9]
+
+    def test_reset_restores_initial_value(self):
+        model = library.fifo_reset(init=0)
+        sc = Scenario(6)
+        sc.set_at("write", {0: 5})
+        sc.set_at("reset", {2: True})
+        sc.set_at("read", {4: True})
+        trace = Simulator(model).run(sc)
+        assert trace.present_values("read_value") == [0]
+
+    def test_occupancy_counts_pushes_and_pops(self):
+        model = library.fifo_reset(init=0)
+        sc = Scenario(8)
+        sc.set_at("write", {0: 1, 1: 2, 2: 3})
+        sc.set_at("read", {3: True, 4: True})
+        trace = Simulator(model).run(sc)
+        counts = trace.present_values("count")
+        assert counts[:3] == [1, 2, 3]
+        assert counts[3:] == [2, 1]
+
+    def test_empty_flag(self):
+        model = library.fifo_reset(init=0)
+        sc = Scenario(3)
+        sc.set_at("read", {0: True})
+        sc.set_at("write", {1: 7})
+        sc.set_at("read", {2: True})
+        trace = Simulator(model).run(sc)
+        assert trace.present_values("empty") == [True, False]
+
+    def test_capacity_clamps_occupancy(self):
+        model = library.fifo_reset(init=0, capacity=2)
+        sc = Scenario(4)
+        sc.set_at("write", {0: 1, 1: 2, 2: 3, 3: 4})
+        trace = Simulator(model).run(sc)
+        assert max(trace.present_values("count")) == 2
+
+
+class TestPropertyObserver:
+    def run_observer(self, dispatch, complete, deadline, length=12):
+        model = library.thread_property_observer()
+        sc = Scenario(length)
+        sc.set_at("dispatch", {t: True for t in dispatch})
+        sc.set_at("complete", {t: True for t in complete})
+        sc.set_at("deadline", {t: True for t in deadline})
+        return Simulator(model).run(sc)
+
+    def test_no_alarm_when_complete_before_deadline(self):
+        trace = self.run_observer(dispatch=[0, 4, 8], complete=[2, 6, 10], deadline=[4, 8])
+        assert trace.clock_of("alarm") == []
+
+    def test_alarm_on_missed_deadline(self):
+        trace = self.run_observer(dispatch=[0, 4], complete=[2], deadline=[4, 8])
+        assert trace.clock_of("alarm") == [8]
+
+    def test_dispatch_and_deadline_same_instant_checks_previous_window(self):
+        # deadline at 4 coincides with the next dispatch; the first job completed
+        # at 3 so there is no alarm.
+        trace = self.run_observer(dispatch=[0, 4], complete=[3], deadline=[4])
+        assert trace.clock_of("alarm") == []
+
+
+class TestPeriodicClockDividerAndCounter:
+    def test_divider_phases(self):
+        model = library.periodic_clock_divider(period=4, phase=2)
+        sc = Scenario(12).set_always("tick")
+        trace = Simulator(model).run(sc)
+        assert trace.clock_of("out") == [2, 6, 10]
+
+    def test_divider_matches_affine_clock(self):
+        from repro.sig.affine import AffineClock
+
+        period, phase, horizon = 3, 1, 15
+        model = library.periodic_clock_divider(period=period, phase=phase)
+        sc = Scenario(horizon).set_always("tick")
+        trace = Simulator(model).run(sc)
+        assert trace.clock_of("out") == AffineClock("tick", period, phase).instants(horizon)
+
+    def test_divider_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            library.periodic_clock_divider(period=0)
+        with pytest.raises(ValueError):
+            library.periodic_clock_divider(period=2, phase=-1)
+
+    def test_event_counter(self):
+        model = library.event_counter()
+        sc = Scenario(7).set_periodic("e", 3)
+        trace = Simulator(model).run(sc)
+        assert trace.present_values("count") == [1, 2, 3]

@@ -1,0 +1,105 @@
+"""Tests of the SIGNAL textual pretty-printer."""
+
+from repro.sig import builder as b
+from repro.sig import library
+from repro.sig.printer import SignalPrinter, interface_summary, module_source, to_signal_source
+from repro.sig.process import ProcessModel
+from repro.sig.values import BOOLEAN, EVENT, INTEGER
+
+
+def sample_model():
+    model = ProcessModel("sample", comment="a sample process")
+    model.pragmas["aadl_name"] = "pkg::sample"
+    model.input("x", INTEGER)
+    model.input("c", BOOLEAN)
+    model.output("y", INTEGER)
+    model.local("tmp", INTEGER)
+    model.shared("v", INTEGER)
+    model.define("tmp", b.when(b.ref("x"), b.ref("c")), label="sampling")
+    model.define("y", b.func("+", b.ref("tmp"), 1))
+    model.define_partial("v", b.ref("y"))
+    model.synchronise("x", "c")
+    model.add_bundle("ctl", {"C": "c"})
+    return model
+
+
+class TestProcessRendering:
+    def test_contains_process_header_and_terminator(self):
+        text = to_signal_source(sample_model())
+        assert "process sample =" in text
+        assert text.rstrip().endswith(";")
+
+    def test_interface_sections(self):
+        text = to_signal_source(sample_model())
+        assert "( ?" in text and "!" in text
+        assert "integer x" in text
+        assert "boolean c" in text
+        assert "integer y" in text
+
+    def test_equations_and_partial_definitions(self):
+        text = to_signal_source(sample_model())
+        assert "tmp := (x when c)" in text
+        assert "v ::= y" in text
+        assert "%% sampling %%" in text
+
+    def test_constraints_rendered(self):
+        text = to_signal_source(sample_model())
+        assert "x ^= c" in text
+
+    def test_where_section_declares_locals_and_shared(self):
+        text = to_signal_source(sample_model())
+        assert "where" in text and "end" in text
+        assert "integer tmp" in text
+        assert "shared variables: v" in text
+
+    def test_pragmas_and_comment(self):
+        text = to_signal_source(sample_model())
+        assert "pragma aadl_name" in text
+        assert "a sample process" in text
+
+    def test_bundle_comment(self):
+        text = to_signal_source(sample_model())
+        assert "bundle ctl" in text
+
+    def test_instances_rendered_with_parameters(self):
+        outer = ProcessModel("outer")
+        inner = library.periodic_clock_divider(period=4, phase=1)
+        outer.add_submodel(inner)
+        outer.input("tick", EVENT)
+        outer.instantiate(inner, "div0", bindings={"tick": "tick", "out": "o"}, parameters={"period": 4})
+        text = to_signal_source(outer)
+        assert "div0 :: periodic_clock" in text
+        assert "period=4" in text
+
+    def test_submodels_in_where_section(self):
+        outer = ProcessModel("outer")
+        inner = library.memory_process()
+        outer.add_submodel(inner)
+        text = to_signal_source(outer)
+        assert "process fm =" in text
+        text_without = to_signal_source(outer, include_submodels=False)
+        assert "process fm =" not in text_without
+
+    def test_empty_body_placeholder(self):
+        model = ProcessModel("empty")
+        text = to_signal_source(model)
+        assert "empty body" in text
+
+
+class TestModuleAndSummary:
+    def test_module_source_wraps_processes(self):
+        text = module_source([sample_model(), library.memory_process()], module_name="LIB")
+        assert text.startswith("module LIB =")
+        assert "process sample =" in text and "process fm =" in text
+
+    def test_interface_summary(self):
+        summary = interface_summary(sample_model())
+        assert summary["inputs"] == ["x", "c"]
+        assert summary["outputs"] == ["y"]
+        assert summary["shared"] == ["v"]
+        assert summary["bundles"] == ["ctl"]
+
+    def test_custom_indent(self):
+        printer = SignalPrinter(indent="    ")
+        text = printer.print_process(sample_model())
+        assert "\n    ( ?" in text

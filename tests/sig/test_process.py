@@ -1,0 +1,201 @@
+"""Tests of the process model: declarations, equations, flattening."""
+
+import pytest
+
+from repro.sig import builder as b
+from repro.sig.process import (
+    ConstraintKind,
+    Direction,
+    ProcessModel,
+    rename_expression,
+    substitute_parameters,
+)
+from repro.sig.expressions import Const, Delay, SignalRef
+from repro.sig.values import BOOLEAN, EVENT, INTEGER
+
+
+def make_counter(name="counter"):
+    model = ProcessModel(name)
+    model.input("tick", EVENT)
+    model.output("count", INTEGER)
+    model.local("zcount", INTEGER)
+    model.define("zcount", b.delay(b.ref("count"), init=0))
+    model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.clock("tick")))
+    model.synchronise("count", "tick")
+    return model
+
+
+class TestDeclarations:
+    def test_directions(self):
+        model = make_counter()
+        assert [d.name for d in model.inputs()] == ["tick"]
+        assert [d.name for d in model.outputs()] == ["count"]
+        assert [d.name for d in model.locals()] == ["zcount"]
+
+    def test_redeclaration_is_idempotent(self):
+        model = ProcessModel("p")
+        model.input("x", INTEGER)
+        model.input("x", INTEGER)
+        assert len(model.inputs()) == 1
+
+    def test_redeclaration_can_promote_direction(self):
+        model = ProcessModel("p")
+        model.local("x", INTEGER)
+        model.output("x", INTEGER)
+        assert model.signals["x"].direction is Direction.OUTPUT
+
+    def test_define_declares_target(self):
+        model = ProcessModel("p")
+        model.define("y", Const(1))
+        assert "y" in model.signals
+
+    def test_partial_definition_marks_shared(self):
+        model = ProcessModel("p")
+        model.define_partial("v", Const(1))
+        assert model.signals["v"].direction is Direction.SHARED
+        assert model.equations_for("v")[0].partial
+
+    def test_counts(self):
+        model = make_counter()
+        assert model.signal_count() == 3
+        assert model.equation_count() == 2
+        assert model.defined_signals() == ["zcount", "count"]
+
+    def test_bundles(self):
+        model = ProcessModel("p")
+        model.input("a", EVENT)
+        model.input("b", EVENT)
+        bundle = model.add_bundle("ctl", {"A": "a", "B": "b"})
+        assert bundle.signal_names() == ["a", "b"]
+        assert "ctl" in model.bundles
+
+    def test_constraints(self):
+        model = make_counter()
+        assert model.constraints[0].kind is ConstraintKind.SYNCHRONOUS
+        model.exclusive("count", "tick")
+        model.subclock("count", "tick")
+        assert len(model.constraints) == 3
+
+
+class TestInstantiation:
+    def test_instantiate_declares_actuals(self):
+        outer = ProcessModel("outer")
+        inner = make_counter("inner")
+        outer.input("top_tick", EVENT)
+        outer.instantiate(inner, "c0", bindings={"tick": "top_tick", "count": "n"})
+        assert "n" in outer.signals
+        assert outer.instances[0].instance_name == "c0"
+
+    def test_all_models_recursive(self):
+        outer = ProcessModel("outer")
+        inner = make_counter("inner")
+        outer.add_submodel(inner)
+        outer.instantiate(inner, "c0")
+        names = {m.name for m in outer.all_models()}
+        assert names == {"outer", "inner"}
+
+
+class TestFlattening:
+    def test_flatten_inlines_equations(self):
+        outer = ProcessModel("outer")
+        inner = make_counter("inner")
+        outer.input("top_tick", EVENT)
+        outer.output("n", INTEGER)
+        outer.instantiate(inner, "c0", bindings={"tick": "top_tick", "count": "n"})
+        flat = outer.flatten()
+        assert flat.instances == []
+        # The inner equations now define the bound names.
+        assert any(eq.target == "n" for eq in flat.equations)
+        # Unbound inner locals get the instance prefix.
+        assert "c0_zcount" in flat.signals
+
+    def test_flatten_preserves_interface_directions(self):
+        outer = ProcessModel("outer")
+        inner = make_counter("inner")
+        outer.input("top_tick", EVENT)
+        outer.output("n", INTEGER)
+        outer.instantiate(inner, "c0", bindings={"tick": "top_tick", "count": "n"})
+        flat = outer.flatten()
+        assert flat.signals["top_tick"].direction is Direction.INPUT
+        assert flat.signals["n"].direction is Direction.OUTPUT
+        assert flat.signals["c0_zcount"].direction is Direction.LOCAL
+
+    def test_flatten_renames_constraints(self):
+        outer = ProcessModel("outer")
+        inner = make_counter("inner")
+        outer.instantiate(inner, "c0", bindings={"tick": "t"})
+        flat = outer.flatten()
+        constraint = flat.constraints[0]
+        names = {op.name for op in constraint.operands}
+        assert names == {"c0_count", "t"}
+
+    def test_nested_flattening_two_levels(self):
+        leaf = make_counter("leaf")
+        middle = ProcessModel("middle")
+        middle.input("mtick", EVENT)
+        middle.output("mcount", INTEGER)
+        middle.instantiate(leaf, "l", bindings={"tick": "mtick", "count": "mcount"})
+        top = ProcessModel("top")
+        top.input("t", EVENT)
+        top.output("n", INTEGER)
+        top.instantiate(middle, "m", bindings={"mtick": "t", "mcount": "n"})
+        flat = top.flatten()
+        assert any(eq.target == "n" for eq in flat.equations)
+        assert "m_l_zcount" in flat.signals
+
+    def test_flatten_applies_parameters(self):
+        inner = ProcessModel("inner", parameters={"k": 1})
+        inner.input("x", INTEGER)
+        inner.output("y", INTEGER)
+        inner.define("y", b.func("+", b.ref("x"), b.ref("k")))
+        outer = ProcessModel("outer")
+        outer.instantiate(inner, "i0", bindings={"x": "a", "y": "b"}, parameters={"k": 5})
+        flat = outer.flatten()
+        eq = [e for e in flat.equations if e.target == "b"][0]
+        assert "5" in str(eq.expr)
+
+    def test_flatten_keeps_bundles_with_prefix(self):
+        inner = ProcessModel("inner")
+        inner.input("a", EVENT)
+        inner.add_bundle("ctl", {"A": "a"})
+        outer = ProcessModel("outer")
+        outer.instantiate(inner, "i0", bindings={"a": "x"})
+        flat = outer.flatten()
+        assert "i0_ctl" in flat.bundles
+        assert flat.bundles["i0_ctl"].fields["A"] == "x"
+
+    def test_flatten_same_model_twice_distinct_names(self):
+        inner = make_counter("inner")
+        outer = ProcessModel("outer")
+        outer.instantiate(inner, "a", bindings={"tick": "t1"})
+        outer.instantiate(inner, "b", bindings={"tick": "t2"})
+        flat = outer.flatten()
+        assert "a_count" in flat.signals and "b_count" in flat.signals
+
+
+class TestRewriting:
+    def test_rename_expression(self):
+        expr = b.when(b.func("+", b.ref("x"), 1), b.clock("t"))
+        renamed = rename_expression(expr, {"x": "y", "t": "u"})
+        assert set(renamed.signals()) == {"y", "u"}
+
+    def test_rename_delay_keeps_init(self):
+        renamed = rename_expression(Delay(SignalRef("x"), init=7), {"x": "y"})
+        assert isinstance(renamed, Delay) and renamed.init == 7
+
+    def test_substitute_parameters_in_refs(self):
+        expr = b.func("+", b.ref("x"), b.ref("k"))
+        substituted = substitute_parameters(expr, {"k": 3})
+        assert "3" in str(substituted)
+        assert "k" not in str(substituted)
+
+    def test_substitute_parameters_noop_without_params(self):
+        expr = b.ref("x")
+        assert substitute_parameters(expr, {}) is expr
+
+    def test_copy_is_deep(self):
+        model = make_counter()
+        clone = model.copy()
+        clone.define("extra", Const(1))
+        assert model.equation_count() == 2
+        assert clone.equation_count() == 3

@@ -1,0 +1,104 @@
+"""Tests of the profiling-based performance estimation."""
+
+import pytest
+
+from repro.sig import builder as b
+from repro.sig import library
+from repro.sig.process import ProcessModel
+from repro.sig.profiling import (
+    EMBEDDED_CPU,
+    GENERIC_PROCESSOR,
+    MICROCONTROLLER,
+    CostModel,
+    Profiler,
+    compare_architectures,
+    expression_cost,
+)
+from repro.sig.simulator import Scenario, Simulator
+
+
+def counter_model():
+    model = ProcessModel("counter")
+    model.input("tick")
+    model.output("count")
+    model.local("zcount")
+    model.define("zcount", b.delay(b.ref("count"), init=0))
+    model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.clock("tick")))
+    model.synchronise("count", "tick")
+    return model
+
+
+class TestExpressionCost:
+    def test_reference_and_constant_are_free(self):
+        assert expression_cost(b.ref("x"), GENERIC_PROCESSOR) == 0.0
+        assert expression_cost(b.const(3), GENERIC_PROCESSOR) == 0.0
+
+    def test_operator_costs_accumulate(self):
+        expr = b.func("+", b.func("*", b.ref("a"), 2), 1)
+        assert expression_cost(expr, GENERIC_PROCESSOR) == pytest.approx(2.0)
+
+    def test_memory_operators_cost_more_than_sampling(self):
+        cell_cost = expression_cost(b.cell(b.ref("x"), b.ref("c")), GENERIC_PROCESSOR)
+        when_cost = expression_cost(b.when(b.ref("x"), b.ref("c")), GENERIC_PROCESSOR)
+        assert cell_cost > when_cost
+
+    def test_per_operator_override(self):
+        model = CostModel(name="custom", per_operator={"+": 10.0})
+        assert expression_cost(b.func("+", b.ref("a"), 1), model) == pytest.approx(10.0)
+
+    def test_frequency_scale(self):
+        slow = CostModel(name="slow", frequency_scale=2.0)
+        fast = CostModel(name="fast", frequency_scale=1.0)
+        expr = b.func("+", b.ref("a"), 1)
+        assert expression_cost(expr, slow) > expression_cost(expr, fast)
+
+
+class TestStaticProfile:
+    def test_per_signal_costs(self):
+        profile = Profiler(counter_model()).static_profile()
+        assert set(profile.per_signal) == {"zcount", "count"}
+        assert profile.total > 0
+
+    def test_most_expensive_ordering(self):
+        profile = Profiler(library.in_event_port()).static_profile()
+        ordered = profile.most_expensive(3)
+        costs = [cost for _, cost in ordered]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_summary_mentions_cost_model(self):
+        profile = Profiler(counter_model(), MICROCONTROLLER).static_profile()
+        assert "microcontroller" in profile.summary()
+
+
+class TestDynamicProfile:
+    def run_trace(self, length=8, period=2):
+        model = counter_model()
+        sc = Scenario(length).set_periodic("tick", period)
+        return model, Simulator(model).run(sc)
+
+    def test_cost_charged_only_on_activation(self):
+        model, trace = self.run_trace(length=8, period=4)
+        profile = Profiler(model).dynamic_profile(trace)
+        active_instants = [i for i, cost in enumerate(profile.per_instant) if cost > 0]
+        assert active_instants == [0, 4]
+
+    def test_total_scales_with_activations(self):
+        model, sparse = self.run_trace(length=8, period=4)
+        _, dense = self.run_trace(length=8, period=1)
+        sparse_total = Profiler(model).dynamic_profile(sparse).total
+        dense_total = Profiler(model).dynamic_profile(dense).total
+        assert dense_total > sparse_total
+
+    def test_architecture_comparison_orders_processors(self):
+        model, trace = self.run_trace()
+        profiles = compare_architectures(
+            model, trace, {"micro": MICROCONTROLLER, "embedded": EMBEDDED_CPU, "generic": GENERIC_PROCESSOR}
+        )
+        assert profiles["micro"].total > profiles["generic"].total > profiles["embedded"].total
+
+    def test_average_and_peak(self):
+        model, trace = self.run_trace(length=4, period=2)
+        profile = Profiler(model).dynamic_profile(trace)
+        assert profile.peak_instant >= profile.average_per_instant
+        assert profile.instants == 4
+        assert "instants" in profile.summary()

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) on the polychronous kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sig import builder as b
+from repro.sig.affine import AffineClock, lcm, solve_congruences
+from repro.sig.clocks import Clock, false_clock, signal_clock, true_clock
+from repro.sig.process import ProcessModel
+from repro.sig.simulator import Scenario, simulate
+from repro.sig.values import ABSENT, Flow, stutter_free
+
+periods = st.integers(min_value=1, max_value=12)
+phases = st.integers(min_value=0, max_value=12)
+signal_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+# ----------------------------------------------------------------------
+# affine clock calculus
+# ----------------------------------------------------------------------
+@given(periods, phases, periods, phases)
+@settings(max_examples=60, deadline=None)
+def test_affine_intersection_matches_enumeration(p1, f1, p2, f2):
+    """The CRT-based intersection equals the brute-force tick intersection."""
+    a = AffineClock("tick", p1, f1)
+    c = AffineClock("tick", p2, f2)
+    horizon = lcm(p1, p2) * 4 + max(f1, f2) + 1
+    expected = sorted(set(a.instants(horizon)) & set(c.instants(horizon)))
+    inter = a.intersection(c)
+    if inter is None:
+        assert expected == []
+    else:
+        assert inter.instants(horizon) == expected
+
+
+@given(periods, phases, periods, phases)
+@settings(max_examples=60, deadline=None)
+def test_affine_subclock_implies_containment(p1, f1, p2, f2):
+    a = AffineClock("tick", p1, f1)
+    c = AffineClock("tick", p2, f2)
+    horizon = lcm(p1, p2) * 3 + max(f1, f2) + 1
+    if a.is_subclock_of(c):
+        assert set(a.instants(horizon)) <= set(c.instants(horizon))
+
+
+@given(periods, phases)
+@settings(max_examples=40, deadline=None)
+def test_affine_relation_with_self_is_identity(p, f):
+    clock = AffineClock("tick", p, f)
+    n, phi, d = clock.relative_relation(clock)
+    assert n == d == 1 and phi == 0
+
+
+@given(st.integers(0, 30), st.integers(1, 20), st.integers(0, 30), st.integers(1, 20))
+@settings(max_examples=60, deadline=None)
+def test_solve_congruences_solution_is_valid(r1, m1, r2, m2):
+    solution = solve_congruences(r1 % m1, m1, r2 % m2, m2)
+    if solution is not None:
+        r, m = solution
+        assert m == lcm(m1, m2)
+        assert r % m1 == r1 % m1
+        assert r % m2 == r2 % m2
+
+
+# ----------------------------------------------------------------------
+# clock algebra
+# ----------------------------------------------------------------------
+clock_exprs = st.recursive(
+    st.one_of(
+        signal_names.map(signal_clock),
+        signal_names.map(true_clock),
+        signal_names.map(false_clock),
+    ),
+    lambda children: st.one_of(
+        st.tuples(children, children).map(lambda ab: ab[0].union(ab[1])),
+        st.tuples(children, children).map(lambda ab: ab[0].intersection(ab[1])),
+    ),
+    max_leaves=6,
+)
+
+
+@given(clock_exprs)
+@settings(max_examples=60, deadline=None)
+def test_clock_union_intersection_idempotent(clock):
+    assert clock.union(clock).equivalent_to(clock)
+    assert clock.intersection(clock).equivalent_to(clock)
+
+
+@given(clock_exprs, clock_exprs)
+@settings(max_examples=60, deadline=None)
+def test_clock_intersection_included_in_union(c1, c2):
+    inter = c1.intersection(c2)
+    union = c1.union(c2)
+    assert inter.included_in(union)
+    assert c1.included_in(union) and c2.included_in(union)
+
+
+@given(clock_exprs, clock_exprs)
+@settings(max_examples=60, deadline=None)
+def test_clock_disjointness_is_symmetric(c1, c2):
+    assert c1.disjoint_with(c2) == c2.disjoint_with(c1)
+
+
+# ----------------------------------------------------------------------
+# flows and the simulator
+# ----------------------------------------------------------------------
+value_or_absent = st.one_of(st.integers(-5, 5), st.just(ABSENT))
+
+
+@given(st.lists(value_or_absent, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_flow_clock_matches_present_values(values):
+    flow = Flow("x", values)
+    assert len(flow.clock) == len(flow.present_values())
+    assert stutter_free(values) == flow.present_values()
+
+
+@given(st.lists(st.integers(-10, 10), min_size=1, max_size=15), st.integers(-3, 3))
+@settings(max_examples=40, deadline=None)
+def test_simulator_stepwise_addition_pointwise(values, offset):
+    model = ProcessModel("p")
+    model.input("x")
+    model.output("y")
+    model.define("y", b.func("+", b.ref("x"), offset))
+    sc = Scenario(len(values)).set_flow("x", values)
+    trace = simulate(model, sc)
+    assert trace.present_values("y") == [v + offset for v in values]
+
+
+@given(st.lists(value_or_absent, min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_simulator_delay_is_previous_present_value(values):
+    model = ProcessModel("p")
+    model.input("x")
+    model.output("y")
+    model.define("y", b.delay(b.ref("x"), init=0))
+    sc = Scenario(len(values)).set_flow("x", values)
+    trace = simulate(model, sc)
+    present = stutter_free(values)
+    expected = [0] + present[:-1] if present else []
+    assert trace.present_values("y") == expected
+    assert trace.clock_of("y") == Flow("x", values).clock
+
+
+@given(st.integers(1, 6), st.integers(0, 5), st.integers(5, 30))
+@settings(max_examples=30, deadline=None)
+def test_periodic_divider_matches_affine_clock(period, phase, horizon):
+    from repro.sig import library
+
+    model = library.periodic_clock_divider(period=period, phase=phase)
+    sc = Scenario(horizon).set_always("tick")
+    trace = simulate(model, sc)
+    assert trace.clock_of("out") == AffineClock("tick", period, phase).instants(horizon)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_when_keeps_only_true_instants(conditions):
+    model = ProcessModel("p")
+    model.input("x")
+    model.input("c")
+    model.output("y")
+    model.define("y", b.when(b.ref("x"), b.ref("c")))
+    sc = Scenario(len(conditions))
+    sc.set_flow("x", list(range(len(conditions))))
+    sc.set_flow("c", conditions)
+    trace = simulate(model, sc)
+    assert trace.clock_of("y") == [i for i, c in enumerate(conditions) if c]

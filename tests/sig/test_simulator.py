@@ -1,0 +1,299 @@
+"""Tests of the reference polychronous simulator."""
+
+import pytest
+
+from repro.sig import builder as b
+from repro.sig.process import ProcessModel
+from repro.sig.simulator import (
+    ClockViolation,
+    InstantaneousCycle,
+    NonDeterministicDefinition,
+    Scenario,
+    Simulator,
+    simulate,
+)
+from repro.sig.values import ABSENT, BOOLEAN, EVENT, INTEGER, is_absent
+
+
+def scenario(length, **flows):
+    sc = Scenario(length)
+    for name, values in flows.items():
+        sc.set_flow(name, values)
+    return sc
+
+
+class TestScenario:
+    def test_set_periodic(self):
+        sc = Scenario(10).set_periodic("x", 3, phase=1)
+        assert [i for i in range(10) if not is_absent(sc.value("x", i))] == [1, 4, 7]
+
+    def test_set_at(self):
+        sc = Scenario(5).set_at("x", {0: 1, 4: 2, 9: 3})
+        assert sc.value("x", 0) == 1
+        assert sc.value("x", 4) == 2
+        assert is_absent(sc.value("x", 2))
+
+    def test_set_always(self):
+        sc = Scenario(3).set_always("x", 7)
+        assert [sc.value("x", i) for i in range(3)] == [7, 7, 7]
+
+    def test_set_flow_pads(self):
+        sc = Scenario(4).set_flow("x", [1])
+        assert is_absent(sc.value("x", 3))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Scenario(-1)
+        with pytest.raises(ValueError):
+            Scenario(3).set_periodic("x", 0)
+
+
+class TestStepwise:
+    def test_addition_pointwise(self):
+        model = ProcessModel("add")
+        model.input("a", INTEGER)
+        model.input("c", INTEGER)
+        model.output("y", INTEGER)
+        model.define("y", b.func("+", b.ref("a"), b.ref("c")))
+        trace = simulate(model, scenario(3, a=[1, 2, 3], c=[10, 20, 30]))
+        assert trace.present_values("y") == [11, 22, 33]
+
+    def test_absent_when_inputs_absent(self):
+        model = ProcessModel("add")
+        model.input("a", INTEGER)
+        model.output("y", INTEGER)
+        model.define("y", b.func("+", b.ref("a"), 1))
+        trace = simulate(model, scenario(3, a=[1, ABSENT, 3]))
+        assert trace.clock_of("y") == [0, 2]
+
+    def test_clock_violation_raised_in_strict_mode(self):
+        model = ProcessModel("bad")
+        model.input("a", INTEGER)
+        model.input("c", INTEGER)
+        model.output("y", INTEGER)
+        model.define("y", b.func("+", b.ref("a"), b.ref("c")))
+        with pytest.raises(ClockViolation):
+            simulate(model, scenario(2, a=[1, 2], c=[1, ABSENT]))
+
+    def test_clock_violation_warns_in_lenient_mode(self):
+        model = ProcessModel("bad")
+        model.input("a", INTEGER)
+        model.input("c", INTEGER)
+        model.output("y", INTEGER)
+        model.define("y", b.func("+", b.ref("a"), b.ref("c")))
+        trace = simulate(model, scenario(2, a=[1, 2], c=[1, ABSENT]), strict=False)
+        assert trace.warnings
+
+
+class TestDelayWhenDefault:
+    def test_delay_shifts_values(self):
+        model = ProcessModel("d")
+        model.input("x", INTEGER)
+        model.output("y", INTEGER)
+        model.define("y", b.delay(b.ref("x"), init=0))
+        trace = simulate(model, scenario(4, x=[1, 2, ABSENT, 3]))
+        assert trace.present_values("y") == [0, 1, 2]
+        assert trace.clock_of("y") == [0, 1, 3]
+
+    def test_delay_depth_two(self):
+        model = ProcessModel("d2")
+        model.input("x", INTEGER)
+        model.output("y", INTEGER)
+        model.define("y", b.delay(b.ref("x"), init=0, depth=2))
+        trace = simulate(model, scenario(4, x=[1, 2, 3, 4]))
+        assert trace.present_values("y") == [0, 0, 1, 2]
+
+    def test_chained_delays(self):
+        model = ProcessModel("dd")
+        model.input("x", INTEGER)
+        model.output("y", INTEGER)
+        model.define("y", b.delay(b.delay(b.ref("x"), init=0), init=-1))
+        trace = simulate(model, scenario(4, x=[1, 2, 3, 4]))
+        assert trace.present_values("y") == [-1, 0, 1, 2]
+
+    def test_when_samples_on_true(self):
+        model = ProcessModel("w")
+        model.input("x", INTEGER)
+        model.input("c", BOOLEAN)
+        model.output("y", INTEGER)
+        model.define("y", b.when(b.ref("x"), b.ref("c")))
+        trace = simulate(model, scenario(4, x=[1, 2, 3, 4], c=[True, False, True, ABSENT]))
+        assert trace.present_values("y") == [1, 3]
+        assert trace.clock_of("y") == [0, 2]
+
+    def test_default_prefers_left(self):
+        model = ProcessModel("m")
+        model.input("x", INTEGER)
+        model.input("y", INTEGER)
+        model.output("z", INTEGER)
+        model.define("z", b.default(b.ref("x"), b.ref("y")))
+        trace = simulate(model, scenario(3, x=[1, ABSENT, ABSENT], y=[10, 20, ABSENT]))
+        assert trace.present_values("z") == [1, 20]
+        assert trace.clock_of("z") == [0, 1]
+
+    def test_cell_holds_last_value(self):
+        model = ProcessModel("c")
+        model.input("x", INTEGER)
+        model.input("c", BOOLEAN)
+        model.output("y", INTEGER)
+        model.define("y", b.cell(b.ref("x"), b.ref("c"), init=-1))
+        trace = simulate(model, scenario(5, x=[5, ABSENT, ABSENT, 7, ABSENT], c=[ABSENT, True, False, ABSENT, True]))
+        # present when x present or c true: instants 0, 1, 3, 4
+        assert trace.clock_of("y") == [0, 1, 3, 4]
+        assert trace.present_values("y") == [5, 5, 7, 7]
+
+    def test_cell_initial_value_before_first_write(self):
+        model = ProcessModel("c")
+        model.input("x", INTEGER)
+        model.input("c", BOOLEAN)
+        model.output("y", INTEGER)
+        model.define("y", b.cell(b.ref("x"), b.ref("c"), init=42))
+        trace = simulate(model, scenario(2, x=[ABSENT, ABSENT], c=[True, True]))
+        assert trace.present_values("y") == [42, 42]
+
+
+class TestClockOperators:
+    def test_clock_of(self):
+        model = ProcessModel("k")
+        model.input("x", INTEGER)
+        model.output("e", EVENT)
+        model.define("e", b.clock("x"))
+        trace = simulate(model, scenario(3, x=[1, ABSENT, 2]))
+        assert trace.clock_of("e") == [0, 2]
+        assert trace.present_values("e") == [True, True]
+
+    def test_clock_union_intersection_difference(self):
+        model = ProcessModel("k")
+        model.input("a", EVENT)
+        model.input("c", EVENT)
+        model.output("u", EVENT)
+        model.output("i", EVENT)
+        model.output("d", EVENT)
+        model.define("u", b.clock_union("a", "c"))
+        model.define("i", b.clock_intersection("a", "c"))
+        model.define("d", b.clock_difference("a", "c"))
+        sc = Scenario(4)
+        sc.set_at("a", {0: True, 1: True})
+        sc.set_at("c", {1: True, 2: True})
+        trace = simulate(model, sc)
+        assert trace.clock_of("u") == [0, 1, 2]
+        assert trace.clock_of("i") == [1]
+        assert trace.clock_of("d") == [0]
+
+    def test_when_clock_of_boolean(self):
+        model = ProcessModel("k")
+        model.input("c", BOOLEAN)
+        model.output("e", EVENT)
+        model.define("e", b.when_clock(b.ref("c")))
+        trace = simulate(model, scenario(3, c=[True, False, True]))
+        assert trace.clock_of("e") == [0, 2]
+
+
+class TestStateAndConstraints:
+    def test_counter_with_sync_constraint(self):
+        model = ProcessModel("counter")
+        model.input("tick", EVENT)
+        model.output("count", INTEGER)
+        model.local("zcount", INTEGER)
+        model.define("zcount", b.delay(b.ref("count"), init=0))
+        model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.clock("tick")))
+        model.synchronise("count", "tick")
+        sc = Scenario(6).set_periodic("tick", 2)
+        trace = simulate(model, sc)
+        assert trace.present_values("count") == [1, 2, 3]
+        assert trace.clock_of("count") == [0, 2, 4]
+
+    def test_counter_without_constraint_deadlocks(self):
+        model = ProcessModel("counter")
+        model.input("tick", EVENT)
+        model.output("count", INTEGER)
+        model.local("zcount", INTEGER)
+        model.define("zcount", b.delay(b.ref("count"), init=0))
+        model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.clock("tick")))
+        sc = Scenario(2).set_always("tick")
+        with pytest.raises(InstantaneousCycle):
+            simulate(model, sc)
+
+    def test_sync_constraint_conflict_detected(self):
+        model = ProcessModel("conflict")
+        model.input("a", EVENT)
+        model.input("c", EVENT)
+        model.local("x", INTEGER)
+        model.define("x", b.when(b.const(1), b.clock("a")))
+        model.synchronise("x", "c")
+        sc = Scenario(1)
+        sc.set_at("a", {0: True})  # c absent: x present but constrained to c
+        with pytest.raises(ClockViolation):
+            simulate(model, sc)
+
+    def test_non_deterministic_partial_definitions(self):
+        model = ProcessModel("nondet")
+        model.input("a", EVENT)
+        model.shared("v", INTEGER)
+        model.output("o", INTEGER)
+        model.define_partial("v", b.when(b.const(1), b.clock("a")))
+        model.define_partial("v", b.when(b.const(2), b.clock("a")))
+        model.define("o", b.ref("v"))
+        sc = Scenario(1).set_at("a", {0: True})
+        with pytest.raises(NonDeterministicDefinition):
+            simulate(model, sc)
+
+    def test_consistent_partial_definitions_merge(self):
+        model = ProcessModel("det")
+        model.input("a", EVENT)
+        model.input("c", EVENT)
+        model.shared("v", INTEGER)
+        model.output("o", INTEGER)
+        model.define_partial("v", b.when(b.const(1), b.clock("a")))
+        model.define_partial("v", b.when(b.const(2), b.clock("c")))
+        model.define("o", b.ref("v"))
+        sc = Scenario(3)
+        sc.set_at("a", {0: True})
+        sc.set_at("c", {2: True})
+        trace = simulate(model, sc)
+        assert trace.present_values("o") == [1, 2]
+
+    def test_undefined_local_is_always_absent(self):
+        model = ProcessModel("u")
+        model.input("x", INTEGER)
+        model.local("ghost", INTEGER)
+        model.output("y", INTEGER)
+        model.define("y", b.default(b.ref("ghost"), b.ref("x")))
+        trace = simulate(model, scenario(2, x=[1, 2]))
+        assert trace.present_values("y") == [1, 2]
+
+    def test_reset_clears_memory_between_runs(self):
+        model = ProcessModel("counter")
+        model.input("tick", EVENT)
+        model.output("count", INTEGER)
+        model.local("zcount", INTEGER)
+        model.define("zcount", b.delay(b.ref("count"), init=0))
+        model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.clock("tick")))
+        model.synchronise("count", "tick")
+        simulator = Simulator(model)
+        sc = Scenario(3).set_always("tick")
+        first = simulator.run(sc)
+        second = simulator.run(sc)
+        assert first.present_values("count") == second.present_values("count") == [1, 2, 3]
+
+
+class TestTrace:
+    def test_trace_accessors(self):
+        model = ProcessModel("p")
+        model.input("x", INTEGER)
+        model.output("y", INTEGER)
+        model.define("y", b.func("+", b.ref("x"), 1))
+        trace = simulate(model, scenario(2, x=[1, 2]))
+        assert len(trace) == 2
+        assert trace.value_at("y", 1) == 3
+        assert trace.count_present("y") == 2
+        assert "y" in trace.signals()
+        assert trace.flow("y").name == "y"
+
+    def test_record_subset(self):
+        model = ProcessModel("p")
+        model.input("x", INTEGER)
+        model.output("y", INTEGER)
+        model.define("y", b.func("+", b.ref("x"), 1))
+        trace = simulate(model, scenario(2, x=[1, 2]), record=["y"])
+        assert trace.signals() == ["y"]

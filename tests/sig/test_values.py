@@ -1,0 +1,143 @@
+"""Tests of the signal value domain (absence, types, flows)."""
+
+import copy
+
+import pytest
+
+from repro.sig.values import (
+    ABSENT,
+    BOOLEAN,
+    EVENT,
+    INTEGER,
+    REAL,
+    STRING,
+    Flow,
+    SignalKind,
+    SignalType,
+    bundle,
+    is_absent,
+    is_present,
+    opaque,
+    stutter_free,
+)
+
+
+class TestAbsent:
+    def test_absent_is_singleton(self):
+        assert type(ABSENT)() is ABSENT
+
+    def test_absent_is_falsy(self):
+        assert not ABSENT
+
+    def test_absent_copy_is_same_object(self):
+        assert copy.copy(ABSENT) is ABSENT
+        assert copy.deepcopy(ABSENT) is ABSENT
+
+    def test_is_present_and_is_absent(self):
+        assert is_absent(ABSENT)
+        assert not is_present(ABSENT)
+        assert is_present(0)
+        assert is_present(None)  # None is a value, not absence
+        assert is_present(False)
+
+    def test_repr_uses_bottom_symbol(self):
+        assert repr(ABSENT) == "⊥"
+
+
+class TestSignalType:
+    def test_event_accepts_only_true(self):
+        assert EVENT.accepts(True)
+        assert not EVENT.accepts(False)
+        assert not EVENT.accepts(1)
+
+    def test_boolean_accepts_bools_only(self):
+        assert BOOLEAN.accepts(True)
+        assert BOOLEAN.accepts(False)
+        assert not BOOLEAN.accepts(1)
+
+    def test_integer_rejects_bool(self):
+        assert INTEGER.accepts(3)
+        assert not INTEGER.accepts(True)
+        assert not INTEGER.accepts(3.5)
+
+    def test_real_accepts_int_and_float(self):
+        assert REAL.accepts(3)
+        assert REAL.accepts(3.5)
+        assert not REAL.accepts(True)
+
+    def test_string_type(self):
+        assert STRING.accepts("hello")
+        assert not STRING.accepts(3)
+
+    def test_every_type_accepts_absent(self):
+        for t in (EVENT, BOOLEAN, INTEGER, REAL, STRING):
+            assert t.accepts(ABSENT)
+
+    def test_opaque_type_named(self):
+        t = opaque("QueueType")
+        assert t.kind is SignalKind.OPAQUE
+        assert str(t) == "QueueType"
+        assert t.accepts(object())
+
+    def test_bundle_type(self):
+        t = bundle(EVENT, INTEGER)
+        assert t.kind is SignalKind.BUNDLE
+        assert "bundle" in str(t)
+
+    def test_default_values(self):
+        assert EVENT.default_value() is True
+        assert BOOLEAN.default_value() is False
+        assert INTEGER.default_value() == 0
+        assert REAL.default_value() == 0.0
+        assert STRING.default_value() == ""
+
+    def test_predicates(self):
+        assert EVENT.is_event
+        assert BOOLEAN.is_boolean
+        assert INTEGER.is_numeric and REAL.is_numeric
+        assert not STRING.is_numeric
+
+
+class TestFlow:
+    def test_clock_is_present_indices(self):
+        flow = Flow("x", [1, ABSENT, 2, ABSENT, 3])
+        assert flow.clock == [0, 2, 4]
+
+    def test_present_values(self):
+        flow = Flow("x", [1, ABSENT, 2])
+        assert flow.present_values() == [1, 2]
+        assert flow.count_present() == 2
+
+    def test_synchronous_with(self):
+        a = Flow("a", [1, ABSENT, 2])
+        b = Flow("b", [5, ABSENT, 7])
+        c = Flow("c", [ABSENT, 1, 2])
+        assert a.synchronous_with(b)
+        assert not a.synchronous_with(c)
+
+    def test_restricted_to(self):
+        flow = Flow("x", [1, 2, 3, 4])
+        restricted = flow.restricted_to([1, 3])
+        assert restricted.values == [ABSENT, 2, ABSENT, 4]
+
+    def test_pad_to(self):
+        flow = Flow("x", [1])
+        padded = flow.pad_to(3)
+        assert len(padded) == 3
+        assert is_absent(padded[2])
+
+    def test_append_and_indexing(self):
+        flow = Flow("x")
+        flow.append(1)
+        flow.append(ABSENT)
+        assert flow[0] == 1
+        assert is_absent(flow[1])
+        assert list(flow) == [1, ABSENT]
+
+    def test_equality(self):
+        assert Flow("x", [1, ABSENT]) == Flow("x", [1, ABSENT])
+        assert Flow("x", [1]) != Flow("y", [1])
+
+    def test_stutter_free(self):
+        assert stutter_free([1, ABSENT, 2, ABSENT]) == [1, 2]
+        assert stutter_free([]) == []

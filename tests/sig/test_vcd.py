@@ -1,0 +1,76 @@
+"""Tests of the VCD writer/parser (co-simulation demonstration substrate)."""
+
+import pytest
+
+from repro.sig import builder as b
+from repro.sig.process import ProcessModel
+from repro.sig.simulator import Scenario, Simulator
+from repro.sig.vcd import VcdWriter, parse_vcd, write_vcd
+from repro.sig.values import BOOLEAN, EVENT, INTEGER
+
+
+@pytest.fixture()
+def sample_trace():
+    model = ProcessModel("vcd_sample")
+    model.input("tick", EVENT)
+    model.output("count", INTEGER)
+    model.local("zcount", INTEGER)
+    model.define("zcount", b.delay(b.ref("count"), init=0))
+    model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.clock("tick")))
+    model.synchronise("count", "tick")
+    model.output("busy", BOOLEAN)
+    model.define("busy", b.func("=", b.func("%", b.ref("count"), 2), b.const(0)))
+    sc = Scenario(8).set_periodic("tick", 2)
+    return Simulator(model).run(sc)
+
+
+class TestWriter:
+    def test_header_contains_declarations(self, sample_trace):
+        text = VcdWriter(timescale="1 ms").render(sample_trace, signals=["tick", "count", "busy"])
+        assert "$timescale 1 ms $end" in text
+        assert "$var wire 1" in text
+        assert "$var reg 32" in text
+        assert "$enddefinitions $end" in text
+
+    def test_event_signal_pulses(self, sample_trace):
+        text = VcdWriter().render(sample_trace, signals=["tick"])
+        document = parse_vcd(text)
+        assert document.activation_times("tick") == [0, 2, 4, 6]
+
+    def test_integer_signal_changes(self, sample_trace):
+        text = VcdWriter().render(sample_trace, signals=["count"])
+        document = parse_vcd(text)
+        changes = document.changes_of("count")
+        values = [int(raw, 2) for _, raw in changes if set(raw) <= {"0", "1"}]
+        assert values == [1, 2, 3, 4]
+
+    def test_tick_duration_scales_timestamps(self, sample_trace):
+        text = VcdWriter().render(sample_trace, signals=["tick"], tick_duration=5)
+        document = parse_vcd(text)
+        assert document.activation_times("tick") == [0, 10, 20, 30]
+
+    def test_write_to_file(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.vcd"
+        write_vcd(sample_trace, str(path), signals=["tick", "count"])
+        content = path.read_text()
+        assert "$dumpvars" in content
+
+    def test_unknown_signal_raises_on_lookup(self, sample_trace):
+        document = parse_vcd(VcdWriter().render(sample_trace, signals=["tick"]))
+        with pytest.raises(KeyError):
+            document.changes_of("nonexistent")
+
+
+class TestParser:
+    def test_roundtrip_variable_names(self, sample_trace):
+        document = parse_vcd(VcdWriter().render(sample_trace, signals=["tick", "count", "busy"]))
+        assert set(document.variables) == {"tick", "count", "busy"}
+
+    def test_times_are_sorted(self, sample_trace):
+        document = parse_vcd(VcdWriter().render(sample_trace))
+        times = document.times()
+        assert times == sorted(times)
+
+    def test_timescale_parsed(self, sample_trace):
+        document = parse_vcd(VcdWriter(timescale="10 us").render(sample_trace, signals=["tick"]))
+        assert document.timescale == "10 us"
