@@ -5,6 +5,13 @@ comparison) and measures the corresponding pipeline stage with
 pytest-benchmark.  Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Every measurement is stamped with the simulation backend in effect
+(``extra_info["backend"]``), so the perf trajectory recorded in the
+``BENCH_*.json`` files stays attributable when the default backend changes
+across PRs.  Benchmarks that explicitly pick a backend overwrite the stamp;
+everything else inherits :data:`repro.sig.engine.DEFAULT_BACKEND`, which is
+what ``run_toolchain`` simulates with when no backend is chosen.
 """
 
 import os
@@ -19,6 +26,16 @@ import pytest
 from repro.casestudies import PRODUCER_CONSUMER_AADL, instantiate_producer_consumer, load_producer_consumer_model
 from repro.core import ToolchainOptions, run_toolchain, translate_system
 from repro.scheduling import task_set_from_instance
+from repro.sig.engine import DEFAULT_BACKEND
+
+
+@pytest.fixture(autouse=True)
+def _attribute_backend(request):
+    """Record which simulation backend produced each measurement."""
+    if "benchmark" in request.fixturenames:
+        benchmark = request.getfixturevalue("benchmark")
+        benchmark.extra_info.setdefault("backend", DEFAULT_BACKEND)
+    yield
 
 
 @pytest.fixture(scope="session")

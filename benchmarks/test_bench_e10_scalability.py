@@ -5,8 +5,12 @@ calculus", that "most AADL components are considered in order to handle
 large-sized systems" and that "more than ten case studies have been tested,
 and there is no special size limitation on transformation".  The benchmark
 sweeps generated models from tens to thousands of signals, runs the
-translation and the clock calculus on each, and checks the whole catalog.
+translation and the clock calculus on each, checks the whole catalog, and
+compares the simulation backends (reference interpreter vs compiled
+execution plan) on a scheduled model.
 """
+
+import time
 
 import pytest
 
@@ -14,6 +18,8 @@ from repro.aadl.instance import Instantiator, instance_report
 from repro.casestudies import CATALOG, GeneratorConfig, generate_case_study
 from repro.core import TranslationConfig, translate_system
 from repro.sig.clock_calculus import run_clock_calculus
+from repro.sig.engine import compile_plan, create_backend, default_scenario
+from repro.sig.simulator import Simulator
 
 
 def _build(processes, threads):
@@ -63,6 +69,72 @@ def test_bench_e10_thousands_of_clocks(benchmark):
         f"{calculus_result.clock_count()} synchronisation classes"
     )
     assert calculus_result.clock_count() > 500
+
+
+def _scheduled_system(processes, threads, wcet_fraction=0.04):
+    """A schedulable generated model translated *with* the scheduler."""
+    config = GeneratorConfig(
+        name=f"Sim{processes}x{threads}",
+        processes=processes,
+        threads_per_process=threads,
+        harmonic=True,
+        wcet_fraction=wcet_fraction,
+        seed=processes * 13 + threads,
+    )
+    generated = generate_case_study(config)
+    root = Instantiator(generated.model, default_package=config.name).instantiate(
+        generated.root_implementation
+    )
+    return translate_system(root, TranslationConfig(include_scheduler=True))
+
+
+@pytest.fixture(scope="module")
+def scheduled_mid():
+    return _scheduled_system(2, 6)
+
+
+@pytest.mark.parametrize("backend", ["reference", "compiled"])
+def test_bench_e10_simulation_backend(benchmark, backend, scheduled_mid):
+    """Per-instant simulation cost of each backend on a scheduled model
+    (the backend is prepared once, as in the batched workloads)."""
+    system_model = scheduled_mid.system_model
+    schedule = next(iter(scheduled_mid.schedules.values()))
+    scenario = default_scenario(system_model, min(schedule.simulation_length(1), 48))
+    runner = create_backend(system_model, backend=backend, strict=False)
+    benchmark.extra_info["backend"] = backend
+
+    trace = benchmark(runner.run, scenario)
+    assert trace.length == scenario.length
+    print(f"\nE10 — {backend} backend: {scenario.length} instants, {len(trace.flows)} signals")
+
+
+def test_bench_e10_compiled_speedup_on_largest():
+    """Acceptance gate: on the largest configuration of the sweep, the
+    compiled backend (including plan compilation) beats the reference
+    interpreter by at least 3x wall-clock."""
+    result = _scheduled_system(8, 10)
+    system_model = result.system_model
+    schedule = next(iter(result.schedules.values()))
+    length = min(schedule.simulation_length(1), 128)
+    scenario = default_scenario(system_model, length)
+
+    start = time.perf_counter()
+    reference_trace = Simulator(system_model, strict=False).run(scenario)
+    reference_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    plan = compile_plan(system_model)
+    compiled_trace = plan.run(scenario, strict=False)
+    compiled_seconds = time.perf_counter() - start
+
+    assert compiled_trace.flows == reference_trace.flows
+    speedup = reference_seconds / compiled_seconds
+    print(
+        f"\nE10 — largest configuration (8x10, {length} instants): "
+        f"reference {reference_seconds:.2f}s, compiled {compiled_seconds:.2f}s "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 3.0, f"compiled backend speedup {speedup:.2f}x is below the 3x target"
 
 
 def test_bench_e10_catalog_coverage(benchmark):

@@ -1,4 +1,4 @@
-"""Scalability sweep: translation and clock calculus on growing AADL models.
+"""Scalability sweep: translation, clock calculus and batched simulation.
 
 Run with::
 
@@ -7,7 +7,9 @@ Run with::
 Reproduces the scalability discussion of Section IV-E with synthetic models
 from the case-study generator: the number of generated SIGNAL signals,
 equations and synchronisation classes (clocks) is reported for increasing
-model sizes, together with the catalog of more than ten case studies.
+model sizes, together with the catalog of more than ten case studies, and a
+many-scenario simulation batch comparing the reference interpreter with the
+compiled execution-plan backend.
 """
 
 import os
@@ -17,9 +19,10 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.aadl.instance import Instantiator, instance_report
-from repro.casestudies import CATALOG, GeneratorConfig, generate_case_study
+from repro.casestudies import CATALOG, GeneratorConfig, generate_case_study, scenario_sweep
 from repro.core import TranslationConfig, translate_system
 from repro.sig.clock_calculus import run_clock_calculus
+from repro.sig.engine import simulate_batch
 
 
 def sweep() -> None:
@@ -56,6 +59,38 @@ def catalog() -> None:
         print(f"  {entry.name:<20s} {report.threads:>3d} threads, {report.components:>4d} components — {entry.description}")
 
 
+def simulation_batch(variants: int = 8) -> None:
+    """Run one scheduled model over many scenarios with both backends."""
+    print()
+    print(f"Batched simulation ({variants} randomised scenarios, both backends):")
+    config = GeneratorConfig(
+        name="BatchDemo", processes=2, threads_per_process=4, harmonic=True, seed=21
+    )
+    generated = generate_case_study(config)
+    root = Instantiator(generated.model, default_package=config.name).instantiate(
+        generated.root_implementation
+    )
+    result = translate_system(root, TranslationConfig(include_scheduler=True))
+    schedule = next(iter(result.schedules.values()))
+    scenarios = scenario_sweep(
+        result.system_model,
+        length=schedule.simulation_length(2),
+        variants=variants,
+        seed=config.seed,
+    )
+    timings = {}
+    for backend in ("reference", "compiled"):
+        start = time.perf_counter()
+        batch = simulate_batch(
+            result.system_model, scenarios, strict=False, backend=backend, collect_errors=True
+        )
+        timings[backend] = time.perf_counter() - start
+        print(f"  {backend:<10s} {batch.summary()}")
+    if timings["compiled"] > 0:
+        print(f"  compiled backend speedup: {timings['reference'] / timings['compiled']:.1f}x")
+
+
 if __name__ == "__main__":
     sweep()
     catalog()
+    simulation_batch()

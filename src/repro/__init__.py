@@ -16,12 +16,43 @@ Top-level entry points:
 * :mod:`repro.core` — the AADL→SIGNAL translation;
 * :mod:`repro.scheduling` — scheduler synthesis and schedulability analysis;
 * :mod:`repro.casestudies` — the ProducerConsumer case study and the catalog.
+
+Architecture — the engine layer
+===============================
+
+Simulation is structured as a three-stage engine (:mod:`repro.sig.engine`)
+sitting between scheduling and execution:
+
+1. **scheduling/analysis** produce a flattened
+   :class:`~repro.sig.process.ProcessModel` and its static dependency order
+   (:mod:`repro.sig.scheduler_graph` — the same graph the paper uses for
+   code generation);
+2. **plan compilation** (:func:`repro.sig.engine.compile_plan`) lowers the
+   model once into an :class:`~repro.sig.engine.ExecutionPlan`: signals
+   mapped to integer slots, constants folded, static clock tests
+   precomputed, delay/cell memories given integer state slots, and the
+   instantaneous dependency graph analysed for acyclicity (resolution
+   itself replays the reference interpreter's order exactly, because
+   resolution order is observable through ``^=`` clock propagation);
+3. **backends** execute scenarios against the model through one API
+   (:class:`~repro.sig.engine.SimulationBackend`): ``reference`` is the
+   fixed-point interpreter kept as the oracle, ``compiled`` runs the plan
+   (several times faster, bit-identical traces and errors).  The backend is
+   selected via :attr:`repro.core.ToolchainOptions.backend`, the CLI
+   ``--backend`` flag, or directly through
+   :func:`repro.sig.engine.create_backend`.
+
+Many-scenario workloads go through :func:`repro.sig.engine.simulate_batch`,
+which prepares the backend once and replays the whole scenario batch
+(`repro.casestudies.scenario_sweep` builds such batches for generated
+designs).  New backends (multiprocessing shards, numpy kernels) register in
+:data:`repro.sig.engine.BACKENDS`.
 """
 
 from . import aadl, casestudies, core, scheduling, sig
 from .core import ToolchainOptions, ToolchainResult, TranslationConfig, run_toolchain, translate_system
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "aadl",

@@ -17,7 +17,7 @@ from .producer_consumer import (
     load_producer_consumer_model,
     instantiate_producer_consumer,
 )
-from .generator import GeneratedCaseStudy, GeneratorConfig, generate_case_study
+from .generator import GeneratedCaseStudy, GeneratorConfig, generate_case_study, scenario_sweep
 from .catalog import CATALOG, CaseStudyEntry, catalog_names, load_case_study
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "GeneratedCaseStudy",
     "GeneratorConfig",
     "generate_case_study",
+    "scenario_sweep",
     "CATALOG",
     "CaseStudyEntry",
     "catalog_names",

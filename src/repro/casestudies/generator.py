@@ -39,6 +39,9 @@ from ..aadl.properties import (
     ms,
     reference,
 )
+from ..sig.engine.batch import default_scenario
+from ..sig.process import ProcessModel
+from ..sig.simulator import Scenario
 
 #: Periods (ms) drawn from when building harmonic / non-harmonic task sets.
 HARMONIC_PERIODS = [2, 4, 8, 16, 32]
@@ -225,3 +228,45 @@ def generate_case_study(config: GeneratorConfig) -> GeneratedCaseStudy:
         root_implementation=f"{config.name}System.impl",
         thread_periods_ms=thread_periods,
     )
+
+
+def scenario_sweep(
+    process: ProcessModel,
+    length: int,
+    variants: int,
+    base_stimuli: Optional[Dict[str, int]] = None,
+    seed: int = 0,
+    period_range: Sequence[int] = (2, 12),
+) -> List[Scenario]:
+    """Build *variants* input scenarios for a translated system model.
+
+    Every scenario keeps the base processor ticks always present (as the tool
+    chain does) and drives each remaining input with a randomised periodic
+    stimulus, so a batch explores different environment behaviours of the
+    same design.  Scenario 0 uses *base_stimuli* verbatim when given, which
+    makes the sweep a superset of the single tool-chain scenario.
+
+    The result is meant to be fed to
+    :func:`repro.sig.engine.simulate_batch`, which compiles the model once
+    and reuses the execution plan across the whole sweep.
+    """
+    if variants <= 0:
+        return []
+    rng = random.Random(seed)
+    low, high = int(period_range[0]), int(period_range[-1])
+    stimuli_inputs = [
+        decl.name
+        for decl in process.inputs()
+        if not (decl.name == "tick" or decl.name.endswith("_tick"))
+    ]
+    scenarios: List[Scenario] = []
+    for index in range(variants):
+        if index == 0 and base_stimuli:
+            scenarios.append(default_scenario(process, length, base_stimuli))
+            continue
+        scenario = default_scenario(process, length)
+        for name in stimuli_inputs:
+            period = rng.randint(low, high)
+            scenario.set_periodic(name, period, phase=rng.randrange(period))
+        scenarios.append(scenario)
+    return scenarios

@@ -24,6 +24,7 @@ from .aadl.parser import parse_file, parse_string
 from .casestudies import CATALOG, PRODUCER_CONSUMER_AADL, load_case_study
 from .core import ToolchainOptions, TranslationConfig, run_toolchain
 from .scheduling import SchedulingPolicy, export_affine_clocks
+from .sig.engine import DEFAULT_BACKEND, backend_names, simulate_batch
 from .sig.printer import to_signal_source
 
 
@@ -71,6 +72,7 @@ def _toolchain(args: argparse.Namespace, simulate: bool = True) -> "ToolchainRes
         ),
         simulate_hyperperiods=getattr(args, "hyperperiods", 2) if simulate else 0,
         strict_validation=not getattr(args, "lenient", False),
+        backend=getattr(args, "backend", DEFAULT_BACKEND),
     )
     return run_toolchain(model, options)
 
@@ -144,7 +146,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print("nothing was simulated (no schedule could be synthesised)")
         return 1
     print(f"simulated {result.trace.length} instants "
-          f"({args.hyperperiods} hyper-period(s)), {len(result.trace.flows)} signals recorded")
+          f"({args.hyperperiods} hyper-period(s)), {len(result.trace.flows)} signals recorded "
+          f"[{result.backend_name} backend]")
+    if args.batch > 0:
+        from .casestudies.generator import scenario_sweep
+
+        scenarios = scenario_sweep(
+            result.translation.system_model,
+            length=result.scenario_length,
+            variants=args.batch,
+            base_stimuli=None,
+        )
+        batch = simulate_batch(
+            result.translation.system_model,
+            scenarios,
+            strict=False,
+            backend=args.backend,
+            collect_errors=True,
+        )
+        print(batch.summary())
     alarms = {n: result.trace.clock_of(n) for n in result.trace.signals() if n.endswith("_Alarm")}
     fired = {n: ticks for n, ticks in alarms.items() if ticks}
     print(f"deadline alarms: {fired if fired else 'none'}")
@@ -193,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--policy", default="RM", help="scheduling policy: RM, DM, EDF or Priority (default RM)")
         p.add_argument("--no-scheduler", action="store_true", help="translate without scheduler synthesis")
         p.add_argument("--lenient", action="store_true", help="continue on validation errors")
+        p.add_argument(
+            "--backend",
+            default=DEFAULT_BACKEND,
+            choices=backend_names(),
+            help=f"simulation backend (default {DEFAULT_BACKEND})",
+        )
 
     analyse = sub.add_parser("analyse", help="run the complete tool chain and print every report")
     add_common(analyse)
@@ -214,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--hyperperiods", type=int, default=2, help="hyper-periods to simulate (default 2)")
     simulate.add_argument("--vcd", help="path of the VCD trace to write")
     simulate.add_argument("--all-signals", action="store_true", help="record every signal in the VCD trace")
+    simulate.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally run N randomised stimulus scenarios through one prepared backend",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     casestudy = sub.add_parser("casestudy", help="inspect the bundled case studies")

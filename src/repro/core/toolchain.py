@@ -40,9 +40,10 @@ from ..sig.analysis import (
     check_determinism,
     detect_deadlocks,
 )
+from ..sig.engine import DEFAULT_BACKEND, create_backend, default_scenario
 from ..sig.process import Direction, ProcessModel
 from ..sig.profiling import GENERIC_PROCESSOR, CostModel, DynamicProfile, Profiler
-from ..sig.simulator import Scenario, SimulationTrace, Simulator
+from ..sig.simulator import SimulationTrace
 from ..sig.vcd import VcdWriter
 from .translator import Asme2SsmeTranslator, TranslationConfig, TranslationResult
 
@@ -64,6 +65,9 @@ class ToolchainOptions:
     record_signals: Optional[Sequence[str]] = None
     #: Fail on validation errors instead of carrying on.
     strict_validation: bool = True
+    #: Simulation backend: ``"compiled"`` (execution-plan engine) or
+    #: ``"reference"`` (fixed-point interpreter).  Both are trace-identical.
+    backend: str = DEFAULT_BACKEND
 
 
 @dataclass
@@ -84,6 +88,7 @@ class ToolchainResult:
     trace: Optional[SimulationTrace] = None
     profile: Optional[DynamicProfile] = None
     scenario_length: int = 0
+    backend_name: str = ""
 
     @property
     def system_model(self) -> ProcessModel:
@@ -120,8 +125,9 @@ class ToolchainResult:
         if self.deadlocks is not None:
             lines.append(f"  deadlock detection  : {'ok' if self.deadlocks.deadlock_free else 'cycles found'}")
         if self.trace is not None:
+            backend = f" [{self.backend_name} backend]" if self.backend_name else ""
             lines.append(f"  simulation          : {self.trace.length} instants, "
-                         f"{len(self.trace.flows)} recorded signals")
+                         f"{len(self.trace.flows)} recorded signals{backend}")
         if self.profile is not None:
             lines.append(
                 f"  profiling           : total {self.profile.total:.1f} units on {self.profile.cost_model}"
@@ -185,17 +191,12 @@ def run_toolchain(
     # 6. simulation
     if options.simulate_hyperperiods > 0 and result.schedules:
         schedule = next(iter(result.schedules.values()))
-        length = schedule.hyperperiod_ticks * options.simulate_hyperperiods
-        scenario = Scenario(length)
-        # Base tick of every processor clock.
-        for decl in translation.system_model.inputs():
-            if decl.name == "tick" or decl.name.endswith("_tick"):
-                scenario.set_always(decl.name)
-        for signal, period in options.stimuli_periods.items():
-            scenario.set_periodic(signal, period)
-        simulator = Simulator(translation.system_model, strict=False)
-        result.trace = simulator.run(scenario, record=options.record_signals)
+        length = schedule.simulation_length(options.simulate_hyperperiods)
+        scenario = default_scenario(translation.system_model, length, options.stimuli_periods)
+        backend = create_backend(translation.system_model, backend=options.backend, strict=False)
+        result.trace = backend.run(scenario, record=options.record_signals)
         result.scenario_length = length
+        result.backend_name = backend.name
 
         # 7. profiling
         if options.cost_model is not None:

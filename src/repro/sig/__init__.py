@@ -91,7 +91,21 @@ from .profiling import (
     compare_architectures,
 )
 from .scheduler_graph import DependencyGraph, build_dependency_graph
-from . import analysis, builder, library
+from .engine import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    BatchResult,
+    CompiledBackend,
+    ExecutionPlan,
+    ReferenceBackend,
+    SimulationBackend,
+    backend_names,
+    compile_plan,
+    create_backend,
+    default_scenario,
+    simulate_batch,
+)
+from . import analysis, builder, engine, library
 
 __all__ = [
     # values
@@ -122,6 +136,10 @@ __all__ = [
     "DynamicProfile", "Profiler", "StaticProfile", "compare_architectures",
     # graph
     "DependencyGraph", "build_dependency_graph",
+    # engine
+    "BACKENDS", "DEFAULT_BACKEND", "BatchResult", "CompiledBackend",
+    "ExecutionPlan", "ReferenceBackend", "SimulationBackend", "backend_names",
+    "compile_plan", "create_backend", "default_scenario", "simulate_batch",
     # submodules
-    "analysis", "builder", "library",
+    "analysis", "builder", "engine", "library",
 ]

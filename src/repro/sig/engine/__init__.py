@@ -1,0 +1,66 @@
+"""Execution-plan simulation engine.
+
+This subpackage sits between scheduling and simulation: it lowers a
+flattened :class:`~repro.sig.process.ProcessModel` plus its static
+dependency order (:mod:`repro.sig.scheduler_graph`) into a pre-resolved
+:class:`ExecutionPlan`, and exposes pluggable :class:`SimulationBackend`
+implementations:
+
+* ``reference`` — the original fixed-point interpreter, kept as the oracle;
+* ``compiled`` — the plan executor (compile once, run many scenarios).
+
+Use :func:`simulate` for a single scenario, :func:`simulate_batch` to run a
+whole batch through one prepared backend, and :func:`create_backend` when
+you want to keep a prepared model around.  The two backends are trace- and
+error-identical by construction (enforced by the catalog parity tests), so
+switching them is purely a performance decision.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..process import ProcessModel
+from ..simulator import Scenario, SimulationTrace
+from .backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    CompiledBackend,
+    ReferenceBackend,
+    SimulationBackend,
+    backend_names,
+    create_backend,
+)
+from .batch import BatchResult, batch_flow_summary, default_scenario, simulate_batch
+from .plan import ExecutionPlan, PlanStatistics, TargetPlan, compile_plan
+
+
+def simulate(
+    process: ProcessModel,
+    scenario: Scenario,
+    record: Optional[Iterable[str]] = None,
+    strict: bool = True,
+    backend: str = DEFAULT_BACKEND,
+) -> SimulationTrace:
+    """One-shot helper: prepare the chosen backend and run *scenario*."""
+    return create_backend(process, backend=backend, strict=strict).run(scenario, record=record)
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "BatchResult",
+    "CompiledBackend",
+    "ExecutionPlan",
+    "PlanStatistics",
+    "ReferenceBackend",
+    "SimulationBackend",
+    "TargetPlan",
+    "backend_names",
+    "batch_flow_summary",
+    "compile_plan",
+    "create_backend",
+    "default_scenario",
+    "simulate",
+    "simulate_batch",
+]

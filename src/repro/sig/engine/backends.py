@@ -1,0 +1,128 @@
+"""Pluggable simulation backends.
+
+A *backend* turns a :class:`~repro.sig.process.ProcessModel` into something
+that can run :class:`~repro.sig.simulator.Scenario` objects and produce
+:class:`~repro.sig.simulator.SimulationTrace` results:
+
+* :class:`ReferenceBackend` — the original fixed-point interpreter
+  (:class:`repro.sig.simulator.Simulator`), kept as the executable oracle;
+* :class:`CompiledBackend` — the execution-plan executor
+  (:class:`repro.sig.engine.plan.ExecutionPlan`), which compiles the model
+  once and then runs each instant over slot-indexed arrays in the static
+  scheduling order.
+
+Both produce bit-identical traces and raise the same simulation errors; the
+integration test ``tests/integration/test_backend_parity.py`` enforces this
+over the whole case-study catalog.  New backends (multiprocessing shards,
+numpy value arrays, generated C) plug in by subclassing
+:class:`SimulationBackend` and registering in :data:`BACKENDS`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from ..process import ProcessModel
+from ..simulator import Scenario, SimulationTrace, Simulator
+from .plan import ExecutionPlan, compile_plan
+
+
+class SimulationBackend:
+    """Common API of all simulation backends.
+
+    A backend is bound to one process model at construction time, so that
+    per-model preparation (flattening, plan compilation) happens exactly once
+    however many scenarios are run through it.
+    """
+
+    #: Registry key and display name of the backend.
+    name: str = "abstract"
+
+    def __init__(self, process: ProcessModel, strict: bool = True) -> None:
+        self.strict = strict
+
+    def run(self, scenario: Scenario, record: Optional[Iterable[str]] = None) -> SimulationTrace:
+        raise NotImplementedError
+
+    def run_batch(
+        self, scenarios: Sequence[Scenario], record: Optional[Iterable[str]] = None
+    ) -> List[SimulationTrace]:
+        """Run every scenario from a fresh initial state, reusing the
+        per-model preparation."""
+        record = list(record) if record is not None else None
+        return [self.run(scenario, record=record) for scenario in scenarios]
+
+
+class ReferenceBackend(SimulationBackend):
+    """The fixed-point interpreter of :mod:`repro.sig.simulator` (the oracle)."""
+
+    name = "reference"
+
+    def __init__(self, process: ProcessModel, strict: bool = True) -> None:
+        super().__init__(process, strict)
+        self._simulator = Simulator(process, strict=strict)
+
+    @property
+    def process(self) -> ProcessModel:
+        return self._simulator.process
+
+    def run(self, scenario: Scenario, record: Optional[Iterable[str]] = None) -> SimulationTrace:
+        # Simulator.run resets delay/cell/shared memories itself.
+        return self._simulator.run(scenario, record=record)
+
+
+class CompiledBackend(SimulationBackend):
+    """Execution-plan executor: compile once, run many scenarios."""
+
+    name = "compiled"
+
+    def __init__(self, process: ProcessModel, strict: bool = True) -> None:
+        super().__init__(process, strict)
+        self._plan = compile_plan(process)
+
+    @property
+    def process(self) -> ProcessModel:
+        return self._plan.process
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        return self._plan
+
+    def run(self, scenario: Scenario, record: Optional[Iterable[str]] = None) -> SimulationTrace:
+        return self._plan.run(scenario, record=record, strict=self.strict)
+
+    def run_batch(
+        self, scenarios: Sequence[Scenario], record: Optional[Iterable[str]] = None
+    ) -> List[SimulationTrace]:
+        record = list(record) if record is not None else None
+        return self._plan.run_batch(scenarios, record=record, strict=self.strict)
+
+
+#: Registry of the available backends, keyed by :attr:`SimulationBackend.name`.
+BACKENDS: Dict[str, Type[SimulationBackend]] = {
+    ReferenceBackend.name: ReferenceBackend,
+    CompiledBackend.name: CompiledBackend,
+}
+
+#: Backend used when the caller does not choose one.
+DEFAULT_BACKEND = CompiledBackend.name
+
+
+def backend_names() -> List[str]:
+    """The registered backend names, default first."""
+    names = sorted(BACKENDS)
+    names.remove(DEFAULT_BACKEND)
+    return [DEFAULT_BACKEND] + names
+
+
+def create_backend(
+    process: ProcessModel, backend: str = DEFAULT_BACKEND, strict: bool = True
+) -> SimulationBackend:
+    """Instantiate the backend registered under *backend* for *process*."""
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; available: {', '.join(sorted(BACKENDS))}"
+        ) from None
+    return factory(process, strict=strict)

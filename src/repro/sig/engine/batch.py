@@ -1,0 +1,137 @@
+"""Batched multi-scenario simulation.
+
+Many-scenario workloads (design-space sweeps, scenario fuzzing, the
+scalability experiment E10) run the same model over many input scenarios.
+With the reference interpreter each run pays the full model bookkeeping
+again; with the execution-plan engine the model is compiled once and every
+scenario reuses the plan.  :func:`simulate_batch` is the front door of that
+workflow, and :func:`default_scenario` reproduces the scenario the tool
+chain builds for a scheduled system (base processor ticks always present,
+optional periodic environment stimuli).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..process import ProcessModel
+from ..simulator import Scenario, SimulationError, SimulationTrace
+from .backends import DEFAULT_BACKEND, create_backend
+
+
+def default_scenario(
+    process: ProcessModel,
+    length: int,
+    stimuli_periods: Optional[Mapping[str, int]] = None,
+) -> Scenario:
+    """The tool chain's standard scenario for a scheduled system model.
+
+    Every input named ``tick`` or ``*_tick`` (the base clock of a translated
+    processor) is present at every instant; each entry of *stimuli_periods*
+    adds a periodic environment stimulus.
+    """
+    scenario = Scenario(length)
+    for decl in process.inputs():
+        if decl.name == "tick" or decl.name.endswith("_tick"):
+            scenario.set_always(decl.name)
+    for signal, period in (stimuli_periods or {}).items():
+        scenario.set_periodic(signal, period)
+    return scenario
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :func:`simulate_batch` call."""
+
+    backend: str
+    traces: List[Optional[SimulationTrace]]
+    errors: List[Tuple[int, SimulationError]] = field(default_factory=list)
+    compile_seconds: float = 0.0
+    run_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def successful_traces(self) -> List[SimulationTrace]:
+        return [trace for trace in self.traces if trace is not None]
+
+    def summary(self) -> str:
+        lines = [
+            f"batch of {len(self.traces)} scenario(s) on backend {self.backend!r}: "
+            f"{len(self.successful_traces())} succeeded, {len(self.errors)} failed "
+            f"(prepare {self.compile_seconds * 1000.0:.1f} ms, "
+            f"run {self.run_seconds * 1000.0:.1f} ms)"
+        ]
+        for index, error in self.errors:
+            lines.append(f"  scenario {index}: {type(error).__name__}: {error}")
+        return "\n".join(lines)
+
+
+def simulate_batch(
+    process: ProcessModel,
+    scenarios: Sequence[Scenario],
+    record: Optional[Iterable[str]] = None,
+    strict: bool = True,
+    backend: str = DEFAULT_BACKEND,
+    collect_errors: bool = False,
+) -> BatchResult:
+    """Run every scenario through one prepared backend instance.
+
+    The model is prepared (flattened, and compiled when the backend is
+    ``"compiled"``) exactly once.  With ``collect_errors=True`` a failing
+    scenario contributes ``None`` to :attr:`BatchResult.traces` plus an entry
+    in :attr:`BatchResult.errors` instead of aborting the whole batch.
+    """
+    record = list(record) if record is not None else None
+    start = time.perf_counter()
+    runner = create_backend(process, backend=backend, strict=strict)
+    compiled_at = time.perf_counter()
+
+    traces: List[Optional[SimulationTrace]] = []
+    errors: List[Tuple[int, SimulationError]] = []
+    for index, scenario in enumerate(scenarios):
+        if collect_errors:
+            try:
+                traces.append(runner.run(scenario, record=record))
+            except SimulationError as error:
+                traces.append(None)
+                errors.append((index, error))
+        else:
+            traces.append(runner.run(scenario, record=record))
+    done = time.perf_counter()
+
+    return BatchResult(
+        backend=runner.name,
+        traces=traces,
+        errors=errors,
+        compile_seconds=compiled_at - start,
+        run_seconds=done - compiled_at,
+    )
+
+
+def batch_flow_summary(result: BatchResult, signal: str) -> Dict[str, Any]:
+    """Aggregate one signal across a batch: per-scenario presence counts.
+
+    A small convenience for sweep reports (used by the examples); scenarios
+    that failed contribute ``None``.
+    """
+    counts: List[Optional[int]] = []
+    for trace in result.traces:
+        if trace is None or signal not in trace.flows:
+            counts.append(None)
+        else:
+            counts.append(trace.count_present(signal))
+    present = [count for count in counts if count is not None]
+    return {
+        "signal": signal,
+        "per_scenario": counts,
+        "total": sum(present),
+        "min": min(present) if present else 0,
+        "max": max(present) if present else 0,
+    }

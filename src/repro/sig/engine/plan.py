@@ -1,0 +1,892 @@
+"""Lowering of a polychronous process into an executable plan.
+
+The reference simulator (:mod:`repro.sig.simulator`) interprets the equation
+set from scratch at every instant: statuses and values live in dictionaries
+keyed by signal name, every expression node is re-dispatched through
+``isinstance`` chains, and delay/cell memories are addressed by f-string
+paths rebuilt at each evaluation.  That is fine as an executable semantics,
+but it wastes most of its time in bookkeeping.
+
+:func:`compile_plan` performs, once per process, the work the interpreter
+redoes at every instant:
+
+* every signal name is mapped to an **integer slot**; per-instant statuses
+  and values are plain Python lists indexed by slot;
+* every equation is compiled into a closure tree mirroring the reference
+  evaluation rules exactly (same statuses, same warning/exception messages),
+  with stepwise operators resolved and constant sub-expressions **folded**
+  at compile time;
+* static clock tests (``when`` over a constant, ``^`` of a constant) are
+  **precomputed** into constant-presence closures;
+* delay and cell memories are allocated **integer state slots** instead of
+  path-keyed dictionary entries, and the post-instant memory commit is
+  compiled down to the equations that actually own memory (the reference
+  walks every expression of every equation at every instant);
+* the per-instant sweep keeps a **worklist** of still-unresolved targets,
+  visited in the reference interpreter's declaration order with clock
+  propagation after each sweep — the exact same fixed-point trajectory, so
+  traces, warnings and errors are bit-identical by construction (resolution
+  order interacts observably with ``^=`` constraint propagation, which is
+  why a reordering "optimisation" is not semantics-preserving).  The static
+  dependency graph (:mod:`repro.sig.scheduler_graph`, the same graph the
+  paper uses for code generation) is analysed at compile time to record
+  whether the instantaneous dependencies are acyclic.
+
+The resulting :class:`ExecutionPlan` is immutable with respect to the model:
+one plan can run many scenarios (see :meth:`ExecutionPlan.run_batch`), which
+is what the batched multi-scenario APIs build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..expressions import (
+    Cell,
+    ClockDifference,
+    ClockIntersection,
+    ClockOf,
+    ClockUnion,
+    Const,
+    Default,
+    Delay,
+    Expression,
+    FunctionApp,
+    SignalRef,
+    STEPWISE_OPERATIONS,
+    Var,
+    When,
+    WhenClock,
+    apply_stepwise,
+)
+from ..process import ConstraintKind, Direction, ProcessModel
+from ..scheduler_graph import build_dependency_graph
+from ..simulator import (
+    ClockViolation,
+    InstantaneousCycle,
+    NonDeterministicDefinition,
+    Scenario,
+    SimulationTrace,
+)
+from ..values import ABSENT, Flow
+
+# Status codes of the compiled executor.  They correspond one-to-one to the
+# string statuses of the reference interpreter; integers compare faster.
+UNKNOWN = 0
+PRESENT = 1
+_ABSENT_ST = 2
+CONST = 3
+PRESUMED = 4
+
+#: Sentinel marking a shared-variable memory slot that was never written.
+_NOWRITE = object()
+
+#: Evaluation closure: ``(status, values, state, varmem, instant, warnings,
+#: strict) -> (status_code, value)``.
+EvalFn = Callable[..., Tuple[int, Any]]
+#: Memory-commit closure: ``(status, values, state, varmem, strict) -> None``.
+CommitFn = Callable[..., None]
+
+
+class _Compiler:
+    """Per-process compilation context: slot and state allocation."""
+
+    def __init__(self, process: ProcessModel) -> None:
+        self.process = process
+        self.slot_of: Dict[str, int] = {}
+        self.names: List[str] = []
+        self.state_init: List[List[Any]] = []
+
+    def slot(self, name: str) -> int:
+        index = self.slot_of.get(name)
+        if index is None:
+            index = len(self.names)
+            self.slot_of[name] = index
+            self.names.append(name)
+        return index
+
+    def state_slot(self, initial: List[Any]) -> int:
+        self.state_init.append(initial)
+        return len(self.state_init) - 1
+
+    # ------------------------------------------------------------------
+    # expression compilation
+    # ------------------------------------------------------------------
+    def compile(self, expr: Expression) -> Tuple[EvalFn, Optional[CommitFn]]:
+        """Compile *expr* into an evaluation closure plus an optional memory
+        commit closure (``None`` when the subtree owns no delay/cell state)."""
+        if isinstance(expr, SignalRef):
+            s = self.slot(expr.name)
+
+            def ev(st, vals, state, varmem, instant, warnings, strict, _s=s):
+                code = st[_s]
+                if code == PRESENT:
+                    return PRESENT, vals[_s]
+                return code, ABSENT
+
+            return ev, None
+
+        if isinstance(expr, Var):
+            s = self.slot(expr.name)
+
+            def ev(st, vals, state, varmem, instant, warnings, strict, _s=s):
+                code = st[_s]
+                if code == PRESENT:
+                    return PRESENT, vals[_s]
+                if code == UNKNOWN or code == PRESUMED:
+                    return code, ABSENT
+                stored = varmem[_s]
+                if stored is not _NOWRITE:
+                    return CONST, stored
+                return _ABSENT_ST, ABSENT
+
+            return ev, None
+
+        if isinstance(expr, Const):
+            value = expr.value
+
+            def ev(st, vals, state, varmem, instant, warnings, strict, _v=value):
+                return CONST, _v
+
+            return ev, None
+
+        if isinstance(expr, FunctionApp):
+            return self._compile_function(expr)
+
+        if isinstance(expr, Delay):
+            return self._compile_delay(expr)
+
+        if isinstance(expr, When):
+            return self._compile_when(expr)
+
+        if isinstance(expr, WhenClock):
+            return self._compile_when_clock(expr)
+
+        if isinstance(expr, Default):
+            return self._compile_default(expr)
+
+        if isinstance(expr, Cell):
+            return self._compile_cell(expr)
+
+        if isinstance(expr, ClockOf):
+            return self._compile_clock_of(expr)
+
+        if isinstance(expr, (ClockUnion, ClockIntersection, ClockDifference)):
+            return self._compile_clock_binop(expr)
+
+        raise TypeError(f"cannot compile expression of type {type(expr).__name__}")
+
+    #: Built-in operators known to be pure, and therefore safe to fold over
+    #: constant operands at compile time.  User functions registered through
+    #: :func:`repro.sig.expressions.register_stepwise_operation` may be
+    #: stateful, so they are always applied at run time like the interpreter
+    #: does.
+    PURE_OPERATORS = frozenset(
+        ["+", "-", "*", "/", "%", "neg", "=", "/=", "<", "<=", ">", ">=",
+         "and", "or", "xor", "not", "min", "max", "abs"]
+    )
+
+    def _compile_function(self, expr: FunctionApp) -> Tuple[EvalFn, Optional[CommitFn]]:
+        # Constant folding: a *pure* stepwise application of constants is a
+        # constant.
+        if (
+            expr.op in self.PURE_OPERATORS
+            and expr.args
+            and all(isinstance(a, Const) for a in expr.args)
+        ):
+            try:
+                folded = apply_stepwise(expr.op, [a.value for a in expr.args])
+            except Exception:
+                pass  # fold failed: fall through and fail at run time, like the interpreter
+            else:
+                return self.compile(Const(folded))
+
+        compiled = [self.compile(a) for a in expr.args]
+        subs = tuple(ev for ev, _ in compiled)
+        op = expr.op
+        if op in self.PURE_OPERATORS:
+            func = STEPWISE_OPERATIONS[op]
+        else:
+            # User-registered (or unknown) operator: resolve at application
+            # time so late registration and re-registration behave exactly
+            # like the reference interpreter.
+            def func(*args, _op=op):
+                return apply_stepwise(_op, list(args))
+
+        if len(subs) == 1:
+            sub = subs[0]
+
+            def ev(st, vals, state, varmem, instant, warnings, strict):
+                code, value = sub(st, vals, state, varmem, instant, warnings, strict)
+                if code == PRESENT:
+                    return PRESENT, func(value)
+                if code == _ABSENT_ST:
+                    return _ABSENT_ST, ABSENT
+                if code == CONST:
+                    return CONST, func(value)
+                return UNKNOWN, ABSENT
+
+        elif len(subs) == 2:
+            left, right = subs
+
+            def ev(st, vals, state, varmem, instant, warnings, strict):
+                lc, lv = left(st, vals, state, varmem, instant, warnings, strict)
+                rc, rv = right(st, vals, state, varmem, instant, warnings, strict)
+                if lc == UNKNOWN or lc == PRESUMED or rc == UNKNOWN or rc == PRESUMED:
+                    return UNKNOWN, ABSENT
+                if lc == PRESENT or rc == PRESENT:
+                    if lc == _ABSENT_ST or rc == _ABSENT_ST:
+                        message = (
+                            f"clock violation at instant {instant}: operator {op!r} "
+                            "applied to operands that are not all present"
+                        )
+                        if strict:
+                            raise ClockViolation(message)
+                        warnings.append(message)
+                        return _ABSENT_ST, ABSENT
+                    return PRESENT, func(lv, rv)
+                if lc == _ABSENT_ST or rc == _ABSENT_ST:
+                    return _ABSENT_ST, ABSENT
+                return CONST, func(lv, rv)
+
+        else:
+
+            def ev(st, vals, state, varmem, instant, warnings, strict):
+                results = [sub(st, vals, state, varmem, instant, warnings, strict) for sub in subs]
+                has_unknown = has_present = has_absent = False
+                for code, _ in results:
+                    if code == UNKNOWN or code == PRESUMED:
+                        has_unknown = True
+                    elif code == PRESENT:
+                        has_present = True
+                    elif code == _ABSENT_ST:
+                        has_absent = True
+                if has_unknown:
+                    return UNKNOWN, ABSENT
+                if has_present and has_absent:
+                    message = (
+                        f"clock violation at instant {instant}: operator {op!r} "
+                        "applied to operands that are not all present"
+                    )
+                    if strict:
+                        raise ClockViolation(message)
+                    warnings.append(message)
+                    return _ABSENT_ST, ABSENT
+                if has_present:
+                    return PRESENT, func(*[v for _, v in results])
+                if not has_absent:  # every operand is a constant
+                    return CONST, func(*[v for _, v in results])
+                return _ABSENT_ST, ABSENT
+
+        return ev, self._merge_commits([c for _, c in compiled])
+
+    def _compile_delay(self, expr: Delay) -> Tuple[EvalFn, Optional[CommitFn]]:
+        operand_ev, operand_commit = self.compile(expr.operand)
+        init = expr.init
+        depth = max(1, expr.depth)
+        k = self.state_slot([init] * depth)
+
+        def ev(st, vals, state, varmem, instant, warnings, strict, _k=k, _init=init):
+            code, _ = operand_ev(st, vals, state, varmem, instant, warnings, strict)
+            if code == UNKNOWN:
+                return UNKNOWN, ABSENT
+            if code == _ABSENT_ST:
+                return _ABSENT_ST, ABSENT
+            if code == CONST:
+                return CONST, _init
+            # Present, or presumed present through a clock constraint: the
+            # delay only needs the *presence* of its operand at this instant.
+            return PRESENT, state[_k][0]
+
+        shift = depth > 1
+
+        def commit(st, vals, state, varmem, strict, _k=k):
+            # Read the operand with the *old* nested state before recursing,
+            # so that chained delays shift correctly.
+            code, value = operand_ev(st, vals, state, varmem, -1, [], strict)
+            if operand_commit is not None:
+                operand_commit(st, vals, state, varmem, strict)
+            if code == PRESENT:
+                buffer = state[_k]
+                if shift:
+                    buffer.pop(0)
+                    buffer.append(value)
+                else:
+                    buffer[0] = value
+
+        return ev, commit
+
+    def _compile_when(self, expr: When) -> Tuple[EvalFn, Optional[CommitFn]]:
+        operand_ev, operand_commit = self.compile(expr.operand)
+        cond_ev, cond_commit = self.compile(expr.condition)
+
+        def ev(st, vals, state, varmem, instant, warnings, strict):
+            cond_code, cond_val = cond_ev(st, vals, state, varmem, instant, warnings, strict)
+            if cond_code == UNKNOWN or cond_code == PRESUMED:
+                return UNKNOWN, ABSENT
+            if cond_code == _ABSENT_ST or not cond_val:
+                return _ABSENT_ST, ABSENT
+            op_code, op_val = operand_ev(st, vals, state, varmem, instant, warnings, strict)
+            if op_code == UNKNOWN or op_code == PRESUMED:
+                return op_code, ABSENT
+            if op_code == _ABSENT_ST:
+                return _ABSENT_ST, ABSENT
+            return PRESENT, op_val
+
+        # The reference walks the operand before the condition when it
+        # advances memories; keep the same order.
+        return ev, self._merge_commits([operand_commit, cond_commit])
+
+    def _compile_when_clock(self, expr: WhenClock) -> Tuple[EvalFn, Optional[CommitFn]]:
+        if isinstance(expr.condition, Const):
+            # Static clock test: precomputed at compile time.
+            if bool(expr.condition.value):
+                def ev_true(st, vals, state, varmem, instant, warnings, strict):
+                    return PRESENT, True
+
+                return ev_true, None
+
+            def ev_false(st, vals, state, varmem, instant, warnings, strict):
+                return _ABSENT_ST, ABSENT
+
+            return ev_false, None
+
+        cond_ev, cond_commit = self.compile(expr.condition)
+
+        def ev(st, vals, state, varmem, instant, warnings, strict):
+            cond_code, cond_val = cond_ev(st, vals, state, varmem, instant, warnings, strict)
+            if cond_code == UNKNOWN or cond_code == PRESUMED:
+                return UNKNOWN, ABSENT
+            if (cond_code == PRESENT or cond_code == CONST) and cond_val:
+                return PRESENT, True
+            return _ABSENT_ST, ABSENT
+
+        return ev, cond_commit
+
+    def _compile_default(self, expr: Default) -> Tuple[EvalFn, Optional[CommitFn]]:
+        left_ev, left_commit = self.compile(expr.left)
+        right_ev, right_commit = self.compile(expr.right)
+
+        def ev(st, vals, state, varmem, instant, warnings, strict):
+            left_code, left_val = left_ev(st, vals, state, varmem, instant, warnings, strict)
+            if left_code == UNKNOWN:
+                return UNKNOWN, ABSENT
+            if left_code == PRESENT:
+                return PRESENT, left_val
+            if left_code == PRESUMED:
+                return PRESUMED, ABSENT
+            right_code, right_val = right_ev(st, vals, state, varmem, instant, warnings, strict)
+            if left_code == CONST:
+                # A constant left branch adapts to the clock of the right one.
+                if right_code == UNKNOWN:
+                    return UNKNOWN, ABSENT
+                if right_code == PRESENT or right_code == CONST:
+                    return right_code, left_val
+                if right_code == PRESUMED:
+                    return PRESUMED, ABSENT
+                return CONST, left_val
+            return right_code, right_val
+
+        return ev, self._merge_commits([left_commit, right_commit])
+
+    def _compile_cell(self, expr: Cell) -> Tuple[EvalFn, Optional[CommitFn]]:
+        operand_ev, operand_commit = self.compile(expr.operand)
+        cond_ev, cond_commit = self.compile(expr.condition)
+        k = self.state_slot([expr.init])
+
+        def ev(st, vals, state, varmem, instant, warnings, strict, _k=k):
+            op_code, op_val = operand_ev(st, vals, state, varmem, instant, warnings, strict)
+            cond_code, cond_val = cond_ev(st, vals, state, varmem, instant, warnings, strict)
+            if op_code == UNKNOWN or cond_code == UNKNOWN or cond_code == PRESUMED:
+                return UNKNOWN, ABSENT
+            if op_code == PRESUMED:
+                return PRESUMED, ABSENT
+            if op_code == PRESENT:
+                return PRESENT, op_val
+            if (cond_code == PRESENT or cond_code == CONST) and cond_val:
+                return PRESENT, state[_k][0]
+            return _ABSENT_ST, ABSENT
+
+        def commit(st, vals, state, varmem, strict, _k=k):
+            code, value = operand_ev(st, vals, state, varmem, -1, [], strict)
+            if operand_commit is not None:
+                operand_commit(st, vals, state, varmem, strict)
+            if cond_commit is not None:
+                cond_commit(st, vals, state, varmem, strict)
+            if code == PRESENT:
+                state[_k][0] = value
+
+        return ev, commit
+
+    def _compile_clock_of(self, expr: ClockOf) -> Tuple[EvalFn, Optional[CommitFn]]:
+        if isinstance(expr.operand, Const):
+            # The clock of a constant is empty in the reference interpreter.
+            def ev_const(st, vals, state, varmem, instant, warnings, strict):
+                return _ABSENT_ST, ABSENT
+
+            return ev_const, None
+
+        operand_ev, operand_commit = self.compile(expr.operand)
+
+        def ev(st, vals, state, varmem, instant, warnings, strict):
+            code, _ = operand_ev(st, vals, state, varmem, instant, warnings, strict)
+            if code == UNKNOWN:
+                return UNKNOWN, ABSENT
+            if code == PRESENT or code == PRESUMED:
+                return PRESENT, True
+            return _ABSENT_ST, ABSENT
+
+        return ev, operand_commit
+
+    def _compile_clock_binop(self, expr: Expression) -> Tuple[EvalFn, Optional[CommitFn]]:
+        left_ev, left_commit = self.compile(expr.left)
+        right_ev, right_commit = self.compile(expr.right)
+
+        if isinstance(expr, ClockUnion):
+            def ev(st, vals, state, varmem, instant, warnings, strict):
+                left_code, _ = left_ev(st, vals, state, varmem, instant, warnings, strict)
+                right_code, _ = right_ev(st, vals, state, varmem, instant, warnings, strict)
+                if (
+                    left_code == PRESENT
+                    or left_code == PRESUMED
+                    or right_code == PRESENT
+                    or right_code == PRESUMED
+                ):
+                    return PRESENT, True
+                if left_code == UNKNOWN or right_code == UNKNOWN:
+                    return UNKNOWN, ABSENT
+                return _ABSENT_ST, ABSENT
+
+        elif isinstance(expr, ClockIntersection):
+            def ev(st, vals, state, varmem, instant, warnings, strict):
+                left_code, _ = left_ev(st, vals, state, varmem, instant, warnings, strict)
+                right_code, _ = right_ev(st, vals, state, varmem, instant, warnings, strict)
+                if left_code == _ABSENT_ST or right_code == _ABSENT_ST:
+                    return _ABSENT_ST, ABSENT
+                if left_code == UNKNOWN or right_code == UNKNOWN:
+                    return UNKNOWN, ABSENT
+                if (left_code == PRESENT or left_code == PRESUMED) and (
+                    right_code == PRESENT or right_code == PRESUMED
+                ):
+                    return PRESENT, True
+                return _ABSENT_ST, ABSENT
+
+        else:  # ClockDifference
+            def ev(st, vals, state, varmem, instant, warnings, strict):
+                left_code, _ = left_ev(st, vals, state, varmem, instant, warnings, strict)
+                right_code, _ = right_ev(st, vals, state, varmem, instant, warnings, strict)
+                if left_code == _ABSENT_ST:
+                    return _ABSENT_ST, ABSENT
+                if left_code == UNKNOWN or right_code == UNKNOWN:
+                    return UNKNOWN, ABSENT
+                if (left_code == PRESENT or left_code == PRESUMED) and not (
+                    right_code == PRESENT or right_code == PRESUMED
+                ):
+                    return PRESENT, True
+                return _ABSENT_ST, ABSENT
+
+        return ev, self._merge_commits([left_commit, right_commit])
+
+    @staticmethod
+    def _merge_commits(commits: Sequence[Optional[CommitFn]]) -> Optional[CommitFn]:
+        active = [c for c in commits if c is not None]
+        if not active:
+            return None
+        if len(active) == 1:
+            return active[0]
+
+        def merged(st, vals, state, varmem, strict, _active=tuple(active)):
+            for commit in _active:
+                commit(st, vals, state, varmem, strict)
+
+        return merged
+
+
+class TargetPlan:
+    """Pre-resolved definition set of one equation target."""
+
+    __slots__ = ("name", "slot", "declared", "evaluators")
+
+    def __init__(self, name: str, slot: int, declared: bool, evaluators: List[EvalFn]) -> None:
+        self.name = name
+        self.slot = slot
+        self.declared = declared
+        self.evaluators = evaluators
+
+    def resolve(self, st, vals, state, varmem, instant, warnings, strict) -> Tuple[bool, Any]:
+        """Resolve a multiply-defined target (partial definitions).
+
+        Single-definition targets — the overwhelmingly common case — are
+        inlined in :meth:`ExecutionPlan.run` and never reach this method.
+        """
+        results: List[Tuple[int, Any]] = []
+        for evaluator in self.evaluators:
+            code, value = evaluator(st, vals, state, varmem, instant, warnings, strict)
+            if code == UNKNOWN or code == PRESUMED:
+                return False, ABSENT
+            results.append((code, value))
+        present = [value for code, value in results if code == PRESENT]
+        if not present:
+            return True, ABSENT
+        distinct = {repr(value) for value in present}
+        if len(distinct) > 1:
+            message = (
+                f"non-deterministic definition of {self.name!r} at instant {instant}: "
+                + ", ".join(sorted(distinct))
+            )
+            if strict:
+                raise NonDeterministicDefinition(message)
+            warnings.append(message)
+        return True, present[0]
+
+
+@dataclass
+class PlanStatistics:
+    """Compile-time shape of an execution plan (for reports and tests)."""
+
+    signals: int
+    targets: int
+    equations: int
+    state_slots: int
+    sync_groups: int
+    acyclic_dependencies: bool
+
+    def summary(self) -> str:
+        graph = "acyclic" if self.acyclic_dependencies else "cyclic"
+        return (
+            f"execution plan: {self.signals} signal slots, {self.targets} targets "
+            f"({self.equations} equations, {graph} dependency graph), "
+            f"{self.state_slots} memory slots, {self.sync_groups} synchronisation groups"
+        )
+
+
+class ExecutionPlan:
+    """A process lowered to slot-indexed, topologically ordered instructions.
+
+    Build one with :func:`compile_plan`; run scenarios with :meth:`run` or
+    :meth:`run_batch`.  A plan holds no mutable per-run state: every run
+    allocates its own status/value/memory arrays, so one plan can be shared
+    freely across scenarios (and, in future PRs, across worker processes).
+    """
+
+    def __init__(self, process: ProcessModel) -> None:
+        if process.instances or process.submodels:
+            process = process.flatten()
+        self.process = process
+
+        compiler = _Compiler(process)
+        declared = process.signals
+
+        # Declared signals claim the first slots, in declaration order, so
+        # slot indices are stable and readable in debug dumps.
+        for name in declared:
+            compiler.slot(name)
+
+        # Group equations by target in first-appearance order (the reference
+        # interpreter's resolution units), compiling each definition once.
+        grouped: Dict[str, List[EvalFn]] = {}
+        commits: List[CommitFn] = []
+        for eq in process.equations:
+            evaluator, commit = compiler.compile(eq.expr)
+            grouped.setdefault(eq.target, []).append(evaluator)
+            compiler.slot(eq.target)
+            if commit is not None:
+                commits.append(commit)
+        self._commits = tuple(commits)
+
+        # Constraint operands may reference otherwise-unknown names.
+        self._sync_groups = self._compile_sync_groups(process, compiler)
+
+        # Resolution follows the reference interpreter's order (first
+        # appearance of each target) so the fixed-point trajectory — and with
+        # it every warning and error — is reproduced exactly.  The dependency
+        # graph records whether the instantaneous dependencies are acyclic
+        # (they are for well-formed models, making the sweep converge fast).
+        graph = build_dependency_graph(process, include_clock_edges=False)
+        self.acyclic_dependencies = graph.topological_order() is not None
+        self.targets: List[TargetPlan] = [
+            TargetPlan(name, compiler.slot(name), name in declared, grouped[name])
+            for name in grouped
+        ]
+
+        self.names = compiler.names
+        self.slot_of = compiler.slot_of
+        self._state_init = compiler.state_init
+        self._equation_count = len(process.equations)
+
+        # Per-instant status template.  Declared inputs are scenario-driven
+        # even when equations define them (the reference interpreter gives
+        # the scenario priority and never resolves such targets).
+        template = [_ABSENT_ST] * len(self.names)
+        self._input_slots: List[Tuple[int, str]] = []
+        input_names = set()
+        for name, decl in declared.items():
+            if decl.direction is Direction.INPUT:
+                input_names.add(name)
+                self._input_slots.append((self.slot_of[name], name))
+        for target in self.targets:
+            if target.declared and target.name not in input_names:
+                template[target.slot] = UNKNOWN
+        self._status_template = template
+
+        # Pre-resolved work items of the per-instant sweep, in resolution
+        # order: (slot, declared, single-definition evaluator or None,
+        # target).  Declared inputs are never resolved (scenario wins).
+        self._work: Tuple[Tuple[int, bool, Optional[EvalFn], TargetPlan], ...] = tuple(
+            (
+                target.slot,
+                target.declared,
+                target.evaluators[0] if len(target.evaluators) == 1 else None,
+                target,
+            )
+            for target in self.targets
+            if not (target.declared and target.name in input_names)
+        )
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> PlanStatistics:
+        return PlanStatistics(
+            signals=len(self.names),
+            targets=len(self.targets),
+            equations=self._equation_count,
+            state_slots=len(self._state_init),
+            sync_groups=len(self._sync_groups),
+            acyclic_dependencies=self.acyclic_dependencies,
+        )
+
+    @staticmethod
+    def _compile_sync_groups(
+        process: ProcessModel, compiler: _Compiler
+    ) -> List[Tuple[Tuple[int, ...], str]]:
+        """``^=`` groups as slot tuples plus their pre-sorted name list."""
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        for constraint in process.constraints:
+            if constraint.kind is not ConstraintKind.SYNCHRONOUS:
+                continue
+            names = [op.name for op in constraint.operands if isinstance(op, (SignalRef, Var))]
+            for a, b in zip(names, names[1:]):
+                union(a, b)
+        groups: Dict[str, List[str]] = {}
+        for name in parent:
+            groups.setdefault(find(name), []).append(name)
+        return [
+            (tuple(compiler.slot(name) for name in members), ", ".join(sorted(members)))
+            for members in groups.values()
+            if len(members) > 1
+        ]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        scenario: Scenario,
+        record: Optional[Iterable[str]] = None,
+        strict: bool = True,
+    ) -> SimulationTrace:
+        """Execute *scenario* and record the requested signals.
+
+        Semantics (flows, warnings of record, raised errors) match the
+        reference interpreter; see :class:`repro.sig.simulator.Simulator`.
+        """
+        recorded = list(record) if record is not None else list(self.process.signals)
+        warnings: List[str] = []
+
+        slot_of = self.slot_of
+        # Scenario flows drive declared inputs and undeclared-but-referenced
+        # names; flows for declared non-input signals are ignored, exactly as
+        # in the reference interpreter.
+        driven: List[Tuple[int, List[Any]]] = []
+        driven_slots = set()
+        declared = self.process.signals
+        scenario_only: Dict[str, List[Any]] = {}
+        for slot, name in self._input_slots:
+            flow = scenario.inputs.get(name)
+            if flow is not None:
+                driven.append((slot, flow))
+        for name, flow in scenario.inputs.items():
+            if name in declared:
+                continue
+            slot = slot_of.get(name)
+            if slot is None:
+                scenario_only[name] = flow
+                continue
+            driven.append((slot, flow))
+            driven_slots.add(slot)
+
+        # Scenario-driven undeclared targets are not resolved (scenario wins).
+        base_work = [item for item in self._work if item[0] not in driven_slots]
+
+        # Recorded names that are neither slots nor scenario flows stay ⊥;
+        # record into plain lists and wrap them as flows at the end.  A name
+        # listed twice shares one list and is appended twice per instant,
+        # exactly as the reference interpreter's shared Flow behaves.
+        record_lists: Dict[str, List[Any]] = {}
+        record_plan: List[Tuple[List[Any], Optional[int], Optional[List[Any]]]] = []
+        for name in recorded:
+            out = record_lists.setdefault(name, [])
+            slot = slot_of.get(name)
+            record_plan.append((out, slot, scenario_only.get(name) if slot is None else None))
+
+        state = [list(template) for template in self._state_init]
+        varmem: List[Any] = [_NOWRITE] * len(self.names)
+        status_template = self._status_template
+        commits = self._commits
+        n_slots = len(self.names)
+        propagate_sync = self._propagate_sync
+        bare_constant = "signal {name!r} defined by a bare constant has no clock; treated as absent"
+
+        for instant in range(scenario.length):
+            st = list(status_template)
+            vals: List[Any] = [ABSENT] * n_slots
+            for slot, flow in driven:
+                value = flow[instant] if instant < len(flow) else ABSENT
+                st[slot] = _ABSENT_ST if value is ABSENT else PRESENT
+                vals[slot] = value
+
+            # Sweep the targets in the reference interpreter's order, keeping
+            # only the unresolved ones for the next sweep, with ``^=`` clock
+            # propagation after each sweep — the same trajectory (and hence
+            # the same warnings and errors) as the reference fixed point.
+            unresolved = base_work
+            progress = True
+            while progress:
+                progress = False
+                still: List[Tuple[int, bool, Optional[EvalFn], TargetPlan]] = []
+                for item in unresolved:
+                    slot, is_declared, single, target = item
+                    if is_declared:
+                        code = st[slot]
+                        if code == PRESENT or code == _ABSENT_ST:
+                            # Settled by a synchronisation group: drop the
+                            # item, but (like the reference) this is not
+                            # resolution progress.
+                            continue
+                    if single is not None:
+                        code, value = single(st, vals, state, varmem, instant, warnings, strict)
+                        if code == UNKNOWN or code == PRESUMED:
+                            still.append(item)
+                            continue
+                        if code == PRESENT:
+                            st[slot] = PRESENT
+                            vals[slot] = value
+                        else:
+                            if code == CONST:
+                                # A lone constant definition has no clock of
+                                # its own; report it once per instant.
+                                warnings.append(bare_constant.format(name=target.name))
+                            st[slot] = _ABSENT_ST
+                    else:
+                        resolved, value = target.resolve(
+                            st, vals, state, varmem, instant, warnings, strict
+                        )
+                        if not resolved:
+                            still.append(item)
+                            continue
+                        if value is ABSENT:
+                            st[slot] = _ABSENT_ST
+                        else:
+                            st[slot] = PRESENT
+                            vals[slot] = value
+                    progress = True
+                unresolved = still
+                if propagate_sync(st, instant, warnings, strict):
+                    progress = True
+
+            if unresolved:
+                # Report unresolved *declared* signals in declaration order,
+                # as the reference interpreter's status dictionary does.
+                blocked_slots = {
+                    item[0]
+                    for item in unresolved
+                    if item[1] and st[item[0]] in (UNKNOWN, PRESUMED)
+                }
+                if blocked_slots:
+                    blocked = [name for name in declared if slot_of[name] in blocked_slots]
+                    raise InstantaneousCycle(instant, blocked)
+
+            for commit in commits:
+                commit(st, vals, state, varmem, strict)
+            for slot, code in enumerate(st):
+                if code == PRESENT:
+                    varmem[slot] = vals[slot]
+
+            for out, slot, fallback in record_plan:
+                if slot is not None:
+                    out.append(vals[slot])
+                elif fallback is not None:
+                    out.append(fallback[instant] if instant < len(fallback) else ABSENT)
+                else:
+                    out.append(ABSENT)
+
+        flows = {name: Flow(name, values) for name, values in record_lists.items()}
+        return SimulationTrace(
+            process_name=self.process.name,
+            length=scenario.length,
+            flows=flows,
+            warnings=warnings,
+        )
+
+    def run_batch(
+        self,
+        scenarios: Sequence[Scenario],
+        record: Optional[Iterable[str]] = None,
+        strict: bool = True,
+    ) -> List[SimulationTrace]:
+        """Run every scenario through this (already compiled) plan.
+
+        Delay/cell/shared-variable memories are reset between scenarios, so
+        each trace is what a fresh simulator would produce.
+        """
+        record = list(record) if record is not None else None
+        return [self.run(scenario, record=record, strict=strict) for scenario in scenarios]
+
+    def _propagate_sync(self, st, instant, warnings, strict) -> bool:
+        changed = False
+        for slots, names in self._sync_groups:
+            has_present = has_absent = False
+            for slot in slots:
+                code = st[slot]
+                if code == PRESENT or code == PRESUMED:
+                    has_present = True
+                elif code == _ABSENT_ST:
+                    has_absent = True
+            if has_present and has_absent:
+                message = (
+                    f"clock constraint violation at instant {instant}: signals "
+                    f"{names} are declared synchronous but disagree"
+                )
+                if strict:
+                    raise ClockViolation(message)
+                warnings.append(message)
+                continue
+            if has_present:
+                for slot in slots:
+                    if st[slot] == UNKNOWN:
+                        st[slot] = PRESUMED
+                        changed = True
+            elif has_absent:
+                for slot in slots:
+                    if st[slot] == UNKNOWN:
+                        st[slot] = _ABSENT_ST
+                        changed = True
+        return changed
+
+
+def compile_plan(process: ProcessModel) -> ExecutionPlan:
+    """Lower *process* (flattened on the fly if needed) to an :class:`ExecutionPlan`."""
+    return ExecutionPlan(process)
