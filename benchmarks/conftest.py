@@ -14,8 +14,11 @@ everything else inherits :data:`repro.sig.engine.DEFAULT_BACKEND`, which is
 what ``run_toolchain`` simulates with when no backend is chosen.
 """
 
+import json
 import os
+import platform
 import sys
+import time
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 if _SRC not in sys.path:
@@ -27,6 +30,104 @@ from repro.casestudies import PRODUCER_CONSUMER_AADL, instantiate_producer_consu
 from repro.core import ToolchainOptions, run_toolchain, translate_system
 from repro.scheduling import task_set_from_instance
 from repro.sig.engine import DEFAULT_BACKEND
+
+#: Where the persisted E10 measurements live (repo root, committed across
+#: PRs so the perf trajectory stays reviewable).  Override with the
+#: ``REPRO_BENCH_E10_JSON`` environment variable; set it to ``off`` to skip
+#: persisting (useful for throwaway local runs).
+BENCH_E10_JSON = os.environ.get(
+    "REPRO_BENCH_E10_JSON",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_e10.json"),
+)
+
+
+class BenchE10Recorder:
+    """Collects per-config wall-clock measurements during a benchmark session
+    and merges them into ``BENCH_e10.json`` when the session ends."""
+
+    def __init__(self) -> None:
+        self.measurements = {}
+
+    def record(self, key, *, before_seconds, after_seconds, backend, workers=1, **extra):
+        """Record one before/after measurement (seconds of wall-clock)."""
+        entry = {
+            "before_seconds": round(before_seconds, 4),
+            "after_seconds": round(after_seconds, 4),
+            "speedup": round(before_seconds / max(after_seconds, 1e-9), 2),
+            "backend": backend,
+            "workers": workers,
+            # Environment travels with each entry: merged measurements may
+            # come from different machines/sessions, so a file-wide stamp
+            # would misattribute them.
+            "environment": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "cpu_count": os.cpu_count() or 1,
+                "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            },
+        }
+        entry.update(extra)
+        self.measurements[key] = entry
+
+    def flush(self, session_config=None) -> None:
+        if not self.measurements or BENCH_E10_JSON.lower() == "off":
+            return
+        # Quick-mode sessions (--benchmark-disable: the tier-1 CI jobs) run
+        # the recording tests as plain tests; their timings are not
+        # measurements, so they must not churn the committed trajectory.
+        if session_config is not None:
+            try:
+                if session_config.getoption("benchmark_disable"):
+                    return
+            except (ValueError, KeyError):
+                pass
+        document = {}
+        if os.path.exists(BENCH_E10_JSON):
+            try:
+                with open(BENCH_E10_JSON, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+            except (OSError, ValueError):
+                document = {}
+        document.setdefault("measurements", {}).update(self.measurements)
+        document.pop("environment", None)  # superseded by per-entry stamps
+        # Fold in pytest-benchmark's own statistics when a timed session ran,
+        # so ``--benchmark-json`` CI runs and this file stay consistent.
+        bench_session = getattr(session_config, "_benchmarksession", None) if session_config else None
+        if bench_session is not None and getattr(bench_session, "benchmarks", None):
+            stamped = {}
+            for bench in bench_session.benchmarks:
+                try:
+                    stats = bench.stats
+                    mean = getattr(stats, "mean", None)
+                    if mean is None and hasattr(stats, "stats"):
+                        mean = stats.stats.mean
+                    if mean is None:
+                        continue
+                    stamped[bench.name] = {
+                        "mean_seconds": round(mean, 4),
+                        "rounds": getattr(stats, "rounds", None),
+                        "extra_info": dict(getattr(bench, "extra_info", {}) or {}),
+                    }
+                except Exception:
+                    continue
+            if stamped:
+                document["pytest_benchmark"] = stamped
+        with open(BENCH_E10_JSON, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+_RECORDER = BenchE10Recorder()
+
+
+@pytest.fixture(scope="session")
+def bench_e10():
+    """Session-wide recorder for the persisted E10 measurements."""
+    return _RECORDER
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _RECORDER.flush(session.config)
 
 
 @pytest.fixture(autouse=True)

@@ -45,14 +45,23 @@ sitting between scheduling and execution:
 Many-scenario workloads go through :func:`repro.sig.engine.simulate_batch`,
 which prepares the backend once and replays the whole scenario batch
 (`repro.casestudies.scenario_sweep` builds such batches for generated
-designs).  New backends (multiprocessing shards, numpy kernels) register in
+designs); ``workers=N`` shards the batch over worker processes
+(:mod:`repro.sig.engine.parallel`) with bit-identical traces and errors.
+New backends (numpy kernels, generated C) register in
 :data:`repro.sig.engine.BACKENDS`.
+
+Analysis scales the same way: the clock calculus can run *modularly*
+(:mod:`repro.sig.calculus_modular`) over the untouched process tree —
+per-subprocess constraint extraction, memoised across repeated subprocess
+shapes, composed at the interface signals — instead of re-solving the
+flattened system, with results identical to the flat solver
+(:mod:`repro.sig.clock_calculus`) by construction and by the parity tests.
 """
 
 from . import aadl, casestudies, core, scheduling, sig
 from .core import ToolchainOptions, ToolchainResult, TranslationConfig, run_toolchain, translate_system
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "aadl",

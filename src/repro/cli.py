@@ -73,6 +73,7 @@ def _toolchain(args: argparse.Namespace, simulate: bool = True) -> "ToolchainRes
         simulate_hyperperiods=getattr(args, "hyperperiods", 2) if simulate else 0,
         strict_validation=not getattr(args, "lenient", False),
         backend=getattr(args, "backend", DEFAULT_BACKEND),
+        workers=getattr(args, "workers", 1),
     )
     return run_toolchain(model, options)
 
@@ -157,12 +158,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             variants=args.batch,
             base_stimuli=None,
         )
+        workers = result.options.workers if result.options is not None else 1
         batch = simulate_batch(
             result.translation.system_model,
             scenarios,
             strict=False,
             backend=args.backend,
             collect_errors=True,
+            workers=workers,
         )
         print(batch.summary())
     alarms = {n: result.trace.clock_of(n) for n in result.trace.signals() if n.endswith("_Alarm")}
@@ -246,6 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="additionally run N randomised stimulus scenarios through one prepared backend",
+    )
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="shard the --batch scenarios over W worker processes "
+        "(0 = one per core; results are identical to --workers 1)",
     )
     simulate.set_defaults(func=cmd_simulate)
 

@@ -56,6 +56,12 @@ from .clock_calculus import (
     ClockCalculusError,
     ClockCalculusResult,
     run_clock_calculus,
+    solve_constraint_system,
+)
+from .calculus_modular import (
+    ExtractionCache,
+    ModularClockCalculus,
+    run_clock_calculus_modular,
 )
 from .affine import (
     AffineClock,
@@ -103,6 +109,8 @@ from .engine import (
     compile_plan,
     create_backend,
     default_scenario,
+    default_worker_count,
+    run_batch_parallel,
     simulate_batch,
 )
 from . import analysis, builder, engine, library
@@ -122,6 +130,9 @@ __all__ = [
     # clocks
     "Clock", "ClockAtom", "false_clock", "signal_clock", "true_clock",
     "ClockCalculus", "ClockCalculusError", "ClockCalculusResult", "run_clock_calculus",
+    "solve_constraint_system",
+    # modular clock calculus
+    "ExtractionCache", "ModularClockCalculus", "run_clock_calculus_modular",
     # affine
     "AffineClock", "AffineRelation", "first_conflict", "hyperperiod_of",
     "lcm", "lcm_many", "mutually_disjoint", "relation_between", "solve_congruences",
@@ -139,7 +150,8 @@ __all__ = [
     # engine
     "BACKENDS", "DEFAULT_BACKEND", "BatchResult", "CompiledBackend",
     "ExecutionPlan", "ReferenceBackend", "SimulationBackend", "backend_names",
-    "compile_plan", "create_backend", "default_scenario", "simulate_batch",
+    "compile_plan", "create_backend", "default_scenario", "default_worker_count",
+    "run_batch_parallel", "simulate_batch",
     # submodules
     "analysis", "builder", "engine", "library",
 ]

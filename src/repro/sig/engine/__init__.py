@@ -32,6 +32,7 @@ from .backends import (
     create_backend,
 )
 from .batch import BatchResult, batch_flow_summary, default_scenario, simulate_batch
+from .parallel import default_worker_count, run_batch_parallel
 from .plan import ExecutionPlan, PlanStatistics, TargetPlan, compile_plan
 
 
@@ -61,6 +62,8 @@ __all__ = [
     "compile_plan",
     "create_backend",
     "default_scenario",
+    "default_worker_count",
+    "run_batch_parallel",
     "simulate",
     "simulate_batch",
 ]

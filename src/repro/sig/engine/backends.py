@@ -45,11 +45,26 @@ class SimulationBackend:
         raise NotImplementedError
 
     def run_batch(
-        self, scenarios: Sequence[Scenario], record: Optional[Iterable[str]] = None
+        self,
+        scenarios: Sequence[Scenario],
+        record: Optional[Iterable[str]] = None,
+        workers: int = 1,
     ) -> List[SimulationTrace]:
         """Run every scenario from a fresh initial state, reusing the
-        per-model preparation."""
+        per-model preparation.
+
+        ``workers > 1`` shards the scenarios over worker processes (see
+        :mod:`repro.sig.engine.parallel`); the traces are identical to the
+        sequential run and come back in scenario order.
+        """
         record = list(record) if record is not None else None
+        if workers != 1 and len(scenarios) > 1:
+            from .parallel import run_batch_parallel
+
+            traces, _ = run_batch_parallel(
+                self, scenarios, record=record, workers=workers, collect_errors=False
+            )
+            return traces  # type: ignore[return-value]
         return [self.run(scenario, record=record) for scenario in scenarios]
 
 
@@ -92,9 +107,14 @@ class CompiledBackend(SimulationBackend):
         return self._plan.run(scenario, record=record, strict=self.strict)
 
     def run_batch(
-        self, scenarios: Sequence[Scenario], record: Optional[Iterable[str]] = None
+        self,
+        scenarios: Sequence[Scenario],
+        record: Optional[Iterable[str]] = None,
+        workers: int = 1,
     ) -> List[SimulationTrace]:
         record = list(record) if record is not None else None
+        if workers != 1 and len(scenarios) > 1:
+            return super().run_batch(scenarios, record=record, workers=workers)
         return self._plan.run_batch(scenarios, record=record, strict=self.strict)
 
 

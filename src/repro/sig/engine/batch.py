@@ -19,6 +19,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ..process import ProcessModel
 from ..simulator import Scenario, SimulationError, SimulationTrace
 from .backends import DEFAULT_BACKEND, create_backend
+from .parallel import default_worker_count, run_batch_parallel
 
 
 def default_scenario(
@@ -50,6 +51,7 @@ class BatchResult:
     errors: List[Tuple[int, SimulationError]] = field(default_factory=list)
     compile_seconds: float = 0.0
     run_seconds: float = 0.0
+    workers: int = 1
 
     def __len__(self) -> int:
         return len(self.traces)
@@ -62,11 +64,12 @@ class BatchResult:
         return [trace for trace in self.traces if trace is not None]
 
     def summary(self) -> str:
+        sharding = f", {self.workers} workers" if self.workers > 1 else ""
         lines = [
             f"batch of {len(self.traces)} scenario(s) on backend {self.backend!r}: "
             f"{len(self.successful_traces())} succeeded, {len(self.errors)} failed "
             f"(prepare {self.compile_seconds * 1000.0:.1f} ms, "
-            f"run {self.run_seconds * 1000.0:.1f} ms)"
+            f"run {self.run_seconds * 1000.0:.1f} ms{sharding})"
         ]
         for index, error in self.errors:
             lines.append(f"  scenario {index}: {type(error).__name__}: {error}")
@@ -80,6 +83,7 @@ def simulate_batch(
     strict: bool = True,
     backend: str = DEFAULT_BACKEND,
     collect_errors: bool = False,
+    workers: int = 1,
 ) -> BatchResult:
     """Run every scenario through one prepared backend instance.
 
@@ -87,23 +91,28 @@ def simulate_batch(
     ``"compiled"``) exactly once.  With ``collect_errors=True`` a failing
     scenario contributes ``None`` to :attr:`BatchResult.traces` plus an entry
     in :attr:`BatchResult.errors` instead of aborting the whole batch.
+
+    ``workers`` shards the scenarios over that many worker processes
+    (``0`` = one per core, see :mod:`repro.sig.engine.parallel`); traces and
+    errors are bit-identical to the sequential ``workers=1`` run, including
+    their ordering.
     """
     record = list(record) if record is not None else None
     start = time.perf_counter()
     runner = create_backend(process, backend=backend, strict=strict)
     compiled_at = time.perf_counter()
 
-    traces: List[Optional[SimulationTrace]] = []
-    errors: List[Tuple[int, SimulationError]] = []
-    for index, scenario in enumerate(scenarios):
-        if collect_errors:
-            try:
-                traces.append(runner.run(scenario, record=record))
-            except SimulationError as error:
-                traces.append(None)
-                errors.append((index, error))
-        else:
-            traces.append(runner.run(scenario, record=record))
+    count = len(scenarios)
+    if workers <= 0:
+        workers = default_worker_count()
+    effective_workers = max(1, min(workers, count))
+    traces, errors = run_batch_parallel(
+        runner,
+        scenarios,
+        record=record,
+        workers=effective_workers,
+        collect_errors=collect_errors,
+    )
     done = time.perf_counter()
 
     return BatchResult(
@@ -112,6 +121,7 @@ def simulate_batch(
         errors=errors,
         compile_seconds=compiled_at - start,
         run_seconds=done - compiled_at,
+        workers=effective_workers,
     )
 
 
@@ -119,7 +129,10 @@ def batch_flow_summary(result: BatchResult, signal: str) -> Dict[str, Any]:
     """Aggregate one signal across a batch: per-scenario presence counts.
 
     A small convenience for sweep reports (used by the examples); scenarios
-    that failed contribute ``None``.
+    that failed contribute ``None``.  When *no* scenario produced the signal
+    (the whole batch failed, or the signal was never recorded) ``min`` and
+    ``max`` are ``None`` — distinguishable from a signal that genuinely
+    stayed absent in every successful trace, whose ``min``/``max`` are ``0``.
     """
     counts: List[Optional[int]] = []
     for trace in result.traces:
@@ -132,6 +145,6 @@ def batch_flow_summary(result: BatchResult, signal: str) -> Dict[str, Any]:
         "signal": signal,
         "per_scenario": counts,
         "total": sum(present),
-        "min": min(present) if present else 0,
-        "max": max(present) if present else 0,
+        "min": min(present) if present else None,
+        "max": max(present) if present else None,
     }

@@ -1,0 +1,155 @@
+"""Process-parallel sharded batch execution.
+
+An :class:`~repro.sig.engine.plan.ExecutionPlan` is immutable once compiled
+and every scenario of a batch starts from a fresh initial state, so a
+many-scenario sweep is embarrassingly parallel: this module fans the
+scenarios of one prepared backend out over a pool of worker processes.
+
+Sharding strategy:
+
+* **fork inheritance where available** — on platforms with the ``fork``
+  start method the workers inherit the prepared backend (compiled plan
+  included) directly from the parent's address space: nothing is pickled
+  and nothing is recompiled;
+* **plan pickling otherwise** — with ``spawn``/``forkserver`` the backend is
+  pickled to each worker once, at pool start-up; an
+  :class:`~repro.sig.engine.plan.ExecutionPlan` pickles as its process model
+  and recompiles itself on arrival (see ``ExecutionPlan.__getstate__``);
+* **chunked scheduling with worker reuse** — scenarios are dealt out in
+  contiguous chunks (several per worker, so stragglers rebalance) through
+  one pool that lives for the whole batch;
+* **ordered reassembly** — chunk results come back in submission order, so
+  traces and collected errors keep the exact scenario indices and ordering
+  of a sequential run.
+
+Error semantics mirror the sequential loop of
+:func:`~repro.sig.engine.batch.simulate_batch` bit for bit: with
+``collect_errors`` every failing scenario contributes ``None`` plus an
+``(index, error)`` entry in ascending index order; without it the error of
+the *earliest* failing scenario is raised (later scenarios may have run in
+other workers, but their results are discarded exactly as a sequential run
+would never have produced them).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import sys
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..simulator import Scenario, SimulationError, SimulationTrace
+
+#: Per-worker prepared backend, record list and error mode, installed by the
+#: pool initializer (inherited on fork, unpickled once on spawn).
+_WORKER_RUNNER: Any = None
+_WORKER_RECORD: Optional[List[str]] = None
+_WORKER_COLLECT_ERRORS: bool = False
+
+
+def _init_worker(runner: Any, record: Optional[List[str]], collect_errors: bool) -> None:
+    global _WORKER_RUNNER, _WORKER_RECORD, _WORKER_COLLECT_ERRORS
+    _WORKER_RUNNER = runner
+    _WORKER_RECORD = record
+    _WORKER_COLLECT_ERRORS = collect_errors
+
+
+def _run_chunk(
+    chunk: Sequence[Tuple[int, Scenario]]
+) -> List[Tuple[int, Optional[SimulationTrace], Optional[SimulationError]]]:
+    """Run one chunk of (index, scenario) pairs in a worker process.
+
+    Without ``collect_errors`` the first failure propagates immediately —
+    the rest of the chunk would be thrown away by the fail-fast parent
+    anyway, so it is never simulated.
+    """
+    out: List[Tuple[int, Optional[SimulationTrace], Optional[SimulationError]]] = []
+    for index, scenario in chunk:
+        if _WORKER_COLLECT_ERRORS:
+            try:
+                out.append((index, _WORKER_RUNNER.run(scenario, record=_WORKER_RECORD), None))
+            except SimulationError as error:
+                out.append((index, None, error))
+        else:
+            out.append((index, _WORKER_RUNNER.run(scenario, record=_WORKER_RECORD), None))
+    return out
+
+
+def default_worker_count() -> int:
+    """Worker count used for ``workers=0``: one per available core."""
+    return os.cpu_count() or 1
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # Prefer fork only where it is the platform default anyway (Linux):
+    # macOS advertises "fork" but made spawn the default because forking a
+    # process with Objective-C/threading state is unsafe.  Elsewhere the
+    # platform default (spawn) is used and the backend travels by pickling.
+    if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_batch_parallel(
+    runner: Any,
+    scenarios: Sequence[Scenario],
+    record: Optional[Iterable[str]] = None,
+    workers: int = 0,
+    collect_errors: bool = False,
+    chunk_size: Optional[int] = None,
+) -> Tuple[List[Optional[SimulationTrace]], List[Tuple[int, SimulationError]]]:
+    """Run *scenarios* through *runner* on a pool of worker processes.
+
+    *runner* is a prepared :class:`~repro.sig.engine.backends.SimulationBackend`
+    (its ``strict`` flag travels with it).  Returns ``(traces, errors)`` with
+    the same contents, order and error behaviour as the sequential loop.
+    """
+    record = list(record) if record is not None else None
+    if workers <= 0:
+        workers = default_worker_count()
+    count = len(scenarios)
+    workers = min(workers, count) or 1
+
+    if workers == 1 or count <= 1:
+        traces: List[Optional[SimulationTrace]] = []
+        errors: List[Tuple[int, SimulationError]] = []
+        for index, scenario in enumerate(scenarios):
+            if collect_errors:
+                try:
+                    traces.append(runner.run(scenario, record=record))
+                except SimulationError as error:
+                    traces.append(None)
+                    errors.append((index, error))
+            else:
+                traces.append(runner.run(scenario, record=record))
+        return traces, errors
+
+    if chunk_size is None:
+        # A few chunks per worker: large enough to amortise dispatch, small
+        # enough that an uneven scenario does not serialise the tail.
+        chunk_size = max(1, math.ceil(count / (workers * 4)))
+    indexed = list(enumerate(scenarios))
+    chunks = [indexed[start:start + chunk_size] for start in range(0, count, chunk_size)]
+
+    traces = []
+    errors = []
+    ctx = _pool_context()
+    with ctx.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(runner, record, collect_errors),
+    ) as pool:
+        # Without collect_errors a failing chunk raises out of imap at its
+        # position in submission order; every earlier chunk completed without
+        # failure, and workers run their chunk in index order, so the raised
+        # error is exactly the earliest failing scenario a sequential run
+        # would have hit.
+        for chunk_result in pool.imap(_run_chunk, chunks):
+            for index, trace, error in chunk_result:
+                if error is None:
+                    traces.append(trace)
+                else:
+                    traces.append(None)
+                    errors.append((index, error))
+    return traces, errors

@@ -645,6 +645,17 @@ class ExecutionPlan:
         )
 
     # ------------------------------------------------------------------
+    # pickling: a plan is a pure function of its (picklable) process model,
+    # so it travels as the model and recompiles itself on arrival.  This is
+    # what lets spawn-based multiprocessing workers receive a plan even
+    # though the compiled closures themselves cannot be pickled.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"process": self.process}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(state["process"])
+
+    # ------------------------------------------------------------------
     def statistics(self) -> PlanStatistics:
         return PlanStatistics(
             signals=len(self.names),

@@ -65,6 +65,13 @@ class InstantaneousCycle(SimulationError):
             + ", ".join(sorted(self.unresolved))
         )
 
+    def __reduce__(self):
+        # The default exception reduction replays ``args`` (the formatted
+        # message) into ``__init__``, which takes two arguments; reconstruct
+        # from the structured fields instead so the error survives pickling
+        # across multiprocessing workers.
+        return (InstantaneousCycle, (self.instant, self.unresolved))
+
 
 class NonDeterministicDefinition(SimulationError):
     """Two overlapping partial definitions produced different values."""

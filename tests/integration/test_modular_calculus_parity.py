@@ -1,0 +1,108 @@
+"""Modular clock-calculus parity over the full case-study catalog.
+
+The modular solver (per-subprocess extraction, memoisation, composition at
+interface signals) must produce the *identical* analysis — synchronisation
+classes, resolved clocks, hierarchy, endochrony verdicts, unresolved
+constraints, the whole printed report — as flattening the model and running
+the flat solver.  This is the contract that lets the tool chain default to
+the modular calculus.
+"""
+
+import pytest
+
+from repro.casestudies import GeneratorConfig, catalog_names, generate_case_study, load_case_study
+from repro.aadl.instance import Instantiator
+from repro.core import TranslationConfig, translate_system
+from repro.sig.calculus_modular import ExtractionCache, ModularClockCalculus
+from repro.sig.clock_calculus import run_clock_calculus
+
+
+@pytest.fixture(scope="module")
+def system_models():
+    """Translate each catalog entry once (no scheduler: the analysis layer
+    does not depend on it and this keeps the flat oracle affordable)."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            entry = load_case_study(name)
+            result = translate_system(
+                entry.instantiate(), TranslationConfig(include_scheduler=False)
+            )
+            cache[name] = result.system_model
+        return cache[name]
+
+    return get
+
+
+def assert_same_calculus(system_model, cache=None):
+    flat = system_model.flatten()
+    reference = run_clock_calculus(flat, flatten=False)
+    calculus = ModularClockCalculus(system_model, cache=cache)
+    modular = calculus.run()
+
+    assert modular.same_analysis(reference)
+    # The printed report is what the tool chain shows: identical text too.
+    assert modular.report() == reference.report()
+    # Belt and braces on the individual verdicts the acceptance names.
+    assert [cls.members for cls in modular.classes] == [cls.members for cls in reference.classes]
+    assert [(n.representative, n.parent, n.depth) for n in modular.hierarchy] == [
+        (n.representative, n.parent, n.depth) for n in reference.hierarchy
+    ]
+    assert modular.endochronous == reference.endochronous
+    return calculus, modular
+
+
+@pytest.mark.parametrize("name", catalog_names())
+def test_modular_calculus_matches_flat_on_catalog(name, system_models):
+    assert_same_calculus(system_models(name))
+
+
+def test_modular_calculus_matches_flat_on_generated_model():
+    config = GeneratorConfig(
+        name="ParityGen", processes=3, threads_per_process=5, harmonic=True, seed=42
+    )
+    generated = generate_case_study(config)
+    root = Instantiator(generated.model, default_package=config.name).instantiate(
+        generated.root_implementation
+    )
+    system_model = translate_system(root, TranslationConfig(include_scheduler=False)).system_model
+    calculus, result = assert_same_calculus(system_model)
+    # The generated model instantiates the same port/observer shapes for every
+    # thread: the memoised extractions must actually be reused.
+    assert calculus.stats.extraction_hits > calculus.stats.extraction_misses
+    assert result.resolution == "directed"
+
+
+def test_modular_calculus_matches_flat_with_scheduler():
+    entry = load_case_study("sensor_fusion")
+    system_model = translate_system(
+        entry.instantiate(), TranslationConfig(include_scheduler=True)
+    ).system_model
+    assert_same_calculus(system_model)
+
+
+def test_cyclic_cluster_falls_back_to_flat_solver():
+    """producer_consumer has a genuinely cyclic clock cluster: the modular
+    solver must detect it, fall back to the flat fixpoint, and still match."""
+    entry = load_case_study("producer_consumer")
+    system_model = translate_system(
+        entry.instantiate(), TranslationConfig(include_scheduler=False)
+    ).system_model
+    calculus, result = assert_same_calculus(system_model)
+    assert result.resolution == "iterative-fallback"
+
+
+def test_extraction_cache_is_reusable_across_runs():
+    cache = ExtractionCache()
+    entry = load_case_study("cruise_control")
+    system_model = translate_system(
+        entry.instantiate(), TranslationConfig(include_scheduler=False)
+    ).system_model
+    assert_same_calculus(system_model, cache=cache)
+    first_misses = cache.misses
+    # A second run over the same tree is answered from the cache alone.
+    calculus, _ = assert_same_calculus(system_model, cache=cache)
+    assert cache.misses == first_misses
+    assert calculus.stats.extraction_misses == 0
+    assert calculus.stats.extraction_hits > 0

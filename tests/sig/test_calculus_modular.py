@@ -1,0 +1,149 @@
+"""Unit tests of the modular clock calculus on hand-built process trees."""
+
+import pytest
+
+from repro.sig import builder as b
+from repro.sig.calculus_modular import (
+    ExtractionCache,
+    ModularClockCalculus,
+    run_clock_calculus_modular,
+)
+from repro.sig.clock_calculus import run_clock_calculus
+from repro.sig.process import ProcessModel
+from repro.sig.values import BOOLEAN, INTEGER
+
+
+def sampler_model(name="sampler"):
+    """y := x when c — one level of down-sampling."""
+    model = ProcessModel(name)
+    model.input("x", INTEGER)
+    model.input("c", BOOLEAN)
+    model.output("y", INTEGER)
+    model.define("y", b.when(b.ref("x"), b.ref("c")))
+    return model
+
+
+def assert_matches_flat(tree, cache=None):
+    flat_result = run_clock_calculus(tree.flatten(), flatten=False)
+    calculus = ModularClockCalculus(tree, cache=cache)
+    modular = calculus.run()
+    assert modular.same_analysis(flat_result)
+    assert modular.report() == flat_result.report()
+    return calculus, modular
+
+
+class TestModularComposition:
+    def test_flat_model_without_instances(self):
+        model = sampler_model()
+        calculus, result = assert_matches_flat(model)
+        assert calculus.stats.subprocesses == 1
+        assert result.resolution == "directed"
+
+    def test_two_instances_of_one_shape_share_the_extraction(self):
+        template = sampler_model()
+        parent = ProcessModel("parent")
+        parent.input("src", INTEGER)
+        parent.input("sel", BOOLEAN)
+        parent.instantiate(template, "s1", {"x": "src", "c": "sel"})
+        parent.instantiate(template, "s2", {"x": "src"})
+        calculus, _ = assert_matches_flat(parent)
+        # Identical template object, identical parameters: one extraction.
+        assert calculus.stats.extraction_misses == 1
+        assert calculus.stats.extraction_hits == 1
+
+    def test_structurally_identical_distinct_objects_hit_the_cache(self):
+        parent = ProcessModel("parent")
+        parent.input("src", INTEGER)
+        parent.input("sel", BOOLEAN)
+        # Two distinct but structurally identical template objects, as the
+        # AADL translator produces for repeated thread/port shapes.
+        parent.instantiate(sampler_model("a"), "s1", {"x": "src", "c": "sel"})
+        parent.instantiate(sampler_model("b"), "s2", {"x": "src", "c": "sel"})
+        calculus, _ = assert_matches_flat(parent)
+        assert calculus.stats.extraction_misses == 1
+        assert calculus.stats.extraction_hits == 1
+
+    def test_nested_instances_compose_through_interfaces(self):
+        inner = sampler_model("inner")
+        middle = ProcessModel("middle")
+        middle.input("mx", INTEGER)
+        middle.input("mc", BOOLEAN)
+        middle.output("my", INTEGER)
+        middle.instantiate(inner, "core", {"x": "mx", "c": "mc", "y": "my"})
+        top = ProcessModel("top")
+        top.input("tx", INTEGER)
+        top.input("tc", BOOLEAN)
+        top.instantiate(middle, "m1", {"mx": "tx", "mc": "tc"})
+        top.instantiate(middle, "m2", {"mx": "tx"})
+        assert_matches_flat(top)
+
+    def test_non_injective_binding_takes_the_direct_path(self):
+        """Binding two formals to the same actual merges local clocks; the
+        memoised extraction cannot be renamed, so that instance is extracted
+        directly — and still matches the flat solver."""
+        template = sampler_model()
+        parent = ProcessModel("parent")
+        parent.input("src", INTEGER)
+        parent.instantiate(template, "s1", {"x": "src", "c": "src"})
+        calculus, _ = assert_matches_flat(parent)
+        assert calculus.stats.direct_instances == 1
+
+    def test_parameters_are_part_of_the_memo_key(self):
+        template = ProcessModel("gated")
+        template.input("x", INTEGER)
+        template.output("y", INTEGER)
+        # `enable` is a static parameter reference, resolved per instance.
+        template.define("y", b.when(b.ref("x"), b.ref("enable")))
+        parent = ProcessModel("parent")
+        parent.input("src", INTEGER)
+        parent.instantiate(template, "on", {"x": "src"}, parameters={"enable": True})
+        parent.instantiate(template, "off", {"x": "src"}, parameters={"enable": False})
+        calculus, _ = assert_matches_flat(parent)
+        # Different parameter values must not share one extraction.
+        assert calculus.stats.extraction_misses == 2
+
+    def test_explicit_constraints_compose(self):
+        template = ProcessModel("constrained")
+        template.input("a")
+        template.input("b")
+        template.synchronise("a", "b")
+        template.exclusive("a", "b")  # contradicts ^=: stays unresolved
+        parent = ProcessModel("parent")
+        parent.input("u")
+        parent.input("v")
+        parent.instantiate(template, "c1", {"a": "u", "b": "v"})
+        _, result = assert_matches_flat(parent)
+        assert any("^#" in line for line in result.unresolved_constraints)
+
+    def test_self_referential_state_pattern(self):
+        """count := (zcount + 1) when tick, zcount := count $ 1 — a clock
+        definition mentioning its own class must not loop the resolver."""
+        model = ProcessModel("counter")
+        model.input("tick")
+        model.local("count", INTEGER)
+        model.local("zcount", INTEGER)
+        model.define("zcount", b.delay(b.ref("count"), 0))
+        model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.ref("tick")))
+        model.synchronise("count", "tick")
+        assert_matches_flat(model)
+
+
+class TestExtractionCache:
+    def test_cache_hits_and_misses_are_counted(self):
+        cache = ExtractionCache()
+        model = sampler_model()
+        run_clock_calculus_modular(model, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        run_clock_calculus_modular(model, cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_results_identical_with_and_without_cache(self):
+        cache = ExtractionCache()
+        tree = ProcessModel("parent")
+        tree.input("src", INTEGER)
+        tree.input("sel", BOOLEAN)
+        tree.instantiate(sampler_model(), "s1", {"x": "src", "c": "sel"})
+        first = run_clock_calculus_modular(tree, cache=cache)
+        second = run_clock_calculus_modular(tree, cache=cache)
+        assert first.same_analysis(second)
+        assert first.report() == second.report()

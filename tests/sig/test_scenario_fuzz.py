@@ -1,0 +1,123 @@
+"""Property-based scenario fuzzing over the batch API (ROADMAP item).
+
+Hypothesis generates environment scenarios (randomised periodic stimuli,
+explicit flows, partially empty inputs) and drives them through
+``simulate_batch(collect_errors=True)`` on a translated catalog model with
+*both* backends.  The property: the reference interpreter and the compiled
+execution plan agree on every trace *and* on which scenarios fail, with the
+same error types and messages.  Skips cleanly when ``hypothesis`` is not
+installed.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.casestudies import load_case_study
+from repro.core import TranslationConfig, translate_system
+from repro.sig.engine import simulate_batch
+from repro.sig.simulator import Scenario
+
+_LENGTH = 16
+
+
+def _system_model():
+    entry = load_case_study("cruise_control")
+    result = translate_system(entry.instantiate(), TranslationConfig(include_scheduler=True))
+    return result.system_model
+
+
+@pytest.fixture(scope="module")
+def system_model():
+    return _system_model()
+
+
+@pytest.fixture(scope="module")
+def input_names(system_model):
+    ticks = [d.name for d in system_model.inputs() if d.name == "tick" or d.name.endswith("_tick")]
+    stimuli = [d.name for d in system_model.inputs() if d.name not in ticks]
+    return ticks, stimuli
+
+
+def _stimulus(draw, scenario, name):
+    kind = draw(st.sampled_from(["periodic", "explicit", "silent"]))
+    if kind == "periodic":
+        period = draw(st.integers(min_value=1, max_value=8))
+        phase = draw(st.integers(min_value=0, max_value=period - 1))
+        scenario.set_periodic(name, period, phase=phase)
+    elif kind == "explicit":
+        instants = draw(
+            st.lists(st.integers(min_value=0, max_value=_LENGTH - 1), max_size=6, unique=True)
+        )
+        scenario.set_at(name, {instant: True for instant in instants})
+    # "silent": leave the input entirely absent.
+
+
+@st.composite
+def _scenario_batches(draw, ticks, stimuli):
+    batch = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        scenario = Scenario(_LENGTH)
+        for name in ticks:
+            # Mostly keep the base clock running; occasionally gate it to
+            # explore the degenerate no-dispatch corner.
+            if draw(st.booleans()) or draw(st.booleans()):
+                scenario.set_always(name)
+            else:
+                scenario.set_periodic(name, draw(st.integers(min_value=1, max_value=4)))
+        for name in stimuli:
+            _stimulus(draw, scenario, name)
+        batch.append(scenario)
+    return batch
+
+
+def _fingerprint(batch):
+    return (
+        [
+            None if trace is None else ({n: f.values for n, f in trace.flows.items()}, trace.warnings)
+            for trace in batch.traces
+        ],
+        [(index, type(error).__name__, str(error)) for index, error in batch.errors],
+    )
+
+
+class TestScenarioFuzz:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+    )
+    @given(data=st.data())
+    def test_backends_agree_on_traces_and_failures(self, data, system_model, input_names):
+        ticks, stimuli = input_names
+        scenarios = data.draw(_scenario_batches(ticks, stimuli))
+
+        reference = simulate_batch(
+            system_model, scenarios, strict=True, backend="reference", collect_errors=True
+        )
+        compiled = simulate_batch(
+            system_model, scenarios, strict=True, backend="compiled", collect_errors=True
+        )
+        assert _fingerprint(compiled) == _fingerprint(reference)
+        # Failing scenarios are reported by index, ascending — on both sides.
+        indices = [index for index, _ in compiled.errors]
+        assert indices == sorted(indices)
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+    )
+    @given(data=st.data())
+    def test_sharded_fuzz_batches_match_sequential(self, data, system_model, input_names):
+        """The workers contract holds on fuzzed batches too."""
+        ticks, stimuli = input_names
+        scenarios = data.draw(_scenario_batches(ticks, stimuli))
+        sequential = simulate_batch(
+            system_model, scenarios, strict=True, collect_errors=True, workers=1
+        )
+        sharded = simulate_batch(
+            system_model, scenarios, strict=True, collect_errors=True, workers=2
+        )
+        assert _fingerprint(sharded) == _fingerprint(sequential)
