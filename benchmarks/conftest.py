@@ -48,6 +48,18 @@ class BenchE10Recorder:
     def __init__(self) -> None:
         self.measurements = {}
 
+    @staticmethod
+    def _environment():
+        # Environment travels with each entry: merged measurements may come
+        # from different machines/sessions, so a file-wide stamp would
+        # misattribute them.
+        return {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count() or 1,
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
+
     def record(self, key, *, before_seconds, after_seconds, backend, workers=1, **extra):
         """Record one before/after measurement (seconds of wall-clock)."""
         entry = {
@@ -56,15 +68,24 @@ class BenchE10Recorder:
             "speedup": round(before_seconds / max(after_seconds, 1e-9), 2),
             "backend": backend,
             "workers": workers,
-            # Environment travels with each entry: merged measurements may
-            # come from different machines/sessions, so a file-wide stamp
-            # would misattribute them.
-            "environment": {
-                "python": platform.python_version(),
-                "platform": platform.platform(),
-                "cpu_count": os.cpu_count() or 1,
-                "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            },
+            "environment": self._environment(),
+        }
+        entry.update(extra)
+        self.measurements[key] = entry
+
+    def record_memory(self, key, *, before_bytes, after_bytes, backend, workers=1, **extra):
+        """Record one before/after *memory* measurement (bytes of peak
+        allocation), kept schema-distinct from the wall-clock entries:
+        ``before_mib``/``after_mib``/``memory_ratio`` instead of
+        ``*_seconds``/``speedup``, so consumers cannot misread a memory
+        ratio as a wall-clock speedup."""
+        entry = {
+            "before_mib": round(before_bytes / 1048576.0, 4),
+            "after_mib": round(after_bytes / 1048576.0, 4),
+            "memory_ratio": round(before_bytes / max(after_bytes, 1), 2),
+            "backend": backend,
+            "workers": workers,
+            "environment": self._environment(),
         }
         entry.update(extra)
         self.measurements[key] = entry

@@ -1,0 +1,132 @@
+"""E13 — long-horizon simulation with streaming trace sinks.
+
+The scalability story of the reproduction ("no special size limitation")
+has a time axis as well as a model-size axis: a model simulated over a
+horizon 100× a short baseline (``LONG_INSTANTS`` instants).  The legacy
+:class:`~repro.sig.simulator.SimulationTrace` materialises every instant of
+every recorded flow — O(signals × instants) memory — while the streaming
+sinks of :mod:`repro.sig.sinks` observe each instant and drop it,
+O(signals) memory.
+
+Acceptance gate: growing the horizon 100× must leave the peak memory of a
+streaming run essentially flat, while the materialising run on the same
+horizon allocates at least an order of magnitude more than the streaming
+one.  The measurement is persisted into ``BENCH_e10.json`` next to the
+other engine-layer trajectories.
+"""
+
+import time
+import tracemalloc
+
+from repro.sig import builder as b
+from repro.sig.engine import CompiledBackend
+from repro.sig.process import ProcessModel
+from repro.sig.simulator import Scenario
+from repro.sig.sinks import StatisticsSink
+from repro.sig.values import BOOLEAN, EVENT, INTEGER
+
+#: Short and long horizons of the flat-memory gate (100× apart).
+BASE_INSTANTS = 500
+LONG_INSTANTS = 50_000
+
+
+def _counter_model() -> ProcessModel:
+    """A small stateful model: counter, parity, alarm over a threshold."""
+    model = ProcessModel("e13_long_run")
+    model.input("tick", EVENT)
+    model.output("count", INTEGER)
+    model.local("zcount", INTEGER)
+    model.output("even", BOOLEAN)
+    model.output("wrap", INTEGER)
+    model.define("zcount", b.delay(b.ref("count"), init=0))
+    model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.clock("tick")))
+    model.synchronise("count", "tick")
+    model.define("even", b.func("=", b.func("%", b.ref("count"), 2), b.const(0)))
+    model.define("wrap", b.func("%", b.ref("count"), 1000))
+    return model
+
+
+def _run_peak(action):
+    """Peak traced allocation (bytes) and wall-clock seconds of *action*."""
+    tracemalloc.start()
+    started = time.perf_counter()
+    keep = action()
+    seconds = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del keep
+    return peak, seconds
+
+
+def test_bench_e13_streaming_memory_flat(bench_e10):
+    """Acceptance gate: 100× more instants, roughly flat streaming memory.
+
+    Scenarios are allocated *before* tracing starts, so the peaks measure
+    what the run itself retains: the record lists of the materialising path
+    versus the per-signal aggregates of the streaming path.
+    """
+    runner = CompiledBackend(_counter_model(), strict=False)
+    base_scenario = Scenario(BASE_INSTANTS).set_periodic("tick", 1)
+    long_scenario = Scenario(LONG_INSTANTS).set_periodic("tick", 1)
+
+    # Warm up outside the traced windows, so one-time allocations (operator
+    # tables, interned state) do not inflate the base peak.
+    runner.run(base_scenario, sinks=[StatisticsSink()])
+
+    streaming_base_peak, _ = _run_peak(
+        lambda: runner.run(base_scenario, sinks=[StatisticsSink()])
+    )
+    streaming_long_peak, streaming_seconds = _run_peak(
+        lambda: runner.run(long_scenario, sinks=[StatisticsSink()])
+    )
+    materialized_long_peak, materialized_seconds = _run_peak(
+        lambda: runner.run(long_scenario)
+    )
+
+    growth = streaming_long_peak / max(streaming_base_peak, 1)
+    blowup = materialized_long_peak / max(streaming_long_peak, 1)
+    bench_e10.record_memory(
+        "streaming_trace_memory_100x",
+        before_bytes=materialized_long_peak,
+        after_bytes=streaming_long_peak,
+        backend="compiled",
+        instants=LONG_INSTANTS,
+        base_instants=BASE_INSTANTS,
+        signals=len(runner.process.signals),
+        streaming_peak_growth_100x=round(growth, 2),
+        run_seconds={"streaming": round(streaming_seconds, 3),
+                     "materialized": round(materialized_seconds, 3)},
+    )
+    print(
+        f"\nE13 — streaming {LONG_INSTANTS} instants: peak "
+        f"{streaming_long_peak / 1024.0:.0f} KiB (vs {streaming_base_peak / 1024.0:.0f} KiB "
+        f"at {BASE_INSTANTS}; growth {growth:.2f}x for 100x instants); "
+        f"materialised peak {materialized_long_peak / 1024.0:.0f} KiB ({blowup:.0f}x streaming)"
+    )
+
+    # O(signals), not O(signals × instants): 100× the horizon may cost at
+    # most a small constant factor (allocator noise) plus slack, nowhere
+    # near the 100× a materialised run pays.
+    assert streaming_long_peak < 3 * streaming_base_peak + 512 * 1024, (
+        f"streaming peak grew {growth:.1f}x for 100x instants — not flat"
+    )
+    assert materialized_long_peak > 10 * streaming_long_peak, (
+        f"materialising only allocated {blowup:.1f}x the streaming peak; "
+        f"expected an order of magnitude on a {LONG_INSTANTS}-instant horizon"
+    )
+
+
+def test_bench_e13_streaming_and_materialized_agree(bench_e10):
+    """The gate is only meaningful if both modes compute the same run: spot
+    check the streamed aggregates against the materialised flows on a
+    shorter horizon."""
+    runner = CompiledBackend(_counter_model(), strict=False)
+    scenario = Scenario(BASE_INSTANTS).set_periodic("tick", 1)
+    sink = StatisticsSink()
+    runner.run(scenario, sinks=[sink])
+    trace = runner.run(scenario)
+    stats = sink.result()
+    for name in trace.signals():
+        assert stats.count_present(name) == trace.count_present(name)
+    assert stats.per_signal["count"].maximum == BASE_INSTANTS
+    assert stats.per_signal["wrap"].maximum == min(BASE_INSTANTS, 999)

@@ -26,6 +26,45 @@ from .core import ToolchainOptions, TranslationConfig, run_toolchain
 from .scheduling import SchedulingPolicy, export_affine_clocks
 from .sig.engine import DEFAULT_BACKEND, backend_names, simulate_batch
 from .sig.printer import to_signal_source
+from .sig.sinks import StatisticsSink, TraceSink
+from .sig.vcd import StreamingVcdSink
+
+
+def _stats_sink_factory(index: int) -> StatisticsSink:
+    """One fresh statistics sink per ``--batch`` scenario (picklable, so the
+    sweep can shard over ``--workers`` processes)."""
+    return StatisticsSink()
+
+
+class _AlarmSink(TraceSink):
+    """Track the instants at which ``*_Alarm`` signals fire during streaming.
+
+    With ``--no-trace`` there is no materialised trace to scan, but the
+    deadline-alarm report (and the command's non-zero exit code on fired
+    alarms) must survive: this O(alarm signals) sink watches just the alarm
+    columns of each instant.
+    """
+
+    def __init__(self) -> None:
+        self.fired = {}
+        self._watch = []
+
+    def on_header(self, header) -> None:
+        super().on_header(header)
+        self._watch = [
+            (index, name)
+            for index, name in enumerate(header.signals)
+            if name.endswith("_Alarm")
+        ]
+
+    def on_instant(self, instant, statuses, values) -> None:
+        for index, name in self._watch:
+            if statuses[index]:
+                self.fired.setdefault(name, []).append(instant)
+
+    def result(self):
+        """Mapping of fired alarm signal -> instants of activation."""
+        return self.fired
 
 
 def _load_model(path: str) -> AadlModel:
@@ -58,7 +97,12 @@ def _default_root(model: AadlModel) -> Optional[str]:
     return None
 
 
-def _toolchain(args: argparse.Namespace, simulate: bool = True) -> "ToolchainResult":
+def _toolchain(
+    args: argparse.Namespace,
+    simulate: bool = True,
+    sinks=None,
+    materialize_trace: bool = True,
+) -> "ToolchainResult":
     model = _load_model(args.model)
     root = args.root or _default_root(model)
     if root is None:
@@ -74,6 +118,8 @@ def _toolchain(args: argparse.Namespace, simulate: bool = True) -> "ToolchainRes
         strict_validation=not getattr(args, "lenient", False),
         backend=getattr(args, "backend", DEFAULT_BACKEND),
         workers=getattr(args, "workers", 1),
+        sinks=sinks,
+        materialize_trace=materialize_trace,
     )
     return run_toolchain(model, options)
 
@@ -142,13 +188,43 @@ def cmd_translate(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    result = _toolchain(args)
-    if result.trace is None:
+    if args.no_trace and args.vcd:
+        raise SystemExit(
+            "error: --vcd renders the materialised trace, which --no-trace disables; "
+            "use --stream-vcd to write the waveform while simulating"
+        )
+    # Streaming sinks observe the simulation instant by instant; with
+    # --no-trace nothing else is retained, so memory stays O(signals)
+    # however many hyper-periods are simulated.
+    sinks = []
+    stats_sink = None
+    alarm_sink = None
+    if args.stream_vcd:
+        sinks.append(StreamingVcdSink(args.stream_vcd, timescale="1 ms"))
+    if args.stats:
+        stats_sink = StatisticsSink()
+        sinks.append(stats_sink)
+    if args.no_trace:
+        # The deadline-alarm report (and exit code) must survive --no-trace.
+        alarm_sink = _AlarmSink()
+        sinks.append(alarm_sink)
+
+    result = _toolchain(args, sinks=sinks or None, materialize_trace=not args.no_trace)
+    if result.trace is None and not result.scenario_length:
         print("nothing was simulated (no schedule could be synthesised)")
         return 1
-    print(f"simulated {result.trace.length} instants "
-          f"({args.hyperperiods} hyper-period(s)), {len(result.trace.flows)} signals recorded "
-          f"[{result.backend_name} backend]")
+    if result.trace is not None:
+        print(f"simulated {result.trace.length} instants "
+              f"({args.hyperperiods} hyper-period(s)), {len(result.trace.flows)} signals recorded "
+              f"[{result.backend_name} backend]")
+    else:
+        print(f"simulated {result.scenario_length} instants "
+              f"({args.hyperperiods} hyper-period(s)), streamed to {len(sinks)} sink(s), "
+              f"no trace materialised [{result.backend_name} backend]")
+    if args.stream_vcd:
+        print(f"streaming VCD trace written to {args.stream_vcd}")
+    if stats_sink is not None and stats_sink.result() is not None:
+        print(stats_sink.result().summary(limit=20))
     if args.batch > 0:
         from .casestudies.generator import scenario_sweep
 
@@ -166,11 +242,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             backend=args.backend,
             collect_errors=True,
             workers=workers,
+            # With --no-trace the sweep streams too: each scenario aggregates
+            # into a per-worker statistics sink instead of materialising.
+            sink_factory=_stats_sink_factory if args.no_trace else None,
         )
         print(batch.summary())
-    alarms = {n: result.trace.clock_of(n) for n in result.trace.signals() if n.endswith("_Alarm")}
-    fired = {n: ticks for n, ticks in alarms.items() if ticks}
-    print(f"deadline alarms: {fired if fired else 'none'}")
+    fired = {}
+    if result.trace is not None:
+        alarms = {n: result.trace.clock_of(n) for n in result.trace.signals() if n.endswith("_Alarm")}
+        fired = {n: ticks for n, ticks in alarms.items() if ticks}
+        print(f"deadline alarms: {fired if fired else 'none'}")
+    elif alarm_sink is not None:
+        fired = alarm_sink.fired
+        print(f"deadline alarms: {fired if fired else 'none'}")
     if result.profile is not None:
         print(result.profile.summary())
     if args.vcd:
@@ -257,6 +341,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="W",
         help="shard the --batch scenarios over W worker processes "
         "(0 = one per core; results are identical to --workers 1)",
+    )
+    simulate.add_argument(
+        "--stream-vcd",
+        metavar="PATH",
+        help="write the VCD trace incrementally while simulating "
+        "(O(signals) memory; combine with --no-trace for very long runs). "
+        "Variable widths come from the declared signal types — unlike --vcd, "
+        "which scans the finished trace — so undeclared or unusually-typed "
+        "signals may render with generic register widths",
+    )
+    simulate.add_argument(
+        "--stats",
+        action="store_true",
+        help="aggregate per-signal statistics while simulating and print them",
+    )
+    simulate.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="do not materialise the simulation trace (streaming sinks only; "
+        "disables the post-hoc --vcd export and profiling — the deadline-alarm "
+        "report and exit code are preserved through a streaming alarm sink)",
     )
     simulate.set_defaults(func=cmd_simulate)
 

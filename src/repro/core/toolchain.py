@@ -45,6 +45,7 @@ from ..sig.engine import DEFAULT_BACKEND, create_backend, default_scenario
 from ..sig.process import Direction, ProcessModel
 from ..sig.profiling import GENERIC_PROCESSOR, CostModel, DynamicProfile, Profiler
 from ..sig.simulator import SimulationTrace
+from ..sig.sinks import MaterializeSink, TraceSink
 from ..sig.vcd import VcdWriter
 from .translator import Asme2SsmeTranslator, TranslationConfig, TranslationResult
 
@@ -74,6 +75,16 @@ class ToolchainOptions:
     #: sweep sequential, ``0`` uses one worker per core.  Traces and errors
     #: are bit-identical whatever the value.
     workers: int = 1
+    #: Streaming trace sinks (:mod:`repro.sig.sinks`) driven during the
+    #: simulation stage, instant by instant — e.g. a
+    #: :class:`~repro.sig.vcd.StreamingVcdSink` writing the waveform to disk
+    #: while the run progresses.  ``None`` simulates exactly as before.
+    sinks: Optional[Sequence[TraceSink]] = None
+    #: Keep the full :class:`~repro.sig.simulator.SimulationTrace`
+    #: (:attr:`ToolchainResult.trace`).  Disable for long-horizon runs that
+    #: only need streaming sinks: memory stays O(signals), and the
+    #: trace-dependent stages (profiling, post-hoc VCD) are skipped.
+    materialize_trace: bool = True
 
 
 @dataclass
@@ -96,6 +107,9 @@ class ToolchainResult:
     profile: Optional[DynamicProfile] = None
     scenario_length: int = 0
     backend_name: str = ""
+    #: Products of :attr:`ToolchainOptions.sinks`, in sink order
+    #: (``sink.result()`` after the simulation stage closed them).
+    sink_results: List[object] = field(default_factory=list)
 
     @property
     def system_model(self) -> ProcessModel:
@@ -135,6 +149,10 @@ class ToolchainResult:
             backend = f" [{self.backend_name} backend]" if self.backend_name else ""
             lines.append(f"  simulation          : {self.trace.length} instants, "
                          f"{len(self.trace.flows)} recorded signals{backend}")
+        elif self.scenario_length:
+            backend = f" [{self.backend_name} backend]" if self.backend_name else ""
+            lines.append(f"  simulation          : {self.scenario_length} instants, "
+                         f"streamed to {len(self.sink_results)} sink(s){backend}")
         if self.profile is not None:
             lines.append(
                 f"  profiling           : total {self.profile.total:.1f} units on {self.profile.cost_model}"
@@ -207,12 +225,25 @@ def run_toolchain(
         length = schedule.simulation_length(options.simulate_hyperperiods)
         scenario = default_scenario(translation.system_model, length, options.stimuli_periods)
         backend = create_backend(translation.system_model, backend=options.backend, strict=False)
-        result.trace = backend.run(scenario, record=options.record_signals)
+        if options.sinks is None and options.materialize_trace:
+            # The classic path: materialise the trace directly.
+            result.trace = backend.run(scenario, record=options.record_signals)
+        else:
+            # Streaming path: drive the caller's sinks instant by instant,
+            # materialising alongside (via a MaterializeSink) only on request.
+            sinks: List[TraceSink] = list(options.sinks or ())
+            materialize = MaterializeSink() if options.materialize_trace else None
+            if materialize is not None:
+                sinks.append(materialize)
+            backend.run(scenario, record=options.record_signals, sinks=sinks)
+            if materialize is not None:
+                result.trace = materialize.trace
+            result.sink_results = [sink.result() for sink in options.sinks or ()]
         result.scenario_length = length
         result.backend_name = backend.name
 
         # 7. profiling
-        if options.cost_model is not None:
+        if options.cost_model is not None and result.trace is not None:
             result.profile = Profiler(translation.system_model, options.cost_model).dynamic_profile(result.trace)
 
     return result

@@ -85,7 +85,25 @@ from .simulator import (
     simulate,
 )
 from .printer import SignalPrinter, interface_summary, module_source, to_signal_source
-from .vcd import VcdDocument, VcdWriter, parse_vcd, write_vcd
+from .sinks import (
+    MaterializeSink,
+    SignalStatistics,
+    StatisticsSink,
+    TraceHeader,
+    TraceSink,
+    TraceStatistics,
+    batch_statistics_summary,
+    replay_trace,
+)
+from .vcd import (
+    StreamingVcdSink,
+    VcdDocument,
+    VcdWriter,
+    parse_vcd,
+    shape_for_type,
+    shapes_from_trace,
+    write_vcd,
+)
 from .profiling import (
     EMBEDDED_CPU,
     GENERIC_PROCESSOR,
@@ -113,7 +131,7 @@ from .engine import (
     run_batch_parallel,
     simulate_batch,
 )
-from . import analysis, builder, engine, library
+from . import analysis, builder, engine, library, sinks, vcd
 
 __all__ = [
     # values
@@ -142,6 +160,10 @@ __all__ = [
     # printing / traces
     "SignalPrinter", "interface_summary", "module_source", "to_signal_source",
     "VcdDocument", "VcdWriter", "parse_vcd", "write_vcd",
+    # streaming sinks
+    "MaterializeSink", "SignalStatistics", "StatisticsSink", "StreamingVcdSink",
+    "TraceHeader", "TraceSink", "TraceStatistics", "batch_statistics_summary",
+    "replay_trace", "shape_for_type", "shapes_from_trace",
     # profiling
     "EMBEDDED_CPU", "GENERIC_PROCESSOR", "MICROCONTROLLER", "CostModel",
     "DynamicProfile", "Profiler", "StaticProfile", "compare_architectures",
@@ -153,5 +175,5 @@ __all__ = [
     "compile_plan", "create_backend", "default_scenario", "default_worker_count",
     "run_batch_parallel", "simulate_batch",
     # submodules
-    "analysis", "builder", "engine", "library",
+    "analysis", "builder", "engine", "library", "sinks", "vcd",
 ]

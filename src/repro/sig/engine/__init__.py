@@ -10,10 +10,17 @@ implementations:
 * ``compiled`` — the plan executor (compile once, run many scenarios).
 
 Use :func:`simulate` for a single scenario, :func:`simulate_batch` to run a
-whole batch through one prepared backend, and :func:`create_backend` when
-you want to keep a prepared model around.  The two backends are trace- and
-error-identical by construction (enforced by the catalog parity tests), so
-switching them is purely a performance decision.
+whole batch through one prepared backend (``workers=N`` shards it over
+processes), and :func:`create_backend` when you want to keep a prepared
+model around.  The two backends are trace- and error-identical by
+construction (enforced by the catalog parity tests), so switching them is
+purely a performance decision.
+
+Long-horizon runs stream instead of materialising: pass ``sinks=[...]``
+(single runs) or ``sink_factory=...`` (batches) with the
+:class:`~repro.sig.sinks.TraceSink` implementations from
+:mod:`repro.sig.sinks` / :mod:`repro.sig.vcd`, and memory stays O(signals)
+however many instants the scenario has.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Iterable, Optional
 
 from ..process import ProcessModel
 from ..simulator import Scenario, SimulationTrace
+from ..sinks import SinkFactory, SinkOrSinks
 from .backends import (
     BACKENDS,
     DEFAULT_BACKEND,
@@ -42,9 +50,20 @@ def simulate(
     record: Optional[Iterable[str]] = None,
     strict: bool = True,
     backend: str = DEFAULT_BACKEND,
-) -> SimulationTrace:
-    """One-shot helper: prepare the chosen backend and run *scenario*."""
-    return create_backend(process, backend=backend, strict=strict).run(scenario, record=record)
+    sinks: Optional[SinkOrSinks] = None,
+) -> Optional[SimulationTrace]:
+    """One-shot helper: prepare the chosen backend and run *scenario*.
+
+    Without *sinks* the recorded flows come back as a
+    :class:`~repro.sig.simulator.SimulationTrace`.  With *sinks* (one
+    :class:`~repro.sig.sinks.TraceSink` or a list) the run streams each
+    instant into them and returns ``None`` — O(signals) memory however long
+    the scenario; include a :class:`~repro.sig.sinks.MaterializeSink` to
+    also keep the full trace.
+    """
+    return create_backend(process, backend=backend, strict=strict).run(
+        scenario, record=record, sinks=sinks
+    )
 
 
 __all__ = [
@@ -56,6 +75,8 @@ __all__ = [
     "PlanStatistics",
     "ReferenceBackend",
     "SimulationBackend",
+    "SinkFactory",
+    "SinkOrSinks",
     "TargetPlan",
     "backend_names",
     "batch_flow_summary",

@@ -2,7 +2,8 @@
 
 A *backend* turns a :class:`~repro.sig.process.ProcessModel` into something
 that can run :class:`~repro.sig.simulator.Scenario` objects and produce
-:class:`~repro.sig.simulator.SimulationTrace` results:
+:class:`~repro.sig.simulator.SimulationTrace` results (or stream them into
+:class:`~repro.sig.sinks.TraceSink` objects):
 
 * :class:`ReferenceBackend` — the original fixed-point interpreter
   (:class:`repro.sig.simulator.Simulator`), kept as the executable oracle;
@@ -20,10 +21,11 @@ numpy value arrays, generated C) plug in by subclassing
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Type
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Type
 
 from ..process import ProcessModel
 from ..simulator import Scenario, SimulationTrace, Simulator
+from ..sinks import SinkFactory, SinkOrSinks, as_sink_list
 from .plan import ExecutionPlan, compile_plan
 
 
@@ -41,7 +43,19 @@ class SimulationBackend:
     def __init__(self, process: ProcessModel, strict: bool = True) -> None:
         self.strict = strict
 
-    def run(self, scenario: Scenario, record: Optional[Iterable[str]] = None) -> SimulationTrace:
+    def run(
+        self,
+        scenario: Scenario,
+        record: Optional[Iterable[str]] = None,
+        sinks: Optional[SinkOrSinks] = None,
+    ) -> Optional[SimulationTrace]:
+        """Run one scenario from a fresh initial state.
+
+        Without *sinks* the recorded flows come back as a
+        :class:`~repro.sig.simulator.SimulationTrace`.  With *sinks* each
+        resolved instant is streamed into them instead (O(signals) memory)
+        and the method returns ``None``; see :mod:`repro.sig.sinks`.
+        """
         raise NotImplementedError
 
     def run_batch(
@@ -49,23 +63,62 @@ class SimulationBackend:
         scenarios: Sequence[Scenario],
         record: Optional[Iterable[str]] = None,
         workers: int = 1,
-    ) -> List[SimulationTrace]:
+        sink_factory: Optional[SinkFactory] = None,
+    ) -> List[Any]:
         """Run every scenario from a fresh initial state, reusing the
         per-model preparation.
 
         ``workers > 1`` shards the scenarios over worker processes (see
         :mod:`repro.sig.engine.parallel`); the traces are identical to the
         sequential run and come back in scenario order.
+
+        With *sink_factory* (called with each scenario index, returning the
+        sink or sinks that scenario streams into) nothing is materialised:
+        the returned list holds, per scenario, what the factory's sink
+        produced — ``sink.result()`` for a single sink, the list of results
+        when the factory returned several.  Sink results are shipped back
+        from worker processes and merged in scenario order.
         """
         record = list(record) if record is not None else None
         if workers != 1 and len(scenarios) > 1:
             from .parallel import run_batch_parallel
 
-            traces, _ = run_batch_parallel(
-                self, scenarios, record=record, workers=workers, collect_errors=False
+            traces, _, sink_results = run_batch_parallel(
+                self,
+                scenarios,
+                record=record,
+                workers=workers,
+                collect_errors=False,
+                sink_factory=sink_factory,
             )
-            return traces  # type: ignore[return-value]
+            return sink_results if sink_factory is not None else traces  # type: ignore[return-value]
+        if sink_factory is not None:
+            return [
+                run_scenario_into_sinks(self, scenario, record, sink_factory, index)
+                for index, scenario in enumerate(scenarios)
+            ]
         return [self.run(scenario, record=record) for scenario in scenarios]
+
+
+def run_scenario_into_sinks(
+    runner: "SimulationBackend",
+    scenario: Scenario,
+    record: Optional[List[str]],
+    sink_factory: SinkFactory,
+    index: int,
+) -> Any:
+    """Run one batch scenario through fresh factory-made sink(s).
+
+    Shared by the sequential and the multiprocessing batch paths so both
+    produce the exact same per-scenario payload: the single sink's
+    ``result()`` when the factory returns one sink, the list of results when
+    it returns several.
+    """
+    made = sink_factory(index)
+    sink_list = as_sink_list(made)
+    runner.run(scenario, record=record, sinks=sink_list)
+    results = [sink.result() for sink in sink_list]
+    return results[0] if len(sink_list) == 1 and not isinstance(made, (list, tuple)) else results
 
 
 class ReferenceBackend(SimulationBackend):
@@ -79,11 +132,18 @@ class ReferenceBackend(SimulationBackend):
 
     @property
     def process(self) -> ProcessModel:
+        """The flattened process model this backend is bound to."""
         return self._simulator.process
 
-    def run(self, scenario: Scenario, record: Optional[Iterable[str]] = None) -> SimulationTrace:
+    def run(
+        self,
+        scenario: Scenario,
+        record: Optional[Iterable[str]] = None,
+        sinks: Optional[SinkOrSinks] = None,
+    ) -> Optional[SimulationTrace]:
+        """Interpret one scenario (see :meth:`SimulationBackend.run`)."""
         # Simulator.run resets delay/cell/shared memories itself.
-        return self._simulator.run(scenario, record=record)
+        return self._simulator.run(scenario, record=record, sinks=sinks)
 
 
 class CompiledBackend(SimulationBackend):
@@ -97,24 +157,37 @@ class CompiledBackend(SimulationBackend):
 
     @property
     def process(self) -> ProcessModel:
+        """The flattened process model the plan was compiled from."""
         return self._plan.process
 
     @property
     def plan(self) -> ExecutionPlan:
+        """The compiled :class:`~repro.sig.engine.plan.ExecutionPlan`."""
         return self._plan
 
-    def run(self, scenario: Scenario, record: Optional[Iterable[str]] = None) -> SimulationTrace:
-        return self._plan.run(scenario, record=record, strict=self.strict)
+    def run(
+        self,
+        scenario: Scenario,
+        record: Optional[Iterable[str]] = None,
+        sinks: Optional[SinkOrSinks] = None,
+    ) -> Optional[SimulationTrace]:
+        """Execute one scenario over the plan (see :meth:`SimulationBackend.run`)."""
+        return self._plan.run(scenario, record=record, strict=self.strict, sinks=sinks)
 
     def run_batch(
         self,
         scenarios: Sequence[Scenario],
         record: Optional[Iterable[str]] = None,
         workers: int = 1,
-    ) -> List[SimulationTrace]:
+        sink_factory: Optional[SinkFactory] = None,
+    ) -> List[Any]:
+        """Batched execution over the shared plan (see
+        :meth:`SimulationBackend.run_batch`)."""
         record = list(record) if record is not None else None
-        if workers != 1 and len(scenarios) > 1:
-            return super().run_batch(scenarios, record=record, workers=workers)
+        if sink_factory is not None or (workers != 1 and len(scenarios) > 1):
+            return super().run_batch(
+                scenarios, record=record, workers=workers, sink_factory=sink_factory
+            )
         return self._plan.run_batch(scenarios, record=record, strict=self.strict)
 
 
@@ -146,3 +219,15 @@ def create_backend(
             f"unknown simulation backend {backend!r}; available: {', '.join(sorted(BACKENDS))}"
         ) from None
     return factory(process, strict=strict)
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "CompiledBackend",
+    "ReferenceBackend",
+    "SimulationBackend",
+    "backend_names",
+    "create_backend",
+    "run_scenario_into_sinks",
+]

@@ -18,6 +18,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..process import ProcessModel
 from ..simulator import Scenario, SimulationError, SimulationTrace
+from ..sinks import SinkFactory, presence_summary
 from .backends import DEFAULT_BACKEND, create_backend
 from .parallel import default_worker_count, run_batch_parallel
 
@@ -44,7 +45,16 @@ def default_scenario(
 
 @dataclass
 class BatchResult:
-    """Outcome of one :func:`simulate_batch` call."""
+    """Outcome of one :func:`simulate_batch` call.
+
+    In the default (materialising) mode, :attr:`traces` holds one
+    :class:`~repro.sig.simulator.SimulationTrace` per scenario.  In
+    streaming mode (``sink_factory=``) no trace is materialised:
+    :attr:`traces` holds ``None`` per scenario and :attr:`sink_results`
+    holds, in scenario order, what each scenario's sink(s) produced.
+    Failed scenarios (under ``collect_errors``) contribute ``None`` in
+    either list plus an entry in :attr:`errors`.
+    """
 
     backend: str
     traces: List[Optional[SimulationTrace]]
@@ -52,24 +62,43 @@ class BatchResult:
     compile_seconds: float = 0.0
     run_seconds: float = 0.0
     workers: int = 1
+    #: Per-scenario sink products of a streaming batch (empty otherwise).
+    sink_results: List[Any] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.traces)
 
     @property
     def ok(self) -> bool:
+        """``True`` when no scenario failed."""
         return not self.errors
 
+    @property
+    def streamed(self) -> bool:
+        """``True`` when the batch ran in streaming (sink) mode."""
+        return bool(self.sink_results)
+
     def successful_traces(self) -> List[SimulationTrace]:
+        """The materialised traces of the scenarios that succeeded."""
         return [trace for trace in self.traces if trace is not None]
 
     def summary(self) -> str:
+        """One paragraph of batch outcome, including per-scenario errors."""
         sharding = f", {self.workers} workers" if self.workers > 1 else ""
+        if self.streamed:
+            # Failures are exactly the collected errors — a sink whose
+            # result() is None (e.g. one streaming to a caller's handle)
+            # still succeeded.
+            succeeded = len(self.traces) - len(self.errors)
+            streamed = ", streamed"
+        else:
+            succeeded = len(self.successful_traces())
+            streamed = ""
         lines = [
             f"batch of {len(self.traces)} scenario(s) on backend {self.backend!r}: "
-            f"{len(self.successful_traces())} succeeded, {len(self.errors)} failed "
+            f"{succeeded} succeeded, {len(self.errors)} failed "
             f"(prepare {self.compile_seconds * 1000.0:.1f} ms, "
-            f"run {self.run_seconds * 1000.0:.1f} ms{sharding})"
+            f"run {self.run_seconds * 1000.0:.1f} ms{sharding}{streamed})"
         ]
         for index, error in self.errors:
             lines.append(f"  scenario {index}: {type(error).__name__}: {error}")
@@ -84,6 +113,7 @@ def simulate_batch(
     backend: str = DEFAULT_BACKEND,
     collect_errors: bool = False,
     workers: int = 1,
+    sink_factory: Optional[SinkFactory] = None,
 ) -> BatchResult:
     """Run every scenario through one prepared backend instance.
 
@@ -96,6 +126,18 @@ def simulate_batch(
     (``0`` = one per core, see :mod:`repro.sig.engine.parallel`); traces and
     errors are bit-identical to the sequential ``workers=1`` run, including
     their ordering.
+
+    ``sink_factory`` switches the batch to streaming mode: it is called
+    with each scenario index and returns the fresh
+    :class:`~repro.sig.sinks.TraceSink` (or sinks) that scenario streams
+    into.  No trace is materialised in any process — memory stays
+    O(signals) per worker however long the scenarios are — and
+    :attr:`BatchResult.sink_results` collects each scenario's
+    ``sink.result()`` in scenario order (``None`` for failed scenarios).
+    Under ``workers > 1`` the factory must be picklable (e.g. a top-level
+    function returning a fresh :class:`~repro.sig.sinks.StatisticsSink`);
+    sinks are created, driven and harvested inside the workers, and only
+    their results travel back.
     """
     record = list(record) if record is not None else None
     start = time.perf_counter()
@@ -106,12 +148,13 @@ def simulate_batch(
     if workers <= 0:
         workers = default_worker_count()
     effective_workers = max(1, min(workers, count))
-    traces, errors = run_batch_parallel(
+    traces, errors, sink_results = run_batch_parallel(
         runner,
         scenarios,
         record=record,
         workers=effective_workers,
         collect_errors=collect_errors,
+        sink_factory=sink_factory,
     )
     done = time.perf_counter()
 
@@ -122,6 +165,7 @@ def simulate_batch(
         compile_seconds=compiled_at - start,
         run_seconds=done - compiled_at,
         workers=effective_workers,
+        sink_results=sink_results,
     )
 
 
@@ -133,6 +177,9 @@ def batch_flow_summary(result: BatchResult, signal: str) -> Dict[str, Any]:
     (the whole batch failed, or the signal was never recorded) ``min`` and
     ``max`` are ``None`` — distinguishable from a signal that genuinely
     stayed absent in every successful trace, whose ``min``/``max`` are ``0``.
+    The dictionary shape is shared with
+    :func:`repro.sig.sinks.batch_statistics_summary` (streamed batches) via
+    :func:`repro.sig.sinks.presence_summary`.
     """
     counts: List[Optional[int]] = []
     for trace in result.traces:
@@ -140,11 +187,12 @@ def batch_flow_summary(result: BatchResult, signal: str) -> Dict[str, Any]:
             counts.append(None)
         else:
             counts.append(trace.count_present(signal))
-    present = [count for count in counts if count is not None]
-    return {
-        "signal": signal,
-        "per_scenario": counts,
-        "total": sum(present),
-        "min": min(present) if present else None,
-        "max": max(present) if present else None,
-    }
+    return presence_summary(signal, counts)
+
+
+__all__ = [
+    "BatchResult",
+    "batch_flow_summary",
+    "default_scenario",
+    "simulate_batch",
+]

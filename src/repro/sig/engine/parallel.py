@@ -29,6 +29,12 @@ Error semantics mirror the sequential loop of
 the *earliest* failing scenario is raised (later scenarios may have run in
 other workers, but their results are discarded exactly as a sequential run
 would never have produced them).
+
+Streaming batches (``sink_factory``) shard the same way: each worker builds
+the scenario's sinks locally with the pickled factory, streams the run into
+them with O(signals) memory, and ships only ``sink.result()`` back — so a
+128-scenario million-instant sweep never materialises a single flow, in any
+process.
 """
 
 from __future__ import annotations
@@ -40,39 +46,60 @@ import sys
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from ..simulator import Scenario, SimulationError, SimulationTrace
+from ..sinks import SinkFactory
 
-#: Per-worker prepared backend, record list and error mode, installed by the
-#: pool initializer (inherited on fork, unpickled once on spawn).
+#: Per-worker prepared backend, record list, error mode and sink factory,
+#: installed by the pool initializer (inherited on fork, unpickled once on
+#: spawn).
 _WORKER_RUNNER: Any = None
 _WORKER_RECORD: Optional[List[str]] = None
 _WORKER_COLLECT_ERRORS: bool = False
+_WORKER_SINK_FACTORY: Optional[SinkFactory] = None
 
 
-def _init_worker(runner: Any, record: Optional[List[str]], collect_errors: bool) -> None:
-    global _WORKER_RUNNER, _WORKER_RECORD, _WORKER_COLLECT_ERRORS
+def _init_worker(
+    runner: Any,
+    record: Optional[List[str]],
+    collect_errors: bool,
+    sink_factory: Optional[SinkFactory],
+) -> None:
+    """Install the per-worker state (pool initializer)."""
+    global _WORKER_RUNNER, _WORKER_RECORD, _WORKER_COLLECT_ERRORS, _WORKER_SINK_FACTORY
     _WORKER_RUNNER = runner
     _WORKER_RECORD = record
     _WORKER_COLLECT_ERRORS = collect_errors
+    _WORKER_SINK_FACTORY = sink_factory
+
+
+def _run_one(index: int, scenario: Scenario) -> Any:
+    """Run one scenario in a worker: a trace, or the sink payload."""
+    if _WORKER_SINK_FACTORY is not None:
+        from .backends import run_scenario_into_sinks
+
+        return run_scenario_into_sinks(
+            _WORKER_RUNNER, scenario, _WORKER_RECORD, _WORKER_SINK_FACTORY, index
+        )
+    return _WORKER_RUNNER.run(scenario, record=_WORKER_RECORD)
 
 
 def _run_chunk(
     chunk: Sequence[Tuple[int, Scenario]]
-) -> List[Tuple[int, Optional[SimulationTrace], Optional[SimulationError]]]:
+) -> List[Tuple[int, Any, Optional[SimulationError]]]:
     """Run one chunk of (index, scenario) pairs in a worker process.
 
     Without ``collect_errors`` the first failure propagates immediately —
     the rest of the chunk would be thrown away by the fail-fast parent
     anyway, so it is never simulated.
     """
-    out: List[Tuple[int, Optional[SimulationTrace], Optional[SimulationError]]] = []
+    out: List[Tuple[int, Any, Optional[SimulationError]]] = []
     for index, scenario in chunk:
         if _WORKER_COLLECT_ERRORS:
             try:
-                out.append((index, _WORKER_RUNNER.run(scenario, record=_WORKER_RECORD), None))
+                out.append((index, _run_one(index, scenario), None))
             except SimulationError as error:
                 out.append((index, None, error))
         else:
-            out.append((index, _WORKER_RUNNER.run(scenario, record=_WORKER_RECORD), None))
+            out.append((index, _run_one(index, scenario), None))
     return out
 
 
@@ -98,12 +125,20 @@ def run_batch_parallel(
     workers: int = 0,
     collect_errors: bool = False,
     chunk_size: Optional[int] = None,
-) -> Tuple[List[Optional[SimulationTrace]], List[Tuple[int, SimulationError]]]:
+    sink_factory: Optional[SinkFactory] = None,
+) -> Tuple[List[Optional[SimulationTrace]], List[Tuple[int, SimulationError]], List[Any]]:
     """Run *scenarios* through *runner* on a pool of worker processes.
 
     *runner* is a prepared :class:`~repro.sig.engine.backends.SimulationBackend`
-    (its ``strict`` flag travels with it).  Returns ``(traces, errors)`` with
-    the same contents, order and error behaviour as the sequential loop.
+    (its ``strict`` flag travels with it).  Returns ``(traces, errors,
+    sink_results)`` with the same contents, order and error behaviour as the
+    sequential loop.
+
+    Without *sink_factory*, ``traces`` holds the materialised traces and
+    ``sink_results`` is empty.  With it, nothing is materialised: ``traces``
+    holds ``None`` per scenario and ``sink_results`` holds what each
+    scenario's factory-made sink(s) produced (``None`` for scenarios that
+    failed under ``collect_errors``), merged back in scenario order.
     """
     record = list(record) if record is not None else None
     if workers <= 0:
@@ -111,19 +146,37 @@ def run_batch_parallel(
     count = len(scenarios)
     workers = min(workers, count) or 1
 
+    streaming = sink_factory is not None
+    traces: List[Optional[SimulationTrace]] = []
+    errors: List[Tuple[int, SimulationError]] = []
+    sink_results: List[Any] = []
+
+    def keep(payload: Any, failed: bool) -> None:
+        """File one scenario outcome under the right list(s)."""
+        if streaming:
+            traces.append(None)
+            sink_results.append(None if failed else payload)
+        else:
+            traces.append(None if failed else payload)
+
     if workers == 1 or count <= 1:
-        traces: List[Optional[SimulationTrace]] = []
-        errors: List[Tuple[int, SimulationError]] = []
+        from .backends import run_scenario_into_sinks
+
+        def run_one(index: int, scenario: Scenario) -> Any:
+            if streaming:
+                return run_scenario_into_sinks(runner, scenario, record, sink_factory, index)
+            return runner.run(scenario, record=record)
+
         for index, scenario in enumerate(scenarios):
             if collect_errors:
                 try:
-                    traces.append(runner.run(scenario, record=record))
+                    keep(run_one(index, scenario), failed=False)
                 except SimulationError as error:
-                    traces.append(None)
+                    keep(None, failed=True)
                     errors.append((index, error))
             else:
-                traces.append(runner.run(scenario, record=record))
-        return traces, errors
+                keep(run_one(index, scenario), failed=False)
+        return traces, errors, sink_results
 
     if chunk_size is None:
         # A few chunks per worker: large enough to amortise dispatch, small
@@ -132,13 +185,11 @@ def run_batch_parallel(
     indexed = list(enumerate(scenarios))
     chunks = [indexed[start:start + chunk_size] for start in range(0, count, chunk_size)]
 
-    traces = []
-    errors = []
     ctx = _pool_context()
     with ctx.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(runner, record, collect_errors),
+        initargs=(runner, record, collect_errors, sink_factory),
     ) as pool:
         # Without collect_errors a failing chunk raises out of imap at its
         # position in submission order; every earlier chunk completed without
@@ -146,10 +197,16 @@ def run_batch_parallel(
         # error is exactly the earliest failing scenario a sequential run
         # would have hit.
         for chunk_result in pool.imap(_run_chunk, chunks):
-            for index, trace, error in chunk_result:
+            for index, payload, error in chunk_result:
                 if error is None:
-                    traces.append(trace)
+                    keep(payload, failed=False)
                 else:
-                    traces.append(None)
+                    keep(None, failed=True)
                     errors.append((index, error))
-    return traces, errors
+    return traces, errors, sink_results
+
+
+__all__ = [
+    "default_worker_count",
+    "run_batch_parallel",
+]

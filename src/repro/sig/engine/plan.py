@@ -553,6 +553,7 @@ class PlanStatistics:
     acyclic_dependencies: bool
 
     def summary(self) -> str:
+        """One line describing the compiled plan's shape."""
         graph = "acyclic" if self.acyclic_dependencies else "cyclic"
         return (
             f"execution plan: {self.signals} signal slots, {self.targets} targets "
@@ -657,6 +658,7 @@ class ExecutionPlan:
 
     # ------------------------------------------------------------------
     def statistics(self) -> PlanStatistics:
+        """Compile-time shape of this plan (slot/target/memory counts)."""
         return PlanStatistics(
             signals=len(self.names),
             targets=len(self.targets),
@@ -708,14 +710,30 @@ class ExecutionPlan:
         scenario: Scenario,
         record: Optional[Iterable[str]] = None,
         strict: bool = True,
-    ) -> SimulationTrace:
+        sinks: Optional[Sequence[Any]] = None,
+    ) -> Optional[SimulationTrace]:
         """Execute *scenario* and record the requested signals.
 
         Semantics (flows, warnings of record, raised errors) match the
         reference interpreter; see :class:`repro.sig.simulator.Simulator`.
+
+        With *sinks* (see :mod:`repro.sig.sinks`) each resolved instant is
+        pushed to every sink instead of being materialised — memory stays
+        O(signals) however long the scenario — and the method returns
+        ``None``; include a :class:`~repro.sig.sinks.MaterializeSink` to
+        also keep the full trace.  Any non-``None`` *sinks* selects the
+        streaming mode: an *empty* list runs the scenario for its effects
+        (errors, warnings) without retaining anything.
         """
         recorded = list(record) if record is not None else list(self.process.signals)
         warnings: List[str] = []
+
+        streaming = sinks is not None
+        sink_list: List[Any] = []
+        if streaming:
+            from ..sinks import TraceHeader, as_sink_list, close_sinks
+
+            sink_list = as_sink_list(sinks)
 
         slot_of = self.slot_of
         # Scenario flows drive declared inputs and undeclared-but-referenced
@@ -745,11 +763,13 @@ class ExecutionPlan:
         # Recorded names that are neither slots nor scenario flows stay ⊥;
         # record into plain lists and wrap them as flows at the end.  A name
         # listed twice shares one list and is appended twice per instant,
-        # exactly as the reference interpreter's shared Flow behaves.
+        # exactly as the reference interpreter's shared Flow behaves.  When
+        # streaming, no lists are kept at all: each instant's row is handed
+        # to the sinks and dropped.
         record_lists: Dict[str, List[Any]] = {}
-        record_plan: List[Tuple[List[Any], Optional[int], Optional[List[Any]]]] = []
+        record_plan: List[Tuple[Optional[List[Any]], Optional[int], Optional[List[Any]]]] = []
         for name in recorded:
-            out = record_lists.setdefault(name, [])
+            out = None if streaming else record_lists.setdefault(name, [])
             slot = slot_of.get(name)
             record_plan.append((out, slot, scenario_only.get(name) if slot is None else None))
 
@@ -761,89 +781,127 @@ class ExecutionPlan:
         propagate_sync = self._propagate_sync
         bare_constant = "signal {name!r} defined by a bare constant has no clock; treated as absent"
 
-        for instant in range(scenario.length):
-            st = list(status_template)
-            vals: List[Any] = [ABSENT] * n_slots
-            for slot, flow in driven:
-                value = flow[instant] if instant < len(flow) else ABSENT
-                st[slot] = _ABSENT_ST if value is ABSENT else PRESENT
-                vals[slot] = value
+        try:
+            if streaming:
+                # Inside the guarded region: a sink raising in on_header must
+                # not leave earlier sinks' file handles open.
+                header = TraceHeader(
+                    process_name=self.process.name,
+                    length=scenario.length,
+                    signals=tuple(recorded),
+                    types={name: decl.type for name, decl in declared.items()},
+                    warnings=warnings,
+                )
+                for sink in sink_list:
+                    sink.on_header(header)
+            for instant in range(scenario.length):
+                st = list(status_template)
+                vals: List[Any] = [ABSENT] * n_slots
+                for slot, flow in driven:
+                    value = flow[instant] if instant < len(flow) else ABSENT
+                    st[slot] = _ABSENT_ST if value is ABSENT else PRESENT
+                    vals[slot] = value
 
-            # Sweep the targets in the reference interpreter's order, keeping
-            # only the unresolved ones for the next sweep, with ``^=`` clock
-            # propagation after each sweep — the same trajectory (and hence
-            # the same warnings and errors) as the reference fixed point.
-            unresolved = base_work
-            progress = True
-            while progress:
-                progress = False
-                still: List[Tuple[int, bool, Optional[EvalFn], TargetPlan]] = []
-                for item in unresolved:
-                    slot, is_declared, single, target = item
-                    if is_declared:
-                        code = st[slot]
-                        if code == PRESENT or code == _ABSENT_ST:
-                            # Settled by a synchronisation group: drop the
-                            # item, but (like the reference) this is not
-                            # resolution progress.
-                            continue
-                    if single is not None:
-                        code, value = single(st, vals, state, varmem, instant, warnings, strict)
-                        if code == UNKNOWN or code == PRESUMED:
-                            still.append(item)
-                            continue
-                        if code == PRESENT:
-                            st[slot] = PRESENT
-                            vals[slot] = value
+                # Sweep the targets in the reference interpreter's order,
+                # keeping only the unresolved ones for the next sweep, with
+                # ``^=`` clock propagation after each sweep — the same
+                # trajectory (and hence the same warnings and errors) as the
+                # reference fixed point.
+                unresolved = base_work
+                progress = True
+                while progress:
+                    progress = False
+                    still: List[Tuple[int, bool, Optional[EvalFn], TargetPlan]] = []
+                    for item in unresolved:
+                        slot, is_declared, single, target = item
+                        if is_declared:
+                            code = st[slot]
+                            if code == PRESENT or code == _ABSENT_ST:
+                                # Settled by a synchronisation group: drop the
+                                # item, but (like the reference) this is not
+                                # resolution progress.
+                                continue
+                        if single is not None:
+                            code, value = single(st, vals, state, varmem, instant, warnings, strict)
+                            if code == UNKNOWN or code == PRESUMED:
+                                still.append(item)
+                                continue
+                            if code == PRESENT:
+                                st[slot] = PRESENT
+                                vals[slot] = value
+                            else:
+                                if code == CONST:
+                                    # A lone constant definition has no clock
+                                    # of its own; report it once per instant.
+                                    warnings.append(bare_constant.format(name=target.name))
+                                st[slot] = _ABSENT_ST
                         else:
-                            if code == CONST:
-                                # A lone constant definition has no clock of
-                                # its own; report it once per instant.
-                                warnings.append(bare_constant.format(name=target.name))
-                            st[slot] = _ABSENT_ST
-                    else:
-                        resolved, value = target.resolve(
-                            st, vals, state, varmem, instant, warnings, strict
+                            resolved, value = target.resolve(
+                                st, vals, state, varmem, instant, warnings, strict
+                            )
+                            if not resolved:
+                                still.append(item)
+                                continue
+                            if value is ABSENT:
+                                st[slot] = _ABSENT_ST
+                            else:
+                                st[slot] = PRESENT
+                                vals[slot] = value
+                        progress = True
+                    unresolved = still
+                    if propagate_sync(st, instant, warnings, strict):
+                        progress = True
+
+                if unresolved:
+                    # Report unresolved *declared* signals in declaration
+                    # order, as the reference interpreter's status dictionary
+                    # does.
+                    blocked_slots = {
+                        item[0]
+                        for item in unresolved
+                        if item[1] and st[item[0]] in (UNKNOWN, PRESUMED)
+                    }
+                    if blocked_slots:
+                        blocked = [name for name in declared if slot_of[name] in blocked_slots]
+                        raise InstantaneousCycle(instant, blocked)
+
+                for commit in commits:
+                    commit(st, vals, state, varmem, strict)
+                for slot, code in enumerate(st):
+                    if code == PRESENT:
+                        varmem[slot] = vals[slot]
+
+                if streaming:
+                    if sink_list:
+                        row = tuple(
+                            vals[slot]
+                            if slot is not None
+                            else (
+                                fallback[instant]
+                                if fallback is not None and instant < len(fallback)
+                                else ABSENT
+                            )
+                            for _, slot, fallback in record_plan
                         )
-                        if not resolved:
-                            still.append(item)
-                            continue
-                        if value is ABSENT:
-                            st[slot] = _ABSENT_ST
-                        else:
-                            st[slot] = PRESENT
-                            vals[slot] = value
-                    progress = True
-                unresolved = still
-                if propagate_sync(st, instant, warnings, strict):
-                    progress = True
-
-            if unresolved:
-                # Report unresolved *declared* signals in declaration order,
-                # as the reference interpreter's status dictionary does.
-                blocked_slots = {
-                    item[0]
-                    for item in unresolved
-                    if item[1] and st[item[0]] in (UNKNOWN, PRESUMED)
-                }
-                if blocked_slots:
-                    blocked = [name for name in declared if slot_of[name] in blocked_slots]
-                    raise InstantaneousCycle(instant, blocked)
-
-            for commit in commits:
-                commit(st, vals, state, varmem, strict)
-            for slot, code in enumerate(st):
-                if code == PRESENT:
-                    varmem[slot] = vals[slot]
-
-            for out, slot, fallback in record_plan:
-                if slot is not None:
-                    out.append(vals[slot])
-                elif fallback is not None:
-                    out.append(fallback[instant] if instant < len(fallback) else ABSENT)
+                        statuses = tuple(value is not ABSENT for value in row)
+                        for sink in sink_list:
+                            sink.on_instant(instant, statuses, row)
                 else:
-                    out.append(ABSENT)
+                    for out, slot, fallback in record_plan:
+                        if slot is not None:
+                            out.append(vals[slot])
+                        elif fallback is not None:
+                            out.append(fallback[instant] if instant < len(fallback) else ABSENT)
+                        else:
+                            out.append(ABSENT)
+        finally:
+            # Sinks close whatever happens, so file-backed sinks flush even
+            # when the run aborts on a simulation error.
+            if streaming:
+                close_sinks(sink_list)
 
+        if streaming:
+            return None
         flows = {name: Flow(name, values) for name, values in record_lists.items()}
         return SimulationTrace(
             process_name=self.process.name,
@@ -901,3 +959,13 @@ class ExecutionPlan:
 def compile_plan(process: ProcessModel) -> ExecutionPlan:
     """Lower *process* (flattened on the fly if needed) to an :class:`ExecutionPlan`."""
     return ExecutionPlan(process)
+
+
+__all__ = [
+    "CommitFn",
+    "EvalFn",
+    "ExecutionPlan",
+    "PlanStatistics",
+    "TargetPlan",
+    "compile_plan",
+]

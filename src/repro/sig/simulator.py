@@ -223,16 +223,57 @@ class Simulator:
         self._state.clear()
         self._var_memory.clear()
 
-    def run(self, scenario: Scenario, record: Optional[Iterable[str]] = None) -> SimulationTrace:
+    def run(
+        self,
+        scenario: Scenario,
+        record: Optional[Iterable[str]] = None,
+        sinks: Optional[Sequence[Any]] = None,
+    ) -> Optional[SimulationTrace]:
         """Run the process over *scenario* and record the requested signals.
 
         When *record* is ``None``, every declared signal is recorded.
+
+        With *sinks* (see :mod:`repro.sig.sinks`) each resolved instant is
+        pushed to every sink and then discarded — memory stays O(signals)
+        instead of O(signals × instants) — and the method returns ``None``;
+        include a :class:`~repro.sig.sinks.MaterializeSink` to also keep the
+        full trace.  Any non-``None`` *sinks* selects the streaming mode:
+        an *empty* list runs the scenario for its effects (errors, warnings)
+        without retaining anything.
         """
         self.reset()
         recorded = list(record) if record is not None else list(self.process.signals)
-        flows = {name: Flow(name) for name in recorded}
         warnings: List[str] = []
 
+        if sinks is not None:
+            # Imported lazily: repro.sig.sinks imports this module.
+            from .sinks import TraceHeader, as_sink_list, close_sinks
+
+            sink_list = as_sink_list(sinks)
+            try:
+                # on_header sits inside the guarded region: a sink raising
+                # here must not leave earlier sinks' file handles open.
+                header = TraceHeader(
+                    process_name=self.process.name,
+                    length=scenario.length,
+                    signals=tuple(recorded),
+                    types={name: decl.type for name, decl in self.process.signals.items()},
+                    warnings=warnings,
+                )
+                for sink in sink_list:
+                    sink.on_header(header)
+                for instant in range(scenario.length):
+                    env = self._step(instant, scenario, warnings)
+                    if sink_list:
+                        values = tuple(env.get(name, ABSENT) for name in recorded)
+                        statuses = tuple(value is not ABSENT for value in values)
+                        for sink in sink_list:
+                            sink.on_instant(instant, statuses, values)
+            finally:
+                close_sinks(sink_list)
+            return None
+
+        flows = {name: Flow(name) for name in recorded}
         for instant in range(scenario.length):
             env = self._step(instant, scenario, warnings)
             for name in recorded:
@@ -599,6 +640,11 @@ def simulate(
     scenario: Scenario,
     record: Optional[Iterable[str]] = None,
     strict: bool = True,
-) -> SimulationTrace:
-    """One-shot helper: build a :class:`Simulator` and run *scenario*."""
-    return Simulator(process, strict=strict).run(scenario, record=record)
+    sinks: Optional[Sequence[Any]] = None,
+) -> Optional[SimulationTrace]:
+    """One-shot helper: build a :class:`Simulator` and run *scenario*.
+
+    With *sinks*, the run streams into them and returns ``None`` (see
+    :meth:`Simulator.run`).
+    """
+    return Simulator(process, strict=strict).run(scenario, record=record, sinks=sinks)

@@ -1,0 +1,439 @@
+"""Streaming trace sinks: observe a simulation instant by instant.
+
+The legacy simulation API materialises every recorded flow into a
+:class:`~repro.sig.simulator.SimulationTrace`, which makes memory grow as
+O(signals × instants) — fine for a few hyper-periods, prohibitive for the
+million-instant runs the scalability experiments call for.  A
+:class:`TraceSink` inverts the flow of data: the engine *pushes* each
+resolved instant into one or more sinks and discards it, so a run's memory
+stays O(signals) however long the scenario is.
+
+The protocol is three calls, driven by both backends
+(:class:`~repro.sig.simulator.Simulator` and
+:class:`~repro.sig.engine.plan.ExecutionPlan`):
+
+1. :meth:`TraceSink.on_header` — once per run, before the first instant,
+   with a :class:`TraceHeader` describing the run (process name, scenario
+   length, recorded signal names in record order, declared signal types);
+2. :meth:`TraceSink.on_instant` — once per instant, with the instant index,
+   a tuple of presence booleans and a tuple of values (one entry per
+   recorded name, ``ABSENT`` where the signal does not occur);
+3. :meth:`TraceSink.on_close` — once per run, after the last instant (also
+   on abnormal termination, so file-backed sinks always flush).
+
+Three sinks ship with the kernel:
+
+* :class:`MaterializeSink` — rebuilds the legacy
+  :class:`~repro.sig.simulator.SimulationTrace`, bit-identical to the
+  non-streaming path (the catalog-wide parity tests enforce this); use it
+  when a run should stream *and* keep the full trace;
+* :class:`StatisticsSink` — constant-memory per-signal aggregates
+  (present/absent counts, numeric min/max, first/last occurrence), the
+  natural sink for long-horizon runs;
+* :class:`~repro.sig.vcd.StreamingVcdSink` (in :mod:`repro.sig.vcd`) —
+  writes the VCD waveform incrementally to disk while the simulation runs.
+
+Sinks plug in everywhere a simulation is launched: ``simulate(...,
+sinks=[...])``, ``backend.run(..., sinks=[...])``, ``simulate_batch(...,
+sink_factory=...)`` (one fresh sink per scenario, worker-safe, results
+merged back in scenario order), ``ToolchainOptions.sinks`` and the CLI
+(``repro simulate --stream-vcd out.vcd --stats``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .simulator import SimulationTrace
+from .values import ABSENT, Flow, SignalType, is_present
+
+
+@dataclass
+class TraceHeader:
+    """Everything a sink may want to know about a run before it starts.
+
+    ``signals`` preserves the record order *including duplicates*: a name
+    listed twice is delivered twice per instant, exactly as the legacy
+    recording path appends twice into one shared flow.  ``warnings`` is the
+    *live* list the running backend appends to; sinks that snapshot it must
+    copy it in :meth:`TraceSink.on_close`, when it is complete.
+    """
+
+    #: Name of the (flattened) process being simulated.
+    process_name: str
+    #: Scenario length in instants (the number of ``on_instant`` calls of a
+    #: run that completes normally).
+    length: int
+    #: Recorded signal names, in record order, duplicates preserved.
+    signals: Tuple[str, ...]
+    #: Declared :class:`~repro.sig.values.SignalType` by signal name.
+    #: Undeclared (scenario-only) recorded names are simply missing.
+    types: Mapping[str, SignalType] = field(default_factory=dict)
+    #: The run's warning list — live, shared with the backend.
+    warnings: List[str] = field(default_factory=list)
+
+
+class TraceSink:
+    """Base class of streaming trace sinks (see the module docstring).
+
+    Subclasses override :meth:`on_instant` (required) and usually
+    :meth:`on_header` / :meth:`on_close`; :meth:`result` returns whatever
+    the sink produced, in a picklable form so batched runs can ship it back
+    from worker processes (see ``simulate_batch(sink_factory=...)``).
+
+    :meth:`on_close` may be invoked on a sink whose :meth:`on_header` never
+    ran (another sink of the same run failed first); :attr:`header` is
+    ``None`` in that case, and overrides should bail out early, as the
+    built-in sinks do.
+    """
+
+    #: The current run's header (``None`` until :meth:`on_header`).
+    header: Optional[TraceHeader] = None
+
+    def on_header(self, header: TraceHeader) -> None:
+        """Called once per run before the first instant."""
+        self.header = header
+
+    def on_instant(
+        self, instant: int, statuses: Tuple[bool, ...], values: Tuple[Any, ...]
+    ) -> None:
+        """Called once per instant with per-recorded-signal presence/values."""
+        raise NotImplementedError
+
+    def on_close(self) -> None:
+        """Called once per run after the last instant (even on failure)."""
+
+    def result(self) -> Any:
+        """The sink's (picklable) product, available after :meth:`on_close`."""
+        return None
+
+
+#: What callers may pass wherever sinks are accepted: one sink or several.
+SinkOrSinks = Union[TraceSink, Sequence[TraceSink]]
+
+#: Per-scenario sink factory of the batched APIs: called with the scenario
+#: index, returns the sink(s) that scenario streams into.
+SinkFactory = Callable[[int], SinkOrSinks]
+
+
+def as_sink_list(sinks: Optional[SinkOrSinks]) -> List[TraceSink]:
+    """Normalise a ``sinks=`` argument (``None``, one sink, or a sequence)."""
+    if sinks is None:
+        return []
+    if isinstance(sinks, TraceSink):
+        return [sinks]
+    return list(sinks)
+
+
+def close_sinks(sinks: Sequence[TraceSink]) -> None:
+    """Close every sink, even when one of them raises on close.
+
+    The drivers call this from their ``finally`` blocks: one sink failing
+    to write its final bytes (disk full, closed pipe) must not leave the
+    remaining sinks' file handles open.  The first close error is re-raised
+    after every sink has been given its :meth:`TraceSink.on_close` call.
+    """
+    first_error: Optional[BaseException] = None
+    for sink in sinks:
+        try:
+            sink.on_close()
+        except BaseException as error:  # noqa: BLE001 - every sink must close
+            if first_error is None:
+                first_error = error
+    if first_error is not None:
+        raise first_error
+
+
+class MaterializeSink(TraceSink):
+    """Rebuild the legacy :class:`~repro.sig.simulator.SimulationTrace`.
+
+    The produced trace is bit-identical to what the non-streaming path
+    returns (flows, shared duplicate-name flows, warnings), which is
+    enforced across the whole case-study catalog by
+    ``tests/integration/test_sink_parity.py``.  Use it to stream into other
+    sinks *and* keep the full trace, or as the oracle when validating a new
+    sink.
+    """
+
+    def __init__(self) -> None:
+        self.trace: Optional[SimulationTrace] = None
+        self._lists: Dict[str, List[Any]] = {}
+        self._plan: List[List[Any]] = []
+        self._instants_seen = 0
+
+    def on_header(self, header: TraceHeader) -> None:
+        super().on_header(header)
+        # Duplicate names share one list and are appended once per
+        # occurrence, mirroring the legacy shared-Flow behaviour.
+        self._lists = {}
+        self._plan = [self._lists.setdefault(name, []) for name in header.signals]
+        self._instants_seen = 0
+
+    def on_instant(
+        self, instant: int, statuses: Tuple[bool, ...], values: Tuple[Any, ...]
+    ) -> None:
+        for out, value in zip(self._plan, values):
+            out.append(value)
+        self._instants_seen = instant + 1
+
+    def on_close(self) -> None:
+        if self.header is None:
+            return
+        # An aborted run yields a trace of the instants that completed, so
+        # the declared length never exceeds the recorded flows.
+        self.trace = SimulationTrace(
+            process_name=self.header.process_name,
+            length=min(self.header.length, self._instants_seen),
+            flows={name: Flow(name, values) for name, values in self._lists.items()},
+            warnings=list(self.header.warnings),
+        )
+
+    def result(self) -> Optional[SimulationTrace]:
+        """The materialised trace (``None`` until :meth:`on_close`)."""
+        return self.trace
+
+
+@dataclass
+class SignalStatistics:
+    """Constant-memory aggregate of one recorded signal."""
+
+    name: str
+    #: Instants at which the signal was present / absent.
+    present: int = 0
+    absent: int = 0
+    #: Smallest and largest *comparable* present value (numbers, strings of
+    #: one type...); stays ``None`` when no present value was comparable.
+    minimum: Any = None
+    maximum: Any = None
+    #: First and last instants of presence (``None`` when never present).
+    first_instant: Optional[int] = None
+    last_instant: Optional[int] = None
+
+    def observe(self, instant: int, value: Any) -> None:
+        """Fold one instant into the aggregate."""
+        if not is_present(value):
+            self.absent += 1
+            return
+        self.present += 1
+        if self.first_instant is None:
+            self.first_instant = instant
+        self.last_instant = instant
+        try:
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+        except TypeError:
+            # Mixed/unorderable value types: keep the counts, drop the range.
+            pass
+
+
+@dataclass
+class TraceStatistics:
+    """Per-signal aggregates of one streamed run (see :class:`StatisticsSink`).
+
+    The flow-level accessors (:meth:`count_present`, :meth:`clock_length`)
+    mirror their :class:`~repro.sig.simulator.SimulationTrace` counterparts
+    so sweep reports can switch between materialised and streamed runs, and
+    :func:`batch_statistics_summary` aggregates many of these exactly like
+    :func:`~repro.sig.engine.batch.batch_flow_summary` aggregates traces.
+    """
+
+    process_name: str
+    length: int
+    per_signal: Dict[str, SignalStatistics] = field(default_factory=dict)
+    warnings: List[str] = field(default_factory=list)
+
+    def signals(self) -> List[str]:
+        """The recorded signal names, sorted (as ``SimulationTrace.signals``)."""
+        return sorted(self.per_signal)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.per_signal
+
+    def __len__(self) -> int:
+        return self.length
+
+    def count_present(self, name: str) -> int:
+        """Number of instants at which *name* was present."""
+        return self.per_signal[name].present
+
+    def summary(self, limit: int = 0) -> str:
+        """Human-readable table; *limit* > 0 keeps the busiest signals only."""
+        stats = sorted(self.per_signal.values(), key=lambda s: (-s.present, s.name))
+        shown = stats[:limit] if limit > 0 else stats
+        lines = [
+            f"streamed statistics of {self.process_name!r}: {self.length} instants, "
+            f"{len(self.per_signal)} signals, {len(self.warnings)} warning(s)"
+        ]
+        for entry in shown:
+            window = (
+                f" [{entry.first_instant}..{entry.last_instant}]"
+                if entry.first_instant is not None
+                else ""
+            )
+            span = (
+                f", range {entry.minimum!r}..{entry.maximum!r}"
+                if entry.minimum is not None
+                else ""
+            )
+            lines.append(
+                f"  {entry.name:<40s} present {entry.present:>8d}{window}{span}"
+            )
+        if limit > 0 and len(stats) > limit:
+            lines.append(f"  ... and {len(stats) - limit} more signal(s)")
+        return "\n".join(lines)
+
+
+class StatisticsSink(TraceSink):
+    """Aggregate every instant into per-signal statistics, O(signals) memory.
+
+    This is the sink of choice for long-horizon runs: a million-instant
+    simulation leaves behind one :class:`SignalStatistics` per signal
+    instead of a million-entry flow per signal.  The product
+    (:class:`TraceStatistics`, via :meth:`result`) is picklable, so batched
+    sweeps can compute it in worker processes and merge in scenario order.
+    """
+
+    def __init__(self) -> None:
+        self.statistics: Optional[TraceStatistics] = None
+        self._stats: Dict[str, SignalStatistics] = {}
+        self._plan: List[SignalStatistics] = []
+        self._instants_seen = 0
+
+    def on_header(self, header: TraceHeader) -> None:
+        super().on_header(header)
+        self._stats = {}
+        # A duplicated record name observes twice per instant, matching the
+        # double-append of the legacy shared flow.
+        self._plan = [
+            self._stats.setdefault(name, SignalStatistics(name)) for name in header.signals
+        ]
+        self._instants_seen = 0
+
+    def on_instant(
+        self, instant: int, statuses: Tuple[bool, ...], values: Tuple[Any, ...]
+    ) -> None:
+        for entry, value in zip(self._plan, values):
+            entry.observe(instant, value)
+        self._instants_seen = instant + 1
+
+    def on_close(self) -> None:
+        if self.header is None:
+            return
+        # As with MaterializeSink, an aborted run reports the instants that
+        # actually completed, keeping present+absent sums equal to length.
+        self.statistics = TraceStatistics(
+            process_name=self.header.process_name,
+            length=min(self.header.length, self._instants_seen),
+            per_signal=self._stats,
+            warnings=list(self.header.warnings),
+        )
+
+    def result(self) -> Optional[TraceStatistics]:
+        """The aggregated statistics (``None`` until :meth:`on_close`)."""
+        return self.statistics
+
+
+def presence_summary(signal: str, counts: List[Optional[int]]) -> Dict[str, Any]:
+    """Assemble the shared batch-summary dictionary from presence counts.
+
+    One assembly serves both :func:`batch_statistics_summary` (streamed
+    batches) and :func:`repro.sig.engine.batch.batch_flow_summary`
+    (materialised batches), so their output stays identical by construction
+    rather than by test: per-scenario presence counts (``None`` for failed
+    scenarios or unrecorded signals), their total, and the min/max over the
+    successful scenarios.
+    """
+    present = [count for count in counts if count is not None]
+    return {
+        "signal": signal,
+        "per_scenario": counts,
+        "total": sum(present),
+        "min": min(present) if present else None,
+        "max": max(present) if present else None,
+    }
+
+
+def batch_statistics_summary(
+    results: Iterable[Optional[TraceStatistics]], signal: str
+) -> Dict[str, Any]:
+    """Aggregate one signal across a batch of streamed runs.
+
+    The streamed counterpart of
+    :func:`repro.sig.engine.batch.batch_flow_summary`: feed it the
+    ``sink_results`` of a ``simulate_batch(sink_factory=...)`` run whose
+    factory makes :class:`StatisticsSink` objects, and it returns the
+    identical summary dictionary (see :func:`presence_summary`).
+    """
+    counts: List[Optional[int]] = []
+    for stats in results:
+        if stats is None or signal not in stats:
+            counts.append(None)
+        else:
+            counts.append(stats.count_present(signal))
+    return presence_summary(signal, counts)
+
+
+class _AlwaysAbsent:
+    """O(1) stand-in for a flow the trace does not hold: ⊥ at every index."""
+
+    def __getitem__(self, index: int) -> Any:
+        return ABSENT
+
+
+_ALWAYS_ABSENT = _AlwaysAbsent()
+
+
+def replay_trace(
+    trace: SimulationTrace,
+    sinks: SinkOrSinks,
+    signals: Optional[Iterable[str]] = None,
+    types: Optional[Mapping[str, SignalType]] = None,
+) -> None:
+    """Drive *sinks* from an already-materialised trace.
+
+    This is how the post-hoc exporters reuse the streaming machinery: the
+    legacy :func:`repro.sig.vcd.write_vcd` is a replay of the trace through
+    a :class:`~repro.sig.vcd.StreamingVcdSink`.  *signals* restricts (and
+    orders) the replayed names, defaulting to the trace's sorted signal
+    list; names the trace does not hold replay as always-absent.
+    """
+    sink_list = as_sink_list(sinks)
+    names = tuple(signals) if signals is not None else tuple(trace.signals())
+    try:
+        header = TraceHeader(
+            process_name=trace.process_name,
+            length=trace.length,
+            signals=names,
+            types=dict(types) if types is not None else {},
+            warnings=trace.warnings,
+        )
+        for sink in sink_list:
+            sink.on_header(header)
+        flows = [trace.flows.get(name, _ALWAYS_ABSENT) for name in names]
+        for instant in range(trace.length):
+            values = tuple(flow[instant] for flow in flows)
+            statuses = tuple(value is not ABSENT for value in values)
+            for sink in sink_list:
+                sink.on_instant(instant, statuses, values)
+    finally:
+        close_sinks(sink_list)
+
+
+__all__ = [
+    "MaterializeSink",
+    "SignalStatistics",
+    "SinkFactory",
+    "SinkOrSinks",
+    "StatisticsSink",
+    "TraceHeader",
+    "TraceSink",
+    "TraceStatistics",
+    "as_sink_list",
+    "batch_statistics_summary",
+    "close_sinks",
+    "presence_summary",
+    "replay_trace",
+]

@@ -65,6 +65,38 @@ class TestCommands:
         assert os.path.exists(vcd)
         assert "deadline alarms: none" in out
 
+    def test_simulate_stream_vcd_and_stats(self, model_file, tmp_path, capsys):
+        stream = str(tmp_path / "stream.vcd")
+        code = main(["simulate", model_file, "--hyperperiods", "1",
+                     "--stream-vcd", stream, "--stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert os.path.exists(stream)
+        assert f"streaming VCD trace written to {stream}" in out
+        assert "streamed statistics" in out
+        assert "$enddefinitions $end" in open(stream).read()
+
+    def test_simulate_no_trace_streams_only(self, model_file, capsys):
+        code = main(["simulate", model_file, "--hyperperiods", "1", "--no-trace", "--stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no trace materialised" in out
+        assert "streamed statistics" in out
+        # The alarm report survives --no-trace through the streaming sink.
+        assert "deadline alarms: none" in out
+
+    def test_simulate_no_trace_batch_streams_statistics(self, model_file, capsys):
+        code = main(["simulate", model_file, "--hyperperiods", "1",
+                     "--no-trace", "--batch", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "batch of 3 scenario(s)" in out
+        assert "streamed" in out
+
+    def test_simulate_no_trace_rejects_post_hoc_vcd(self, model_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", model_file, "--no-trace", "--vcd", str(tmp_path / "t.vcd")])
+
     def test_default_root_detection(self, model_file, capsys):
         # No --root: the first system implementation is used.
         assert main(["schedule", model_file]) == 0

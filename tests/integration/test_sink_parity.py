@@ -1,0 +1,147 @@
+"""MaterializeSink parity over the full case-study catalog.
+
+The streaming path must be an observation of the exact same run the legacy
+materialising path performs: a :class:`~repro.sig.sinks.MaterializeSink`
+fed by ``run(..., sinks=[...])`` has to rebuild the legacy
+:class:`~repro.sig.simulator.SimulationTrace` bit for bit — flows, warnings
+and length — on both backends, and under sharded batch execution
+(``workers=N``) with per-scenario sink factories.  This is the contract
+that lets million-instant runs switch to sinks without changing a single
+observable value.
+"""
+
+import os
+
+import pytest
+
+from repro.casestudies import catalog_names, load_case_study, scenario_sweep
+from repro.core import ToolchainOptions, TranslationConfig, run_toolchain
+from repro.scheduling.static_scheduler import SchedulingError
+from repro.sig.engine import CompiledBackend, ReferenceBackend, simulate_batch
+from repro.sig.sinks import MaterializeSink, StatisticsSink, batch_statistics_summary
+from repro.sig.engine.batch import batch_flow_summary
+
+
+@pytest.fixture(scope="module")
+def translated():
+    """Translate each catalog entry once, caching per module (same policy as
+    ``test_backend_parity``: entries that are not RM-schedulable are
+    translated without the scheduler)."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            entry = load_case_study(name)
+            options = ToolchainOptions(
+                root_implementation=entry.root_implementation,
+                default_package=entry.default_package,
+                simulate_hyperperiods=0,
+                cost_model=None,
+            )
+            try:
+                cache[name] = run_toolchain(entry.load_model(), options)
+            except SchedulingError:
+                options.translation = TranslationConfig(include_scheduler=False)
+                cache[name] = run_toolchain(entry.load_model(), options)
+        return cache[name]
+
+    return get
+
+
+def _scenario_length(result, hyperperiods=1, fallback=24, cap=None):
+    if result.schedules:
+        length = next(iter(result.schedules.values())).simulation_length(hyperperiods)
+    else:
+        length = fallback
+    return min(length, cap) if cap else length
+
+
+def _assert_bit_identical(produced, reference, context):
+    assert produced is not None, context
+    assert produced.length == reference.length, context
+    assert set(produced.flows) == set(reference.flows), context
+    for signal in reference.flows:
+        assert produced.flows[signal] == reference.flows[signal], (
+            f"{context}: flow of {signal!r} diverges between sink and legacy path"
+        )
+    assert produced.warnings == reference.warnings, context
+
+
+@pytest.mark.parametrize("name", catalog_names())
+@pytest.mark.parametrize("backend", [ReferenceBackend, CompiledBackend])
+def test_materialize_sink_is_bit_identical_on_catalog(name, backend, translated):
+    result = translated(name)
+    system_model = result.translation.system_model
+    scenarios = scenario_sweep(
+        system_model, length=_scenario_length(result, cap=48), variants=2, seed=23
+    )
+
+    runner = backend(system_model, strict=False)
+    for index, scenario in enumerate(scenarios):
+        legacy = runner.run(scenario)
+        sink = MaterializeSink()
+        out = runner.run(scenario, sinks=[sink])
+        assert out is None
+        _assert_bit_identical(sink.trace, legacy, f"{name}, scenario {index}, {runner.name}")
+
+
+def _materialize_factory(index):
+    return MaterializeSink()
+
+
+def _stats_factory(index):
+    return StatisticsSink()
+
+
+@pytest.mark.parametrize("name", catalog_names())
+def test_materialize_sink_parity_under_workers(name, translated):
+    """Sharded streaming batches rebuild the sequential legacy traces exactly,
+    in scenario order, with per-worker sink factories."""
+    result = translated(name)
+    system_model = result.translation.system_model
+    scenarios = scenario_sweep(
+        system_model, length=_scenario_length(result, cap=32), variants=3, seed=29
+    )
+    workers = 2 if (os.cpu_count() or 1) > 1 else 1
+
+    legacy = simulate_batch(system_model, scenarios, strict=False, collect_errors=True)
+    streamed = simulate_batch(
+        system_model,
+        scenarios,
+        strict=False,
+        collect_errors=True,
+        workers=workers,
+        sink_factory=_materialize_factory,
+    )
+    assert [index for index, _ in streamed.errors] == [index for index, _ in legacy.errors]
+    assert len(streamed.sink_results) == len(legacy.traces)
+    for index, (produced, reference) in enumerate(zip(streamed.sink_results, legacy.traces)):
+        if reference is None:
+            assert produced is None
+            continue
+        _assert_bit_identical(produced, reference, f"{name}, scenario {index}, workers={workers}")
+
+
+def test_statistics_summary_matches_flow_summary_on_case_study(translated):
+    """The aggregate sink's batch summary reproduces batch_flow_summary on a
+    real translated model (flow summaries compatible by construction)."""
+    result = translated("producer_consumer")
+    system_model = result.translation.system_model
+    scenarios = scenario_sweep(
+        system_model, length=_scenario_length(result, cap=32), variants=3, seed=31
+    )
+    legacy = simulate_batch(system_model, scenarios, strict=False, collect_errors=True)
+    streamed = simulate_batch(
+        system_model,
+        scenarios,
+        strict=False,
+        collect_errors=True,
+        sink_factory=_stats_factory,
+    )
+    reference_trace = next(trace for trace in legacy.traces if trace is not None)
+    checked = 0
+    for signal in reference_trace.signals():
+        expected = batch_flow_summary(legacy, signal)
+        assert batch_statistics_summary(streamed.sink_results, signal) == expected
+        checked += 1
+    assert checked > 0

@@ -1,0 +1,427 @@
+"""Tests of the streaming trace sinks (repro.sig.sinks).
+
+The contract under test: streaming a run into sinks observes exactly what
+the legacy materialising path records (MaterializeSink is bit-identical to
+``SimulationTrace``), statistics aggregate without holding flows, sinks
+close even when the simulation aborts, and the batched APIs create, drive
+and harvest per-scenario sinks in scenario order — sequentially and across
+worker processes.
+"""
+
+import pytest
+
+from repro.sig import builder as b
+from repro.sig.engine import CompiledBackend, ReferenceBackend, simulate, simulate_batch
+from repro.sig.engine.batch import batch_flow_summary
+from repro.sig.process import ProcessModel
+from repro.sig.simulator import ClockViolation, Scenario, Simulator
+from repro.sig.sinks import (
+    MaterializeSink,
+    SignalStatistics,
+    StatisticsSink,
+    TraceHeader,
+    TraceSink,
+    as_sink_list,
+    batch_statistics_summary,
+    replay_trace,
+)
+from repro.sig.values import ABSENT, EVENT, INTEGER
+
+
+def counter_model() -> ProcessModel:
+    model = ProcessModel("sink_sample")
+    model.input("tick", EVENT)
+    model.output("count", INTEGER)
+    model.local("zcount", INTEGER)
+    model.define("zcount", b.delay(b.ref("count"), init=0))
+    model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.clock("tick")))
+    model.synchronise("count", "tick")
+    return model
+
+
+def clock_conflict_model() -> ProcessModel:
+    """Applying ``+`` to signals on different clocks raises in strict mode."""
+    model = ProcessModel("conflict")
+    model.input("x", INTEGER)
+    model.input("y", INTEGER)
+    model.output("bad", INTEGER)
+    model.define("bad", b.func("+", b.ref("x"), b.ref("y")))
+    return model
+
+
+@pytest.fixture()
+def model():
+    return counter_model()
+
+
+@pytest.fixture()
+def scenario():
+    return Scenario(8).set_periodic("tick", 2)
+
+
+class RecordingSink(TraceSink):
+    """Collects every callback for protocol assertions."""
+
+    def __init__(self):
+        self.headers = []
+        self.instants = []
+        self.closed = 0
+
+    def on_header(self, header):
+        super().on_header(header)
+        self.headers.append(header)
+
+    def on_instant(self, instant, statuses, values):
+        self.instants.append((instant, statuses, values))
+
+    def on_close(self):
+        self.closed += 1
+
+
+class TestProtocol:
+    def test_header_describes_the_run(self, model, scenario):
+        sink = RecordingSink()
+        out = simulate(model, scenario, record=["tick", "count"], sinks=sink)
+        assert out is None
+        (header,) = sink.headers
+        assert header.process_name == "sink_sample"
+        assert header.length == 8
+        assert header.signals == ("tick", "count")
+        assert header.types["count"] is INTEGER
+        assert sink.closed == 1
+        assert len(sink.instants) == 8
+
+    def test_statuses_match_values(self, model, scenario):
+        sink = RecordingSink()
+        simulate(model, scenario, record=["tick", "count"], sinks=[sink])
+        for _, statuses, values in sink.instants:
+            assert statuses == tuple(value is not ABSENT for value in values)
+
+    def test_as_sink_list_normalises(self):
+        sink = RecordingSink()
+        assert as_sink_list(None) == []
+        assert as_sink_list(sink) == [sink]
+        assert as_sink_list([sink, sink]) == [sink, sink]
+
+    @pytest.mark.parametrize("backend", [ReferenceBackend, CompiledBackend])
+    def test_both_backends_stream(self, model, scenario, backend):
+        sink = RecordingSink()
+        runner = backend(model)
+        assert runner.run(scenario, sinks=[sink]) is None
+        assert sink.closed == 1
+        assert len(sink.instants) == scenario.length
+
+    @pytest.mark.parametrize("backend", [ReferenceBackend, CompiledBackend])
+    def test_empty_sink_list_streams_to_nothing(self, model, scenario, backend):
+        """``sinks=[]`` selects streaming (nothing retained, ``None``
+        returned) — it must not silently materialise and discard a trace."""
+        runner = backend(model)
+        assert runner.run(scenario, sinks=[]) is None
+
+    def test_failing_on_header_still_closes_earlier_sinks(self, model, scenario, tmp_path):
+        from repro.sig.vcd import StreamingVcdSink
+
+        class ExplodingSink(TraceSink):
+            def on_header(self, header):
+                raise RuntimeError("boom")
+
+            def on_instant(self, instant, statuses, values):
+                pass
+
+        path = tmp_path / "partial.vcd"
+        vcd_sink = StreamingVcdSink(str(path))
+        untouched = MaterializeSink()  # its on_header never runs
+        with pytest.raises(RuntimeError, match="boom"):
+            simulate(model, scenario, sinks=[vcd_sink, ExplodingSink(), untouched])
+        # The VCD sink's handle was closed (file readable and terminated)
+        # and the never-started sink tolerated the close.
+        assert path.read_text().rstrip().endswith("#0")
+        assert untouched.trace is None
+
+    def test_failing_on_close_still_closes_remaining_sinks(self, model, scenario, tmp_path):
+        from repro.sig.vcd import StreamingVcdSink
+
+        class FailingClose(TraceSink):
+            def on_instant(self, instant, statuses, values):
+                pass
+
+            def on_close(self):
+                raise OSError("disk full")
+
+        path = tmp_path / "after-failure.vcd"
+        vcd_sink = StreamingVcdSink(str(path))
+        with pytest.raises(OSError, match="disk full"):
+            simulate(model, scenario, sinks=[FailingClose(), vcd_sink])
+        # The later sink was still closed: the file is terminated properly.
+        assert path.read_text().rstrip().endswith(f"#{scenario.length}")
+
+    def test_sinks_closed_when_the_run_aborts(self):
+        model = clock_conflict_model()
+        scenario = Scenario(4).set_periodic("x", 1).set_periodic("y", 2, phase=1)
+        for factory in (ReferenceBackend, CompiledBackend):
+            sink = RecordingSink()
+            with pytest.raises(ClockViolation):
+                factory(model, strict=True).run(scenario, sinks=[sink])
+            assert sink.closed == 1
+            assert len(sink.instants) < scenario.length
+
+
+class TestMaterializeSink:
+    @pytest.mark.parametrize("backend", [ReferenceBackend, CompiledBackend])
+    def test_bit_identical_to_legacy_trace(self, model, scenario, backend):
+        runner = backend(model)
+        legacy = runner.run(scenario)
+        sink = MaterializeSink()
+        assert runner.run(scenario, sinks=[sink]) is None
+        assert sink.trace is not None
+        assert sink.trace.process_name == legacy.process_name
+        assert sink.trace.length == legacy.length
+        assert sink.trace.flows == legacy.flows
+        assert sink.trace.warnings == legacy.warnings
+
+    def test_result_returns_the_trace(self, model, scenario):
+        sink = MaterializeSink()
+        simulate(model, scenario, sinks=sink)
+        assert sink.result() is sink.trace
+
+    def test_duplicate_record_names_share_one_flow(self, model, scenario):
+        """A name recorded twice double-appends into one shared flow, exactly
+        like the legacy recording paths."""
+        legacy = Simulator(model).run(scenario, record=["count", "count"])
+        sink = MaterializeSink()
+        simulate(model, scenario, record=["count", "count"], sinks=sink)
+        assert sink.trace.flows == legacy.flows
+        assert len(sink.trace.flows["count"]) == 2 * scenario.length
+
+    def test_aborted_run_yields_a_consistent_partial_trace(self):
+        """On abort, the trace covers exactly the completed instants — its
+        declared length never exceeds its flows (same for statistics)."""
+        model = clock_conflict_model()
+        # Instant 0 succeeds (both present), instant 1 violates the clocks.
+        scenario = Scenario(6).set_periodic("x", 1, value=3).set_periodic("y", 2, value=4)
+        materialize, stats = MaterializeSink(), StatisticsSink()
+        with pytest.raises(ClockViolation):
+            simulate(model, scenario, sinks=[materialize, stats])
+        trace = materialize.trace
+        assert trace.length == 1
+        assert all(len(flow) == trace.length for flow in trace.flows.values())
+        assert trace.value_at("bad", 0) == 7
+        statistics = stats.result()
+        assert statistics.length == 1
+        entry = statistics.per_signal["bad"]
+        assert entry.present + entry.absent == statistics.length
+
+    def test_zero_instant_scenario(self, model):
+        sink = MaterializeSink()
+        simulate(model, Scenario(0), sinks=sink)
+        assert sink.trace.length == 0
+        assert set(sink.trace.flows) == set(model.signals)
+        assert all(len(flow) == 0 for flow in sink.trace.flows.values())
+
+
+class TestStatisticsSink:
+    def test_counts_match_the_trace(self, model, scenario):
+        legacy = simulate(model, scenario)
+        sink = StatisticsSink()
+        simulate(model, scenario, sinks=sink)
+        stats = sink.result()
+        assert stats.length == legacy.length
+        assert stats.signals() == legacy.signals()
+        for name in legacy.signals():
+            assert stats.count_present(name) == legacy.count_present(name)
+            entry = stats.per_signal[name]
+            assert entry.absent == legacy.length - entry.present
+
+    def test_min_max_and_activity_window(self, model, scenario):
+        sink = StatisticsSink()
+        simulate(model, scenario, sinks=sink)
+        count = sink.result().per_signal["count"]
+        assert (count.minimum, count.maximum) == (1, 4)
+        assert (count.first_instant, count.last_instant) == (0, 6)
+
+    def test_unorderable_values_keep_counts_drop_range(self):
+        entry = SignalStatistics("s")
+        entry.observe(0, 1)
+        entry.observe(1, "a")  # int < str raises TypeError
+        assert entry.present == 2
+        assert (entry.minimum, entry.maximum) == (1, 1)
+
+    def test_summary_limit(self, model, scenario):
+        sink = StatisticsSink()
+        simulate(model, scenario, sinks=sink)
+        text = sink.result().summary(limit=1)
+        assert "more signal(s)" in text
+        assert "8 instants" in text
+
+    def test_statistics_are_picklable(self, model, scenario):
+        import pickle
+
+        sink = StatisticsSink()
+        simulate(model, scenario, sinks=sink)
+        clone = pickle.loads(pickle.dumps(sink.result()))
+        assert clone.count_present("count") == sink.result().count_present("count")
+
+
+class TestReplay:
+    def test_replay_equals_live_statistics(self, model, scenario):
+        trace = simulate(model, scenario)
+        live = StatisticsSink()
+        simulate(model, scenario, sinks=live)
+        replayed = StatisticsSink()
+        replay_trace(trace, replayed)
+        assert replayed.result() == live.result()
+
+    def test_replay_unknown_name_is_always_absent(self, model, scenario):
+        trace = simulate(model, scenario)
+        sink = StatisticsSink()
+        replay_trace(trace, sink, signals=["count", "ghost"])
+        stats = sink.result()
+        assert stats.per_signal["ghost"].present == 0
+        assert stats.per_signal["ghost"].absent == trace.length
+
+
+class _ResultLessSink(TraceSink):
+    """A sink with no product (``result()`` stays ``None``)."""
+
+    def on_instant(self, instant, statuses, values):
+        pass
+
+
+def _result_less_factory(index):
+    return _ResultLessSink()
+
+
+def _stats_factory(index):
+    return StatisticsSink()
+
+
+def _materialize_factory(index):
+    return MaterializeSink()
+
+
+def _stats_pair_factory(index):
+    return [StatisticsSink(), MaterializeSink()]
+
+
+class TestBatchStreaming:
+    @pytest.fixture()
+    def scenarios(self):
+        return [Scenario(12).set_periodic("tick", period) for period in (1, 2, 3, 4)]
+
+    def test_sink_factory_disables_materialisation(self, model, scenarios):
+        result = simulate_batch(model, scenarios, sink_factory=_stats_factory)
+        assert result.streamed
+        assert result.traces == [None] * len(scenarios)
+        assert len(result.sink_results) == len(scenarios)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_summary_matches_flow_summary(self, model, scenarios, workers):
+        legacy = simulate_batch(model, scenarios)
+        streamed = simulate_batch(
+            model, scenarios, sink_factory=_stats_factory, workers=workers
+        )
+        assert batch_statistics_summary(streamed.sink_results, "count") == batch_flow_summary(
+            legacy, "count"
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_materialize_factory_parity_across_workers(self, model, scenarios, workers):
+        legacy = simulate_batch(model, scenarios)
+        streamed = simulate_batch(
+            model, scenarios, sink_factory=_materialize_factory, workers=workers
+        )
+        assert len(streamed.sink_results) == len(legacy.traces)
+        for produced, reference in zip(streamed.sink_results, legacy.traces):
+            assert produced.flows == reference.flows
+            assert produced.warnings == reference.warnings
+
+    def test_summary_does_not_count_result_less_sinks_as_failures(self, model, scenarios):
+        result = simulate_batch(model, scenarios, sink_factory=_result_less_factory)
+        assert result.ok
+        assert f"{len(scenarios)} succeeded, 0 failed" in result.summary()
+        assert "streamed" in result.summary()
+
+    def test_factory_returning_several_sinks(self, model, scenarios):
+        result = simulate_batch(model, scenarios, sink_factory=_stats_pair_factory)
+        for payload in result.sink_results:
+            stats, trace = payload
+            assert stats.count_present("count") == trace.count_present("count")
+
+    def test_failed_scenarios_contribute_none(self):
+        model = clock_conflict_model()
+        bad = [Scenario(4).set_periodic("x", 1).set_periodic("y", 2, phase=1)]
+        good = [Scenario(4).set_periodic("x", 1).set_periodic("y", 1)]
+        result = simulate_batch(
+            model, bad + good, strict=True, collect_errors=True, sink_factory=_stats_factory
+        )
+        assert result.sink_results[0] is None
+        assert result.sink_results[1] is not None
+        assert [index for index, _ in result.errors] == [0]
+        summary = batch_statistics_summary(result.sink_results, "bad")
+        assert summary["per_scenario"] == [None, 4]
+
+
+class TestToolchainStreaming:
+    @pytest.fixture(scope="class")
+    def streamed_toolchain(self):
+        from repro.casestudies import PRODUCER_CONSUMER_AADL
+        from repro.core import ToolchainOptions, run_toolchain
+
+        stats = StatisticsSink()
+        options = ToolchainOptions(
+            root_implementation="ProducerConsumerSystem.others",
+            default_package="ProducerConsumer",
+            simulate_hyperperiods=1,
+            cost_model=None,
+            sinks=[stats],
+            materialize_trace=False,
+        )
+        return run_toolchain(PRODUCER_CONSUMER_AADL, options), stats
+
+    def test_streaming_only_run_has_no_trace(self, streamed_toolchain):
+        result, stats = streamed_toolchain
+        assert result.trace is None
+        assert result.profile is None
+        assert result.scenario_length > 0
+        assert result.sink_results == [stats.result()]
+        assert stats.result().length == result.scenario_length
+
+    def test_summary_reports_the_streamed_run(self, streamed_toolchain):
+        result, _ = streamed_toolchain
+        assert "streamed to 1 sink(s)" in result.summary()
+
+    def test_no_trace_without_sinks_streams_to_nothing(self):
+        """materialize_trace=False with no sinks must not materialise a
+        throwaway trace: the run streams to an empty sink list."""
+        from repro.casestudies import PRODUCER_CONSUMER_AADL
+        from repro.core import ToolchainOptions, run_toolchain
+
+        options = ToolchainOptions(
+            root_implementation="ProducerConsumerSystem.others",
+            default_package="ProducerConsumer",
+            simulate_hyperperiods=1,
+            cost_model=None,
+            materialize_trace=False,
+        )
+        result = run_toolchain(PRODUCER_CONSUMER_AADL, options)
+        assert result.trace is None
+        assert result.scenario_length > 0
+        assert "streamed to 0 sink(s)" in result.summary()
+
+    def test_sinks_alongside_materialised_trace(self, pc_toolchain):
+        from repro.core import ToolchainOptions, run_toolchain
+        from repro.casestudies import PRODUCER_CONSUMER_AADL
+
+        stats = StatisticsSink()
+        options = ToolchainOptions(
+            root_implementation="ProducerConsumerSystem.others",
+            default_package="ProducerConsumer",
+            simulate_hyperperiods=2,
+            stimuli_periods={"sysEnv_pProdStart_stimulus": 4, "sysEnv_pConsStart_stimulus": 6},
+            sinks=[stats],
+        )
+        result = run_toolchain(PRODUCER_CONSUMER_AADL, options)
+        assert result.trace is not None
+        assert result.trace.flows == pc_toolchain.trace.flows
+        for name in result.trace.signals():
+            assert stats.result().count_present(name) == result.trace.count_present(name)

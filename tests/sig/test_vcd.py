@@ -1,12 +1,22 @@
 """Tests of the VCD writer/parser (co-simulation demonstration substrate)."""
 
+import io
+
 import pytest
 
 from repro.sig import builder as b
+from repro.sig.engine import simulate
 from repro.sig.process import ProcessModel
 from repro.sig.simulator import Scenario, Simulator
-from repro.sig.vcd import VcdWriter, parse_vcd, write_vcd
-from repro.sig.values import BOOLEAN, EVENT, INTEGER
+from repro.sig.vcd import (
+    StreamingVcdSink,
+    VcdWriter,
+    parse_vcd,
+    shape_for_type,
+    shapes_from_trace,
+    write_vcd,
+)
+from repro.sig.values import BOOLEAN, EVENT, INTEGER, REAL, STRING
 
 
 @pytest.fixture()
@@ -59,6 +69,145 @@ class TestWriter:
         document = parse_vcd(VcdWriter().render(sample_trace, signals=["tick"]))
         with pytest.raises(KeyError):
             document.changes_of("nonexistent")
+
+
+def _edge_model():
+    """Every VCD edge case in one model: an input that never occurs, a float
+    signal, a string signal and an integer counter."""
+    model = ProcessModel("vcd_edges")
+    model.input("tick", EVENT)
+    model.input("ghost", EVENT)  # never driven: absent at every instant
+    model.output("count", INTEGER)
+    model.local("zcount", INTEGER)
+    model.output("temp", REAL)
+    model.output("label", STRING)
+    model.define("zcount", b.delay(b.ref("count"), init=0))
+    model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.clock("tick")))
+    model.synchronise("count", "tick")
+    model.define("temp", b.when(b.const(3.5), b.clock("tick")))
+    model.define("label", b.when(b.const("hi"), b.clock("tick")))
+    model.synchronise("temp", "tick")
+    model.synchronise("label", "tick")
+    return model
+
+
+_EDGE_SIGNALS = ["tick", "ghost", "count", "temp", "label"]
+
+
+def _edge_vcd_text(scenario, via):
+    """The same VCD two ways: post-hoc writer vs live streaming sink."""
+    model = _edge_model()
+    trace = simulate(model, scenario, record=_EDGE_SIGNALS)
+    if via == "legacy":
+        return VcdWriter().render(trace, signals=_EDGE_SIGNALS)
+    buffer = io.StringIO()
+    sink = StreamingVcdSink(buffer, shapes=shapes_from_trace(trace, _EDGE_SIGNALS))
+    simulate(model, scenario, record=_EDGE_SIGNALS, sinks=sink)
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("via", ["legacy", "streaming"])
+class TestEdgeCasesSharedByWriterAndSink:
+    """The legacy writer and the streaming sink must agree on every edge
+    case: signals that are always absent, zero-instant traces and
+    non-boolean (integer/real/string) values."""
+
+    def test_always_absent_signal_stays_idle(self, via):
+        document = parse_vcd(_edge_vcd_text(Scenario(6).set_periodic("tick", 2), via))
+        assert document.activation_times("ghost") == []
+        # The wire is driven to z once (dump + instant 0) and never again.
+        assert [value for _, value in document.changes_of("ghost")] == ["z"]
+
+    def test_zero_instant_trace_has_header_and_final_timestamp(self, via):
+        text = _edge_vcd_text(Scenario(0), via)
+        assert "$enddefinitions $end" in text
+        assert text.rstrip().endswith("#0")
+        document = parse_vcd(text)
+        assert set(document.variables) == set(_EDGE_SIGNALS)
+        assert document.activation_times("count") == []
+
+    def test_real_values_round_trip(self, via):
+        document = parse_vcd(_edge_vcd_text(Scenario(6).set_periodic("tick", 2), via))
+        values = [value for _, value in document.changes_of("temp")]
+        # Present instants carry the real value, absent instants return to 0.
+        assert set(values) == {"3.5", "0"}
+        assert document.activation_times("temp") == [0, 2, 4]
+
+    def test_string_values_encode_as_bit_strings(self, via):
+        document = parse_vcd(_edge_vcd_text(Scenario(4).set_periodic("tick", 2), via))
+        changes = document.changes_of("label")
+        encoded = "".join(format(ord(c), "08b") for c in "hi")
+        assert encoded in [value for _, value in changes]
+
+    def test_integer_values_round_trip(self, via):
+        document = parse_vcd(_edge_vcd_text(Scenario(6).set_periodic("tick", 2), via))
+        values = [
+            int(raw, 2)
+            for _, raw in document.changes_of("count")
+            if set(raw) <= {"0", "1"}
+        ]
+        assert values == [1, 2, 3]
+
+
+class TestStreamingSink:
+    def test_byte_identical_to_legacy_writer(self):
+        scenario = Scenario(8).set_periodic("tick", 2)
+        assert _edge_vcd_text(scenario, "streaming") == _edge_vcd_text(scenario, "legacy")
+
+    def test_declared_types_shape_the_header_without_a_trace(self, tmp_path):
+        model = _edge_model()
+        path = tmp_path / "live.vcd"
+        sink = StreamingVcdSink(str(path))
+        simulate(model, Scenario(6).set_periodic("tick", 2), record=_EDGE_SIGNALS, sinks=sink)
+        assert sink.result() == str(path)
+        document = parse_vcd(path.read_text())
+        assert document.variables["tick"].var_type == "wire"
+        assert document.variables["count"].size == 32
+        assert document.variables["temp"].var_type == "real"
+        assert document.activation_times("count") == [0, 2, 4]
+
+    def test_aborted_run_flushes_and_closes_at_last_instant(self, tmp_path):
+        from repro.sig.simulator import ClockViolation
+
+        model = ProcessModel("abort")
+        model.input("x", INTEGER)
+        model.input("y", INTEGER)
+        model.output("bad", INTEGER)
+        model.define("bad", b.func("+", b.ref("x"), b.ref("y")))
+        scenario = Scenario(6).set_periodic("x", 1).set_periodic("y", 2, phase=1)
+        path = tmp_path / "aborted.vcd"
+        sink = StreamingVcdSink(str(path))
+        with pytest.raises(ClockViolation):
+            simulate(model, scenario, sinks=sink)
+        text = path.read_text()  # the file handle was closed despite the abort
+        assert "$enddefinitions $end" in text
+        assert int(text.rstrip().rsplit("#", 1)[1]) < 6
+
+    def test_shape_for_type_mapping(self):
+        assert shape_for_type(EVENT) == ("wire", 1)
+        assert shape_for_type(BOOLEAN) == ("wire", 1)
+        assert shape_for_type(INTEGER) == ("reg", 32)
+        assert shape_for_type(REAL) == ("real", 64)
+        assert shape_for_type(STRING) == ("reg", 256)
+        # Undeclared names keep integer values exact (not a lossy 1-bit wire).
+        assert shape_for_type(None) == ("reg", 32)
+
+    def test_undeclared_scenario_signal_keeps_integer_values(self, tmp_path):
+        """A scenario-only (undeclared) signal carrying integers must not be
+        collapsed to a 1-bit wire by the declared-type fallback."""
+        model = _edge_model()
+        path = tmp_path / "undeclared.vcd"
+        scenario = Scenario(4).set_periodic("tick", 2).set_periodic("extra", 2, value=7)
+        simulate(
+            model, scenario,
+            record=list(model.signals) + ["extra"],
+            sinks=StreamingVcdSink(str(path)),
+        )
+        document = parse_vcd(path.read_text())
+        assert document.variables["extra"].size == 32
+        values = [int(raw, 2) for _, raw in document.changes_of("extra")
+                  if set(raw) <= {"0", "1"}]
+        assert 7 in values
 
 
 class TestParser:

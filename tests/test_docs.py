@@ -1,0 +1,50 @@
+"""Tier-1 enforcement of the documentation health checks.
+
+Imports ``tools/check_docs.py`` (the script CI runs) and asserts both of
+its checks are clean: no broken relative markdown links in README/ROADMAP/
+``docs/``, and no missing docstrings or dangling ``__all__`` entries in the
+engine and sink modules.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", os.path.join(_ROOT, "tools", "check_docs.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_suite_exists():
+    for name in ("ARCHITECTURE.md", "API.md", "PERFORMANCE.md"):
+        assert os.path.exists(os.path.join(_ROOT, "docs", name)), f"docs/{name} is missing"
+
+
+def test_readme_links_the_docs_suite():
+    readme = open(os.path.join(_ROOT, "README.md"), "r", encoding="utf-8").read()
+    for name in ("docs/ARCHITECTURE.md", "docs/API.md", "docs/PERFORMANCE.md"):
+        assert name in readme, f"README.md does not link {name}"
+
+
+def test_markdown_links_resolve(check_docs):
+    problems = check_docs.check_markdown_links()
+    assert problems == []
+
+
+def test_engine_and_sink_docstrings_present(check_docs):
+    problems = check_docs.check_docstrings()
+    assert problems == []
+
+
+def test_public_all_exports_resolve(check_docs):
+    problems = check_docs.audit_all_exports()
+    assert problems == []
