@@ -217,23 +217,33 @@ def _batch_fingerprint(batch):
 
 
 def test_bench_e10_parallel_batch_recorded(bench_e10):
-    """Sharded batch execution is bit-identical to the sequential run, and the
-    measurement is persisted whatever the core count (the ≥2x wall-clock gate
-    is the separate test below, which needs real parallel hardware)."""
-    workers = min(4, os.cpu_count() or 1) if (os.cpu_count() or 1) > 1 else 2
+    """Sharded batch execution is bit-identical to the sequential run; the
+    measurement is persisted only on machines with >= 4 cores (the same bar
+    as the wall-clock gate below).  On fewer cores process sharding cannot
+    win — recording its overhead-dominated timing would look like a
+    regression in BENCH_e10.json, so the parity check still runs but the
+    timing is not persisted."""
+    cores = os.cpu_count() or 1
+    workers = min(4, cores) if cores > 1 else 2
     sequential, sequential_seconds, sharded, sharded_seconds, length = _parallel_sweep_timings(workers)
 
     assert _batch_fingerprint(sequential) == _batch_fingerprint(sharded)
-    bench_e10.record(
-        "parallel_batch_4x8",
-        before_seconds=sequential_seconds,
-        after_seconds=sharded_seconds,
-        backend=sharded.backend,
-        workers=sharded.workers,
-        scenarios=len(sequential.traces),
-        instants=length,
-        cpu_count=os.cpu_count() or 1,
-    )
+    if cores >= 4:
+        bench_e10.record(
+            "parallel_batch_4x8",
+            before_seconds=sequential_seconds,
+            after_seconds=sharded_seconds,
+            backend=sharded.backend,
+            workers=sharded.workers,
+            scenarios=len(sequential.traces),
+            instants=length,
+            cpu_count=cores,
+        )
+    else:
+        print(
+            f"\nE10 — parallel batch timing not recorded: {cores} core(s) "
+            "< 4 (parity checked; see the skip condition of the speedup gate)"
+        )
     print(
         f"\nE10 — parallel batch (4x8, {len(sequential.traces)} scenarios, {length} instants): "
         f"workers=1 {sequential_seconds:.2f}s vs workers={sharded.workers} {sharded_seconds:.2f}s "

@@ -96,8 +96,11 @@ def simulation_batch(variants: int = 16, workers: int = 1) -> None:
         variants=variants,
         seed=config.seed,
     )
+    from repro.sig.engine import numpy_available
+
+    backends = ["reference", "compiled"] + (["vectorized"] if numpy_available() else [])
     timings = {}
-    for backend in ("reference", "compiled"):
+    for backend in backends:
         start = time.perf_counter()
         batch = simulate_batch(
             result.system_model, scenarios, strict=False, backend=backend, collect_errors=True
@@ -106,6 +109,11 @@ def simulation_batch(variants: int = 16, workers: int = 1) -> None:
         print(f"  {backend:<10s} {batch.summary()}")
     if timings["compiled"] > 0:
         print(f"  compiled backend speedup: {timings['reference'] / timings['compiled']:.1f}x")
+    if timings.get("vectorized"):
+        print(
+            "  vectorized backend speedup over compiled: "
+            f"{timings['compiled'] / timings['vectorized']:.1f}x"
+        )
 
     if workers != 1:
         print()

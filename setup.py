@@ -28,9 +28,10 @@ setup(
         "ASME2SSME translation to SIGNAL process models, static scheduler "
         "synthesis exported to affine clocks, formal analyses (clock "
         "calculus, determinism, deadlock), simulation over pluggable "
-        "backends (reference fixed-point interpreter and compiled execution "
-        "plans with batched multi-scenario runs), VCD traces and "
-        "profiling-based performance estimation."
+        "backends (reference fixed-point interpreter, compiled execution "
+        "plans and numpy-vectorized block execution, with batched "
+        "multi-scenario runs), VCD traces and profiling-based performance "
+        "estimation."
     ),
     long_description_content_type="text/plain",
     author="paper-repo-growth",
@@ -38,6 +39,11 @@ setup(
     packages=find_packages("src"),
     package_dir={"": "src"},
     python_requires=">=3.8",
+    extras_require={
+        # The vectorized simulation backend soft-depends on numpy: without
+        # it the backend degrades to the compiled execution plan.
+        "vectorized": ["numpy"],
+    },
     entry_points={
         "console_scripts": [
             "repro=repro.cli:main",

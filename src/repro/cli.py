@@ -24,10 +24,18 @@ from .aadl.parser import parse_file, parse_string
 from .casestudies import CATALOG, PRODUCER_CONSUMER_AADL, load_case_study
 from .core import ToolchainOptions, TranslationConfig, run_toolchain
 from .scheduling import SchedulingPolicy, export_affine_clocks
-from .sig.engine import DEFAULT_BACKEND, backend_names, simulate_batch
+from .sig.engine import DEFAULT_BACKEND, DEFAULT_BLOCK_SIZE, backend_names, simulate_batch
 from .sig.printer import to_signal_source
-from .sig.sinks import StatisticsSink, TraceSink
+from .sig.sinks import StatisticsSink, TraceSink, WindowSink
 from .sig.vcd import StreamingVcdSink
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type for count flags where 0 means "off" (e.g. --window)."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {text}")
+    return value
 
 
 def _stats_sink_factory(index: int) -> StatisticsSink:
@@ -107,6 +115,9 @@ def _toolchain(
     root = args.root or _default_root(model)
     if root is None:
         raise SystemExit("error: no system implementation found; pass --root explicitly")
+    backend_options = {}
+    if getattr(args, "block_size", None):
+        backend_options["block_size"] = args.block_size
     options = ToolchainOptions(
         root_implementation=root,
         default_package=next(iter(model.packages), None),
@@ -117,6 +128,7 @@ def _toolchain(
         simulate_hyperperiods=getattr(args, "hyperperiods", 2) if simulate else 0,
         strict_validation=not getattr(args, "lenient", False),
         backend=getattr(args, "backend", DEFAULT_BACKEND),
+        backend_options=backend_options,
         workers=getattr(args, "workers", 1),
         sinks=sinks,
         materialize_trace=materialize_trace,
@@ -199,11 +211,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     sinks = []
     stats_sink = None
     alarm_sink = None
+    window_sink = None
     if args.stream_vcd:
         sinks.append(StreamingVcdSink(args.stream_vcd, timescale="1 ms"))
     if args.stats:
         stats_sink = StatisticsSink()
         sinks.append(stats_sink)
+    if args.window > 0:
+        window_sink = WindowSink(args.window)
+        sinks.append(window_sink)
     if args.no_trace:
         # The deadline-alarm report (and exit code) must survive --no-trace.
         alarm_sink = _AlarmSink()
@@ -225,6 +241,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"streaming VCD trace written to {args.stream_vcd}")
     if stats_sink is not None and stats_sink.result() is not None:
         print(stats_sink.result().summary(limit=20))
+    if window_sink is not None and window_sink.result() is not None:
+        window = window_sink.result()
+        present = sum(
+            1 for name in window.flows if window.count_present(name)
+        )
+        print(
+            f"window: last {window.length} instant(s) retained "
+            f"(from instant {window_sink.start_instant}), "
+            f"{present}/{len(window.flows)} signals active in the window"
+        )
     if args.batch > 0:
         from .casestudies.generator import scenario_sweep
 
@@ -240,6 +266,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             scenarios,
             strict=False,
             backend=args.backend,
+            backend_options=result.options.backend_options if result.options else None,
             collect_errors=True,
             workers=workers,
             # With --no-trace the sweep streams too: each scenario aggregates
@@ -306,6 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
             choices=backend_names(),
             help=f"simulation backend (default {DEFAULT_BACKEND})",
         )
+        p.add_argument(
+            "--block-size",
+            type=_non_negative_int,
+            default=0,
+            metavar="N",
+            help="instants per block of the vectorized backend "
+            f"(default {DEFAULT_BLOCK_SIZE}; ignored by the other backends)",
+        )
 
     analyse = sub.add_parser("analyse", help="run the complete tool chain and print every report")
     add_common(analyse)
@@ -355,6 +390,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="aggregate per-signal statistics while simulating and print them",
+    )
+    simulate.add_argument(
+        "--window",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help="retain only the last N instants in a ring-buffer window sink "
+        "(combine with --no-trace to debug the end of a long run in "
+        "O(signals x N) memory)",
     )
     simulate.add_argument(
         "--no-trace",

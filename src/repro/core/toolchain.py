@@ -67,9 +67,14 @@ class ToolchainOptions:
     record_signals: Optional[Sequence[str]] = None
     #: Fail on validation errors instead of carrying on.
     strict_validation: bool = True
-    #: Simulation backend: ``"compiled"`` (execution-plan engine) or
-    #: ``"reference"`` (fixed-point interpreter).  Both are trace-identical.
+    #: Simulation backend: ``"compiled"`` (execution-plan engine),
+    #: ``"reference"`` (fixed-point interpreter) or ``"vectorized"`` (numpy
+    #: kernels over instant blocks).  All are trace-identical.
     backend: str = DEFAULT_BACKEND
+    #: Extra keyword options forwarded to the backend constructor, e.g.
+    #: ``{"block_size": 512}`` for the ``vectorized`` backend (CLI
+    #: ``--block-size``).  Backends ignore options they do not understand.
+    backend_options: Dict[str, object] = field(default_factory=dict)
     #: Worker processes used for batched scenario sweeps run on top of this
     #: tool-chain configuration (CLI ``--batch``, examples): ``1`` keeps the
     #: sweep sequential, ``0`` uses one worker per core.  Traces and errors
@@ -224,7 +229,12 @@ def run_toolchain(
         schedule = next(iter(result.schedules.values()))
         length = schedule.simulation_length(options.simulate_hyperperiods)
         scenario = default_scenario(translation.system_model, length, options.stimuli_periods)
-        backend = create_backend(translation.system_model, backend=options.backend, strict=False)
+        backend = create_backend(
+            translation.system_model,
+            backend=options.backend,
+            strict=False,
+            **options.backend_options,
+        )
         if options.sinks is None and options.materialize_trace:
             # The classic path: materialise the trace directly.
             result.trace = backend.run(scenario, record=options.record_signals)

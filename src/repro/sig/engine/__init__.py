@@ -7,14 +7,17 @@ dependency order (:mod:`repro.sig.scheduler_graph`) into a pre-resolved
 implementations:
 
 * ``reference`` — the original fixed-point interpreter, kept as the oracle;
-* ``compiled`` — the plan executor (compile once, run many scenarios).
+* ``compiled`` — the plan executor (compile once, run many scenarios);
+* ``vectorized`` — numpy kernels over instant blocks for the stateless
+  strata of the plan (:mod:`repro.sig.engine.vectorized`); soft-depends on
+  numpy and degrades to ``compiled`` with a warning when it is missing.
 
 Use :func:`simulate` for a single scenario, :func:`simulate_batch` to run a
 whole batch through one prepared backend (``workers=N`` shards it over
 processes), and :func:`create_backend` when you want to keep a prepared
-model around.  The two backends are trace- and error-identical by
-construction (enforced by the catalog parity tests), so switching them is
-purely a performance decision.
+model around.  All backends are trace- and error-identical by construction
+(enforced by the catalog parity tests), so switching them is purely a
+performance decision.
 
 Long-horizon runs stream instead of materialising: pass ``sinks=[...]``
 (single runs) or ``sink_factory=...`` (batches) with the
@@ -25,7 +28,7 @@ however many instants the scenario has.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Mapping, Optional
 
 from ..process import ProcessModel
 from ..simulator import Scenario, SimulationTrace
@@ -42,6 +45,14 @@ from .backends import (
 from .batch import BatchResult, batch_flow_summary, default_scenario, simulate_batch
 from .parallel import default_worker_count, run_batch_parallel
 from .plan import ExecutionPlan, PlanStatistics, TargetPlan, compile_plan
+from .vectorized import (
+    DEFAULT_BLOCK_SIZE,
+    VectorExecutionPlan,
+    VectorPlanStatistics,
+    VectorizedBackend,
+    compile_vectorized,
+    numpy_available,
+)
 
 
 def simulate(
@@ -51,6 +62,7 @@ def simulate(
     strict: bool = True,
     backend: str = DEFAULT_BACKEND,
     sinks: Optional[SinkOrSinks] = None,
+    backend_options: Optional[Mapping[str, object]] = None,
 ) -> Optional[SimulationTrace]:
     """One-shot helper: prepare the chosen backend and run *scenario*.
 
@@ -59,16 +71,19 @@ def simulate(
     :class:`~repro.sig.sinks.TraceSink` or a list) the run streams each
     instant into them and returns ``None`` — O(signals) memory however long
     the scenario; include a :class:`~repro.sig.sinks.MaterializeSink` to
-    also keep the full trace.
+    also keep the full trace.  *backend_options* are forwarded to the
+    backend constructor (e.g. ``{"block_size": 512}`` for ``vectorized``).
     """
-    return create_backend(process, backend=backend, strict=strict).run(
-        scenario, record=record, sinks=sinks
+    runner = create_backend(
+        process, backend=backend, strict=strict, **dict(backend_options or {})
     )
+    return runner.run(scenario, record=record, sinks=sinks)
 
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "DEFAULT_BLOCK_SIZE",
     "BatchResult",
     "CompiledBackend",
     "ExecutionPlan",
@@ -78,12 +93,17 @@ __all__ = [
     "SinkFactory",
     "SinkOrSinks",
     "TargetPlan",
+    "VectorExecutionPlan",
+    "VectorPlanStatistics",
+    "VectorizedBackend",
     "backend_names",
     "batch_flow_summary",
     "compile_plan",
+    "compile_vectorized",
     "create_backend",
     "default_scenario",
     "default_worker_count",
+    "numpy_available",
     "run_batch_parallel",
     "simulate",
     "simulate_batch",

@@ -10,13 +10,18 @@ that can run :class:`~repro.sig.simulator.Scenario` objects and produce
 * :class:`CompiledBackend` — the execution-plan executor
   (:class:`repro.sig.engine.plan.ExecutionPlan`), which compiles the model
   once and then runs each instant over slot-indexed arrays in the static
-  scheduling order.
+  scheduling order;
+* :class:`~repro.sig.engine.vectorized.VectorizedBackend` (registered by
+  :mod:`repro.sig.engine.vectorized`) — numpy kernels over instant blocks
+  for the stateless strata of the plan, per-instant sweep for the residue;
+  degrades to the compiled executor when numpy is missing.
 
-Both produce bit-identical traces and raise the same simulation errors; the
-integration test ``tests/integration/test_backend_parity.py`` enforces this
-over the whole case-study catalog.  New backends (multiprocessing shards,
-numpy value arrays, generated C) plug in by subclassing
-:class:`SimulationBackend` and registering in :data:`BACKENDS`.
+All backends produce bit-identical traces and raise the same simulation
+errors; the integration tests ``tests/integration/test_backend_parity.py``
+and ``tests/integration/test_vectorized_parity.py`` enforce this over the
+whole case-study catalog.  New backends (generated C, cython kernels) plug
+in by subclassing :class:`SimulationBackend` and registering in
+:data:`BACKENDS`.
 """
 
 from __future__ import annotations
@@ -40,7 +45,11 @@ class SimulationBackend:
     #: Registry key and display name of the backend.
     name: str = "abstract"
 
-    def __init__(self, process: ProcessModel, strict: bool = True) -> None:
+    def __init__(self, process: ProcessModel, strict: bool = True, **options: Any) -> None:
+        # Backend-specific options (e.g. the vectorized backend's
+        # ``block_size``) arrive as keywords; options a backend does not
+        # understand are ignored, so one ``backend_options`` mapping can be
+        # threaded through the generic entry points whatever the backend.
         self.strict = strict
 
     def run(
@@ -126,8 +135,8 @@ class ReferenceBackend(SimulationBackend):
 
     name = "reference"
 
-    def __init__(self, process: ProcessModel, strict: bool = True) -> None:
-        super().__init__(process, strict)
+    def __init__(self, process: ProcessModel, strict: bool = True, **options: Any) -> None:
+        super().__init__(process, strict, **options)
         self._simulator = Simulator(process, strict=strict)
 
     @property
@@ -151,8 +160,8 @@ class CompiledBackend(SimulationBackend):
 
     name = "compiled"
 
-    def __init__(self, process: ProcessModel, strict: bool = True) -> None:
-        super().__init__(process, strict)
+    def __init__(self, process: ProcessModel, strict: bool = True, **options: Any) -> None:
+        super().__init__(process, strict, **options)
         self._plan = compile_plan(process)
 
     @property
@@ -209,16 +218,24 @@ def backend_names() -> List[str]:
 
 
 def create_backend(
-    process: ProcessModel, backend: str = DEFAULT_BACKEND, strict: bool = True
+    process: ProcessModel,
+    backend: str = DEFAULT_BACKEND,
+    strict: bool = True,
+    **options: Any,
 ) -> SimulationBackend:
-    """Instantiate the backend registered under *backend* for *process*."""
+    """Instantiate the backend registered under *backend* for *process*.
+
+    Extra keyword *options* are forwarded to the backend constructor (e.g.
+    ``block_size=`` for the ``vectorized`` backend); backends ignore the
+    options they do not understand.
+    """
     try:
         factory = BACKENDS[backend]
     except KeyError:
         raise ValueError(
             f"unknown simulation backend {backend!r}; available: {', '.join(sorted(BACKENDS))}"
         ) from None
-    return factory(process, strict=strict)
+    return factory(process, strict=strict, **options)
 
 
 __all__ = [

@@ -114,6 +114,7 @@ def simulate_batch(
     collect_errors: bool = False,
     workers: int = 1,
     sink_factory: Optional[SinkFactory] = None,
+    backend_options: Optional[Mapping[str, Any]] = None,
 ) -> BatchResult:
     """Run every scenario through one prepared backend instance.
 
@@ -138,10 +139,16 @@ def simulate_batch(
     function returning a fresh :class:`~repro.sig.sinks.StatisticsSink`);
     sinks are created, driven and harvested inside the workers, and only
     their results travel back.
+
+    ``backend_options`` are forwarded to the backend constructor (e.g.
+    ``{"block_size": 512}`` for the ``vectorized`` backend); unknown options
+    are ignored by the other backends.
     """
     record = list(record) if record is not None else None
     start = time.perf_counter()
-    runner = create_backend(process, backend=backend, strict=strict)
+    runner = create_backend(
+        process, backend=backend, strict=strict, **dict(backend_options or {})
+    )
     compiled_at = time.perf_counter()
 
     count = len(scenarios)

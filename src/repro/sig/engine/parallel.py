@@ -14,7 +14,9 @@ Sharding strategy:
 * **plan pickling otherwise** — with ``spawn``/``forkserver`` the backend is
   pickled to each worker once, at pool start-up; an
   :class:`~repro.sig.engine.plan.ExecutionPlan` pickles as its process model
-  and recompiles itself on arrival (see ``ExecutionPlan.__getstate__``);
+  and recompiles itself on arrival (see ``ExecutionPlan.__getstate__``), and
+  the vectorized backend ships the same way — its numpy block kernels are
+  rebuilt per worker (or fork-inherited for free);
 * **chunked scheduling with worker reuse** — scenarios are dealt out in
   contiguous chunks (several per worker, so stragglers rebalance) through
   one pool that lives for the whole batch;

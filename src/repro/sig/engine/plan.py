@@ -97,6 +97,10 @@ class _Compiler:
         self.slot_of: Dict[str, int] = {}
         self.names: List[str] = []
         self.state_init: List[List[Any]] = []
+        #: Set when any compiled expression reads a shared variable; a run
+        #: without :class:`~repro.sig.expressions.Var` readers can skip the
+        #: per-instant shared-memory commit entirely.
+        self.uses_varmem = False
 
     def slot(self, name: str) -> int:
         index = self.slot_of.get(name)
@@ -129,6 +133,7 @@ class _Compiler:
 
         if isinstance(expr, Var):
             s = self.slot(expr.name)
+            self.uses_varmem = True
 
             def ev(st, vals, state, varmem, instant, warnings, strict, _s=s):
                 code = st[_s]
@@ -503,6 +508,11 @@ class _Compiler:
         return merged
 
 
+#: Built-in pure stepwise operators (safe to fold at compile time and to
+#: vectorise over instant blocks); re-exported for the vectorized backend.
+PURE_OPERATORS = _Compiler.PURE_OPERATORS
+
+
 class TargetPlan:
     """Pre-resolved definition set of one equation target."""
 
@@ -615,6 +625,19 @@ class ExecutionPlan:
         self.slot_of = compiler.slot_of
         self._state_init = compiler.state_init
         self._equation_count = len(process.equations)
+        #: ``True`` when some expression reads a shared variable; without
+        #: readers the per-instant ``varmem`` commit is dead code and skipped.
+        self.uses_varmem = compiler.uses_varmem
+
+        # Cross-scenario buffer pool: spare sets of delay/cell state lists
+        # and shared-variable memory lists, reset in place at the start of
+        # each run instead of re-allocated per scenario — ROADMAP's "cheap
+        # constant-factor win" for short-scenario batches.  A plain list
+        # whose pop/append are atomic under the GIL, so concurrent or
+        # re-entrant runs on one shared plan each check out distinct buffers
+        # (or simply allocate fresh ones when the pool is empty).
+        self._nowrite_template = [_NOWRITE] * len(self.names)
+        self._scratch: List[Tuple[List[List[Any]], List[Any]]] = []
 
         # Per-instant status template.  Declared inputs are scenario-driven
         # even when equations define them (the reference interpreter gives
@@ -655,6 +678,28 @@ class ExecutionPlan:
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__init__(state["process"])
+
+    # ------------------------------------------------------------------
+    # cross-scenario buffer pool
+    # ------------------------------------------------------------------
+    def _acquire_buffers(self) -> Tuple[List[List[Any]], List[Any]]:
+        """Check out (and reset) pooled state/varmem buffers, or allocate
+        fresh ones when the pool is empty."""
+        try:
+            state, varmem = self._scratch.pop()
+        except IndexError:
+            return [list(template) for template in self._state_init], list(
+                self._nowrite_template
+            )
+        for buffer, template in zip(state, self._state_init):
+            buffer[:] = template
+        varmem[:] = self._nowrite_template
+        return state, varmem
+
+    def _release_buffers(self, state: List[List[Any]], varmem: List[Any]) -> None:
+        """Return run buffers to the pool (bounded to a few spare sets)."""
+        if len(self._scratch) < 4:
+            self._scratch.append((state, varmem))
 
     # ------------------------------------------------------------------
     def statistics(self) -> PlanStatistics:
@@ -735,51 +780,20 @@ class ExecutionPlan:
 
             sink_list = as_sink_list(sinks)
 
-        slot_of = self.slot_of
-        # Scenario flows drive declared inputs and undeclared-but-referenced
-        # names; flows for declared non-input signals are ignored, exactly as
-        # in the reference interpreter.
-        driven: List[Tuple[int, List[Any]]] = []
-        driven_slots = set()
         declared = self.process.signals
-        scenario_only: Dict[str, List[Any]] = {}
-        for slot, name in self._input_slots:
-            flow = scenario.inputs.get(name)
-            if flow is not None:
-                driven.append((slot, flow))
-        for name, flow in scenario.inputs.items():
-            if name in declared:
-                continue
-            slot = slot_of.get(name)
-            if slot is None:
-                scenario_only[name] = flow
-                continue
-            driven.append((slot, flow))
-            driven_slots.add(slot)
+        driven, driven_slots, scenario_only = self._bind_scenario(scenario)
 
         # Scenario-driven undeclared targets are not resolved (scenario wins).
         base_work = [item for item in self._work if item[0] not in driven_slots]
 
-        # Recorded names that are neither slots nor scenario flows stay ⊥;
-        # record into plain lists and wrap them as flows at the end.  A name
-        # listed twice shares one list and is appended twice per instant,
-        # exactly as the reference interpreter's shared Flow behaves.  When
-        # streaming, no lists are kept at all: each instant's row is handed
-        # to the sinks and dropped.
-        record_lists: Dict[str, List[Any]] = {}
-        record_plan: List[Tuple[Optional[List[Any]], Optional[int], Optional[List[Any]]]] = []
-        for name in recorded:
-            out = None if streaming else record_lists.setdefault(name, [])
-            slot = slot_of.get(name)
-            record_plan.append((out, slot, scenario_only.get(name) if slot is None else None))
+        record_lists, record_plan = self._build_record_plan(
+            recorded, streaming, scenario_only
+        )
 
-        state = [list(template) for template in self._state_init]
-        varmem: List[Any] = [_NOWRITE] * len(self.names)
+        state, varmem = self._acquire_buffers()
         status_template = self._status_template
-        commits = self._commits
         n_slots = len(self.names)
-        propagate_sync = self._propagate_sync
-        bare_constant = "signal {name!r} defined by a bare constant has no clock; treated as absent"
+        finish_instant = self._finish_instant
 
         try:
             if streaming:
@@ -802,74 +816,10 @@ class ExecutionPlan:
                     st[slot] = _ABSENT_ST if value is ABSENT else PRESENT
                     vals[slot] = value
 
-                # Sweep the targets in the reference interpreter's order,
-                # keeping only the unresolved ones for the next sweep, with
-                # ``^=`` clock propagation after each sweep — the same
-                # trajectory (and hence the same warnings and errors) as the
-                # reference fixed point.
-                unresolved = base_work
-                progress = True
-                while progress:
-                    progress = False
-                    still: List[Tuple[int, bool, Optional[EvalFn], TargetPlan]] = []
-                    for item in unresolved:
-                        slot, is_declared, single, target = item
-                        if is_declared:
-                            code = st[slot]
-                            if code == PRESENT or code == _ABSENT_ST:
-                                # Settled by a synchronisation group: drop the
-                                # item, but (like the reference) this is not
-                                # resolution progress.
-                                continue
-                        if single is not None:
-                            code, value = single(st, vals, state, varmem, instant, warnings, strict)
-                            if code == UNKNOWN or code == PRESUMED:
-                                still.append(item)
-                                continue
-                            if code == PRESENT:
-                                st[slot] = PRESENT
-                                vals[slot] = value
-                            else:
-                                if code == CONST:
-                                    # A lone constant definition has no clock
-                                    # of its own; report it once per instant.
-                                    warnings.append(bare_constant.format(name=target.name))
-                                st[slot] = _ABSENT_ST
-                        else:
-                            resolved, value = target.resolve(
-                                st, vals, state, varmem, instant, warnings, strict
-                            )
-                            if not resolved:
-                                still.append(item)
-                                continue
-                            if value is ABSENT:
-                                st[slot] = _ABSENT_ST
-                            else:
-                                st[slot] = PRESENT
-                                vals[slot] = value
-                        progress = True
-                    unresolved = still
-                    if propagate_sync(st, instant, warnings, strict):
-                        progress = True
-
-                if unresolved:
-                    # Report unresolved *declared* signals in declaration
-                    # order, as the reference interpreter's status dictionary
-                    # does.
-                    blocked_slots = {
-                        item[0]
-                        for item in unresolved
-                        if item[1] and st[item[0]] in (UNKNOWN, PRESUMED)
-                    }
-                    if blocked_slots:
-                        blocked = [name for name in declared if slot_of[name] in blocked_slots]
-                        raise InstantaneousCycle(instant, blocked)
-
-                for commit in commits:
-                    commit(st, vals, state, varmem, strict)
-                for slot, code in enumerate(st):
-                    if code == PRESENT:
-                        varmem[slot] = vals[slot]
+                self._resolve_instant(
+                    st, vals, state, varmem, instant, warnings, strict, base_work
+                )
+                finish_instant(st, vals, state, varmem, strict)
 
                 if streaming:
                     if sink_list:
@@ -895,6 +845,7 @@ class ExecutionPlan:
                         else:
                             out.append(ABSENT)
         finally:
+            self._release_buffers(state, varmem)
             # Sinks close whatever happens, so file-backed sinks flush even
             # when the run aborts on a simulation error.
             if streaming:
@@ -923,6 +874,165 @@ class ExecutionPlan:
         """
         record = list(record) if record is not None else None
         return [self.run(scenario, record=record, strict=strict) for scenario in scenarios]
+
+    def _bind_scenario(
+        self, scenario: Scenario
+    ) -> Tuple[List[Tuple[int, List[Any]]], set, Dict[str, List[Any]]]:
+        """Split a scenario's flows into slot-driven columns and
+        scenario-only recorded fallbacks.
+
+        Scenario flows drive declared inputs and undeclared-but-referenced
+        names; flows for declared non-input signals are ignored, exactly as
+        in the reference interpreter.  Shared by :meth:`run` and the
+        vectorized executor so input precedence lives in one place.
+        Returns ``(driven, driven_slots, scenario_only)``: the
+        ``(slot, flow)`` pairs to drive, the *undeclared* driven slots
+        (whose work items the sweep must skip — scenario wins), and the
+        flows of recorded names that have no slot at all.
+        """
+        driven: List[Tuple[int, List[Any]]] = []
+        driven_slots: set = set()
+        scenario_only: Dict[str, List[Any]] = {}
+        declared = self.process.signals
+        slot_of = self.slot_of
+        for slot, name in self._input_slots:
+            flow = scenario.inputs.get(name)
+            if flow is not None:
+                driven.append((slot, flow))
+        for name, flow in scenario.inputs.items():
+            if name in declared:
+                continue
+            slot = slot_of.get(name)
+            if slot is None:
+                scenario_only[name] = flow
+                continue
+            driven.append((slot, flow))
+            driven_slots.add(slot)
+        return driven, driven_slots, scenario_only
+
+    def _build_record_plan(
+        self,
+        recorded: List[str],
+        streaming: bool,
+        scenario_only: Dict[str, List[Any]],
+    ) -> Tuple[
+        Dict[str, List[Any]],
+        List[Tuple[Optional[List[Any]], Optional[int], Optional[List[Any]]]],
+    ]:
+        """Per-recorded-name output plan: ``(out list, slot, fallback flow)``.
+
+        Recorded names that are neither slots nor scenario flows stay ⊥;
+        they record into plain lists wrapped as flows at the end.  A name
+        listed twice shares one list and is appended twice per instant,
+        exactly as the reference interpreter's shared Flow behaves.  When
+        streaming, no lists are kept at all: each instant's row is handed
+        to the sinks and dropped.  Shared by :meth:`run` and the vectorized
+        executor.
+        """
+        record_lists: Dict[str, List[Any]] = {}
+        record_plan: List[
+            Tuple[Optional[List[Any]], Optional[int], Optional[List[Any]]]
+        ] = []
+        for name in recorded:
+            out = None if streaming else record_lists.setdefault(name, [])
+            slot = self.slot_of.get(name)
+            record_plan.append(
+                (out, slot, scenario_only.get(name) if slot is None else None)
+            )
+        return record_lists, record_plan
+
+    def _finish_instant(self, st, vals, state, varmem, strict) -> None:
+        """Advance the delay/cell memories and the shared-variable
+        write-through after one resolved instant.
+
+        Shared by :meth:`run` and the vectorized executor's hybrid and
+        fallback loops, so commit ordering and the ``uses_varmem`` skip live
+        in exactly one place.
+        """
+        for commit in self._commits:
+            commit(st, vals, state, varmem, strict)
+        if self.uses_varmem:
+            for slot, code in enumerate(st):
+                if code == PRESENT:
+                    varmem[slot] = vals[slot]
+
+    _BARE_CONSTANT = (
+        "signal {name!r} defined by a bare constant has no clock; treated as absent"
+    )
+
+    def _resolve_instant(
+        self, st, vals, state, varmem, instant, warnings, strict, work
+    ) -> None:
+        """Resolve one instant's statuses and values in place.
+
+        Sweeps the *work* targets in the reference interpreter's order,
+        keeping only the unresolved ones for the next sweep, with ``^=``
+        clock propagation after each sweep — the same trajectory (and hence
+        the same warnings and errors) as the reference fixed point.  Shared
+        by :meth:`run` and the vectorized backend's residual sweep
+        (:mod:`repro.sig.engine.vectorized`).
+        """
+        propagate_sync = self._propagate_sync
+        bare_constant = self._BARE_CONSTANT
+        unresolved = work
+        progress = True
+        while progress:
+            progress = False
+            still: List[Tuple[int, bool, Optional[EvalFn], TargetPlan]] = []
+            for item in unresolved:
+                slot, is_declared, single, target = item
+                if is_declared:
+                    code = st[slot]
+                    if code == PRESENT or code == _ABSENT_ST:
+                        # Settled by a synchronisation group: drop the item,
+                        # but (like the reference) this is not resolution
+                        # progress.
+                        continue
+                if single is not None:
+                    code, value = single(st, vals, state, varmem, instant, warnings, strict)
+                    if code == UNKNOWN or code == PRESUMED:
+                        still.append(item)
+                        continue
+                    if code == PRESENT:
+                        st[slot] = PRESENT
+                        vals[slot] = value
+                    else:
+                        if code == CONST:
+                            # A lone constant definition has no clock of its
+                            # own; report it once per instant.
+                            warnings.append(bare_constant.format(name=target.name))
+                        st[slot] = _ABSENT_ST
+                else:
+                    resolved, value = target.resolve(
+                        st, vals, state, varmem, instant, warnings, strict
+                    )
+                    if not resolved:
+                        still.append(item)
+                        continue
+                    if value is ABSENT:
+                        st[slot] = _ABSENT_ST
+                    else:
+                        st[slot] = PRESENT
+                        vals[slot] = value
+                progress = True
+            unresolved = still
+            if propagate_sync(st, instant, warnings, strict):
+                progress = True
+
+        if unresolved:
+            # Report unresolved *declared* signals in declaration order, as
+            # the reference interpreter's status dictionary does.
+            blocked_slots = {
+                item[0]
+                for item in unresolved
+                if item[1] and st[item[0]] in (UNKNOWN, PRESUMED)
+            }
+            if blocked_slots:
+                slot_of = self.slot_of
+                blocked = [
+                    name for name in self.process.signals if slot_of[name] in blocked_slots
+                ]
+                raise InstantaneousCycle(instant, blocked)
 
     def _propagate_sync(self, st, instant, warnings, strict) -> bool:
         changed = False

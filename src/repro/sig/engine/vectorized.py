@@ -1,0 +1,1289 @@
+"""Vectorized block-execution backend: numpy kernels over instant blocks.
+
+The compiled execution plan (:mod:`repro.sig.engine.plan`) removed the
+per-instant *bookkeeping* of the reference interpreter, but it still pays
+one Python closure tree per equation per instant, so simulation cost stays
+``O(instants x equations)`` in interpreter dispatch.  This module removes
+that dispatch for the part of the model that does not need it.
+
+A :func:`compile_vectorized` pass partitions the plan's equations into
+three strata.  *Vectorisable* targets are single-definition *declared*
+targets whose expressions are built only from pure stepwise operators,
+sampling (``when``), merge (``default``), clock operators, constants and
+signal reads; they are compiled to columnar numpy kernels — native
+float64/bool ufuncs where the operand columns are runtime-validated to hold
+exactly Python ``float``/``bool`` values, ``np.frompyfunc`` over the exact
+:data:`~repro.sig.expressions.STEPWISE_OPERATIONS` callables otherwise —
+and evaluated for a whole **instant block** at once:
+
+* the **pre-sweep stratum** reads only scenario inputs, non-target signals
+  and other pre-stratum targets, and runs before any per-instant work;
+* the **residual sweep** is everything stateful or order-sensitive —
+  delays, cells, shared variables, multi-definition targets, undeclared
+  targets, user-registered operators, instantaneous cycles — and runs
+  through the plan's ordinary per-instant sweep, reading the pre-filled
+  vectorised columns;
+* the **post-sweep stratum** holds vectorisable targets that nothing in
+  the residue observes (no readers outside the stratum, no ``^=``
+  membership, no shared-variable reads); it runs block-wise after the
+  residual sweep, over the written-back residual columns.
+
+Bit-identity with the ``compiled``/``reference`` backends is guaranteed by
+construction on the warning-free path (both compute the same unique fixed
+point) and by **fallback** everywhere else: the block executor detects every
+situation in which the reference trajectory is observable — a clock
+violation inside a vectorised expression, a bare-constant definition, any
+warning or simulation error raised by the residual sweep — rewinds the
+block to its entry state and replays it through the pure per-instant sweep,
+which reproduces warnings, errors and partial sink output in exact
+reference order.  Sinks see instants one by one either way
+(:meth:`~repro.sig.sinks.TraceSink.on_instant` is replayed per instant
+after a block validates), so every :class:`~repro.sig.sinks.TraceSink`
+works unchanged.
+
+``numpy`` is a **soft dependency**: when it is not importable the
+:class:`VectorizedBackend` degrades to the compiled plan executor with a
+:class:`RuntimeWarning` — no module in :mod:`repro` imports numpy at the
+top level unconditionally.
+"""
+
+from __future__ import annotations
+
+import warnings as _warnings_module
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+try:  # soft dependency: the whole backend degrades gracefully without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+from ..expressions import (
+    ClockDifference,
+    ClockIntersection,
+    ClockOf,
+    ClockUnion,
+    Const,
+    Default,
+    Expression,
+    FunctionApp,
+    STEPWISE_OPERATIONS,
+    SignalRef,
+    Var,
+    When,
+    WhenClock,
+    free_signals,
+)
+from ..process import ProcessModel
+from ..simulator import Scenario, SimulationTrace
+from ..values import ABSENT, Flow, SignalKind
+from .backends import BACKENDS, SimulationBackend, SinkOrSinks
+from .plan import (
+    CONST,
+    ExecutionPlan,
+    PRESENT,
+    PRESUMED,
+    PURE_OPERATORS,
+    UNKNOWN,
+    _ABSENT_ST,
+    compile_plan,
+)
+
+#: Default number of instants evaluated per block.
+DEFAULT_BLOCK_SIZE = 1024
+
+#: Message of the :class:`RuntimeWarning` raised when numpy is unavailable.
+NUMPY_FALLBACK_MESSAGE = (
+    "numpy is not available; the 'vectorized' backend falls back to the "
+    "'compiled' execution plan"
+)
+
+
+def numpy_available() -> bool:
+    """``True`` when numpy could be imported (the kernels are usable)."""
+    return _np is not None
+
+
+class _FallbackBlock(Exception):
+    """Internal signal: this block must be replayed through the pure sweep."""
+
+
+_BOOL_KERNEL = None
+
+
+def _bool_kernel():
+    """The cached ``frompyfunc(bool)`` kernel used for sampling conditions."""
+    global _BOOL_KERNEL
+    if _BOOL_KERNEL is None:
+        _BOOL_KERNEL = _np.frompyfunc(bool, 1, 1)
+    return _BOOL_KERNEL
+
+
+#: Runtime *kind* of a value column: generic Python objects, native float64
+#: (every present value is exactly a Python ``float``) or native bool (every
+#: present value is exactly a Python ``bool`` — or ``True`` for events).
+#: Typed columns run native numpy kernels; ``.tolist()`` at the conversion
+#: boundary turns their entries back into the exact Python objects the
+#: interpreter would have produced, so traces stay bit-identical.
+_OBJ, _FLT, _BOOL = 0, 1, 2
+
+_TYPED_OPS: Optional[Dict[str, Tuple[Any, int, int]]] = None
+
+
+def _np_min(a, b):
+    """Python ``min(a, b)`` over float64 columns, NaN ordering included."""
+    return _np.where(b < a, b, a)
+
+
+def _np_max(a, b):
+    """Python ``max(a, b)`` over float64 columns, NaN ordering included."""
+    return _np.where(b > a, b, a)
+
+
+def _typed_ops() -> Dict[str, Tuple[Any, int, int]]:
+    """``op -> (numpy impl, operand kind, result kind)`` for the native
+    kernels whose results are element-for-element identical to the Python
+    stepwise operators (``/`` and ``%`` are excluded: they raise on zero
+    divisors where numpy would not)."""
+    global _TYPED_OPS
+    if _TYPED_OPS is None:
+        _TYPED_OPS = {
+            "+": (_np.add, _FLT, _FLT),
+            "-": (_np.subtract, _FLT, _FLT),
+            "*": (_np.multiply, _FLT, _FLT),
+            "neg": (_np.negative, _FLT, _FLT),
+            "abs": (_np.absolute, _FLT, _FLT),
+            "min": (_np_min, _FLT, _FLT),
+            "max": (_np_max, _FLT, _FLT),
+            "<": (_np.less, _FLT, _BOOL),
+            "<=": (_np.less_equal, _FLT, _BOOL),
+            ">": (_np.greater, _FLT, _BOOL),
+            ">=": (_np.greater_equal, _FLT, _BOOL),
+            "=": (_np.equal, _FLT, _BOOL),
+            "/=": (_np.not_equal, _FLT, _BOOL),
+            "and": (_np.logical_and, _BOOL, _BOOL),
+            "or": (_np.logical_or, _BOOL, _BOOL),
+            "xor": (_np.logical_xor, _BOOL, _BOOL),
+            "not": (_np.logical_not, _BOOL, _BOOL),
+        }
+    return _TYPED_OPS
+
+
+def _object_column(values, kind):
+    """Coerce a typed column to object dtype holding plain Python values."""
+    if kind == _OBJ:
+        return values
+    return _np.array(values.tolist(), dtype=object)
+
+
+class _BlockContext:
+    """Per-block evaluation state shared by all vector kernels.
+
+    ``st``/``vals`` are the ``(block, slots)`` status / value arrays of the
+    block being evaluated; statuses are small integers (the plan's codes),
+    values are *object*-dtype so every produced value stays the exact Python
+    object the interpreter would have produced.  ``typed`` additionally maps
+    a slot to its native float64/bool column when one exists (validated
+    inputs, typed kernel results) — entries are only meaningful where the
+    slot's status is present.
+    """
+
+    __slots__ = ("st", "vals", "size", "typed", "_true_bool", "_status_cache")
+
+    def __init__(self, st, vals, size: int) -> None:
+        self.st = st
+        self.vals = vals
+        self.size = size
+        self.typed: Dict[int, Any] = {}
+        self._true_bool = None
+        self._status_cache: Dict[int, Any] = {}
+
+    def true_bool(self):
+        """Shared read-only native bool column holding ``True`` everywhere."""
+        if self._true_bool is None:
+            self._true_bool = _np.ones(self.size, dtype=bool)
+        return self._true_bool
+
+    def full_status(self, code: int):
+        """Shared read-only status column holding *code* everywhere."""
+        cached = self._status_cache.get(code)
+        if cached is None:
+            cached = _np.full(self.size, code, dtype=_np.int64)
+            self._status_cache[code] = cached
+        return cached
+
+    def absent_values(self):
+        """A fresh object column pre-filled with ``ABSENT``."""
+        col = _np.empty(self.size, dtype=object)
+        col.fill(ABSENT)
+        return col
+
+    def truthy(self, values, kind, mask):
+        """Boolean column: ``bool(values[i])`` where *mask*, ``False`` elsewhere."""
+        if kind == _BOOL:
+            return mask & values
+        if kind == _FLT:
+            # bool(x) for a float is x != 0; NaN is truthy in both worlds.
+            return mask & (values != 0.0)
+        out = _np.zeros(self.size, dtype=bool)
+        idx = mask.nonzero()[0]
+        if idx.size:
+            out[idx] = _bool_kernel()(values[idx]).astype(bool)
+        return out
+
+
+#: A compiled vector node: ``(ctx, eval_mask) -> (status_col, value_col,
+#: kind)``.  ``eval_mask`` marks the instants at which the reference closure
+#: would be *evaluated* (short-circuiting of ``when``/``default`` narrows
+#: it); the returned status column is meaningful within that mask, the value
+#: column wherever the status is present or constant within it.
+VectorFn = Callable[[Any, Any], Tuple[Any, Any, int]]
+
+
+def _structurally_vectorizable(expr: Expression) -> bool:
+    """Shape check: no state, no user operators, no shared variables."""
+    if isinstance(expr, (SignalRef, Const)):
+        return True
+    if isinstance(expr, FunctionApp):
+        return (
+            bool(expr.args)
+            and expr.op in PURE_OPERATORS
+            and all(_structurally_vectorizable(a) for a in expr.args)
+        )
+    if isinstance(expr, When):
+        return _structurally_vectorizable(expr.operand) and _structurally_vectorizable(
+            expr.condition
+        )
+    if isinstance(expr, WhenClock):
+        return _structurally_vectorizable(expr.condition)
+    if isinstance(expr, Default):
+        return _structurally_vectorizable(expr.left) and _structurally_vectorizable(
+            expr.right
+        )
+    if isinstance(expr, ClockOf):
+        return _structurally_vectorizable(expr.operand)
+    if isinstance(expr, (ClockUnion, ClockIntersection, ClockDifference)):
+        return _structurally_vectorizable(expr.left) and _structurally_vectorizable(
+            expr.right
+        )
+    # Delay, Cell, Var and anything unknown stay in the residual sweep.
+    return False
+
+
+def _may_be_const(expr: Expression) -> bool:
+    """Can this (vectorisable) expression evaluate to a *constant* status?
+
+    A top-level constant status makes the plan emit the bare-constant
+    warning at that instant, which would force a fallback on every block
+    containing one; such targets are cheaper to keep in the residual sweep
+    from the start.  Conservative over-approximation.
+    """
+    if isinstance(expr, Const):
+        return True
+    if isinstance(expr, SignalRef):
+        return False
+    if isinstance(expr, FunctionApp):
+        return all(_may_be_const(a) for a in expr.args)
+    if isinstance(expr, Default):
+        return _may_be_const(expr.left) or _may_be_const(expr.right)
+    # When / WhenClock / ClockOf / clock set operators are present-or-absent.
+    return False
+
+
+class _VectorCompiler:
+    """Compile vectorisable expressions into columnar numpy kernels.
+
+    Each kernel mirrors the corresponding closure of
+    :class:`~repro.sig.engine.plan._Compiler` over a whole instant block,
+    including the exact short-circuit structure (the ``eval_mask``), and
+    raises :class:`_FallbackBlock` whenever the closure would have emitted a
+    warning — the block is then replayed through the pure sweep.
+
+    Kernels dispatch on the runtime *kind* of their operand columns:
+    float64/bool columns (validated scenario inputs, earlier typed results)
+    run native numpy ufuncs, everything else runs ``frompyfunc`` over the
+    exact :data:`~repro.sig.expressions.STEPWISE_OPERATIONS` callables.
+    """
+
+    def __init__(self, slot_of: Dict[str, int]) -> None:
+        self.slot_of = slot_of
+
+    def compile(self, expr: Expression) -> VectorFn:
+        if isinstance(expr, SignalRef):
+            s = self.slot_of[expr.name]
+
+            def ev_ref(ctx, em, _s=s):
+                typed = ctx.typed.get(_s)
+                if typed is None:
+                    return ctx.st[:, _s], ctx.vals[:, _s], _OBJ
+                return ctx.st[:, _s], typed[0], typed[1]
+
+            return ev_ref
+
+        if isinstance(expr, Const):
+            value = expr.value
+            # NaN stays on the object path: the closure hands out the *same*
+            # object every instant, and a typed column would re-materialise
+            # it through ``.tolist()``, breaking ``==``-comparability of the
+            # produced flows (NaN compares equal only by identity).
+            if type(value) is float and value == value:
+                def ev_const_f(ctx, em, _v=value):
+                    return ctx.full_status(CONST), _np.full(ctx.size, _v), _FLT
+
+                return ev_const_f
+            if type(value) is bool:
+                def ev_const_b(ctx, em, _v=value):
+                    return (
+                        ctx.full_status(CONST),
+                        _np.full(ctx.size, _v, dtype=bool),
+                        _BOOL,
+                    )
+
+                return ev_const_b
+
+            def ev_const(ctx, em, _v=value):
+                vals = _np.empty(ctx.size, dtype=object)
+                vals.fill(_v)
+                return ctx.full_status(CONST), vals, _OBJ
+
+            return ev_const
+
+        if isinstance(expr, FunctionApp):
+            return self._compile_function(expr)
+        if isinstance(expr, When):
+            return self._compile_when(expr)
+        if isinstance(expr, WhenClock):
+            return self._compile_when_clock(expr)
+        if isinstance(expr, Default):
+            return self._compile_default(expr)
+        if isinstance(expr, ClockOf):
+            return self._compile_clock_of(expr)
+        if isinstance(expr, (ClockUnion, ClockIntersection, ClockDifference)):
+            return self._compile_clock_binop(expr)
+        raise TypeError(f"cannot vectorise expression of type {type(expr).__name__}")
+
+    def _compile_function(self, expr: FunctionApp) -> VectorFn:
+        # Constant operands travel as Python scalars (ufuncs and frompyfunc
+        # broadcast them), so ``x * 0.6``-style stages cost one kernel
+        # application and no constant columns.  A constant operand has
+        # status CONST at every instant, so it never participates in
+        # presence conflicts either.
+        func = STEPWISE_OPERATIONS[expr.op]
+        kernel = _np.frompyfunc(func, len(expr.args), 1)
+        args: List[Tuple[bool, Any]] = [
+            (True, a.value) if isinstance(a, Const) else (False, self.compile(a))
+            for a in expr.args
+        ]
+        dynamic = [index for index, (is_const, _) in enumerate(args) if not is_const]
+
+        typed = _typed_ops().get(expr.op)
+        if typed is not None and len(expr.args) <= 2:
+            typed_impl, operand_kind, result_kind = typed
+            const_type = float if operand_kind == _FLT else bool
+            if any(
+                is_const and type(value) is not const_type for is_const, value in args
+            ):
+                typed_impl = None  # a constant of the wrong type: object path
+        else:
+            typed_impl = operand_kind = result_kind = None
+
+        if not dynamic:
+            # All-constant application (the plan folds these, the closure
+            # applies them anew every instant): constant status, one shared
+            # application per block.  A raising application propagates and
+            # falls the block back, exactly like the closure would raise.
+            values = tuple(value for _, value in args)
+
+            def ev_folded(ctx, em, _values=values):
+                if not bool(em.any()):
+                    return ctx.full_status(CONST), ctx.absent_values(), _OBJ
+                out = _np.empty(ctx.size, dtype=object)
+                out.fill(func(*_values))
+                return ctx.full_status(CONST), out, _OBJ
+
+            return ev_folded
+
+        if len(dynamic) == 1:
+            # One dynamic operand: its status *is* the result status (the
+            # constants contribute neither presence nor absence, so no
+            # conflict is possible) and the kernel maps over it directly.
+            dyn_index = dynamic[0]
+            dyn_fn = args[dyn_index][1]
+            arg_spec = tuple(value for _, value in args)
+
+            def ev_single(ctx, em, _dyn=dyn_index, _spec=arg_spec):
+                status, values, kind = dyn_fn(ctx, em)
+                if typed_impl is not None and kind == operand_kind:
+                    applied = [
+                        values if i == _dyn else _spec[i] for i in range(len(_spec))
+                    ]
+                    return status, typed_impl(*applied), result_kind
+                idx = (em & (status != _ABSENT_ST)).nonzero()[0]
+                obj_values = _object_column(values, kind)
+                if idx.size == ctx.size:
+                    applied = [
+                        obj_values if i == _dyn else _spec[i]
+                        for i in range(len(_spec))
+                    ]
+                    return status, kernel(*applied), _OBJ
+                out = ctx.absent_values()
+                if idx.size:
+                    applied = [
+                        obj_values[idx] if i == _dyn else _spec[i]
+                        for i in range(len(_spec))
+                    ]
+                    out[idx] = kernel(*applied)
+                return status, out, _OBJ
+
+            return ev_single
+
+        dynamic_set = frozenset(dynamic)
+
+        def ev_multi(ctx, em):
+            columns: List[Any] = []
+            kinds: List[int] = []
+            has_present = has_absent = None
+            for is_const, value in args:
+                if is_const:
+                    columns.append(value)
+                    kinds.append(-1)
+                    continue
+                status, values, kind = value(ctx, em)
+                columns.append(values)
+                kinds.append(kind)
+                present = status == PRESENT
+                absent = status == _ABSENT_ST
+                has_present = present if has_present is None else (has_present | present)
+                has_absent = absent if has_absent is None else (has_absent | absent)
+            if bool((em & has_present & has_absent).any()):
+                # The closure would warn (or raise) about operands that are
+                # not all present: replay the block in reference order.
+                raise _FallbackBlock("stepwise operands not all present")
+            status = _np.where(
+                has_present, PRESENT, _np.where(has_absent, _ABSENT_ST, CONST)
+            )
+            if typed_impl is not None and all(
+                kinds[i] == operand_kind for i in dynamic_set
+            ):
+                return status, typed_impl(*columns), result_kind
+            columns = [
+                _object_column(column, kinds[i]) if i in dynamic_set else column
+                for i, column in enumerate(columns)
+            ]
+            idx = (em & ~has_absent).nonzero()[0]
+            if idx.size == ctx.size:
+                return status, kernel(*columns), _OBJ
+            out = ctx.absent_values()
+            if idx.size:
+                out[idx] = kernel(
+                    *[
+                        column[idx] if i in dynamic_set else column
+                        for i, column in enumerate(columns)
+                    ]
+                )
+            return status, out, _OBJ
+
+        return ev_multi
+
+    def _compile_when(self, expr: When) -> VectorFn:
+        operand = self.compile(expr.operand)
+        condition = self.compile(expr.condition)
+
+        def ev(ctx, em):
+            cond_status, cond_vals, cond_kind = condition(ctx, em)
+            candidates = em & (cond_status != _ABSENT_ST)
+            sampled = ctx.truthy(cond_vals, cond_kind, candidates)
+            op_status, op_vals, op_kind = operand(ctx, sampled)
+            status = _np.where(
+                sampled & (op_status != _ABSENT_ST), PRESENT, _ABSENT_ST
+            )
+            return status, op_vals, op_kind
+
+        return ev
+
+    def _compile_when_clock(self, expr: WhenClock) -> VectorFn:
+        if isinstance(expr.condition, Const):
+            if bool(expr.condition.value):
+                def ev_true(ctx, em):
+                    return ctx.full_status(PRESENT), ctx.true_bool(), _BOOL
+
+                return ev_true
+
+            def ev_false(ctx, em):
+                return ctx.full_status(_ABSENT_ST), ctx.true_bool(), _BOOL
+
+            return ev_false
+
+        condition = self.compile(expr.condition)
+
+        def ev(ctx, em):
+            cond_status, cond_vals, cond_kind = condition(ctx, em)
+            candidates = em & (cond_status != _ABSENT_ST)
+            sampled = ctx.truthy(cond_vals, cond_kind, candidates)
+            return _np.where(sampled, PRESENT, _ABSENT_ST), ctx.true_bool(), _BOOL
+
+        return ev
+
+    def _compile_default(self, expr: Default) -> VectorFn:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+
+        def ev(ctx, em):
+            left_status, left_vals, left_kind = left(ctx, em)
+            left_present = left_status == PRESENT
+            right_status, right_vals, right_kind = right(ctx, em & ~left_present)
+            left_const = left_status == CONST
+            status = _np.where(
+                left_present,
+                PRESENT,
+                _np.where(
+                    left_const & (right_status == _ABSENT_ST), CONST, right_status
+                ),
+            )
+            if left_kind != right_kind:
+                left_vals = _object_column(left_vals, left_kind)
+                right_vals = _object_column(right_vals, right_kind)
+                left_kind = _OBJ
+            values = _np.where(left_present | left_const, left_vals, right_vals)
+            return status, values, left_kind
+
+        return ev
+
+    def _compile_clock_of(self, expr: ClockOf) -> VectorFn:
+        if isinstance(expr.operand, Const):
+            def ev_const(ctx, em):
+                return ctx.full_status(_ABSENT_ST), ctx.true_bool(), _BOOL
+
+            return ev_const
+
+        operand = self.compile(expr.operand)
+
+        def ev(ctx, em):
+            status, _values, _kind = operand(ctx, em)
+            return (
+                _np.where(status == PRESENT, PRESENT, _ABSENT_ST),
+                ctx.true_bool(),
+                _BOOL,
+            )
+
+        return ev
+
+    def _compile_clock_binop(self, expr: Expression) -> VectorFn:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+
+        if isinstance(expr, ClockUnion):
+            def ev(ctx, em):
+                left_status, _lv, _lk = left(ctx, em)
+                right_status, _rv, _rk = right(ctx, em)
+                present = (left_status == PRESENT) | (right_status == PRESENT)
+                return _np.where(present, PRESENT, _ABSENT_ST), ctx.true_bool(), _BOOL
+
+        elif isinstance(expr, ClockIntersection):
+            def ev(ctx, em):
+                left_status, _lv, _lk = left(ctx, em)
+                right_status, _rv, _rk = right(ctx, em)
+                present = (left_status == PRESENT) & (right_status == PRESENT)
+                return _np.where(present, PRESENT, _ABSENT_ST), ctx.true_bool(), _BOOL
+
+        else:  # ClockDifference
+            def ev(ctx, em):
+                left_status, _lv, _lk = left(ctx, em)
+                right_status, _rv, _rk = right(ctx, em)
+                present = (left_status == PRESENT) & (right_status != PRESENT)
+                return _np.where(present, PRESENT, _ABSENT_ST), ctx.true_bool(), _BOOL
+
+        return ev
+
+
+@dataclass
+class VectorPlanStatistics:
+    """Compile-time shape of a vectorized plan (for reports and tests)."""
+
+    signals: int
+    targets: int
+    vectorized: int
+    pre_stratum: int
+    post_stratum: int
+    residual: int
+    block_size: int
+
+    def summary(self) -> str:
+        """One line describing the stratum partition."""
+        return (
+            f"vectorized plan: {self.vectorized}/{self.targets} targets in numpy "
+            f"strata ({self.pre_stratum} pre-sweep + {self.post_stratum} "
+            f"post-sweep), {self.residual} residual, blocks of "
+            f"{self.block_size} instants over {self.signals} signal slots"
+        )
+
+
+class VectorExecutionPlan:
+    """An :class:`~repro.sig.engine.plan.ExecutionPlan` plus its vector strata.
+
+    Build one with :func:`compile_vectorized`.  :meth:`run` executes a
+    scenario in instant blocks: numpy kernels fill the vectorisable columns
+    of the block, the residual equations run through the plan's ordinary
+    per-instant sweep, and the finished block is delivered to the recorder
+    or the sinks instant by instant.  Any warning or error anywhere in a
+    block rewinds it and replays it through the pure per-instant sweep, so
+    traces, warnings and errors are bit-identical to the compiled backend
+    by construction.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        reuse_buffers: bool = True,
+    ) -> None:
+        if _np is None:  # pragma: no cover - exercised by the no-numpy CI leg
+            raise RuntimeError("numpy is required to build a VectorExecutionPlan")
+        self.plan = plan
+        self.block_size = max(1, int(block_size))
+        self.reuse_buffers = reuse_buffers
+        #: Blocks executed through the numpy strata / replayed through the
+        #: pure sweep, across every run of this plan (for tests and reports).
+        self.vector_blocks = 0
+        self.fallback_blocks = 0
+        #: Why blocks fell back, keyed by ``ExceptionType: message`` — the
+        #: broad fallback catch is a semantics safety net, so this is how a
+        #: coding bug masquerading as a slow path stays diagnosable.
+        self.fallback_reasons: Dict[str, int] = {}
+
+        process = plan.process
+        grouped: Dict[str, List[Expression]] = {}
+        for eq in process.equations:
+            grouped.setdefault(eq.target, []).append(eq.expr)
+
+        work_slots = {item[0] for item in plan._work}
+        pending: Dict[int, Tuple[Any, Expression]] = {}
+        for item in plan._work:
+            slot, is_declared, single, target = item
+            if single is None or not is_declared:
+                # Multi-definition targets need the reference's repr-based
+                # arbitration; undeclared targets are read as absent *until*
+                # they resolve, which makes their resolution order
+                # observable — both stay in the per-instant sweep.
+                continue
+            expr = grouped[target.name][0]
+            if _structurally_vectorizable(expr) and not _may_be_const(expr):
+                pending[slot] = (item, expr)
+
+        # Pre-stratum dependency peel: promote targets whose reads are all
+        # inputs, non-target signals, or already-promoted targets.  These
+        # evaluate *before* the residual sweep, from the scenario columns
+        # alone.  Promotion order is a topological order, which is the
+        # kernel execution order.
+        promoted: Dict[int, None] = {}
+        pre_order: List[Tuple[int, Expression]] = []
+        changed = True
+        while changed and pending:
+            changed = False
+            for slot in list(pending):
+                item, expr = pending[slot]
+                deps = {plan.slot_of[name] for name in free_signals(expr)}
+                if all(d not in work_slots or d in promoted for d in deps):
+                    promoted[slot] = None
+                    pre_order.append((slot, expr))
+                    del pending[slot]
+                    changed = True
+
+        # Post-stratum: vectorisable targets that *nothing else observes
+        # during the sweep* — not read by any equation outside the stratum
+        # (delay/cell commits re-evaluate their equations' subtrees, so any
+        # reader counts), not members of a ``^=`` group (clock propagation
+        # reads their status mid-sweep), not read through a shared variable
+        # (the varmem write-through would be skipped).  They evaluate after
+        # the block's residual sweep, over the written-back residual
+        # columns; an unresolved dependency (a would-be instantaneous
+        # cycle) forces the pure replay instead.
+        sync_slots = set()
+        for slots, _names in plan._sync_groups:
+            sync_slots.update(slots)
+        readers: Dict[str, set] = {}
+        var_read: set = set()
+
+        def collect_reads(target: str, node: Expression) -> None:
+            if isinstance(node, Var):
+                var_read.add(node.name)
+            elif isinstance(node, SignalRef):
+                readers.setdefault(node.name, set()).add(target)
+            for attr in ("operand", "condition", "left", "right"):
+                child = getattr(node, attr, None)
+                if isinstance(child, Expression):
+                    collect_reads(target, child)
+            for child in getattr(node, "args", ()):
+                collect_reads(target, child)
+
+        for eq in process.equations:
+            collect_reads(eq.target, eq.expr)
+
+        slot_to_name = {plan.slot_of[name]: name for name in plan.slot_of}
+        post_names: set = set()
+        eligible = {
+            slot: (item, expr)
+            for slot, (item, expr) in pending.items()
+            if slot not in sync_slots and item[3].name not in var_read
+        }
+        changed = True
+        while changed:
+            changed = False
+            for slot, (item, expr) in eligible.items():
+                name = item[3].name
+                if name in post_names:
+                    continue
+                if all(reader in post_names for reader in readers.get(name, ())):
+                    post_names.add(name)
+                    changed = True
+        # Order the post kernels by their dependencies *within* the stratum;
+        # demote stratum-internal cycles (and, transitively, whatever reads
+        # them) back to the residual sweep.
+        post_order: List[Tuple[int, Expression]] = []
+        post_done: set = set()
+        changed = True
+        while changed:
+            changed = False
+            for slot, (item, expr) in eligible.items():
+                name = item[3].name
+                if name not in post_names or name in post_done:
+                    continue
+                deps = set(free_signals(expr))
+                if all(d not in post_names or d in post_done for d in deps):
+                    post_done.add(name)
+                    post_order.append((slot, expr))
+                    changed = True
+        post_names &= post_done
+        changed = True
+        while changed:
+            changed = False
+            for name in list(post_names):
+                if not all(reader in post_names for reader in readers.get(name, ())):
+                    post_names.discard(name)
+                    changed = True
+        post_order = [
+            (slot, expr) for slot, expr in post_order if slot_to_name[slot] in post_names
+        ]
+        post_slots = {slot for slot, _ in post_order}
+
+        compiler = _VectorCompiler(plan.slot_of)
+        self._kernels: List[Tuple[int, VectorFn]] = [
+            (slot, compiler.compile(expr)) for slot, expr in pre_order
+        ]
+        self._post_kernels: List[Tuple[int, VectorFn]] = [
+            (slot, compiler.compile(expr)) for slot, expr in post_order
+        ]
+        self._vector_slots = set(promoted) | post_slots
+        self._residual_work = tuple(
+            item for item in plan._work if item[0] not in self._vector_slots
+        )
+        residual_slots = {item[0] for item in self._residual_work}
+        # Residual columns the post kernels read, to copy back into the
+        # block arrays after the sweep.
+        post_deps: set = set()
+        for _slot, expr in post_order:
+            for name in free_signals(expr):
+                post_deps.add(plan.slot_of[name])
+        self._post_writeback = tuple(sorted(post_deps & residual_slots))
+
+        # Declared input slots whose scenario columns may ride the native
+        # kernels — validated value by value at block-fill time (a REAL
+        # input fed Python ints, say, silently keeps the object path).
+        self._typed_input_kinds: Dict[int, int] = {}
+        for slot, name in plan._input_slots:
+            kind = process.signals[name].type.kind
+            if kind is SignalKind.REAL:
+                self._typed_input_kinds[slot] = _FLT
+            elif kind is SignalKind.BOOLEAN or kind is SignalKind.EVENT:
+                self._typed_input_kinds[slot] = _BOOL
+
+        self._template_row = _np.array(plan._status_template, dtype=_np.int64)
+        # Block-buffer pool: a plain list (atomic pop/append under the GIL,
+        # so concurrent runs on a shared plan never share a block pair).
+        self._block_pool: List[Tuple[Any, Any]] = []
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> VectorPlanStatistics:
+        """Compile-time shape of the stratum partition."""
+        return VectorPlanStatistics(
+            signals=len(self.plan.names),
+            targets=len(self.plan._work),
+            vectorized=len(self._kernels) + len(self._post_kernels),
+            pre_stratum=len(self._kernels),
+            post_stratum=len(self._post_kernels),
+            residual=len(self._residual_work),
+            block_size=self.block_size,
+        )
+
+    # ------------------------------------------------------------------
+    def _acquire_block(self, size: int) -> Tuple[Any, Any]:
+        """Check out a reset ``(status, value)`` block pair, pooled across
+        blocks, scenarios and runs when :attr:`reuse_buffers` allows."""
+        if self.reuse_buffers:
+            pool = self._block_pool
+            # Pop up to the pool depth looking for a size match; wrong-size
+            # pairs (e.g. a scenario's trailing partial block) go back so
+            # they do not evict the full-size buffers.
+            for _ in range(2):
+                try:
+                    st_block, val_block = pool.pop()
+                except IndexError:
+                    break
+                if st_block.shape[0] == size:
+                    st_block[:] = self._template_row
+                    val_block.fill(ABSENT)
+                    return st_block, val_block
+                # Re-insert at the front so the next pop tries the other end.
+                pool.insert(0, (st_block, val_block))
+        st_block = _np.empty((size, len(self.plan.names)), dtype=_np.int64)
+        st_block[:] = self._template_row
+        val_block = _np.empty((size, len(self.plan.names)), dtype=object)
+        val_block.fill(ABSENT)
+        return st_block, val_block
+
+    def _release_block(self, st_block, val_block) -> None:
+        """Return a block pair to the (bounded) pool."""
+        if self.reuse_buffers and len(self._block_pool) < 2:
+            self._block_pool.append((st_block, val_block))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        scenario: Scenario,
+        record=None,
+        strict: bool = True,
+        sinks: Optional[SinkOrSinks] = None,
+    ) -> Optional[SimulationTrace]:
+        """Execute *scenario* in instant blocks.
+
+        Semantics, arguments and the streaming (``sinks=``) contract are
+        exactly those of :meth:`repro.sig.engine.plan.ExecutionPlan.run`.
+        """
+        plan = self.plan
+        recorded = list(record) if record is not None else list(plan.process.signals)
+        warnings: List[str] = []
+
+        streaming = sinks is not None
+        sink_list: List[Any] = []
+        if streaming:
+            from ..sinks import TraceHeader, as_sink_list, close_sinks
+
+            sink_list = as_sink_list(sinks)
+
+        declared = plan.process.signals
+        driven, driven_slots, scenario_only = plan._bind_scenario(scenario)
+
+        pure_work = [item for item in plan._work if item[0] not in driven_slots]
+        residual_work = [
+            item for item in self._residual_work if item[0] not in driven_slots
+        ]
+        kernels = [
+            (slot, kernel) for slot, kernel in self._kernels if slot not in driven_slots
+        ]
+        post_kernels = [
+            (slot, kernel)
+            for slot, kernel in self._post_kernels
+            if slot not in driven_slots
+        ]
+
+        record_lists, record_plan = plan._build_record_plan(
+            recorded, streaming, scenario_only
+        )
+
+        def deliver(instant: int, vals: List[Any]) -> None:
+            """Hand one finished instant to the recorder or the sinks."""
+            if streaming:
+                if sink_list:
+                    row = tuple(
+                        vals[slot]
+                        if slot is not None
+                        else (
+                            fallback[instant]
+                            if fallback is not None and instant < len(fallback)
+                            else ABSENT
+                        )
+                        for _, slot, fallback in record_plan
+                    )
+                    statuses = tuple(value is not ABSENT for value in row)
+                    for sink in sink_list:
+                        sink.on_instant(instant, statuses, row)
+            else:
+                for out, slot, fallback in record_plan:
+                    if slot is not None:
+                        out.append(vals[slot])
+                    elif fallback is not None:
+                        out.append(fallback[instant] if instant < len(fallback) else ABSENT)
+                    else:
+                        out.append(ABSENT)
+
+        if self.reuse_buffers:
+            state, varmem = plan._acquire_buffers()
+        else:
+            state = [list(template) for template in plan._state_init]
+            varmem = list(plan._nowrite_template)
+        length = scenario.length
+        block_size = self.block_size
+        try:
+            if streaming:
+                header = TraceHeader(
+                    process_name=plan.process.name,
+                    length=length,
+                    signals=tuple(recorded),
+                    types={name: decl.type for name, decl in declared.items()},
+                    warnings=warnings,
+                )
+                for sink in sink_list:
+                    sink.on_header(header)
+            # Fast column-wise recording is safe when every recorded name is
+            # a distinct slot (duplicate names interleave their appends per
+            # instant, which only the per-instant path reproduces).
+            fast_record = (
+                not streaming
+                and len(set(recorded)) == len(recorded)
+                and all(slot is not None for _, slot, _ in record_plan)
+            )
+            start = 0
+            while start < length:
+                size = min(block_size, length - start)
+                val_rows = self._run_block(
+                    start,
+                    size,
+                    driven,
+                    state,
+                    varmem,
+                    warnings,
+                    strict,
+                    pure_work,
+                    residual_work,
+                    kernels,
+                    post_kernels,
+                    deliver,
+                )
+                if val_rows is not None:
+                    if fast_record:
+                        columns = list(zip(*val_rows))
+                        for out, slot, _ in record_plan:
+                            out.extend(columns[slot])
+                    else:
+                        for i in range(size):
+                            deliver(start + i, val_rows[i])
+                start += size
+        finally:
+            if self.reuse_buffers:
+                plan._release_buffers(state, varmem)
+            if streaming:
+                close_sinks(sink_list)
+
+        if streaming:
+            return None
+        flows = {name: Flow(name, values) for name, values in record_lists.items()}
+        return SimulationTrace(
+            process_name=plan.process.name,
+            length=length,
+            flows=flows,
+            warnings=warnings,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_block(
+        self,
+        start: int,
+        size: int,
+        driven,
+        state,
+        varmem,
+        warnings: List[str],
+        strict: bool,
+        pure_work,
+        residual_work,
+        kernels,
+        post_kernels,
+        deliver,
+    ) -> Optional[List[List[Any]]]:
+        """Execute one instant block, replaying it purely on any anomaly.
+
+        Returns the per-instant value rows of a vector-executed block (the
+        caller delivers them), or ``None`` when the block fell back to the
+        pure sweep, which delivers through *deliver* itself.
+        """
+        # Snapshot the only mutable cross-instant state so a fallback can
+        # rewind to the block's entry point.
+        state_snapshot = [list(buffer) for buffer in state]
+        varmem_snapshot = list(varmem)
+        try:
+            val_rows = self._run_vector_block(
+                start, size, driven, state, varmem, strict, residual_work,
+                kernels, post_kernels,
+            )
+        except Exception as error:
+            # Anything observable happened (a warning, a simulation error, a
+            # raising stepwise operator...): rewind and replay this block
+            # through the pure per-instant sweep, which reproduces values,
+            # warnings, errors and partial sink output in reference order.
+            for buffer, snapshot in zip(state, state_snapshot):
+                buffer[:] = snapshot
+            varmem[:] = varmem_snapshot
+            self.fallback_blocks += 1
+            reason = f"{type(error).__name__}: {error}"
+            self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+            self._run_pure_block(
+                start, size, driven, state, varmem, warnings, strict, pure_work, deliver
+            )
+            return None
+        self.vector_blocks += 1
+        return val_rows
+
+    def _run_vector_block(
+        self, start, size, driven, state, varmem, strict, residual_work,
+        kernels, post_kernels,
+    ) -> List[List[Any]]:
+        """The optimistic hybrid executor: numpy strata + residual sweep.
+
+        Raises (:class:`_FallbackBlock` or whatever the residual closures
+        raise) whenever the block cannot be proven observation-identical to
+        the reference trajectory; returns the per-instant value rows
+        otherwise.
+        """
+        st_block, val_block = self._acquire_block(size)
+        try:
+            return self._execute_block(
+                st_block, val_block, start, size, driven, state, varmem, strict,
+                residual_work, kernels, post_kernels,
+            )
+        finally:
+            self._release_block(st_block, val_block)
+
+    def _execute_block(
+        self, st_block, val_block, start, size, driven, state, varmem, strict,
+        residual_work, kernels, post_kernels,
+    ) -> List[List[Any]]:
+        """Body of :meth:`_run_vector_block`, over checked-out block arrays."""
+        plan = self.plan
+        ctx = _BlockContext(st_block, val_block, size)
+
+        typed_input_kinds = self._typed_input_kinds
+        for slot, flow in driven:
+            status_col = st_block[:, slot]
+            value_col = val_block[:, slot]
+            flow_len = len(flow)
+            kind = typed_input_kinds.get(slot)
+            typed_buf: Optional[List[Any]] = (
+                None if kind is None else [0.0 if kind == _FLT else False] * size
+            )
+            for i in range(size):
+                t = start + i
+                value = flow[t] if t < flow_len else ABSENT
+                if value is ABSENT:
+                    status_col[i] = _ABSENT_ST
+                else:
+                    status_col[i] = PRESENT
+                    value_col[i] = value
+                    if typed_buf is not None:
+                        if kind == _FLT:
+                            # NaN keeps the whole column on the object path:
+                            # the typed round-trip would replace the caller's
+                            # NaN object, and NaN compares equal only by
+                            # identity, breaking flow ``==`` against the
+                            # compiled backend's passed-through object.
+                            if type(value) is float and value == value:
+                                typed_buf[i] = value
+                            else:
+                                typed_buf = None
+                        elif value is True or value is False:
+                            typed_buf[i] = value
+                        else:
+                            typed_buf = None
+            if typed_buf is not None:
+                ctx.typed[slot] = (
+                    _np.array(typed_buf, dtype=float if kind == _FLT else bool),
+                    kind,
+                )
+
+        full = _np.ones(size, dtype=bool)
+        with _np.errstate(all="ignore"):
+            for slot, kernel in kernels:
+                status, values, kind = kernel(ctx, full)
+                if bool((status == CONST).any()):
+                    raise _FallbackBlock("bare-constant definition")
+                present = status == PRESENT
+                st_block[:, slot] = _np.where(present, PRESENT, _ABSENT_ST)
+                obj_values = _object_column(values, kind)
+                val_block[present, slot] = obj_values[present]
+                if kind != _OBJ:
+                    ctx.typed[slot] = (values, kind)
+
+        st_rows = st_block.tolist()
+        val_rows = val_block.tolist()
+
+        block_warnings: List[str] = []
+        resolve = plan._resolve_instant
+        finish_instant = plan._finish_instant
+        for i in range(size):
+            instant = start + i
+            st = st_rows[i]
+            vals = val_rows[i]
+            resolve(st, vals, state, varmem, instant, block_warnings, strict, residual_work)
+            if block_warnings:
+                raise _FallbackBlock("residual warning")
+            finish_instant(st, vals, state, varmem, strict)
+
+        if post_kernels:
+            # Copy the residual columns the post stratum reads back into the
+            # block arrays.  An unresolved status (the reference would raise
+            # an instantaneous cycle through the post target) aborts the
+            # block so the pure replay can report it exactly.
+            for slot in self._post_writeback:
+                status_col = st_block[:, slot]
+                value_col = val_block[:, slot]
+                for i in range(size):
+                    code = st_rows[i][slot]
+                    if code == UNKNOWN or code == PRESUMED:
+                        raise _FallbackBlock("unresolved post-stratum dependency")
+                    status_col[i] = code
+                    if code == PRESENT:
+                        value_col[i] = val_rows[i][slot]
+            with _np.errstate(all="ignore"):
+                for slot, kernel in post_kernels:
+                    status, values, kind = kernel(ctx, full)
+                    if bool((status == CONST).any()):
+                        raise _FallbackBlock("bare-constant definition")
+                    present = status == PRESENT
+                    st_block[:, slot] = _np.where(present, PRESENT, _ABSENT_ST)
+                    obj_values = _object_column(values, kind)
+                    value_col = val_block[:, slot]
+                    value_col[present] = obj_values[present]
+                    if kind != _OBJ:
+                        ctx.typed[slot] = (values, kind)
+                    for i, value in enumerate(value_col.tolist()):
+                        val_rows[i][slot] = value
+        return val_rows
+
+    def _run_pure_block(
+        self, start, size, driven, state, varmem, warnings, strict, pure_work, deliver
+    ) -> None:
+        """Replay one block through the plan's exact per-instant sweep."""
+        plan = self.plan
+        template = plan._status_template
+        n_slots = len(plan.names)
+        resolve = plan._resolve_instant
+        finish_instant = plan._finish_instant
+        for i in range(size):
+            instant = start + i
+            st = list(template)
+            vals: List[Any] = [ABSENT] * n_slots
+            for slot, flow in driven:
+                value = flow[instant] if instant < len(flow) else ABSENT
+                st[slot] = _ABSENT_ST if value is ABSENT else PRESENT
+                vals[slot] = value
+            resolve(st, vals, state, varmem, instant, warnings, strict, pure_work)
+            finish_instant(st, vals, state, varmem, strict)
+            deliver(instant, vals)
+
+
+def compile_vectorized(
+    process: ProcessModel,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    reuse_buffers: bool = True,
+) -> VectorExecutionPlan:
+    """Compile *process* into a plan plus its vector strata (requires numpy)."""
+    return VectorExecutionPlan(
+        compile_plan(process), block_size=block_size, reuse_buffers=reuse_buffers
+    )
+
+
+class VectorizedBackend(SimulationBackend):
+    """Block-vectorized executor: numpy strata over the compiled plan.
+
+    Construction options (ignored by the other backends): ``block_size``
+    (instants per block, default :data:`DEFAULT_BLOCK_SIZE`) and
+    ``reuse_buffers`` (pool the per-block numpy arrays and the plan's
+    state/memory buffers across scenarios, default ``True``).
+
+    When numpy is not importable the backend warns (``RuntimeWarning``) and
+    degrades to the compiled plan executor: every run still produces the
+    exact same traces, just without the block kernels.
+    """
+
+    name = "vectorized"
+
+    def __init__(
+        self,
+        process: ProcessModel,
+        strict: bool = True,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        reuse_buffers: bool = True,
+        **options: Any,
+    ) -> None:
+        super().__init__(process, strict, **options)
+        self.block_size = max(1, int(block_size))
+        self.reuse_buffers = reuse_buffers
+        self._plan = compile_plan(process)
+        if _np is None:
+            _warnings_module.warn(NUMPY_FALLBACK_MESSAGE, RuntimeWarning, stacklevel=2)
+            self._vector: Optional[VectorExecutionPlan] = None
+        else:
+            self._vector = VectorExecutionPlan(
+                self._plan, block_size=self.block_size, reuse_buffers=reuse_buffers
+            )
+
+    @property
+    def process(self) -> ProcessModel:
+        """The flattened process model the plan was compiled from."""
+        return self._plan.process
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The underlying compiled :class:`~repro.sig.engine.plan.ExecutionPlan`."""
+        return self._plan
+
+    @property
+    def vector_plan(self) -> Optional[VectorExecutionPlan]:
+        """The vector strata (``None`` when numpy is unavailable)."""
+        return self._vector
+
+    def run(
+        self,
+        scenario: Scenario,
+        record=None,
+        sinks: Optional[SinkOrSinks] = None,
+    ) -> Optional[SimulationTrace]:
+        """Execute one scenario in instant blocks (see :meth:`SimulationBackend.run`)."""
+        if self._vector is None:
+            return self._plan.run(scenario, record=record, strict=self.strict, sinks=sinks)
+        return self._vector.run(scenario, record=record, strict=self.strict, sinks=sinks)
+
+    # ------------------------------------------------------------------
+    # pickling: like ExecutionPlan, the backend travels as its (picklable)
+    # process model plus options and recompiles on arrival, so spawn-based
+    # batch workers can receive it; fork-based workers inherit the compiled
+    # kernels directly.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "process": self._plan.process,
+            "strict": self.strict,
+            "block_size": self.block_size,
+            "reuse_buffers": self.reuse_buffers,
+        }
+
+    def __setstate__(self, payload: Dict[str, Any]) -> None:
+        self.__init__(
+            payload["process"],
+            strict=payload["strict"],
+            block_size=payload["block_size"],
+            reuse_buffers=payload["reuse_buffers"],
+        )
+
+
+#: Register in the backend registry (imported by ``repro.sig.engine``).
+BACKENDS[VectorizedBackend.name] = VectorizedBackend
+
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "NUMPY_FALLBACK_MESSAGE",
+    "VectorExecutionPlan",
+    "VectorPlanStatistics",
+    "VectorizedBackend",
+    "compile_vectorized",
+    "numpy_available",
+]

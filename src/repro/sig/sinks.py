@@ -21,7 +21,7 @@ The protocol is three calls, driven by both backends
 3. :meth:`TraceSink.on_close` — once per run, after the last instant (also
    on abnormal termination, so file-backed sinks always flush).
 
-Three sinks ship with the kernel:
+Four sinks ship with the kernel:
 
 * :class:`MaterializeSink` — rebuilds the legacy
   :class:`~repro.sig.simulator.SimulationTrace`, bit-identical to the
@@ -30,6 +30,9 @@ Three sinks ship with the kernel:
 * :class:`StatisticsSink` — constant-memory per-signal aggregates
   (present/absent counts, numeric min/max, first/last occurrence), the
   natural sink for long-horizon runs;
+* :class:`WindowSink` — a ring buffer of the last N instants,
+  materialisable on demand (CLI ``--window N``), for debugging workflows
+  that only need the end of a long run;
 * :class:`~repro.sig.vcd.StreamingVcdSink` (in :mod:`repro.sig.vcd`) —
   writes the VCD waveform incrementally to disk while the simulation runs.
 
@@ -42,8 +45,9 @@ merged back in scenario order), ``ToolchainOptions.sinks`` and the CLI
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .simulator import SimulationTrace
 from .values import ABSENT, Flow, SignalType, is_present
@@ -336,6 +340,72 @@ class StatisticsSink(TraceSink):
         return self.statistics
 
 
+class WindowSink(TraceSink):
+    """Ring buffer of the last *capacity* instants, materialisable on demand.
+
+    Debugging a long-horizon run usually needs the instants *around the
+    end* (an alarm, an abort), not the whole trace: a
+    :class:`MaterializeSink` would keep O(signals x instants) memory, this
+    sink keeps O(signals x capacity) whatever the scenario length.  The CLI
+    exposes it as ``repro simulate --window N``.
+
+    :meth:`materialize` (and :meth:`result` after the run closed) rebuilds
+    a :class:`~repro.sig.simulator.SimulationTrace` of the retained window;
+    its instant 0 is the run's instant :attr:`start_instant`.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"window capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._rows: Deque[Tuple[int, Tuple[Any, ...]]] = deque(maxlen=capacity)
+        self._closed_trace: Optional[SimulationTrace] = None
+
+    def on_header(self, header: TraceHeader) -> None:
+        """Reset the window for a new run."""
+        super().on_header(header)
+        self._rows.clear()
+        self._closed_trace = None
+
+    def on_instant(
+        self, instant: int, statuses: Tuple[bool, ...], values: Tuple[Any, ...]
+    ) -> None:
+        """Push one instant into the ring (evicting the oldest when full)."""
+        self._rows.append((instant, values))
+
+    def on_close(self) -> None:
+        """Freeze the window into the trace :meth:`result` will return."""
+        if self.header is None:
+            return
+        self._closed_trace = self.materialize()
+
+    @property
+    def start_instant(self) -> int:
+        """The run instant the window's instant 0 corresponds to."""
+        return self._rows[0][0] if self._rows else 0
+
+    def materialize(self) -> SimulationTrace:
+        """Rebuild a :class:`~repro.sig.simulator.SimulationTrace` of the
+        retained window (callable mid-run as well as after close)."""
+        if self.header is None:
+            raise RuntimeError("the window sink has not observed a run yet")
+        lists: Dict[str, List[Any]] = {}
+        plan = [lists.setdefault(name, []) for name in self.header.signals]
+        for _, values in self._rows:
+            for out, value in zip(plan, values):
+                out.append(value)
+        return SimulationTrace(
+            process_name=self.header.process_name,
+            length=len(self._rows),
+            flows={name: Flow(name, values) for name, values in lists.items()},
+            warnings=list(self.header.warnings),
+        )
+
+    def result(self) -> Optional[SimulationTrace]:
+        """The window trace frozen at close (``None`` until then)."""
+        return self._closed_trace
+
+
 def presence_summary(signal: str, counts: List[Optional[int]]) -> Dict[str, Any]:
     """Assemble the shared batch-summary dictionary from presence counts.
 
@@ -431,6 +501,7 @@ __all__ = [
     "TraceHeader",
     "TraceSink",
     "TraceStatistics",
+    "WindowSink",
     "as_sink_list",
     "batch_statistics_summary",
     "close_sinks",

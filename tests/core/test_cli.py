@@ -97,6 +97,22 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["simulate", model_file, "--no-trace", "--vcd", str(tmp_path / "t.vcd")])
 
+    def test_simulate_vectorized_backend_with_block_size(self, model_file, capsys):
+        code = main(["simulate", model_file, "--hyperperiods", "1",
+                     "--backend", "vectorized", "--block-size", "16", "--batch", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[vectorized backend]" in out
+        assert "backend 'vectorized'" in out  # the --batch sweep uses it too
+
+    def test_simulate_window_sink(self, model_file, capsys):
+        code = main(["simulate", model_file, "--hyperperiods", "1",
+                     "--no-trace", "--window", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "window: last 5 instant(s) retained" in out
+        assert "deadline alarms: none" in out
+
     def test_default_root_detection(self, model_file, capsys):
         # No --root: the first system implementation is used.
         assert main(["schedule", model_file]) == 0

@@ -1,0 +1,279 @@
+"""Unit tests of the vectorized block-execution backend.
+
+Catalog-wide parity lives in ``tests/integration/test_vectorized_parity.py``;
+this module exercises the machinery directly: stratum partitioning, block
+boundaries, fallback on warnings, the numpy-absent degradation, pickling and
+buffer reuse.
+"""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.sig import builder as b
+from repro.sig.engine import (
+    BACKENDS,
+    VectorizedBackend,
+    backend_names,
+    compile_vectorized,
+    create_backend,
+    numpy_available,
+    simulate,
+)
+from repro.sig.engine import vectorized as vectorized_module
+from repro.sig.engine.backends import CompiledBackend
+from repro.sig.expressions import STEPWISE_OPERATIONS, register_stepwise_operation
+from repro.sig.process import ProcessModel
+from repro.sig.simulator import ClockViolation, Scenario
+from repro.sig.values import ABSENT, BOOLEAN, REAL
+
+
+def _numeric_model():
+    """A small numeric pipeline: stateless chains plus a delayed accumulator
+    and a post-stratum alarm reading it."""
+    model = ProcessModel("vec_unit")
+    model.input("u", REAL)
+    model.input("v", REAL)
+    model.output("y", REAL)
+    model.define("y", b.ref("u") * 2.0 + b.default(b.ref("v"), 0.0))
+    model.output("z", REAL)
+    model.define("z", b.func("min", b.func("abs", b.ref("y")), 50.0))
+    model.local("zacc", REAL)
+    model.output("acc", REAL)
+    model.define("zacc", b.delay(b.ref("acc"), init=0.0))
+    model.define("acc", b.ref("zacc") + b.ref("u"))
+    model.synchronise("acc", "u")
+    model.synchronise("zacc", "u")
+    model.output("alarm", BOOLEAN)
+    model.define("alarm", b.ref("acc").gt(10.0))
+    return model
+
+
+def _scenario(length=30):
+    scenario = Scenario(length)
+    scenario.inputs["u"] = [float(i % 7) for i in range(length)]
+    scenario.inputs["v"] = [
+        float(i) if i % 3 else ABSENT for i in range(length)
+    ]
+    return scenario
+
+
+def test_vectorized_backend_is_registered():
+    assert "vectorized" in BACKENDS
+    assert BACKENDS["vectorized"] is VectorizedBackend
+    assert "vectorized" in backend_names()
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_partition_statistics():
+    plan = compile_vectorized(_numeric_model(), block_size=8)
+    stats = plan.statistics()
+    # y and z are input-derived (pre-stratum); alarm reads the delayed
+    # accumulator but nothing reads it back (post-stratum); acc and zacc
+    # carry state and stay residual.
+    assert stats.pre_stratum == 2
+    assert stats.post_stratum == 1
+    assert stats.residual == 2
+    assert stats.vectorized == 3
+    assert stats.block_size == 8
+    assert "pre-sweep" in stats.summary()
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+@pytest.mark.parametrize("block_size", [1, 3, 7, 32, 1024])
+def test_block_boundaries_preserve_state(block_size):
+    """Delay state must flow across block boundaries for any block size."""
+    model = _numeric_model()
+    scenario = _scenario(50)
+    reference = CompiledBackend(model, strict=False).run(scenario)
+    backend = VectorizedBackend(model, strict=False, block_size=block_size)
+    trace = backend.run(scenario)
+    assert trace.flows == reference.flows
+    assert trace.warnings == reference.warnings
+    assert backend.vector_plan.fallback_blocks == 0
+    for signal in reference.flows:
+        for expected, actual in zip(
+            reference.flows[signal].values, trace.flows[signal].values
+        ):
+            assert type(expected) is type(actual)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_warning_blocks_fall_back_to_pure_sweep():
+    """A clock violation inside a vectorised expression must replay the
+    block purely, reproducing the compiled warnings verbatim."""
+    model = ProcessModel("warny")
+    model.input("a", REAL)
+    model.input("c", REAL)
+    model.output("y", REAL)
+    model.define("y", b.ref("a") + b.ref("c"))
+    scenario = Scenario(12)
+    scenario.inputs["a"] = [1.0] * 12
+    scenario.inputs["c"] = [2.0 if i % 2 else ABSENT for i in range(12)]
+
+    reference = CompiledBackend(model, strict=False).run(scenario)
+    assert reference.warnings  # the model does warn
+    backend = VectorizedBackend(model, strict=False, block_size=4)
+    trace = backend.run(scenario)
+    assert trace.flows == reference.flows
+    assert trace.warnings == reference.warnings
+    assert backend.vector_plan.fallback_blocks == 3
+    assert backend.vector_plan.vector_blocks == 0
+    # The fallback reason is recorded, so a coding bug masquerading as a
+    # slow path stays diagnosable.
+    assert sum(backend.vector_plan.fallback_reasons.values()) == 3
+    assert any(
+        "_FallbackBlock" in reason for reason in backend.vector_plan.fallback_reasons
+    )
+
+    with pytest.raises(ClockViolation):
+        VectorizedBackend(model, strict=True, block_size=4).run(scenario)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_user_registered_operator_stays_residual():
+    """User stepwise functions may be stateful: never vectorised, and the
+    traces still match the compiled backend."""
+    register_stepwise_operation("vec_unit_scale", lambda x: x * 3.0)
+    try:
+        model = ProcessModel("userop")
+        model.input("u", REAL)
+        model.output("y", REAL)
+        model.define("y", b.func("vec_unit_scale", b.ref("u")))
+        scenario = Scenario(9)
+        scenario.inputs["u"] = [float(i) for i in range(9)]
+        backend = VectorizedBackend(model, strict=False, block_size=4)
+        assert backend.vector_plan.statistics().vectorized == 0
+        reference = CompiledBackend(model, strict=False).run(scenario)
+        assert backend.run(scenario).flows == reference.flows
+    finally:
+        STEPWISE_OPERATIONS.pop("vec_unit_scale", None)
+
+
+def test_numpy_absence_falls_back_to_compiled(monkeypatch):
+    """Without numpy the backend warns and degrades to the compiled plan."""
+    monkeypatch.setattr(vectorized_module, "_np", None)
+    model = _numeric_model()
+    scenario = _scenario(20)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        backend = VectorizedBackend(model, strict=False)
+    assert any(
+        issubclass(w.category, RuntimeWarning)
+        and "falls back" in str(w.message)
+        for w in caught
+    )
+    assert backend.vector_plan is None
+    reference = CompiledBackend(model, strict=False).run(scenario)
+    trace = backend.run(scenario)
+    assert trace.flows == reference.flows
+    assert trace.warnings == reference.warnings
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_backend_pickles_and_recompiles():
+    backend = VectorizedBackend(_numeric_model(), strict=False, block_size=11)
+    clone = pickle.loads(pickle.dumps(backend))
+    assert clone.block_size == 11
+    scenario = _scenario(25)
+    assert clone.run(scenario).flows == backend.run(scenario).flows
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_buffer_reuse_is_transparent():
+    """Pooled block/state buffers must not leak state between scenarios."""
+    model = _numeric_model()
+    pooled = VectorizedBackend(model, strict=False, block_size=8, reuse_buffers=True)
+    fresh = VectorizedBackend(model, strict=False, block_size=8, reuse_buffers=False)
+    for length in (5, 30, 8, 17):
+        scenario = _scenario(length)
+        first = pooled.run(scenario)
+        again = pooled.run(scenario)
+        unpooled = fresh.run(scenario)
+        assert first.flows == again.flows == unpooled.flows
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_nan_inputs_keep_object_identity():
+    """NaN compares equal only by identity, so passed-through NaN values
+    must reach the trace as the *same* object the scenario supplied — the
+    typed float columns must refuse them (flow ``==`` against the compiled
+    backend is the parity contract)."""
+    model = ProcessModel("nanny")
+    model.input("c")
+    model.input("u", REAL)
+    model.output("y", REAL)
+    model.define("y", b.when(b.ref("u"), b.clock("c")))
+    nan = float("nan")
+    scenario = Scenario(6)
+    scenario.set_always("c")
+    scenario.inputs["u"] = [nan, 2.0, nan, 3.0, nan, 4.0]
+
+    reference = CompiledBackend(model, strict=False).run(scenario)
+    backend = VectorizedBackend(model, strict=False, block_size=4)
+    trace = backend.run(scenario)
+    assert backend.vector_plan.fallback_blocks == 0
+    assert trace.flows == reference.flows
+    assert trace.flows["y"].values[0] is nan
+    # A NaN constant keeps handing out the one shared object, like the
+    # compiled closure does.
+    model2 = ProcessModel("nanny2")
+    model2.input("u", REAL)
+    model2.output("y", REAL)
+    model2.define("y", b.default(b.ref("u"), nan).when(b.clock("u")))
+    scenario2 = Scenario(4)
+    scenario2.inputs["u"] = [1.0, 2.0, 3.0, 4.0]
+    ref2 = CompiledBackend(model2, strict=False).run(scenario2)
+    vec2 = VectorizedBackend(model2, strict=False, block_size=2).run(scenario2)
+    assert vec2.flows == ref2.flows
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_reuse_buffers_false_disables_all_pools():
+    """With ``reuse_buffers=False`` neither the numpy block pool nor the
+    plan's state/varmem pool may retain buffers between runs."""
+    backend = VectorizedBackend(
+        _numeric_model(), strict=False, block_size=8, reuse_buffers=False
+    )
+    backend.run(_scenario(20))
+    backend.run(_scenario(20))
+    assert backend.vector_plan._block_pool == []
+    assert backend.plan._scratch == []
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_backend_options_thread_through_entry_points():
+    model = _numeric_model()
+    backend = create_backend(model, "vectorized", strict=False, block_size=5)
+    assert backend.block_size == 5
+    trace = simulate(
+        model,
+        _scenario(10),
+        strict=False,
+        backend="vectorized",
+        backend_options={"block_size": 5},
+    )
+    assert trace.length == 10
+    # Unknown options are ignored by the other backends.
+    create_backend(model, "compiled", strict=False, block_size=5)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_scenario_driving_a_vectorised_target_wins():
+    """A scenario flow on an undeclared name that happens to be a target
+    disables its kernel, exactly like the compiled backend skips its work
+    item."""
+    model = ProcessModel("driven")
+    model.input("u", REAL)
+    model.define("helper", b.ref("u") * 2.0)  # undeclared target
+    model.output("y", REAL)
+    model.define("y", b.ref("u") + 1.0)
+    scenario = Scenario(10)
+    scenario.inputs["u"] = [float(i) for i in range(10)]
+    scenario.inputs["helper"] = [100.0] * 10
+
+    reference = CompiledBackend(model, strict=False).run(scenario)
+    trace = VectorizedBackend(model, strict=False, block_size=4).run(scenario)
+    assert trace.flows == reference.flows
+    assert trace.warnings == reference.warnings

@@ -425,3 +425,65 @@ class TestToolchainStreaming:
         assert result.trace.flows == pc_toolchain.trace.flows
         for name in result.trace.signals():
             assert stats.result().count_present(name) == result.trace.count_present(name)
+
+
+class TestWindowSink:
+    """The ring-buffer window sink retains exactly the last N instants."""
+
+    def test_window_shorter_than_run(self, model, scenario):
+        from repro.sig.sinks import WindowSink
+
+        full = MaterializeSink()
+        window = WindowSink(3)
+        CompiledBackend(model, strict=False).run(scenario, sinks=[full, window])
+        trace = window.result()
+        assert trace is not None
+        assert trace.length == 3
+        assert window.start_instant == scenario.length - 3
+        # The window rows are the tail of the full trace.
+        for name, flow in trace.flows.items():
+            assert flow.values == full.trace.flows[name].values[-3:]
+
+    def test_window_longer_than_run_keeps_everything(self, model, scenario):
+        from repro.sig.sinks import WindowSink
+
+        full = MaterializeSink()
+        window = WindowSink(100)
+        CompiledBackend(model, strict=False).run(scenario, sinks=[full, window])
+        trace = window.result()
+        assert trace.length == scenario.length
+        assert window.start_instant == 0
+        assert trace.flows == full.trace.flows
+
+    def test_window_materializes_mid_run_and_on_abort(self):
+        from repro.sig.sinks import WindowSink
+
+        model = clock_conflict_model()
+        scenario = Scenario(6)
+        scenario.set_always("x", value=1)
+        # y present everywhere except instant 3: the mixed-presence ``+``
+        # raises there in strict mode.
+        scenario.set_at("y", {0: 2, 1: 2, 2: 2, 4: 2, 5: 2})
+        window = WindowSink(2)
+        with pytest.raises(ClockViolation):
+            CompiledBackend(model, strict=True).run(scenario, sinks=[window])
+        # Instants 0..2 completed before the abort; the last two are kept.
+        trace = window.result()
+        assert trace.length == 2
+        assert window.start_instant == 1
+
+    def test_window_rejects_nonpositive_capacity(self):
+        from repro.sig.sinks import WindowSink
+
+        with pytest.raises(ValueError):
+            WindowSink(0)
+
+    def test_window_is_reusable_across_runs(self, model, scenario):
+        from repro.sig.sinks import WindowSink
+
+        window = WindowSink(4)
+        runner = CompiledBackend(model, strict=False)
+        runner.run(scenario, sinks=[window])
+        first = window.result()
+        runner.run(scenario, sinks=[window])
+        assert window.result().flows == first.flows

@@ -44,6 +44,7 @@ DOCUMENTED_MODULES = [
     "repro.sig.engine.batch",
     "repro.sig.engine.parallel",
     "repro.sig.engine.plan",
+    "repro.sig.engine.vectorized",
     "repro.sig.sinks",
     "repro.sig.vcd",
 ]
