@@ -1,0 +1,164 @@
+"""E15 — constant-memory symbolic scenarios on a million-instant horizon.
+
+PR 3 made the *output* side of a long-horizon run O(signals) (streaming
+sinks); the scenario side still paid one Python list entry per instant per
+driven input.  The symbolic input programs of :mod:`repro.sig.scenario`
+remove that last O(instants) wall: a million-instant periodic scenario is a
+few rule objects.
+
+Acceptance gates (persisted into ``BENCH_e10.json``):
+
+1. **Representation memory** — building (and holding) the symbolic
+   scenario must allocate at least 100× less than force-materialising the
+   same scenario into eager per-instant lists
+   (:meth:`~repro.sig.scenario.Scenario.materialized`).
+2. **End-to-end drive** — actually driving the model for
+   ``LONG_INSTANTS`` (one million) instants with periodic inputs through a
+   streaming sink keeps the run's peak memory roughly flat versus a 100×
+   shorter horizon: the pipeline is O(signals) end to end.
+
+Trace parity of symbolic versus materialised scenarios (the correctness
+half of the gate) lives in
+``tests/integration/test_scenario_symbolic_parity.py``.
+"""
+
+import time
+import tracemalloc
+
+from repro.sig import builder as b
+from repro.sig.engine import CompiledBackend
+from repro.sig.process import ProcessModel
+from repro.sig.scenario import Scenario
+from repro.sig.sinks import StatisticsSink
+from repro.sig.values import BOOLEAN, EVENT, INTEGER, REAL
+
+#: Short and long horizons of the end-to-end flat-memory gate (100× apart).
+BASE_INSTANTS = 10_000
+LONG_INSTANTS = 1_000_000
+
+
+def _counter_model() -> ProcessModel:
+    """A small stateful model with an extra periodic numeric stimulus."""
+    model = ProcessModel("e15_long_run")
+    model.input("tick", EVENT)
+    model.input("pulse", REAL)
+    model.output("count", INTEGER)
+    model.local("zcount", INTEGER)
+    model.output("even", BOOLEAN)
+    model.output("level", REAL)
+    model.define("zcount", b.delay(b.ref("count"), init=0))
+    model.define("count", b.when(b.func("+", b.ref("zcount"), 1), b.clock("tick")))
+    model.synchronise("count", "tick")
+    model.define("even", b.func("=", b.func("%", b.ref("count"), 2), b.const(0)))
+    model.define("level", b.ref("pulse") * 0.5)
+    return model
+
+
+def _symbolic_scenario(length) -> Scenario:
+    """The E15 input program: two periodic rules plus sparse exceptions."""
+    return (
+        Scenario(length)
+        .set_periodic("tick", 2)
+        .set_periodic("pulse", 1000, phase=3, value=4.0)
+        .set_at("pulse", {17: 8.0})
+    )
+
+
+def _peak_of(action):
+    """Peak traced allocation (bytes) and wall-clock seconds of *action*."""
+    tracemalloc.start()
+    started = time.perf_counter()
+    keep = action()
+    seconds = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del keep
+    return peak, seconds
+
+
+def test_bench_e15_symbolic_scenario_memory(bench_e10):
+    """Gate 1: symbolic representation ≥100× smaller than eager lists."""
+    symbolic_peak, _ = _peak_of(lambda: _symbolic_scenario(LONG_INSTANTS))
+    scenario = _symbolic_scenario(LONG_INSTANTS)
+    materialized_peak, _ = _peak_of(lambda: scenario.materialized())
+
+    ratio = materialized_peak / max(symbolic_peak, 1)
+    print(
+        f"\nE15 — scenario representation at {LONG_INSTANTS} instants: symbolic "
+        f"{symbolic_peak / 1024.0:.1f} KiB vs materialised "
+        f"{materialized_peak / 1048576.0:.1f} MiB ({ratio:.0f}x)"
+    )
+    bench_e10.record_memory(
+        "symbolic_scenario_memory_e15",
+        before_bytes=materialized_peak,
+        after_bytes=symbolic_peak,
+        backend="n/a (scenario representation)",
+        instants=LONG_INSTANTS,
+        driven_inputs=2,
+        materialized_over_symbolic=round(ratio, 1),
+    )
+    # The symbolic program is a handful of rule objects whatever the
+    # horizon; the eager expansion is one list entry per instant per input.
+    assert symbolic_peak < 64 * 1024, (
+        f"symbolic scenario allocated {symbolic_peak} bytes — not constant-size"
+    )
+    assert ratio >= 100, (
+        f"materialising only cost {ratio:.0f}x the symbolic scenario; "
+        f"expected >= 100x at {LONG_INSTANTS} instants"
+    )
+
+
+def test_bench_e15_million_instant_drive_flat_memory(bench_e10):
+    """Gate 2: driving 1M instants keeps peak memory roughly flat.
+
+    The scenario is built *inside* the traced window — unlike E13, which
+    deliberately excluded the (then eager) scenario storage — so the
+    measurement covers the whole input side of the pipeline.
+    """
+    runner = CompiledBackend(_counter_model(), strict=False)
+    # Warm up one-time allocations outside the traced windows.
+    runner.run(_symbolic_scenario(256), sinks=[StatisticsSink()])
+
+    base_peak, _ = _peak_of(
+        lambda: runner.run(_symbolic_scenario(BASE_INSTANTS), sinks=[StatisticsSink()])
+    )
+    long_peak, long_seconds = _peak_of(
+        lambda: runner.run(_symbolic_scenario(LONG_INSTANTS), sinks=[StatisticsSink()])
+    )
+
+    growth = long_peak / max(base_peak, 1)
+    print(
+        f"E15 — driving {LONG_INSTANTS} instants end to end: peak "
+        f"{long_peak / 1024.0:.0f} KiB (vs {base_peak / 1024.0:.0f} KiB at "
+        f"{BASE_INSTANTS}; growth {growth:.2f}x for 100x instants) in "
+        f"{long_seconds:.1f}s"
+    )
+    bench_e10.record_memory(
+        "symbolic_scenario_drive_e15",
+        before_bytes=base_peak,
+        after_bytes=long_peak,
+        backend="compiled",
+        instants=LONG_INSTANTS,
+        base_instants=BASE_INSTANTS,
+        peak_growth_100x=round(growth, 2),
+        run_seconds=round(long_seconds, 2),
+    )
+    # O(signals) end to end: 100× the horizon may cost allocator noise plus
+    # slack, nowhere near the 100× an eager input program would pay.
+    assert long_peak < 3 * base_peak + 512 * 1024, (
+        f"peak grew {growth:.1f}x for 100x instants — the input side is not "
+        f"constant-memory"
+    )
+
+
+def test_bench_e15_symbolic_and_materialized_agree(bench_e10):
+    """The gates are only meaningful if both representations compute the
+    same run: spot-check flows on a shorter horizon."""
+    runner = CompiledBackend(_counter_model(), strict=False)
+    scenario = _symbolic_scenario(BASE_INSTANTS)
+    symbolic_trace = runner.run(scenario)
+    eager_trace = runner.run(scenario.materialized())
+    assert symbolic_trace.flows == eager_trace.flows
+    assert symbolic_trace.warnings == eager_trace.warnings
+    assert symbolic_trace.count_present("count") == BASE_INSTANTS // 2
+    assert symbolic_trace.value_at("level", 17) == 4.0  # sparse overlay wins

@@ -80,36 +80,48 @@ def main() -> None:
 
     model = build_model()
     runner = CompiledBackend(model, strict=False)
-    runner.run(Scenario(8).set_periodic("tick", 1), sinks=[StatisticsSink()])  # warm-up
 
-    # 1. Streaming run: O(signals) memory however long the horizon.
-    scenario = Scenario(args.instants).set_periodic("tick", 1)
+    # ONE unbounded symbolic scenario serves every horizon in this example:
+    # the periodic rule is O(1) memory, and the run length is chosen at
+    # simulate time (length=).
+    scenario = Scenario().set_periodic("tick", 1)
+    runner.run(scenario, sinks=[StatisticsSink()], length=8)  # warm-up
+
+    # 1. Streaming run: O(signals) memory however long the horizon — and,
+    # since PR 5, O(1) scenario memory too (the input is a symbolic rule,
+    # not a million-entry list).
     sinks = [StatisticsSink()]
     if args.vcd:
         sinks.append(StreamingVcdSink(args.vcd, timescale="1 ms"))
-    _, peak_kib, seconds = peak_of(lambda: runner.run(scenario, sinks=sinks))
+    _, peak_kib, seconds = peak_of(
+        lambda: runner.run(scenario, sinks=sinks, length=args.instants)
+    )
     stats = sinks[0].result()
     print(f"streamed {args.instants} instants in {seconds:.1f}s, "
-          f"run peak {peak_kib:.0f} KiB (scenario storage excluded)")
+          f"run peak {peak_kib:.0f} KiB (symbolic scenario: a few dozen bytes)")
     print(stats.summary())
     if args.vcd:
         print(f"waveform streamed to {args.vcd} "
               f"({os.path.getsize(args.vcd) / 1024.0:.0f} KiB)")
 
     # 2. The same model materialised on a 100x shorter horizon, for scale.
-    short = Scenario(max(args.instants // 100, 1)).set_periodic("tick", 1)
-    trace, short_peak_kib, _ = peak_of(lambda: runner.run(short))
-    print(f"\nmaterialising just {short.length} instants peaks at "
+    trace, short_peak_kib, _ = peak_of(
+        lambda: runner.run(scenario, length=max(args.instants // 100, 1))
+    )
+    print(f"\nmaterialising just {trace.length} instants peaks at "
           f"{short_peak_kib:.0f} KiB ({len(trace.flows)} flows kept in memory); "
           f"streaming the full horizon used {peak_kib:.0f} KiB")
 
     # 3. A sharded batch of long scenarios, each streamed inside a worker.
-    scenarios = [
-        Scenario(max(args.instants // 10, 1)).set_periodic("tick", period)
-        for period in (1, 2, 4, 8)
-    ]
+    # The symbolic scenarios ship to the workers as a few bytes of rules.
+    scenarios = [Scenario().set_periodic("tick", period) for period in (1, 2, 4, 8)]
     batch = simulate_batch(
-        model, scenarios, strict=False, workers=args.workers, sink_factory=stats_factory
+        model,
+        scenarios,
+        strict=False,
+        workers=args.workers,
+        sink_factory=stats_factory,
+        length=max(args.instants // 10, 1),
     )
     print(f"\n{batch.summary()}")
     summary = batch_statistics_summary(batch.sink_results, "count")

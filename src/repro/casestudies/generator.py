@@ -232,7 +232,7 @@ def generate_case_study(config: GeneratorConfig) -> GeneratedCaseStudy:
 
 def scenario_sweep(
     process: ProcessModel,
-    length: int,
+    length: Optional[int],
     variants: int,
     base_stimuli: Optional[Dict[str, int]] = None,
     seed: int = 0,
@@ -245,6 +245,10 @@ def scenario_sweep(
     stimulus, so a batch explores different environment behaviours of the
     same design.  Scenario 0 uses *base_stimuli* verbatim when given, which
     makes the sweep a superset of the single tool-chain scenario.
+
+    The scenarios are symbolic rule programs (constant memory whatever the
+    horizon); *length* may be ``None`` to build unbounded scenarios whose
+    horizon is chosen at simulate time (``simulate_batch(..., length=N)``).
 
     The result is meant to be fed to
     :func:`repro.sig.engine.simulate_batch`, which compiles the model once

@@ -24,9 +24,16 @@ from .aadl.parser import parse_file, parse_string
 from .casestudies import CATALOG, PRODUCER_CONSUMER_AADL, load_case_study
 from .core import ToolchainOptions, TranslationConfig, run_toolchain
 from .scheduling import SchedulingPolicy, export_affine_clocks
-from .sig.engine import DEFAULT_BACKEND, DEFAULT_BLOCK_SIZE, backend_names, simulate_batch
+from .sig.engine import (
+    DEFAULT_BACKEND,
+    DEFAULT_BLOCK_SIZE,
+    backend_names,
+    create_backend,
+    default_scenario,
+    simulate_batch,
+)
 from .sig.printer import to_signal_source
-from .sig.sinks import StatisticsSink, TraceSink, WindowSink
+from .sig.sinks import DeltaSink, StatisticsSink, TraceSink, WindowSink
 from .sig.vcd import StreamingVcdSink
 
 
@@ -220,6 +227,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.window > 0:
         window_sink = WindowSink(args.window)
         sinks.append(window_sink)
+    delta_sink = None
+    if args.deltas:
+        watched = None if args.deltas.strip().lower() == "all" else [
+            name.strip() for name in args.deltas.split(",") if name.strip()
+        ]
+        delta_sink = DeltaSink(watched)
+        sinks.append(delta_sink)
     if args.no_trace:
         # The deadline-alarm report (and exit code) must survive --no-trace.
         alarm_sink = _AlarmSink()
@@ -251,6 +265,38 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"(from instant {window_sink.start_instant}), "
             f"{present}/{len(window.flows)} signals active in the window"
         )
+    if delta_sink is not None and delta_sink.result() is not None:
+        print(delta_sink.result().summary(limit=20))
+    if args.scenario_length:
+        # Horizon sweep: ONE unbounded symbolic scenario (O(inputs) memory
+        # however long the horizons are), reused at every requested length
+        # by passing length= at simulate time.
+        stimuli = result.options.stimuli_periods if result.options else None
+        scenario = default_scenario(result.translation.system_model, None, stimuli)
+        runner = create_backend(
+            result.translation.system_model,
+            backend=args.backend,
+            strict=False,
+            **(result.options.backend_options if result.options else {}),
+        )
+        print(f"scenario-length sweep over {len(args.scenario_length)} horizon(s) "
+              f"[one symbolic scenario, {len(scenario.inputs)} driven signal(s)]")
+        for horizon in args.scenario_length:
+            stats = StatisticsSink()
+            runner.run(scenario, sinks=[stats], length=horizon)
+            streamed = stats.result()
+            busiest = max(
+                streamed.per_signal.values(),
+                key=lambda entry: entry.present,
+                default=None,
+            ) if streamed.per_signal else None
+            top = (
+                f", busiest {busiest.name} present {busiest.present}"
+                if busiest is not None
+                else ""
+            )
+            print(f"  length {horizon:>10d}: {streamed.length} instants streamed, "
+                  f"{len(streamed.per_signal)} signals{top}")
     if args.batch > 0:
         from .casestudies.generator import scenario_sweep
 
@@ -399,6 +445,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="retain only the last N instants in a ring-buffer window sink "
         "(combine with --no-trace to debug the end of a long run in "
         "O(signals x N) memory)",
+    )
+    simulate.add_argument(
+        "--deltas",
+        metavar="SIGNALS",
+        help="stream a change-log sink watching the comma-separated SIGNALS "
+        "('all' watches every recorded signal) and print its summary: only "
+        "instants where a watched signal changed presence or value are "
+        "retained — O(changes) memory for sparse long-horizon monitoring",
+    )
+    simulate.add_argument(
+        "--scenario-length",
+        type=_non_negative_int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="additionally sweep the scheduled model over these horizons, "
+        "reusing ONE unbounded symbolic scenario with the length supplied "
+        "at simulate time (constant scenario memory however long N is)",
     )
     simulate.add_argument(
         "--no-trace",

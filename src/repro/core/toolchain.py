@@ -228,7 +228,9 @@ def run_toolchain(
     if options.simulate_hyperperiods > 0 and result.schedules:
         schedule = next(iter(result.schedules.values()))
         length = schedule.simulation_length(options.simulate_hyperperiods)
-        scenario = default_scenario(translation.system_model, length, options.stimuli_periods)
+        # The scenario is an *unbounded* symbolic input program (O(inputs)
+        # memory); the hyper-period-derived horizon is supplied at run time.
+        scenario = default_scenario(translation.system_model, None, options.stimuli_periods)
         backend = create_backend(
             translation.system_model,
             backend=options.backend,
@@ -237,7 +239,9 @@ def run_toolchain(
         )
         if options.sinks is None and options.materialize_trace:
             # The classic path: materialise the trace directly.
-            result.trace = backend.run(scenario, record=options.record_signals)
+            result.trace = backend.run(
+                scenario, record=options.record_signals, length=length
+            )
         else:
             # Streaming path: drive the caller's sinks instant by instant,
             # materialising alongside (via a MaterializeSink) only on request.
@@ -245,7 +249,9 @@ def run_toolchain(
             materialize = MaterializeSink() if options.materialize_trace else None
             if materialize is not None:
                 sinks.append(materialize)
-            backend.run(scenario, record=options.record_signals, sinks=sinks)
+            backend.run(
+                scenario, record=options.record_signals, sinks=sinks, length=length
+            )
             if materialize is not None:
                 result.trace = materialize.trace
             result.sink_results = [sink.result() for sink in options.sinks or ()]

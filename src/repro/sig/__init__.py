@@ -74,11 +74,21 @@ from .affine import (
     relation_between,
     solve_congruences,
 )
+from .scenario import (
+    ConstantRule,
+    ExplicitRule,
+    GeneratorRule,
+    InputProgram,
+    InputRule,
+    PeriodicRule,
+    Scenario,
+    SparseRule,
+    as_rule,
+)
 from .simulator import (
     ClockViolation,
     InstantaneousCycle,
     NonDeterministicDefinition,
-    Scenario,
     SimulationError,
     SimulationTrace,
     Simulator,
@@ -131,7 +141,7 @@ from .engine import (
     run_batch_parallel,
     simulate_batch,
 )
-from . import analysis, builder, engine, library, sinks, vcd
+from . import analysis, builder, engine, library, scenario, sinks, vcd
 
 __all__ = [
     # values
@@ -154,6 +164,9 @@ __all__ = [
     # affine
     "AffineClock", "AffineRelation", "first_conflict", "hyperperiod_of",
     "lcm", "lcm_many", "mutually_disjoint", "relation_between", "solve_congruences",
+    # symbolic scenario programs
+    "ConstantRule", "ExplicitRule", "GeneratorRule", "InputProgram",
+    "InputRule", "PeriodicRule", "SparseRule", "as_rule",
     # simulation
     "ClockViolation", "InstantaneousCycle", "NonDeterministicDefinition",
     "Scenario", "SimulationError", "SimulationTrace", "Simulator", "simulate",
@@ -175,5 +188,5 @@ __all__ = [
     "compile_plan", "create_backend", "default_scenario", "default_worker_count",
     "run_batch_parallel", "simulate_batch",
     # submodules
-    "analysis", "builder", "engine", "library", "sinks", "vcd",
+    "analysis", "builder", "engine", "library", "scenario", "sinks", "vcd",
 ]

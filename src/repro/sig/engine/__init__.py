@@ -31,7 +31,8 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Optional
 
 from ..process import ProcessModel
-from ..simulator import Scenario, SimulationTrace
+from ..scenario import Scenario
+from ..simulator import SimulationTrace
 from ..sinks import SinkFactory, SinkOrSinks
 from .backends import (
     BACKENDS,
@@ -63,6 +64,7 @@ def simulate(
     backend: str = DEFAULT_BACKEND,
     sinks: Optional[SinkOrSinks] = None,
     backend_options: Optional[Mapping[str, object]] = None,
+    length: Optional[int] = None,
 ) -> Optional[SimulationTrace]:
     """One-shot helper: prepare the chosen backend and run *scenario*.
 
@@ -73,11 +75,13 @@ def simulate(
     the scenario; include a :class:`~repro.sig.sinks.MaterializeSink` to
     also keep the full trace.  *backend_options* are forwarded to the
     backend constructor (e.g. ``{"block_size": 512}`` for ``vectorized``).
+    *length* overrides the scenario's default horizon (required when the
+    scenario is unbounded, see :class:`~repro.sig.scenario.Scenario`).
     """
     runner = create_backend(
         process, backend=backend, strict=strict, **dict(backend_options or {})
     )
-    return runner.run(scenario, record=record, sinks=sinks)
+    return runner.run(scenario, record=record, sinks=sinks, length=length)
 
 
 __all__ = [

@@ -29,7 +29,8 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Type
 
 from ..process import ProcessModel
-from ..simulator import Scenario, SimulationTrace, Simulator
+from ..scenario import Scenario
+from ..simulator import SimulationTrace, Simulator
 from ..sinks import SinkFactory, SinkOrSinks, as_sink_list
 from .plan import ExecutionPlan, compile_plan
 
@@ -57,6 +58,7 @@ class SimulationBackend:
         scenario: Scenario,
         record: Optional[Iterable[str]] = None,
         sinks: Optional[SinkOrSinks] = None,
+        length: Optional[int] = None,
     ) -> Optional[SimulationTrace]:
         """Run one scenario from a fresh initial state.
 
@@ -64,6 +66,8 @@ class SimulationBackend:
         :class:`~repro.sig.simulator.SimulationTrace`.  With *sinks* each
         resolved instant is streamed into them instead (O(signals) memory)
         and the method returns ``None``; see :mod:`repro.sig.sinks`.
+        *length* overrides the scenario's default horizon (required when
+        the scenario is unbounded).
         """
         raise NotImplementedError
 
@@ -73,13 +77,16 @@ class SimulationBackend:
         record: Optional[Iterable[str]] = None,
         workers: int = 1,
         sink_factory: Optional[SinkFactory] = None,
+        length: Optional[int] = None,
     ) -> List[Any]:
         """Run every scenario from a fresh initial state, reusing the
         per-model preparation.
 
         ``workers > 1`` shards the scenarios over worker processes (see
         :mod:`repro.sig.engine.parallel`); the traces are identical to the
-        sequential run and come back in scenario order.
+        sequential run and come back in scenario order.  Symbolic
+        scenarios ship to the workers as their (tiny) rule programs, never
+        as per-instant lists.
 
         With *sink_factory* (called with each scenario index, returning the
         sink or sinks that scenario streams into) nothing is materialised:
@@ -87,6 +94,8 @@ class SimulationBackend:
         produced — ``sink.result()`` for a single sink, the list of results
         when the factory returned several.  Sink results are shipped back
         from worker processes and merged in scenario order.
+
+        *length* applies to every scenario of the batch.
         """
         record = list(record) if record is not None else None
         if workers != 1 and len(scenarios) > 1:
@@ -99,14 +108,15 @@ class SimulationBackend:
                 workers=workers,
                 collect_errors=False,
                 sink_factory=sink_factory,
+                length=length,
             )
             return sink_results if sink_factory is not None else traces  # type: ignore[return-value]
         if sink_factory is not None:
             return [
-                run_scenario_into_sinks(self, scenario, record, sink_factory, index)
+                run_scenario_into_sinks(self, scenario, record, sink_factory, index, length)
                 for index, scenario in enumerate(scenarios)
             ]
-        return [self.run(scenario, record=record) for scenario in scenarios]
+        return [self.run(scenario, record=record, length=length) for scenario in scenarios]
 
 
 def run_scenario_into_sinks(
@@ -115,6 +125,7 @@ def run_scenario_into_sinks(
     record: Optional[List[str]],
     sink_factory: SinkFactory,
     index: int,
+    length: Optional[int] = None,
 ) -> Any:
     """Run one batch scenario through fresh factory-made sink(s).
 
@@ -125,7 +136,7 @@ def run_scenario_into_sinks(
     """
     made = sink_factory(index)
     sink_list = as_sink_list(made)
-    runner.run(scenario, record=record, sinks=sink_list)
+    runner.run(scenario, record=record, sinks=sink_list, length=length)
     results = [sink.result() for sink in sink_list]
     return results[0] if len(sink_list) == 1 and not isinstance(made, (list, tuple)) else results
 
@@ -149,10 +160,11 @@ class ReferenceBackend(SimulationBackend):
         scenario: Scenario,
         record: Optional[Iterable[str]] = None,
         sinks: Optional[SinkOrSinks] = None,
+        length: Optional[int] = None,
     ) -> Optional[SimulationTrace]:
         """Interpret one scenario (see :meth:`SimulationBackend.run`)."""
         # Simulator.run resets delay/cell/shared memories itself.
-        return self._simulator.run(scenario, record=record, sinks=sinks)
+        return self._simulator.run(scenario, record=record, sinks=sinks, length=length)
 
 
 class CompiledBackend(SimulationBackend):
@@ -179,9 +191,12 @@ class CompiledBackend(SimulationBackend):
         scenario: Scenario,
         record: Optional[Iterable[str]] = None,
         sinks: Optional[SinkOrSinks] = None,
+        length: Optional[int] = None,
     ) -> Optional[SimulationTrace]:
         """Execute one scenario over the plan (see :meth:`SimulationBackend.run`)."""
-        return self._plan.run(scenario, record=record, strict=self.strict, sinks=sinks)
+        return self._plan.run(
+            scenario, record=record, strict=self.strict, sinks=sinks, length=length
+        )
 
     def run_batch(
         self,
@@ -189,15 +204,22 @@ class CompiledBackend(SimulationBackend):
         record: Optional[Iterable[str]] = None,
         workers: int = 1,
         sink_factory: Optional[SinkFactory] = None,
+        length: Optional[int] = None,
     ) -> List[Any]:
         """Batched execution over the shared plan (see
         :meth:`SimulationBackend.run_batch`)."""
         record = list(record) if record is not None else None
         if sink_factory is not None or (workers != 1 and len(scenarios) > 1):
             return super().run_batch(
-                scenarios, record=record, workers=workers, sink_factory=sink_factory
+                scenarios,
+                record=record,
+                workers=workers,
+                sink_factory=sink_factory,
+                length=length,
             )
-        return self._plan.run_batch(scenarios, record=record, strict=self.strict)
+        return self._plan.run_batch(
+            scenarios, record=record, strict=self.strict, length=length
+        )
 
 
 #: Registry of the available backends, keyed by :attr:`SimulationBackend.name`.

@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..process import ProcessModel
-from ..simulator import Scenario, SimulationError, SimulationTrace
+from ..scenario import Scenario
+from ..simulator import SimulationError, SimulationTrace
 from ..sinks import SinkFactory, presence_summary
 from .backends import DEFAULT_BACKEND, create_backend
 from .parallel import default_worker_count, run_batch_parallel
@@ -25,14 +26,16 @@ from .parallel import default_worker_count, run_batch_parallel
 
 def default_scenario(
     process: ProcessModel,
-    length: int,
+    length: Optional[int],
     stimuli_periods: Optional[Mapping[str, int]] = None,
 ) -> Scenario:
     """The tool chain's standard scenario for a scheduled system model.
 
     Every input named ``tick`` or ``*_tick`` (the base clock of a translated
     processor) is present at every instant; each entry of *stimuli_periods*
-    adds a periodic environment stimulus.
+    adds a periodic environment stimulus.  The scenario is symbolic —
+    O(inputs) memory whatever the horizon — and *length* may be ``None``
+    for an unbounded scenario whose horizon is chosen at simulate time.
     """
     scenario = Scenario(length)
     for decl in process.inputs():
@@ -115,6 +118,7 @@ def simulate_batch(
     workers: int = 1,
     sink_factory: Optional[SinkFactory] = None,
     backend_options: Optional[Mapping[str, Any]] = None,
+    length: Optional[int] = None,
 ) -> BatchResult:
     """Run every scenario through one prepared backend instance.
 
@@ -143,6 +147,11 @@ def simulate_batch(
     ``backend_options`` are forwarded to the backend constructor (e.g.
     ``{"block_size": 512}`` for the ``vectorized`` backend); unknown options
     are ignored by the other backends.
+
+    ``length`` overrides every scenario's horizon — one *unbounded*
+    symbolic scenario (``Scenario(None)``) can therefore be reused across
+    sweeps of different lengths, and ships to workers as a few bytes of
+    rules instead of per-instant lists.
     """
     record = list(record) if record is not None else None
     start = time.perf_counter()
@@ -162,6 +171,7 @@ def simulate_batch(
         workers=effective_workers,
         collect_errors=collect_errors,
         sink_factory=sink_factory,
+        length=length,
     )
     done = time.perf_counter()
 

@@ -47,16 +47,18 @@ import os
 import sys
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
-from ..simulator import Scenario, SimulationError, SimulationTrace
+from ..scenario import Scenario
+from ..simulator import SimulationError, SimulationTrace
 from ..sinks import SinkFactory
 
-#: Per-worker prepared backend, record list, error mode and sink factory,
-#: installed by the pool initializer (inherited on fork, unpickled once on
-#: spawn).
+#: Per-worker prepared backend, record list, error mode, sink factory and
+#: horizon override, installed by the pool initializer (inherited on fork,
+#: unpickled once on spawn).
 _WORKER_RUNNER: Any = None
 _WORKER_RECORD: Optional[List[str]] = None
 _WORKER_COLLECT_ERRORS: bool = False
 _WORKER_SINK_FACTORY: Optional[SinkFactory] = None
+_WORKER_LENGTH: Optional[int] = None
 
 
 def _init_worker(
@@ -64,13 +66,16 @@ def _init_worker(
     record: Optional[List[str]],
     collect_errors: bool,
     sink_factory: Optional[SinkFactory],
+    length: Optional[int] = None,
 ) -> None:
     """Install the per-worker state (pool initializer)."""
-    global _WORKER_RUNNER, _WORKER_RECORD, _WORKER_COLLECT_ERRORS, _WORKER_SINK_FACTORY
+    global _WORKER_RUNNER, _WORKER_RECORD, _WORKER_COLLECT_ERRORS
+    global _WORKER_SINK_FACTORY, _WORKER_LENGTH
     _WORKER_RUNNER = runner
     _WORKER_RECORD = record
     _WORKER_COLLECT_ERRORS = collect_errors
     _WORKER_SINK_FACTORY = sink_factory
+    _WORKER_LENGTH = length
 
 
 def _run_one(index: int, scenario: Scenario) -> Any:
@@ -79,9 +84,14 @@ def _run_one(index: int, scenario: Scenario) -> Any:
         from .backends import run_scenario_into_sinks
 
         return run_scenario_into_sinks(
-            _WORKER_RUNNER, scenario, _WORKER_RECORD, _WORKER_SINK_FACTORY, index
+            _WORKER_RUNNER,
+            scenario,
+            _WORKER_RECORD,
+            _WORKER_SINK_FACTORY,
+            index,
+            _WORKER_LENGTH,
         )
-    return _WORKER_RUNNER.run(scenario, record=_WORKER_RECORD)
+    return _WORKER_RUNNER.run(scenario, record=_WORKER_RECORD, length=_WORKER_LENGTH)
 
 
 def _run_chunk(
@@ -128,6 +138,7 @@ def run_batch_parallel(
     collect_errors: bool = False,
     chunk_size: Optional[int] = None,
     sink_factory: Optional[SinkFactory] = None,
+    length: Optional[int] = None,
 ) -> Tuple[List[Optional[SimulationTrace]], List[Tuple[int, SimulationError]], List[Any]]:
     """Run *scenarios* through *runner* on a pool of worker processes.
 
@@ -141,6 +152,10 @@ def run_batch_parallel(
     holds ``None`` per scenario and ``sink_results`` holds what each
     scenario's factory-made sink(s) produced (``None`` for scenarios that
     failed under ``collect_errors``), merged back in scenario order.
+
+    *length* overrides every scenario's horizon (required for unbounded
+    symbolic scenarios); a symbolic scenario crosses the process boundary
+    as its rule program — a few bytes however long the horizon.
     """
     record = list(record) if record is not None else None
     if workers <= 0:
@@ -166,8 +181,10 @@ def run_batch_parallel(
 
         def run_one(index: int, scenario: Scenario) -> Any:
             if streaming:
-                return run_scenario_into_sinks(runner, scenario, record, sink_factory, index)
-            return runner.run(scenario, record=record)
+                return run_scenario_into_sinks(
+                    runner, scenario, record, sink_factory, index, length
+                )
+            return runner.run(scenario, record=record, length=length)
 
         for index, scenario in enumerate(scenarios):
             if collect_errors:
@@ -191,7 +208,7 @@ def run_batch_parallel(
     with ctx.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(runner, record, collect_errors, sink_factory),
+        initargs=(runner, record, collect_errors, sink_factory, length),
     ) as pool:
         # Without collect_errors a failing chunk raises out of imap at its
         # position in submission order; every earlier chunk completed without

@@ -61,12 +61,12 @@ from ..expressions import (
     apply_stepwise,
 )
 from ..process import ConstraintKind, Direction, ProcessModel
+from ..scenario import InputRule, Sampler, Scenario
 from ..scheduler_graph import build_dependency_graph
 from ..simulator import (
     ClockViolation,
     InstantaneousCycle,
     NonDeterministicDefinition,
-    Scenario,
     SimulationTrace,
 )
 from ..values import ABSENT, Flow
@@ -756,6 +756,7 @@ class ExecutionPlan:
         record: Optional[Iterable[str]] = None,
         strict: bool = True,
         sinks: Optional[Sequence[Any]] = None,
+        length: Optional[int] = None,
     ) -> Optional[SimulationTrace]:
         """Execute *scenario* and record the requested signals.
 
@@ -769,7 +770,11 @@ class ExecutionPlan:
         also keep the full trace.  Any non-``None`` *sinks* selects the
         streaming mode: an *empty* list runs the scenario for its effects
         (errors, warnings) without retaining anything.
+
+        *length* overrides the scenario's default horizon (required for
+        unbounded scenarios).
         """
+        length = scenario.run_length(length)
         recorded = list(record) if record is not None else list(self.process.signals)
         warnings: List[str] = []
 
@@ -782,6 +787,9 @@ class ExecutionPlan:
 
         declared = self.process.signals
         driven, driven_slots, scenario_only = self._bind_scenario(scenario)
+        # One precompiled sampling closure per driven slot: the symbolic
+        # rules are evaluated lazily, never expanded into per-instant lists.
+        sampled = [(slot, rule.sampler()) for slot, rule in driven]
 
         # Scenario-driven undeclared targets are not resolved (scenario wins).
         base_work = [item for item in self._work if item[0] not in driven_slots]
@@ -801,18 +809,18 @@ class ExecutionPlan:
                 # not leave earlier sinks' file handles open.
                 header = TraceHeader(
                     process_name=self.process.name,
-                    length=scenario.length,
+                    length=length,
                     signals=tuple(recorded),
                     types={name: decl.type for name, decl in declared.items()},
                     warnings=warnings,
                 )
                 for sink in sink_list:
                     sink.on_header(header)
-            for instant in range(scenario.length):
+            for instant in range(length):
                 st = list(status_template)
                 vals: List[Any] = [ABSENT] * n_slots
-                for slot, flow in driven:
-                    value = flow[instant] if instant < len(flow) else ABSENT
+                for slot, sample in sampled:
+                    value = sample(instant)
                     st[slot] = _ABSENT_ST if value is ABSENT else PRESENT
                     vals[slot] = value
 
@@ -826,11 +834,7 @@ class ExecutionPlan:
                         row = tuple(
                             vals[slot]
                             if slot is not None
-                            else (
-                                fallback[instant]
-                                if fallback is not None and instant < len(fallback)
-                                else ABSENT
-                            )
+                            else (fallback(instant) if fallback is not None else ABSENT)
                             for _, slot, fallback in record_plan
                         )
                         statuses = tuple(value is not ABSENT for value in row)
@@ -841,7 +845,7 @@ class ExecutionPlan:
                         if slot is not None:
                             out.append(vals[slot])
                         elif fallback is not None:
-                            out.append(fallback[instant] if instant < len(fallback) else ABSENT)
+                            out.append(fallback(instant))
                         else:
                             out.append(ABSENT)
         finally:
@@ -856,7 +860,7 @@ class ExecutionPlan:
         flows = {name: Flow(name, values) for name, values in record_lists.items()}
         return SimulationTrace(
             process_name=self.process.name,
-            length=scenario.length,
+            length=length,
             flows=flows,
             warnings=warnings,
         )
@@ -866,47 +870,52 @@ class ExecutionPlan:
         scenarios: Sequence[Scenario],
         record: Optional[Iterable[str]] = None,
         strict: bool = True,
+        length: Optional[int] = None,
     ) -> List[SimulationTrace]:
         """Run every scenario through this (already compiled) plan.
 
         Delay/cell/shared-variable memories are reset between scenarios, so
-        each trace is what a fresh simulator would produce.
+        each trace is what a fresh simulator would produce.  *length*
+        applies to every scenario (required when they are unbounded).
         """
         record = list(record) if record is not None else None
-        return [self.run(scenario, record=record, strict=strict) for scenario in scenarios]
+        return [
+            self.run(scenario, record=record, strict=strict, length=length)
+            for scenario in scenarios
+        ]
 
     def _bind_scenario(
         self, scenario: Scenario
-    ) -> Tuple[List[Tuple[int, List[Any]]], set, Dict[str, List[Any]]]:
-        """Split a scenario's flows into slot-driven columns and
+    ) -> Tuple[List[Tuple[int, InputRule]], set, Dict[str, InputRule]]:
+        """Split a scenario's input program into slot-driven rules and
         scenario-only recorded fallbacks.
 
-        Scenario flows drive declared inputs and undeclared-but-referenced
-        names; flows for declared non-input signals are ignored, exactly as
+        Scenario rules drive declared inputs and undeclared-but-referenced
+        names; rules for declared non-input signals are ignored, exactly as
         in the reference interpreter.  Shared by :meth:`run` and the
         vectorized executor so input precedence lives in one place.
         Returns ``(driven, driven_slots, scenario_only)``: the
-        ``(slot, flow)`` pairs to drive, the *undeclared* driven slots
+        ``(slot, rule)`` pairs to drive, the *undeclared* driven slots
         (whose work items the sweep must skip — scenario wins), and the
-        flows of recorded names that have no slot at all.
+        rules of recorded names that have no slot at all.
         """
-        driven: List[Tuple[int, List[Any]]] = []
+        driven: List[Tuple[int, InputRule]] = []
         driven_slots: set = set()
-        scenario_only: Dict[str, List[Any]] = {}
+        scenario_only: Dict[str, InputRule] = {}
         declared = self.process.signals
         slot_of = self.slot_of
         for slot, name in self._input_slots:
-            flow = scenario.inputs.get(name)
-            if flow is not None:
-                driven.append((slot, flow))
-        for name, flow in scenario.inputs.items():
+            rule = scenario.inputs.get(name)
+            if rule is not None:
+                driven.append((slot, rule))
+        for name, rule in scenario.inputs.items():
             if name in declared:
                 continue
             slot = slot_of.get(name)
             if slot is None:
-                scenario_only[name] = flow
+                scenario_only[name] = rule
                 continue
-            driven.append((slot, flow))
+            driven.append((slot, rule))
             driven_slots.add(slot)
         return driven, driven_slots, scenario_only
 
@@ -914,14 +923,14 @@ class ExecutionPlan:
         self,
         recorded: List[str],
         streaming: bool,
-        scenario_only: Dict[str, List[Any]],
+        scenario_only: Dict[str, InputRule],
     ) -> Tuple[
         Dict[str, List[Any]],
-        List[Tuple[Optional[List[Any]], Optional[int], Optional[List[Any]]]],
+        List[Tuple[Optional[List[Any]], Optional[int], Optional[Sampler]]],
     ]:
-        """Per-recorded-name output plan: ``(out list, slot, fallback flow)``.
+        """Per-recorded-name output plan: ``(out list, slot, fallback sampler)``.
 
-        Recorded names that are neither slots nor scenario flows stay ⊥;
+        Recorded names that are neither slots nor scenario rules stay ⊥;
         they record into plain lists wrapped as flows at the end.  A name
         listed twice shares one list and is appended twice per instant,
         exactly as the reference interpreter's shared Flow behaves.  When
@@ -931,13 +940,14 @@ class ExecutionPlan:
         """
         record_lists: Dict[str, List[Any]] = {}
         record_plan: List[
-            Tuple[Optional[List[Any]], Optional[int], Optional[List[Any]]]
+            Tuple[Optional[List[Any]], Optional[int], Optional[Sampler]]
         ] = []
         for name in recorded:
             out = None if streaming else record_lists.setdefault(name, [])
             slot = self.slot_of.get(name)
+            fallback_rule = scenario_only.get(name) if slot is None else None
             record_plan.append(
-                (out, slot, scenario_only.get(name) if slot is None else None)
+                (out, slot, fallback_rule.sampler() if fallback_rule is not None else None)
             )
         return record_lists, record_plan
 

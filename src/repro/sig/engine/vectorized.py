@@ -75,7 +75,8 @@ from ..expressions import (
     free_signals,
 )
 from ..process import ProcessModel
-from ..simulator import Scenario, SimulationTrace
+from ..scenario import Scenario
+from ..simulator import SimulationTrace
 from ..values import ABSENT, Flow, SignalKind
 from .backends import BACKENDS, SimulationBackend, SinkOrSinks
 from .plan import (
@@ -853,13 +854,18 @@ class VectorExecutionPlan:
         record=None,
         strict: bool = True,
         sinks: Optional[SinkOrSinks] = None,
+        length: Optional[int] = None,
     ) -> Optional[SimulationTrace]:
         """Execute *scenario* in instant blocks.
 
         Semantics, arguments and the streaming (``sinks=``) contract are
         exactly those of :meth:`repro.sig.engine.plan.ExecutionPlan.run`.
+        Periodic/constant/sparse input rules are synthesised into numpy
+        columns arithmetically (:meth:`~repro.sig.scenario.InputRule.block_columns`);
+        explicit and generator rules are sampled instant by instant.
         """
         plan = self.plan
+        length = scenario.run_length(length)
         recorded = list(record) if record is not None else list(plan.process.signals)
         warnings: List[str] = []
 
@@ -871,7 +877,11 @@ class VectorExecutionPlan:
             sink_list = as_sink_list(sinks)
 
         declared = plan.process.signals
-        driven, driven_slots, scenario_only = plan._bind_scenario(scenario)
+        bound, driven_slots, scenario_only = plan._bind_scenario(scenario)
+        # Each driven slot carries its rule (for the block-level column
+        # synthesis) plus one precompiled sampler (for the per-instant
+        # fallback paths).
+        driven = [(slot, rule, rule.sampler()) for slot, rule in bound]
 
         pure_work = [item for item in plan._work if item[0] not in driven_slots]
         residual_work = [
@@ -897,11 +907,7 @@ class VectorExecutionPlan:
                     row = tuple(
                         vals[slot]
                         if slot is not None
-                        else (
-                            fallback[instant]
-                            if fallback is not None and instant < len(fallback)
-                            else ABSENT
-                        )
+                        else (fallback(instant) if fallback is not None else ABSENT)
                         for _, slot, fallback in record_plan
                     )
                     statuses = tuple(value is not ABSENT for value in row)
@@ -912,7 +918,7 @@ class VectorExecutionPlan:
                     if slot is not None:
                         out.append(vals[slot])
                     elif fallback is not None:
-                        out.append(fallback[instant] if instant < len(fallback) else ABSENT)
+                        out.append(fallback(instant))
                     else:
                         out.append(ABSENT)
 
@@ -921,7 +927,6 @@ class VectorExecutionPlan:
         else:
             state = [list(template) for template in plan._state_init]
             varmem = list(plan._nowrite_template)
-        length = scenario.length
         block_size = self.block_size
         try:
             if streaming:
@@ -1062,17 +1067,33 @@ class VectorExecutionPlan:
         ctx = _BlockContext(st_block, val_block, size)
 
         typed_input_kinds = self._typed_input_kinds
-        for slot, flow in driven:
+        for slot, rule, sample in driven:
+            kind = typed_input_kinds.get(slot)
+            # Symbolic fast path: periodic/constant/sparse rules synthesise
+            # their presence mask and value column arithmetically — no
+            # Python list (and no per-instant loop) in the hot path.
+            columns = rule.block_columns(
+                start,
+                start + size,
+                _np,
+                typed=float if kind == _FLT else bool if kind == _BOOL else None,
+            )
+            if columns is not None:
+                mask, values, typed_values = columns
+                st_block[:, slot] = _np.where(mask, PRESENT, _ABSENT_ST)
+                val_block[:, slot] = values
+                if typed_values is not None and kind is not None:
+                    ctx.typed[slot] = (typed_values, kind)
+                continue
+            # Explicit/generator rules: sample instant by instant, exactly
+            # like the pre-symbolic list slicing did.
             status_col = st_block[:, slot]
             value_col = val_block[:, slot]
-            flow_len = len(flow)
-            kind = typed_input_kinds.get(slot)
             typed_buf: Optional[List[Any]] = (
                 None if kind is None else [0.0 if kind == _FLT else False] * size
             )
             for i in range(size):
-                t = start + i
-                value = flow[t] if t < flow_len else ABSENT
+                value = sample(start + i)
                 if value is ABSENT:
                     status_col[i] = _ABSENT_ST
                 else:
@@ -1171,8 +1192,8 @@ class VectorExecutionPlan:
             instant = start + i
             st = list(template)
             vals: List[Any] = [ABSENT] * n_slots
-            for slot, flow in driven:
-                value = flow[instant] if instant < len(flow) else ABSENT
+            for slot, _rule, sample in driven:
+                value = sample(instant)
                 st[slot] = _ABSENT_ST if value is ABSENT else PRESENT
                 vals[slot] = value
             resolve(st, vals, state, varmem, instant, warnings, strict, pure_work)
@@ -1246,11 +1267,16 @@ class VectorizedBackend(SimulationBackend):
         scenario: Scenario,
         record=None,
         sinks: Optional[SinkOrSinks] = None,
+        length: Optional[int] = None,
     ) -> Optional[SimulationTrace]:
         """Execute one scenario in instant blocks (see :meth:`SimulationBackend.run`)."""
         if self._vector is None:
-            return self._plan.run(scenario, record=record, strict=self.strict, sinks=sinks)
-        return self._vector.run(scenario, record=record, strict=self.strict, sinks=sinks)
+            return self._plan.run(
+                scenario, record=record, strict=self.strict, sinks=sinks, length=length
+            )
+        return self._vector.run(
+            scenario, record=record, strict=self.strict, sinks=sinks, length=length
+        )
 
     # ------------------------------------------------------------------
     # pickling: like ExecutionPlan, the backend travels as its (picklable)

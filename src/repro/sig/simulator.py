@@ -43,6 +43,7 @@ from .expressions import (
     apply_stepwise,
 )
 from .process import Direction, Equation, ProcessModel
+from .scenario import Sampler, Scenario
 from .values import ABSENT, Flow, is_absent, is_present
 
 
@@ -121,54 +122,6 @@ class SimulationTrace:
         return self.length
 
 
-class Scenario:
-    """Input scenario: for each input signal, its flow on the simulation clock."""
-
-    def __init__(self, length: int) -> None:
-        if length < 0:
-            raise ValueError("scenario length must be non-negative")
-        self.length = length
-        self.inputs: Dict[str, List[Any]] = {}
-
-    def set_flow(self, name: str, values: Sequence[Any]) -> "Scenario":
-        """Provide an explicit flow (padded / truncated to the scenario length)."""
-        values = list(values)[: self.length]
-        values += [ABSENT] * (self.length - len(values))
-        self.inputs[name] = values
-        return self
-
-    def set_periodic(self, name: str, period: int, phase: int = 0, value: Any = True) -> "Scenario":
-        """Make *name* present every *period* instants starting at *phase*."""
-        if period <= 0:
-            raise ValueError("period must be strictly positive")
-        flow = [ABSENT] * self.length
-        for i in range(phase, self.length, period):
-            flow[i] = value
-        self.inputs[name] = flow
-        return self
-
-    def set_at(self, name: str, instants: Mapping[int, Any]) -> "Scenario":
-        """Make *name* present with the given values at selected instants."""
-        flow = self.inputs.get(name, [ABSENT] * self.length)
-        flow = list(flow) + [ABSENT] * (self.length - len(flow))
-        for instant, value in instants.items():
-            if 0 <= instant < self.length:
-                flow[instant] = value
-        self.inputs[name] = flow
-        return self
-
-    def set_always(self, name: str, value: Any = True) -> "Scenario":
-        """Make *name* present with *value* at every instant."""
-        self.inputs[name] = [value] * self.length
-        return self
-
-    def value(self, name: str, instant: int) -> Any:
-        flow = self.inputs.get(name)
-        if flow is None or instant >= len(flow):
-            return ABSENT
-        return flow[instant]
-
-
 class Simulator:
     """Fixed-point interpreter of a polychronous process."""
 
@@ -228,6 +181,7 @@ class Simulator:
         scenario: Scenario,
         record: Optional[Iterable[str]] = None,
         sinks: Optional[Sequence[Any]] = None,
+        length: Optional[int] = None,
     ) -> Optional[SimulationTrace]:
         """Run the process over *scenario* and record the requested signals.
 
@@ -240,10 +194,19 @@ class Simulator:
         full trace.  Any non-``None`` *sinks* selects the streaming mode:
         an *empty* list runs the scenario for its effects (errors, warnings)
         without retaining anything.
+
+        *length* overrides the scenario's default horizon (and is required
+        when the scenario is unbounded, see
+        :meth:`repro.sig.scenario.Scenario.run_length`).
         """
         self.reset()
+        length = scenario.run_length(length)
         recorded = list(record) if record is not None else list(self.process.signals)
         warnings: List[str] = []
+        # Precompile one sampling closure per driven signal: the symbolic
+        # rules are evaluated lazily, O(1) memory per signal whatever the
+        # horizon.
+        samplers = {name: rule.sampler() for name, rule in scenario.inputs.items()}
 
         if sinks is not None:
             # Imported lazily: repro.sig.sinks imports this module.
@@ -255,15 +218,15 @@ class Simulator:
                 # here must not leave earlier sinks' file handles open.
                 header = TraceHeader(
                     process_name=self.process.name,
-                    length=scenario.length,
+                    length=length,
                     signals=tuple(recorded),
                     types={name: decl.type for name, decl in self.process.signals.items()},
                     warnings=warnings,
                 )
                 for sink in sink_list:
                     sink.on_header(header)
-                for instant in range(scenario.length):
-                    env = self._step(instant, scenario, warnings)
+                for instant in range(length):
+                    env = self._step(instant, samplers, warnings)
                     if sink_list:
                         values = tuple(env.get(name, ABSENT) for name in recorded)
                         statuses = tuple(value is not ABSENT for value in values)
@@ -274,14 +237,14 @@ class Simulator:
             return None
 
         flows = {name: Flow(name) for name in recorded}
-        for instant in range(scenario.length):
-            env = self._step(instant, scenario, warnings)
+        for instant in range(length):
+            env = self._step(instant, samplers, warnings)
             for name in recorded:
                 flows[name].append(env.get(name, ABSENT))
 
         return SimulationTrace(
             process_name=self.process.name,
-            length=scenario.length,
+            length=length,
             flows=flows,
             warnings=warnings,
         )
@@ -289,13 +252,16 @@ class Simulator:
     # ------------------------------------------------------------------
     # one instant
     # ------------------------------------------------------------------
-    def _step(self, instant: int, scenario: Scenario, warnings: List[str]) -> Dict[str, Any]:
+    def _step(
+        self, instant: int, samplers: Mapping[str, Sampler], warnings: List[str]
+    ) -> Dict[str, Any]:
         status: Dict[str, str] = {}
         values: Dict[str, Any] = {}
 
         for name, decl in self.process.signals.items():
             if decl.direction is Direction.INPUT:
-                value = scenario.value(name, instant)
+                sample = samplers.get(name)
+                value = sample(instant) if sample is not None else ABSENT
                 status[name] = _ABSENT if is_absent(value) else _PRESENT
                 values[name] = value
             elif name not in self._defined:
@@ -306,10 +272,10 @@ class Simulator:
                 status[name] = _UNKNOWN
                 values[name] = ABSENT
 
-        # Input flows may mention signals that were not declared.
-        for name in scenario.inputs:
+        # Input programs may mention signals that were not declared.
+        for name, sample in samplers.items():
             if name not in status:
-                value = scenario.value(name, instant)
+                value = sample(instant)
                 status[name] = _ABSENT if is_absent(value) else _PRESENT
                 values[name] = value
 
@@ -641,10 +607,13 @@ def simulate(
     record: Optional[Iterable[str]] = None,
     strict: bool = True,
     sinks: Optional[Sequence[Any]] = None,
+    length: Optional[int] = None,
 ) -> Optional[SimulationTrace]:
     """One-shot helper: build a :class:`Simulator` and run *scenario*.
 
-    With *sinks*, the run streams into them and returns ``None`` (see
-    :meth:`Simulator.run`).
+    With *sinks*, the run streams into them and returns ``None``; *length*
+    overrides the scenario's default horizon (see :meth:`Simulator.run`).
     """
-    return Simulator(process, strict=strict).run(scenario, record=record, sinks=sinks)
+    return Simulator(process, strict=strict).run(
+        scenario, record=record, sinks=sinks, length=length
+    )

@@ -21,7 +21,7 @@ The protocol is three calls, driven by both backends
 3. :meth:`TraceSink.on_close` — once per run, after the last instant (also
    on abnormal termination, so file-backed sinks always flush).
 
-Four sinks ship with the kernel:
+Five sinks ship with the kernel:
 
 * :class:`MaterializeSink` — rebuilds the legacy
   :class:`~repro.sig.simulator.SimulationTrace`, bit-identical to the
@@ -33,6 +33,9 @@ Four sinks ship with the kernel:
 * :class:`WindowSink` — a ring buffer of the last N instants,
   materialisable on demand (CLI ``--window N``), for debugging workflows
   that only need the end of a long run;
+* :class:`DeltaSink` — a change log retaining only the instants at which a
+  watched signal changed presence or value (CLI ``--deltas SIGNALS``),
+  O(changes) memory for sparse long-horizon monitoring;
 * :class:`~repro.sig.vcd.StreamingVcdSink` (in :mod:`repro.sig.vcd`) —
   writes the VCD waveform incrementally to disk while the simulation runs.
 
@@ -406,6 +409,144 @@ class WindowSink(TraceSink):
         return self._closed_trace
 
 
+@dataclass
+class DeltaLog:
+    """Change log of one streamed run (see :class:`DeltaSink`).
+
+    ``entries`` holds, in instant order, one ``(instant, changes)`` pair
+    per instant at which at least one watched signal changed, where
+    ``changes`` maps the signal name to its new value (``ABSENT`` when the
+    signal just became absent).  ``change_counts`` aggregates the number of
+    change instants per watched signal.
+    """
+
+    process_name: str
+    length: int
+    watched: Tuple[str, ...]
+    entries: List[Tuple[int, Dict[str, Any]]] = field(default_factory=list)
+    change_counts: Dict[str, int] = field(default_factory=dict)
+    warnings: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        """Number of change instants retained."""
+        return len(self.entries)
+
+    def changes_of(self, name: str) -> List[Tuple[int, Any]]:
+        """The ``(instant, new value)`` transitions of one watched signal."""
+        return [
+            (instant, changes[name])
+            for instant, changes in self.entries
+            if name in changes
+        ]
+
+    def summary(self, limit: int = 0) -> str:
+        """One line of totals plus the busiest signals (*limit* > 0 trims)."""
+        ranked = sorted(self.change_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        shown = ranked[:limit] if limit > 0 else ranked
+        lines = [
+            f"change log of {self.process_name!r}: {len(self.entries)} change "
+            f"instant(s) across {len(self.watched)} watched signal(s) over "
+            f"{self.length} instants"
+        ]
+        for name, count in shown:
+            lines.append(f"  {name:<40s} {count:>8d} change(s)")
+        if limit > 0 and len(ranked) > limit:
+            lines.append(f"  ... and {len(ranked) - limit} more signal(s)")
+        return "\n".join(lines)
+
+
+class DeltaSink(TraceSink):
+    """Record only the instants at which a watched signal *changed*.
+
+    The sparse complement of :class:`MaterializeSink` for long-horizon
+    monitoring: a million-instant run whose watched signals change a
+    hundred times leaves behind a hundred entries — O(changes), not
+    O(instants).  A change is a presence edge (absent→present or
+    present→absent) or a value change while present; instant 0 records
+    every watched signal that starts out present (the edge from "before
+    time", where everything is absent).
+
+    *signals* restricts the watch list (``None`` watches every recorded
+    signal); watched names the run does not record are ignored.  The CLI
+    exposes this sink as ``repro simulate --deltas SIGNALS``.
+    """
+
+    def __init__(self, signals: Optional[Iterable[str]] = None) -> None:
+        self.watch_signals = None if signals is None else tuple(signals)
+        self.entries: List[Tuple[int, Dict[str, Any]]] = []
+        self.change_counts: Dict[str, int] = {}
+        self._watch: List[Tuple[int, str]] = []
+        self._previous: List[Any] = []
+        self._instants_seen = 0
+        self._log: Optional[DeltaLog] = None
+
+    def on_header(self, header: TraceHeader) -> None:
+        """Resolve the watch list against the run's recorded signals."""
+        super().on_header(header)
+        wanted = None if self.watch_signals is None else set(self.watch_signals)
+        seen: set = set()
+        self._watch = []
+        for index, name in enumerate(header.signals):
+            # A duplicated record name delivers identical values at every
+            # occurrence; watch the first occurrence only.
+            if name in seen or (wanted is not None and name not in wanted):
+                continue
+            seen.add(name)
+            self._watch.append((index, name))
+        self._previous = [ABSENT] * len(self._watch)
+        self.entries = []
+        self.change_counts = {name: 0 for _, name in self._watch}
+        self._instants_seen = 0
+        self._log = None
+
+    def on_instant(
+        self, instant: int, statuses: Tuple[bool, ...], values: Tuple[Any, ...]
+    ) -> None:
+        """Fold one instant in, retaining it only when something changed."""
+        changes: Optional[Dict[str, Any]] = None
+        previous = self._previous
+        for position, (index, name) in enumerate(self._watch):
+            value = values[index]
+            before = previous[position]
+            if value is before:
+                continue
+            if (value is ABSENT) != (before is ABSENT):
+                changed = True  # presence edge
+            else:
+                try:
+                    changed = bool(value != before)
+                except Exception:
+                    # Values that refuse comparison count as changed: the
+                    # log must never silently drop a transition.
+                    changed = True
+            if changed:
+                if changes is None:
+                    changes = {}
+                changes[name] = value
+                self.change_counts[name] += 1
+                previous[position] = value
+        if changes is not None:
+            self.entries.append((instant, changes))
+        self._instants_seen = instant + 1
+
+    def on_close(self) -> None:
+        """Freeze the change log :meth:`result` will return."""
+        if self.header is None:
+            return
+        self._log = DeltaLog(
+            process_name=self.header.process_name,
+            length=min(self.header.length, self._instants_seen),
+            watched=tuple(name for _, name in self._watch),
+            entries=self.entries,
+            change_counts=self.change_counts,
+            warnings=list(self.header.warnings),
+        )
+
+    def result(self) -> Optional[DeltaLog]:
+        """The frozen :class:`DeltaLog` (``None`` until :meth:`on_close`)."""
+        return self._log
+
+
 def presence_summary(signal: str, counts: List[Optional[int]]) -> Dict[str, Any]:
     """Assemble the shared batch-summary dictionary from presence counts.
 
@@ -493,6 +634,8 @@ def replay_trace(
 
 
 __all__ = [
+    "DeltaLog",
+    "DeltaSink",
     "MaterializeSink",
     "SignalStatistics",
     "SinkFactory",

@@ -113,6 +113,32 @@ class TestCommands:
         assert "window: last 5 instant(s) retained" in out
         assert "deadline alarms: none" in out
 
+    def test_simulate_delta_sink(self, model_file, capsys):
+        code = main(["simulate", model_file, "--hyperperiods", "1",
+                     "--no-trace", "--deltas", "tick,missing_signal"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "change log of" in out
+        assert "tick" in out
+        assert "missing_signal" not in out  # unknown names are ignored
+
+    def test_simulate_delta_sink_watches_all(self, model_file, capsys):
+        code = main(["simulate", model_file, "--hyperperiods", "1",
+                     "--deltas", "all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "change instant(s) across" in out
+
+    def test_simulate_scenario_length_sweep(self, model_file, capsys):
+        code = main(["simulate", model_file, "--hyperperiods", "1",
+                     "--no-trace", "--scenario-length", "16", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario-length sweep over 2 horizon(s)" in out
+        assert "one symbolic scenario" in out
+        assert "length         16: 16 instants streamed" in out
+        assert "length         64: 64 instants streamed" in out
+
     def test_default_root_detection(self, model_file, capsys):
         # No --root: the first system implementation is used.
         assert main(["schedule", model_file]) == 0

@@ -28,10 +28,20 @@ class TestScenario:
         assert [i for i in range(10) if not is_absent(sc.value("x", i))] == [1, 4, 7]
 
     def test_set_at(self):
-        sc = Scenario(5).set_at("x", {0: 1, 4: 2, 9: 3})
+        sc = Scenario(5).set_at("x", {0: 1, 4: 2})
         assert sc.value("x", 0) == 1
         assert sc.value("x", 4) == 2
         assert is_absent(sc.value("x", 2))
+
+    def test_set_at_out_of_range_raises(self):
+        with pytest.raises(ValueError, match=r"\[9\].*outside the scenario"):
+            Scenario(5).set_at("x", {0: 1, 4: 2, 9: 3})
+        with pytest.raises(ValueError, match="non-negative"):
+            Scenario(None).set_at("x", {-1: 1})
+
+    def test_set_at_unbounded_accepts_any_instant(self):
+        sc = Scenario(None).set_at("x", {0: 1, 9: 3})
+        assert sc.value("x", 9) == 3
 
     def test_set_always(self):
         sc = Scenario(3).set_always("x", 7)
@@ -40,6 +50,10 @@ class TestScenario:
     def test_set_flow_pads(self):
         sc = Scenario(4).set_flow("x", [1])
         assert is_absent(sc.value("x", 3))
+
+    def test_set_flow_over_length_raises(self):
+        with pytest.raises(ValueError, match="3 values.*2 instants"):
+            Scenario(2).set_flow("x", [1, 2, 3])
 
     def test_invalid(self):
         with pytest.raises(ValueError):

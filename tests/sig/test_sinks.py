@@ -487,3 +487,96 @@ class TestWindowSink:
         first = window.result()
         runner.run(scenario, sinks=[window])
         assert window.result().flows == first.flows
+
+
+class TestDeltaSink:
+    """The change-log sink retains only instants where a watched signal
+    changed presence or value — O(changes) memory for sparse monitoring."""
+
+    def test_matches_stutter_edges_of_the_full_trace(self, model, scenario):
+        from repro.sig.sinks import DeltaSink
+
+        full = MaterializeSink()
+        deltas = DeltaSink(["count"])
+        CompiledBackend(model, strict=False).run(scenario, sinks=[full, deltas])
+        log = deltas.result()
+        assert log is not None
+        assert log.watched == ("count",)
+        flow = full.trace.flows["count"].values
+        expected = []
+        previous = ABSENT
+        for instant, value in enumerate(flow):
+            if (value is ABSENT) != (previous is ABSENT) or (
+                value is not ABSENT and value != previous
+            ):
+                expected.append((instant, value))
+                previous = value
+        assert log.changes_of("count") == expected
+        assert log.change_counts["count"] == len(expected)
+
+    def test_watches_all_recorded_signals_by_default(self, model, scenario):
+        from repro.sig.sinks import DeltaSink
+
+        deltas = DeltaSink()
+        CompiledBackend(model, strict=False).run(scenario, sinks=[deltas])
+        log = deltas.result()
+        assert set(log.watched) == {"tick", "count", "zcount"}
+        # tick toggles present/absent at every instant of the period-2 flow.
+        assert log.change_counts["tick"] == scenario.length
+
+    def test_constant_signal_contributes_one_change(self):
+        from repro.sig.sinks import DeltaSink
+
+        model = counter_model()
+        scenario = Scenario(10).set_always("tick")
+        deltas = DeltaSink(["tick", "count"])
+        CompiledBackend(model, strict=False).run(scenario, sinks=[deltas])
+        log = deltas.result()
+        # tick: one change at instant 0 (absent -> True), then constant.
+        assert log.changes_of("tick") == [(0, True)]
+        # count changes at every instant (1, 2, 3, ...).
+        assert log.change_counts["count"] == 10
+        assert len(log) == 10
+        assert "10 change instant(s)" in log.summary()
+
+    def test_unknown_watch_names_are_ignored(self, model, scenario):
+        from repro.sig.sinks import DeltaSink
+
+        deltas = DeltaSink(["count", "no_such_signal"])
+        CompiledBackend(model, strict=False).run(scenario, sinks=[deltas])
+        assert deltas.result().watched == ("count",)
+
+    def test_result_is_picklable_for_batches(self, model, scenario):
+        import pickle
+
+        from repro.sig.sinks import DeltaSink
+
+        deltas = DeltaSink(["count"])
+        ReferenceBackend(model, strict=False).run(scenario, sinks=[deltas])
+        clone = pickle.loads(pickle.dumps(deltas.result()))
+        assert clone.changes_of("count") == deltas.result().changes_of("count")
+
+    def test_reference_and_compiled_agree(self, model, scenario):
+        from repro.sig.sinks import DeltaSink
+
+        logs = {}
+        for backend in (ReferenceBackend, CompiledBackend):
+            sink = DeltaSink()
+            backend(model, strict=False).run(scenario, sinks=[sink])
+            logs[backend.name] = sink.result()
+        assert logs["reference"].entries == logs["compiled"].entries
+        assert logs["reference"].change_counts == logs["compiled"].change_counts
+
+    def test_aborted_run_reports_completed_instants(self):
+        from repro.sig.sinks import DeltaSink
+
+        model = clock_conflict_model()
+        scenario = Scenario(6)
+        scenario.set_always("x", value=1)
+        scenario.set_at("y", {0: 2, 1: 2, 2: 2, 4: 2, 5: 2})
+        deltas = DeltaSink(["bad"])
+        with pytest.raises(ClockViolation):
+            CompiledBackend(model, strict=True).run(scenario, sinks=[deltas])
+        log = deltas.result()
+        assert log.length == 3  # instants 0..2 completed before the abort
+        assert log.changes_of("bad") == [(0, 3)]

@@ -45,6 +45,7 @@ DOCUMENTED_MODULES = [
     "repro.sig.engine.parallel",
     "repro.sig.engine.plan",
     "repro.sig.engine.vectorized",
+    "repro.sig.scenario",
     "repro.sig.sinks",
     "repro.sig.vcd",
 ]
