@@ -7,15 +7,16 @@ mixing/filter chains (pre-stratum), delayed accumulators (residual) and
 alarm comparisons over them (post-stratum) — runs a long scenario through
 both backends, checks bit-identity, and gates the vectorized backend at
 **>= 3x** wall-clock over ``compiled``.  The measurement is persisted as
-``vectorized_block_e14`` in ``BENCH_e10.json``; a second entry,
-``vectorized_buffer_reuse_e14``, records the cross-scenario buffer-pool win
-on short-scenario batches (informational, no gate).
+``vectorized_block_e14`` in ``BENCH_e10.json``.  The residue-lowering
+follow-up (recurrence scans, residue clustering, lowered evaluators) is
+gated separately in ``test_bench_e16_residue_lowering.py``.
 """
 
 import math
-import time
 
 import pytest
+
+from bench_timing import best_of
 
 from repro.sig import builder as b
 from repro.sig.engine import (
@@ -96,14 +97,10 @@ def test_bench_e14_vectorized_speedup(bench_e10):
     scenario = sensor_scenario(INSTANTS)
 
     compiled = CompiledBackend(model, strict=False)
-    start = time.perf_counter()
-    compiled_trace = compiled.run(scenario)
-    compiled_seconds = time.perf_counter() - start
+    compiled_trace, compiled_seconds = best_of(lambda: compiled.run(scenario))
 
-    start = time.perf_counter()
     vectorized = VectorizedBackend(model, strict=False)
-    vector_trace = vectorized.run(scenario)
-    vector_seconds = time.perf_counter() - start
+    vector_trace, vector_seconds = best_of(lambda: vectorized.run(scenario))
 
     assert vector_trace.flows == compiled_trace.flows
     assert vector_trace.warnings == compiled_trace.warnings
@@ -129,42 +126,3 @@ def test_bench_e14_vectorized_speedup(bench_e10):
         f"vectorized {vector_seconds:.2f}s ({speedup:.1f}x); {stats.summary()}"
     )
     assert speedup >= 3.0, f"vectorized speedup {speedup:.2f}x is below the 3x target"
-
-
-def test_bench_e14_buffer_reuse_recorded(bench_e10):
-    """Cross-scenario buffer pooling on short-scenario batches: pooled vs
-    fresh-allocation runs are bit-identical; the constant-factor win is
-    recorded in the E14 bench notes (informational, no gate — allocator
-    behaviour varies across platforms)."""
-    if not numpy_available():
-        pytest.skip("numpy not installed; the vectorized backend has no kernels")
-    model = build_numeric_model(chains=8, depth=4)
-    scenarios = [sensor_scenario(64) for _ in range(60)]
-
-    fresh = VectorizedBackend(model, strict=False, reuse_buffers=False, block_size=64)
-    start = time.perf_counter()
-    fresh_traces = [fresh.run(scenario) for scenario in scenarios]
-    fresh_seconds = time.perf_counter() - start
-
-    pooled = VectorizedBackend(model, strict=False, reuse_buffers=True, block_size=64)
-    start = time.perf_counter()
-    pooled_traces = [pooled.run(scenario) for scenario in scenarios]
-    pooled_seconds = time.perf_counter() - start
-
-    for reference, trace in zip(fresh_traces, pooled_traces):
-        assert trace.flows == reference.flows
-
-    bench_e10.record(
-        "vectorized_buffer_reuse_e14",
-        before_seconds=fresh_seconds,
-        after_seconds=pooled_seconds,
-        backend="vectorized",
-        scenarios=len(scenarios),
-        instants=64,
-        informational=True,
-    )
-    print(
-        f"\nE14 — buffer reuse over {len(scenarios)} short scenarios: "
-        f"fresh {fresh_seconds:.3f}s vs pooled {pooled_seconds:.3f}s "
-        f"({fresh_seconds / max(pooled_seconds, 1e-9):.2f}x)"
-    )

@@ -43,6 +43,10 @@ setup(
         # The vectorized simulation backend soft-depends on numpy: without
         # it the backend degrades to the compiled execution plan.
         "vectorized": ["numpy"],
+        # The lowered (codegen) backend soft-depends on numba for jit=True:
+        # without it the generated evaluators run as plain Python with a
+        # RuntimeWarning.
+        "lowered": ["numba"],
     },
     entry_points={
         "console_scripts": [

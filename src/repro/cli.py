@@ -45,6 +45,34 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _print_plan_stats(model, backend_name, backend_options) -> None:
+    """Print the execution-plan partition breakdown for ``--plan-stats``.
+
+    Shows the compiled plan shape for every backend, the stratum partition
+    (pre-sweep / recurrence / residual clusters / post-sweep) for the
+    vectorized backend, and the generated-evaluator counts for the lowered
+    backend — the residue composition, without digging through benchmark
+    extras.
+    """
+    runner = create_backend(model, backend=backend_name, strict=False, **backend_options)
+    plan = getattr(runner, "plan", None)
+    if plan is None:  # reference backend: compile the plan just for the report
+        from .sig.engine import compile_plan
+
+        plan = compile_plan(model)
+    print(f"plan statistics [{backend_name} backend]")
+    print(f"  {plan.statistics().summary()}")
+    vector = getattr(runner, "vector_plan", None)
+    if vector is not None:
+        print(f"  {vector.statistics().summary()}")
+    lowered = getattr(plan, "lowered_targets", None)
+    if lowered is not None:
+        print(
+            f"  lowered evaluators: {lowered} target(s) generated, "
+            f"{plan.interpreted_targets} interpreted"
+        )
+
+
 def _stats_sink_factory(index: int) -> StatisticsSink:
     """One fresh statistics sink per ``--batch`` scenario (picklable, so the
     sweep can shard over ``--workers`` processes)."""
@@ -243,6 +271,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if result.trace is None and not result.scenario_length:
         print("nothing was simulated (no schedule could be synthesised)")
         return 1
+    if args.plan_stats:
+        _print_plan_stats(
+            result.translation.system_model,
+            args.backend,
+            result.options.backend_options if result.options else {},
+        )
     if result.trace is not None:
         print(f"simulated {result.trace.length} instants "
               f"({args.hyperperiods} hyper-period(s)), {len(result.trace.flows)} signals recorded "
@@ -436,6 +470,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="aggregate per-signal statistics while simulating and print them",
+    )
+    simulate.add_argument(
+        "--plan-stats",
+        action="store_true",
+        help="print the execution-plan partition breakdown for the chosen "
+        "backend (vectorized strata incl. recurrence scans and residue "
+        "clusters, lowered evaluator counts)",
     )
     simulate.add_argument(
         "--window",

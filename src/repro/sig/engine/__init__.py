@@ -9,8 +9,13 @@ implementations:
 * ``reference`` — the original fixed-point interpreter, kept as the oracle;
 * ``compiled`` — the plan executor (compile once, run many scenarios);
 * ``vectorized`` — numpy kernels over instant blocks for the stateless
-  strata of the plan (:mod:`repro.sig.engine.vectorized`); soft-depends on
-  numpy and degrades to ``compiled`` with a warning when it is missing.
+  strata of the plan plus scan kernels for delay recurrences and clustered
+  residual sweeps (:mod:`repro.sig.engine.vectorized`); soft-depends on
+  numpy and degrades to ``compiled`` with a warning when it is missing;
+* ``lowered`` — per-equation generated flat Python evaluators replacing the
+  plan's closure interpreter (:mod:`repro.sig.engine.lowered`); optional
+  ``jit=True`` uses numba (object mode) when importable and warns
+  otherwise.
 
 Use :func:`simulate` for a single scenario, :func:`simulate_batch` to run a
 whole batch through one prepared backend (``workers=N`` shards it over
@@ -44,6 +49,13 @@ from .backends import (
     create_backend,
 )
 from .batch import BatchResult, batch_flow_summary, default_scenario, simulate_batch
+from .lowered import (
+    LoweredBackend,
+    LoweredExecutionPlan,
+    compile_lowered,
+    lower_plan_evaluators,
+    numba_available,
+)
 from .parallel import default_worker_count, run_batch_parallel
 from .plan import ExecutionPlan, PlanStatistics, TargetPlan, compile_plan
 from .vectorized import (
@@ -91,6 +103,8 @@ __all__ = [
     "BatchResult",
     "CompiledBackend",
     "ExecutionPlan",
+    "LoweredBackend",
+    "LoweredExecutionPlan",
     "PlanStatistics",
     "ReferenceBackend",
     "SimulationBackend",
@@ -102,11 +116,14 @@ __all__ = [
     "VectorizedBackend",
     "backend_names",
     "batch_flow_summary",
+    "compile_lowered",
     "compile_plan",
     "compile_vectorized",
     "create_backend",
     "default_scenario",
     "default_worker_count",
+    "lower_plan_evaluators",
+    "numba_available",
     "numpy_available",
     "run_batch_parallel",
     "simulate",

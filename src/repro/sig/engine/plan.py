@@ -598,13 +598,51 @@ class ExecutionPlan:
         # interpreter's resolution units), compiling each definition once.
         grouped: Dict[str, List[EvalFn]] = {}
         commits: List[CommitFn] = []
+        delay_candidates: Dict[str, Tuple[int, Any, str]] = {}
+        delay_commit_candidates: Dict[str, int] = {}
         for eq in process.equations:
+            state_base = len(compiler.state_init)
             evaluator, commit = compiler.compile(eq.expr)
             grouped.setdefault(eq.target, []).append(evaluator)
             compiler.slot(eq.target)
             if commit is not None:
                 commits.append(commit)
+            expr = eq.expr
+            if (
+                isinstance(expr, Delay)
+                and isinstance(expr.operand, SignalRef)
+                and max(1, expr.depth) == 1
+            ):
+                # A bare unit delay of a plain signal: its state slot is the
+                # first one this equation allocated (the operand allocates
+                # none), which is what the vectorized backend's recurrence
+                # scan kernels need to seed and verify.
+                delay_candidates[eq.target] = (state_base, expr.init, expr.operand.name)
+                # A bare delay always produces exactly one commit, appended
+                # just above: its position lets the recurrence scans replace
+                # the per-instant state advance with one block-level write.
+                delay_commit_candidates[eq.target] = len(commits) - 1
         self._commits = tuple(commits)
+        #: ``target -> (state_slot, init, operand_name)`` for every
+        #: single-definition target defined by a bare depth-1 delay of a
+        #: plain signal reference.  The vectorized backend uses this map to
+        #: detect delay recurrences (accumulators, counters) it can promote
+        #: into scan kernels; everything else is opaque delay state.
+        self.delay_memories: Dict[str, Tuple[int, Any, str]] = {
+            target: info
+            for target, info in delay_candidates.items()
+            if len(grouped[target]) == 1
+        }
+        #: ``target -> index into the per-instant commit tuple`` for the
+        #: same bare delays: a promoted scan advances the state slot once
+        #: per block instead, so the vectorized executor drops the delay's
+        #: per-instant commit from its vector path (the fallback path keeps
+        #: the full tuple).
+        self._delay_commit_index: Dict[str, int] = {
+            target: index
+            for target, index in delay_commit_candidates.items()
+            if target in self.delay_memories
+        }
 
         # Constraint operands may reference otherwise-unknown names.
         self._sync_groups = self._compile_sync_groups(process, compiler)
@@ -629,15 +667,7 @@ class ExecutionPlan:
         #: readers the per-instant ``varmem`` commit is dead code and skipped.
         self.uses_varmem = compiler.uses_varmem
 
-        # Cross-scenario buffer pool: spare sets of delay/cell state lists
-        # and shared-variable memory lists, reset in place at the start of
-        # each run instead of re-allocated per scenario — ROADMAP's "cheap
-        # constant-factor win" for short-scenario batches.  A plain list
-        # whose pop/append are atomic under the GIL, so concurrent or
-        # re-entrant runs on one shared plan each check out distinct buffers
-        # (or simply allocate fresh ones when the pool is empty).
         self._nowrite_template = [_NOWRITE] * len(self.names)
-        self._scratch: List[Tuple[List[List[Any]], List[Any]]] = []
 
         # Per-instant status template.  Declared inputs are scenario-driven
         # even when equations define them (the reference interpreter gives
@@ -678,28 +708,6 @@ class ExecutionPlan:
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__init__(state["process"])
-
-    # ------------------------------------------------------------------
-    # cross-scenario buffer pool
-    # ------------------------------------------------------------------
-    def _acquire_buffers(self) -> Tuple[List[List[Any]], List[Any]]:
-        """Check out (and reset) pooled state/varmem buffers, or allocate
-        fresh ones when the pool is empty."""
-        try:
-            state, varmem = self._scratch.pop()
-        except IndexError:
-            return [list(template) for template in self._state_init], list(
-                self._nowrite_template
-            )
-        for buffer, template in zip(state, self._state_init):
-            buffer[:] = template
-        varmem[:] = self._nowrite_template
-        return state, varmem
-
-    def _release_buffers(self, state: List[List[Any]], varmem: List[Any]) -> None:
-        """Return run buffers to the pool (bounded to a few spare sets)."""
-        if len(self._scratch) < 4:
-            self._scratch.append((state, varmem))
 
     # ------------------------------------------------------------------
     def statistics(self) -> PlanStatistics:
@@ -798,7 +806,8 @@ class ExecutionPlan:
             recorded, streaming, scenario_only
         )
 
-        state, varmem = self._acquire_buffers()
+        state = [list(template) for template in self._state_init]
+        varmem = list(self._nowrite_template)
         status_template = self._status_template
         n_slots = len(self.names)
         finish_instant = self._finish_instant
@@ -849,7 +858,6 @@ class ExecutionPlan:
                         else:
                             out.append(ABSENT)
         finally:
-            self._release_buffers(state, varmem)
             # Sinks close whatever happens, so file-backed sinks flush even
             # when the run aborts on a simulation error.
             if streaming:
@@ -982,7 +990,24 @@ class ExecutionPlan:
         by :meth:`run` and the vectorized backend's residual sweep
         (:mod:`repro.sig.engine.vectorized`).
         """
-        propagate_sync = self._propagate_sync
+        unresolved = self._sweep_worklist(
+            st, vals, state, varmem, instant, warnings, strict, work, self._sync_groups
+        )
+        if unresolved:
+            self._raise_blocked(st, unresolved, instant)
+
+    def _sweep_worklist(
+        self, st, vals, state, varmem, instant, warnings, strict, work, groups
+    ) -> List[Tuple[int, bool, Optional[EvalFn], TargetPlan]]:
+        """Run one worklist to its fixed point, propagating only *groups*.
+
+        The body of :meth:`_resolve_instant`, parameterised over the ``^=``
+        groups so the vectorized backend's residue *clusters* can sweep an
+        independent sub-worklist with propagation confined to the groups
+        that touch it.  Returns the targets still unresolved at the fixed
+        point (the caller decides whether that is an instantaneous cycle).
+        """
+        propagate_sync = self._propagate_sync_groups
         bare_constant = self._BARE_CONSTANT
         unresolved = work
         progress = True
@@ -1026,27 +1051,36 @@ class ExecutionPlan:
                         vals[slot] = value
                 progress = True
             unresolved = still
-            if propagate_sync(st, instant, warnings, strict):
+            if propagate_sync(st, instant, warnings, strict, groups):
                 progress = True
+        return unresolved
 
-        if unresolved:
-            # Report unresolved *declared* signals in declaration order, as
-            # the reference interpreter's status dictionary does.
-            blocked_slots = {
-                item[0]
-                for item in unresolved
-                if item[1] and st[item[0]] in (UNKNOWN, PRESUMED)
-            }
-            if blocked_slots:
-                slot_of = self.slot_of
-                blocked = [
-                    name for name in self.process.signals if slot_of[name] in blocked_slots
-                ]
-                raise InstantaneousCycle(instant, blocked)
+    def _raise_blocked(self, st, unresolved, instant) -> None:
+        """Raise :class:`InstantaneousCycle` for still-blocked declared targets.
+
+        Reports unresolved *declared* signals in declaration order, as the
+        reference interpreter's status dictionary does.  No-op when every
+        leftover is undeclared (those stay absent, like the reference).
+        """
+        blocked_slots = {
+            item[0]
+            for item in unresolved
+            if item[1] and st[item[0]] in (UNKNOWN, PRESUMED)
+        }
+        if blocked_slots:
+            slot_of = self.slot_of
+            blocked = [
+                name for name in self.process.signals if slot_of[name] in blocked_slots
+            ]
+            raise InstantaneousCycle(instant, blocked)
 
     def _propagate_sync(self, st, instant, warnings, strict) -> bool:
+        return self._propagate_sync_groups(st, instant, warnings, strict, self._sync_groups)
+
+    @staticmethod
+    def _propagate_sync_groups(st, instant, warnings, strict, groups) -> bool:
         changed = False
-        for slots, names in self._sync_groups:
+        for slots, names in groups:
             has_present = has_absent = False
             for slot in slots:
                 code = st[slot]

@@ -7,7 +7,7 @@ one Python closure tree per equation per instant, so simulation cost stays
 that dispatch for the part of the model that does not need it.
 
 A :func:`compile_vectorized` pass partitions the plan's equations into
-three strata.  *Vectorisable* targets are single-definition *declared*
+four strata.  *Vectorisable* targets are single-definition *declared*
 targets whose expressions are built only from pure stepwise operators,
 sampling (``when``), merge (``default``), clock operators, constants and
 signal reads; they are compiled to columnar numpy kernels — native
@@ -18,11 +18,26 @@ and evaluated for a whole **instant block** at once:
 
 * the **pre-sweep stratum** reads only scenario inputs, non-target signals
   and other pre-stratum targets, and runs before any per-instant work;
+* the **recurrence stratum** holds delay/feedback pairs ``z = y $ 1``,
+  ``y = f(z, ...)`` whose step is a pure value expression over z and
+  block-available operands: they are executed as **scan kernels** over the
+  block (an ``np.add.accumulate`` prefix scan for affine steps
+  ``y = z ± e``, a tight generated scalar loop otherwise), unblocking the
+  pre-sweep targets that read them; promotion requires a synchronisation
+  group proving the pair's clock, and any run-time clock disagreement
+  falls back to the interpreted sweep for the block;
 * the **residual sweep** is everything stateful or order-sensitive —
   delays, cells, shared variables, multi-definition targets, undeclared
   targets, user-registered operators, instantaneous cycles — and runs
   through the plan's ordinary per-instant sweep, reading the pre-filled
-  vectorised columns;
+  vectorised columns.  With ``cluster_residue=True`` (default) the sweep
+  is partitioned into independent **residue clusters** (connected
+  components of the read/synchronisation graph), each swept separately
+  with its own worklist; a stateless cluster whose external inputs are
+  unchanged from the previous instant is **skipped** by copying its
+  previous row.  With ``lowered_residue=True`` the residual work items
+  run the generated flat evaluators of :mod:`repro.sig.engine.lowered`
+  instead of the plan's closure trees;
 * the **post-sweep stratum** holds vectorisable targets that nothing in
   the residue observes (no readers outside the stratum, no ``^=``
   membership, no shared-variable reads); it runs block-wise after the
@@ -85,6 +100,7 @@ from .plan import (
     PRESENT,
     PRESUMED,
     PURE_OPERATORS,
+    TargetPlan,
     UNKNOWN,
     _ABSENT_ST,
     compile_plan,
@@ -597,6 +613,315 @@ class _VectorCompiler:
         return ev
 
 
+def _pure_value_expr(expr: Expression) -> bool:
+    """Shape check for recurrence steps: a pure stepwise value tree.
+
+    Only plain signal reads, constants and pure built-in operators — no
+    sampling/merge/clock structure, so the step is a total function of its
+    operand *values* whenever all operands are present (which the scan
+    kernel verifies at run time before trusting it).
+    """
+    if isinstance(expr, (SignalRef, Const)):
+        return True
+    if isinstance(expr, FunctionApp):
+        return (
+            bool(expr.args)
+            and expr.op in PURE_OPERATORS
+            and all(_pure_value_expr(a) for a in expr.args)
+        )
+    return False
+
+
+def _ordered_refs(expr: Expression) -> List[str]:
+    """Distinct signal names read by a pure value tree, first-read order."""
+    out: List[str] = []
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, SignalRef):
+            if node.name not in out:
+                out.append(node.name)
+        elif isinstance(node, FunctionApp):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return out
+
+
+def _affine_shape(expr, z_name, y_name, operand_names):
+    """Detect the plain-accumulator shapes ``y = z + e`` / ``y = z - e``.
+
+    *e* must be a single other signal or a finite float constant; returns
+    ``(sign, operand_index, const)`` for :class:`_RecurrenceScan`'s
+    ``np.add.accumulate`` fast path, or ``None``.  Subtraction maps to
+    adding the negation, which is exact in IEEE-754.
+    """
+    if not (isinstance(expr, FunctionApp) and len(expr.args) == 2):
+        return None
+    left, right = expr.args
+
+    def is_z(node):
+        return isinstance(node, SignalRef) and node.name == z_name
+
+    if expr.op == "+" and is_z(left):
+        sign, other = 1, right
+    elif expr.op == "+" and is_z(right):
+        sign, other = 1, left
+    elif expr.op == "-" and is_z(left):
+        sign, other = -1, right
+    else:
+        return None
+    if (
+        isinstance(other, SignalRef)
+        and other.name not in (z_name, y_name)
+        and other.name in operand_names
+    ):
+        return (sign, operand_names.index(other.name), None)
+    if (
+        isinstance(other, Const)
+        and type(other.value) is float
+        and other.value == other.value
+        and other.value not in (float("inf"), float("-inf"))
+    ):
+        return (sign, None, other.value)
+    return None
+
+
+def _compile_value_step(expr: Expression, arg_of: Dict[str, str]):
+    """Compile a pure value tree into ``step(<args>) -> value`` source.
+
+    *arg_of* maps each referenced signal name to its parameter name.  Every
+    operator application calls the exact
+    :data:`~repro.sig.expressions.STEPWISE_OPERATIONS` callable (bound into
+    the generated module's globals), and constants are bound as globals too,
+    so the produced values are the very objects the plan's closures would
+    compute — bit-identical by construction, without per-instant status
+    dispatch around them.
+    """
+    env: Dict[str, Any] = {}
+
+    def emit(node: Expression) -> str:
+        if isinstance(node, SignalRef):
+            return arg_of[node.name]
+        if isinstance(node, Const):
+            key = f"_k{len(env)}"
+            env[key] = node.value
+            return key
+        op_key = f"_f{len(env)}"
+        env[op_key] = STEPWISE_OPERATIONS[node.op]
+        return f"{op_key}({', '.join(emit(a) for a in node.args)})"
+
+    params = ", ".join(arg_of[name] for name in arg_of)
+    source = f"def _step({params}):\n    return {emit(expr)}\n"
+    namespace: Dict[str, Any] = dict(env)
+    exec(compile(source, "<recurrence-step>", "exec"), namespace)
+    return namespace["_step"]
+
+
+class _RecurrenceScan:
+    """One promoted delay recurrence: ``z := delay(y); y := f(z, inputs)``.
+
+    Executes the pair for a whole block: the presence mask comes from a
+    block-available ``^=`` clock source, every other available sync member
+    and every step operand is verified to share that exact mask (any
+    mismatch falls the block back to the pure sweep), and the value
+    sequence is produced either by ``np.add.accumulate`` (plain ``y = z ± e``
+    accumulators over float64 columns — bit-identical to the sequential
+    fold) or by a tight generated-scalar loop calling the exact stepwise
+    callables.  Delay state is advanced **once per block** (the last
+    present ``y`` of the block is exactly what the sequential per-instant
+    commits would leave behind); the pair's per-instant commit is dropped
+    from the vector path, and the fallback path — which rewinds the state
+    snapshot first — still runs the plan's full commit tuple.
+    """
+
+    __slots__ = (
+        "y_slot",
+        "z_slot",
+        "state_slot",
+        "mask_slot",
+        "verify_slots",
+        "operand_slots",
+        "step",
+        "affine",
+        "commit_index",
+    )
+
+    def __init__(
+        self,
+        y_slot: int,
+        z_slot: int,
+        state_slot: int,
+        mask_slot: int,
+        verify_slots: Tuple[int, ...],
+        operand_slots: Tuple[int, ...],
+        step,
+        affine,
+        commit_index: int,
+    ) -> None:
+        self.y_slot = y_slot
+        self.z_slot = z_slot
+        self.state_slot = state_slot
+        self.mask_slot = mask_slot
+        self.verify_slots = verify_slots
+        self.operand_slots = operand_slots
+        self.step = step
+        #: ``(sign, operand_index, const)`` when the step is a plain
+        #: ``y = z + e`` / ``y = z - e`` accumulation eligible for the
+        #: ``np.add.accumulate`` fast path; ``None`` otherwise.
+        self.affine = affine
+        #: Index of the pair's delay commit in ``plan._commits`` — dropped
+        #: from the vector path's per-instant finish (see class docstring).
+        self.commit_index = commit_index
+
+    def execute(self, ctx: "_BlockContext", st_block, val_block, state) -> None:
+        """Fill the pair's status/value columns for one block."""
+        mask = st_block[:, self.mask_slot] == PRESENT
+        for slot in self.verify_slots:
+            if not _np.array_equal(st_block[:, slot] == PRESENT, mask):
+                raise _FallbackBlock("recurrence clock mismatch")
+        for slot in self.operand_slots:
+            if not _np.array_equal(st_block[:, slot] == PRESENT, mask):
+                raise _FallbackBlock("recurrence operand clock mismatch")
+        status = _np.where(mask, PRESENT, _ABSENT_ST)
+        st_block[:, self.y_slot] = status
+        st_block[:, self.z_slot] = status
+        idx = mask.nonzero()[0]
+        if not idx.size:
+            return
+        seed = state[self.state_slot][0]
+
+        typed_cols: List[Optional[Any]] = []
+        for slot in self.operand_slots:
+            typed = ctx.typed.get(slot)
+            typed_cols.append(typed[0] if typed is not None and typed[1] == _FLT else None)
+
+        ys, zs, all_float = self._scan(idx, seed, typed_cols, val_block)
+
+        y_col = _np.empty(idx.size, dtype=object)
+        y_col[:] = ys
+        z_col = _np.empty(idx.size, dtype=object)
+        z_col[:] = zs
+        val_block[idx, self.y_slot] = y_col
+        val_block[idx, self.z_slot] = z_col
+        # Block-level state advance: the sequential commits would store the
+        # present y of each instant in turn, leaving the last one.
+        state[self.state_slot][0] = ys[-1]
+        if all_float is None:
+            all_float = all(type(value) is float for value in ys) and all(
+                type(value) is float for value in zs
+            )
+        if all_float:
+            y_typed = _np.zeros(ctx.size)
+            y_typed[idx] = ys
+            z_typed = _np.zeros(ctx.size)
+            z_typed[idx] = zs
+            ctx.typed[self.y_slot] = (y_typed, _FLT)
+            ctx.typed[self.z_slot] = (z_typed, _FLT)
+
+    def _scan(self, idx, seed, typed_cols, val_block):
+        """Produce ``(ys, zs, all_float)`` present-instant value sequences.
+
+        ``all_float`` is ``True`` on the accumulate path (``ndarray.tolist``
+        of a float64 array yields Python floats by construction) and
+        ``None`` on the generated-loop path, where the caller still has to
+        type-check the step outputs.
+        """
+        if self.affine is not None and type(seed) is float and seed == seed:
+            sign, operand_index, const = self.affine
+            if operand_index is None:
+                increment = _np.full(idx.size, const)
+            elif typed_cols[operand_index] is not None:
+                increment = typed_cols[operand_index][idx]
+            else:
+                increment = None
+            if increment is not None:
+                if sign < 0:
+                    increment = -increment
+                acc = _np.add.accumulate(
+                    _np.concatenate((_np.array([seed]), increment))
+                )
+                return acc[1:].tolist(), acc[:-1].tolist(), True
+        columns = [
+            typed_cols[i][idx].tolist()
+            if typed_cols[i] is not None
+            else val_block[idx, slot].tolist()
+            for i, slot in enumerate(self.operand_slots)
+        ]
+        step = self.step
+        cur = seed
+        ys: List[Any] = []
+        zs: List[Any] = []
+        if columns:
+            for row in zip(*columns):
+                zs.append(cur)
+                cur = step(cur, *row)
+                ys.append(cur)
+        else:
+            for _ in range(idx.size):
+                zs.append(cur)
+                cur = step(cur)
+                ys.append(cur)
+        return ys, zs, None
+
+
+def _signature_unchanged(slots, st, vals, prev_st, prev_vals) -> bool:
+    """Did every watched slot keep its status — and, where present, an
+    equal value of the same type — since the previous instant?
+
+    Type identity guards the ``1 == 1.0`` hazard (repr-observable in trace
+    output); a raising or non-boolean ``==`` conservatively reports a
+    change, which merely costs the skip.
+    """
+    try:
+        for slot in slots:
+            code = st[slot]
+            if code != prev_st[slot]:
+                return False
+            if code == PRESENT:
+                a, b = vals[slot], prev_vals[slot]
+                if a is not b and not (type(a) is type(b) and bool(a == b)):
+                    return False
+    except Exception:
+        return False
+    return True
+
+
+class _ResidueCluster:
+    """One independent partition of the residual sweep.
+
+    Holds the cluster's work items (in plan order), the ``^=`` groups that
+    touch it, and — when every member is a stateless pure-shape definition —
+    the *external* slots whose per-instant ``(status, value)`` signature
+    decides whether the previous instant's resolution can be copied
+    verbatim (the cluster-level skip).
+    """
+
+    __slots__ = ("work", "groups", "target_slots", "skippable", "external_slots")
+
+    def __init__(self, work, groups, target_slots, skippable, external_slots) -> None:
+        self.work = work
+        self.groups = groups
+        self.target_slots = target_slots
+        self.skippable = skippable
+        self.external_slots = external_slots
+
+    def without(self, driven_slots) -> "_ResidueCluster":
+        """A copy with scenario-driven targets removed (scenario wins).
+
+        A driven member's column is scenario-filled, which changes what the
+        cluster's sweep observes, so the skip signature is disabled for the
+        run rather than recomputed.
+        """
+        return _ResidueCluster(
+            tuple(item for item in self.work if item[0] not in driven_slots),
+            self.groups,
+            tuple(slot for slot in self.target_slots if slot not in driven_slots),
+            False,
+            self.external_slots,
+        )
+
+
 @dataclass
 class VectorPlanStatistics:
     """Compile-time shape of a vectorized plan (for reports and tests)."""
@@ -608,14 +933,22 @@ class VectorPlanStatistics:
     post_stratum: int
     residual: int
     block_size: int
+    recurrence: int = 0
+    clusters: int = 0
+    lowered: int = 0
 
     def summary(self) -> str:
         """One line describing the stratum partition."""
+        residue = f"{self.residual} residual"
+        if self.clusters:
+            residue += f" in {self.clusters} cluster(s)"
+        if self.lowered:
+            residue += f" ({self.lowered} lowered)"
         return (
             f"vectorized plan: {self.vectorized}/{self.targets} targets in numpy "
-            f"strata ({self.pre_stratum} pre-sweep + {self.post_stratum} "
-            f"post-sweep), {self.residual} residual, blocks of "
-            f"{self.block_size} instants over {self.signals} signal slots"
+            f"strata ({self.pre_stratum} pre-sweep + {self.recurrence} "
+            f"recurrence + {self.post_stratum} post-sweep), {residue}, blocks "
+            f"of {self.block_size} instants over {self.signals} signal slots"
         )
 
 
@@ -636,17 +969,24 @@ class VectorExecutionPlan:
         self,
         plan: ExecutionPlan,
         block_size: int = DEFAULT_BLOCK_SIZE,
-        reuse_buffers: bool = True,
+        scan_recurrences: bool = True,
+        cluster_residue: bool = True,
+        lowered_residue: bool = False,
     ) -> None:
         if _np is None:  # pragma: no cover - exercised by the no-numpy CI leg
             raise RuntimeError("numpy is required to build a VectorExecutionPlan")
         self.plan = plan
         self.block_size = max(1, int(block_size))
-        self.reuse_buffers = reuse_buffers
+        self.scan_recurrences = scan_recurrences
+        self.cluster_residue = cluster_residue
+        self.lowered_residue = lowered_residue
         #: Blocks executed through the numpy strata / replayed through the
         #: pure sweep, across every run of this plan (for tests and reports).
         self.vector_blocks = 0
         self.fallback_blocks = 0
+        #: Instant-level cluster resolutions answered by copying the
+        #: previous instant (the cluster-level skip), across every run.
+        self.skipped_clusters = 0
         #: Why blocks fell back, keyed by ``ExceptionType: message`` — the
         #: broad fallback catch is a semantics safety net, so this is how a
         #: coding bug masquerading as a slow path stays diagnosable.
@@ -658,6 +998,7 @@ class VectorExecutionPlan:
             grouped.setdefault(eq.target, []).append(eq.expr)
 
         work_slots = {item[0] for item in plan._work}
+        work_by_name = {item[3].name: item for item in plan._work}
         pending: Dict[int, Tuple[Any, Expression]] = {}
         for item in plan._work:
             slot, is_declared, single, target = item
@@ -671,24 +1012,41 @@ class VectorExecutionPlan:
             if _structurally_vectorizable(expr) and not _may_be_const(expr):
                 pending[slot] = (item, expr)
 
-        # Pre-stratum dependency peel: promote targets whose reads are all
-        # inputs, non-target signals, or already-promoted targets.  These
-        # evaluate *before* the residual sweep, from the scenario columns
-        # alone.  Promotion order is a topological order, which is the
-        # kernel execution order.
+        # Unified stage peel.  Stateless targets whose reads are all inputs,
+        # non-target signals or already-promoted targets become columnar
+        # kernels; when the peel stalls, one delay recurrence is promoted
+        # into a scan stage (its outputs then count as available, which can
+        # unblock further kernels — the "mid" stratum of alarms over
+        # accumulators).  Stage order is a topological order, which is the
+        # block execution order.
         promoted: Dict[int, None] = {}
-        pre_order: List[Tuple[int, Expression]] = []
-        changed = True
-        while changed and pending:
-            changed = False
-            for slot in list(pending):
-                item, expr = pending[slot]
-                deps = {plan.slot_of[name] for name in free_signals(expr)}
-                if all(d not in work_slots or d in promoted for d in deps):
-                    promoted[slot] = None
-                    pre_order.append((slot, expr))
-                    del pending[slot]
-                    changed = True
+        stages: List[Tuple[str, Any, Any]] = []
+        progress = True
+        while progress:
+            progress = False
+            changed = True
+            while changed and pending:
+                changed = False
+                for slot in list(pending):
+                    item, expr = pending[slot]
+                    deps = {plan.slot_of[name] for name in free_signals(expr)}
+                    if all(d not in work_slots or d in promoted for d in deps):
+                        promoted[slot] = None
+                        stages.append(("kernel", slot, expr))
+                        del pending[slot]
+                        changed = True
+                        progress = True
+            if scan_recurrences:
+                scan = self._find_recurrence(
+                    plan, grouped, work_by_name, work_slots, promoted
+                )
+                if scan is not None:
+                    promoted[scan.y_slot] = None
+                    promoted[scan.z_slot] = None
+                    pending.pop(scan.y_slot, None)
+                    pending.pop(scan.z_slot, None)
+                    stages.append(("scan", scan, None))
+                    progress = True
 
         # Post-stratum: vectorisable targets that *nothing else observes
         # during the sweep* — not read by any equation outside the stratum
@@ -768,17 +1126,49 @@ class VectorExecutionPlan:
         post_slots = {slot for slot, _ in post_order}
 
         compiler = _VectorCompiler(plan.slot_of)
-        self._kernels: List[Tuple[int, VectorFn]] = [
-            (slot, compiler.compile(expr)) for slot, expr in pre_order
-        ]
+        #: Ordered block stages: ``("kernel", slot, VectorFn)`` columnar
+        #: evaluations interleaved with ``("scan", _RecurrenceScan, None)``
+        #: delay-recurrence scans, in dependency order.
+        self._stages: List[Tuple[str, Any, Any]] = []
+        for kind, payload, expr in stages:
+            if kind == "kernel":
+                self._stages.append(("kernel", payload, compiler.compile(expr)))
+            else:
+                self._stages.append(("scan", payload, None))
         self._post_kernels: List[Tuple[int, VectorFn]] = [
             (slot, compiler.compile(expr)) for slot, expr in post_order
         ]
+        # Promoted scans advance their delay state once per block, so their
+        # per-instant commits are dead weight on the vector path; the
+        # fallback path (which rewinds the state snapshot) keeps the plan's
+        # full commit tuple.
+        suppressed_commits = {
+            payload.commit_index
+            for kind, payload, _ in self._stages
+            if kind == "scan"
+        }
+        if suppressed_commits:
+            self._vector_commits = tuple(
+                commit
+                for index, commit in enumerate(plan._commits)
+                if index not in suppressed_commits
+            )
+        else:
+            self._vector_commits = plan._commits
         self._vector_slots = set(promoted) | post_slots
         self._residual_work = tuple(
             item for item in plan._work if item[0] not in self._vector_slots
         )
+        self._lowered_count = 0
+        if lowered_residue and self._residual_work:
+            self._residual_work = self._lower_residual_work(self._residual_work)
         residual_slots = {item[0] for item in self._residual_work}
+        if cluster_residue:
+            self._clusters, self._global_groups = self._build_clusters(
+                plan, grouped, self._residual_work
+            )
+        else:
+            self._clusters, self._global_groups = None, []
         # Residual columns the post kernels read, to copy back into the
         # block arrays after the sweep.
         post_deps: set = set()
@@ -799,53 +1189,228 @@ class VectorExecutionPlan:
                 self._typed_input_kinds[slot] = _BOOL
 
         self._template_row = _np.array(plan._status_template, dtype=_np.int64)
-        # Block-buffer pool: a plain list (atomic pop/append under the GIL,
-        # so concurrent runs on a shared plan never share a block pair).
-        self._block_pool: List[Tuple[Any, Any]] = []
+
+    # ------------------------------------------------------------------
+    def _find_recurrence(self, plan, grouped, work_by_name, work_slots, promoted):
+        """Find one promotable delay recurrence ``z := delay(y); y := f(z, ...)``.
+
+        Both halves must be declared, single-definition targets not yet
+        promoted; ``f`` must be a pure value expression over ``z`` and
+        block-available operands (and must not read ``y`` itself); and some
+        ``^=`` group containing ``y`` must have a block-available member to
+        serve as the clock mask — without one the reference sweep would
+        deadlock on the pair, a trajectory the scan cannot reproduce.
+        Returns a :class:`_RecurrenceScan` or ``None``.
+        """
+
+        def available(slot: int) -> bool:
+            return slot not in work_slots or slot in promoted
+
+        for z_name, (state_slot, _init, y_name) in plan.delay_memories.items():
+            z_item = work_by_name.get(z_name)
+            y_item = work_by_name.get(y_name)
+            if z_item is None or y_item is None:
+                continue
+            z_slot, y_slot = z_item[0], y_item[0]
+            if z_slot in promoted or y_slot in promoted or z_slot == y_slot:
+                continue
+            if not (z_item[1] and y_item[1]):  # both declared
+                continue
+            if z_item[2] is None or y_item[2] is None:  # both single-def
+                continue
+            y_expr = grouped[y_name][0]
+            if not _pure_value_expr(y_expr):
+                continue
+            refs = _ordered_refs(y_expr)
+            if y_name in refs or z_name not in refs:
+                continue
+            operand_names = [name for name in refs if name != z_name]
+            operand_slots = [plan.slot_of[name] for name in operand_names]
+            if not all(available(slot) for slot in operand_slots):
+                continue
+            # Clock mask + verification slots from the pair's sync groups.
+            mask_slot = None
+            verify: List[int] = []
+            for slots, _names in plan._sync_groups:
+                if y_slot not in slots and z_slot not in slots:
+                    continue
+                for slot in slots:
+                    if slot in (y_slot, z_slot) or not available(slot):
+                        continue
+                    verify.append(slot)
+                    if mask_slot is None and y_slot in slots:
+                        mask_slot = slot
+            if mask_slot is None:
+                continue
+            verify_slots = tuple(
+                slot for slot in dict.fromkeys(verify) if slot != mask_slot
+            )
+            affine = _affine_shape(y_expr, z_name, y_name, operand_names)
+            arg_of = {z_name: "_p0"}
+            for index, name in enumerate(operand_names):
+                arg_of[name] = f"_p{index + 1}"
+            step = _compile_value_step(y_expr, arg_of)
+            return _RecurrenceScan(
+                y_slot=y_slot,
+                z_slot=z_slot,
+                state_slot=state_slot,
+                mask_slot=mask_slot,
+                verify_slots=verify_slots,
+                operand_slots=tuple(operand_slots),
+                step=step,
+                affine=affine,
+                commit_index=plan._delay_commit_index[z_name],
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def _lower_residual_work(self, residual_work):
+        """Swap lowered (codegen) evaluators into the residual work items.
+
+        Uses :func:`repro.sig.engine.lowered.lower_plan_evaluators`; targets
+        the generator cannot lower keep their interpreted closures.  The
+        pure replay path keeps the *original* plan items, so a codegen bug
+        can at worst cost a block fallback, never parity.
+        """
+        from .lowered import lower_plan_evaluators
+
+        lowered_map = lower_plan_evaluators(self.plan)
+        if not lowered_map:
+            return residual_work
+        new_work = []
+        for item in residual_work:
+            slot, is_declared, _single, target = item
+            evaluators = lowered_map.get(target.name)
+            if evaluators is None or len(evaluators) != len(target.evaluators):
+                new_work.append(item)
+                continue
+            clone = TargetPlan(
+                target.name, target.slot, target.declared, list(evaluators)
+            )
+            single = clone.evaluators[0] if len(clone.evaluators) == 1 else None
+            new_work.append((slot, is_declared, single, clone))
+            self._lowered_count += 1
+        return tuple(new_work)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_clusters(plan, grouped, residual_work):
+        """Partition the residual work into independent clusters.
+
+        Returns ``(clusters, global_groups)`` where *clusters* is a list of
+        :class:`_ResidueCluster` (or ``None`` when clustering is
+        pointless — fewer than two clusters) and *global_groups* are the
+        ``^=`` groups with no residual member, which still need one
+        propagation pass per instant for their disagreement diagnostics.
+        """
+        residual_slots = {item[0] for item in residual_work}
+        if len(residual_slots) < 2:
+            return None, []
+        parent = {slot: slot for slot in residual_slots}
+
+        def find(slot: int) -> int:
+            root = slot
+            while parent[root] != root:
+                root = parent[root]
+            while parent[slot] != root:
+                parent[slot], slot = root, parent[slot]
+            return root
+
+        def union(a: int, b: int) -> None:
+            parent[find(a)] = find(b)
+
+        residual_items = list(residual_work)
+        reads_of: Dict[int, set] = {}
+        for item in residual_items:
+            slot, name = item[0], item[3].name
+            reads = set()
+            for expr in grouped[name]:
+                reads.update(plan.slot_of[ref] for ref in free_signals(expr))
+            reads_of.setdefault(slot, set()).update(reads)
+            for dep in reads:
+                if dep in residual_slots:
+                    union(slot, dep)
+        for slots, _names in plan._sync_groups:
+            members = [slot for slot in slots if slot in residual_slots]
+            for a, b in zip(members, members[1:]):
+                union(a, b)
+
+        ordered_roots: List[int] = []
+        members_of: Dict[int, List[Any]] = {}
+        for item in residual_items:
+            root = find(item[0])
+            if root not in members_of:
+                members_of[root] = []
+                ordered_roots.append(root)
+            members_of[root].append(item)
+        global_groups = []
+        groups_of: Dict[int, List[Any]] = {}
+        for group in plan._sync_groups:
+            members = [slot for slot in group[0] if slot in residual_slots]
+            if members:
+                groups_of.setdefault(find(members[0]), []).append(group)
+            else:
+                global_groups.append(group)
+        if len(ordered_roots) < 2:
+            return None, []
+
+        clusters = []
+        for root in ordered_roots:
+            items = members_of[root]
+            cluster_slots = {item[0] for item in items}
+            groups = groups_of.get(root, [])
+            skippable = all(
+                item[1]
+                and item[2] is not None
+                and all(
+                    _structurally_vectorizable(expr)
+                    for expr in grouped[item[3].name]
+                )
+                for item in items
+            )
+            external: set = set()
+            for item in items:
+                external.update(reads_of[item[0]])
+            for slots, _names in groups:
+                external.update(slots)
+            external -= cluster_slots
+            clusters.append(
+                _ResidueCluster(
+                    work=tuple(items),
+                    groups=tuple(groups),
+                    target_slots=tuple(sorted(cluster_slots)),
+                    skippable=skippable,
+                    external_slots=tuple(sorted(external)),
+                )
+            )
+        return clusters, global_groups
 
     # ------------------------------------------------------------------
     def statistics(self) -> VectorPlanStatistics:
         """Compile-time shape of the stratum partition."""
+        pre = sum(1 for kind, _a, _b in self._stages if kind == "kernel")
+        recurrence = 2 * sum(1 for kind, _a, _b in self._stages if kind == "scan")
         return VectorPlanStatistics(
             signals=len(self.plan.names),
             targets=len(self.plan._work),
-            vectorized=len(self._kernels) + len(self._post_kernels),
-            pre_stratum=len(self._kernels),
+            vectorized=pre + recurrence + len(self._post_kernels),
+            pre_stratum=pre,
             post_stratum=len(self._post_kernels),
             residual=len(self._residual_work),
             block_size=self.block_size,
+            recurrence=recurrence,
+            clusters=len(self._clusters) if self._clusters else 0,
+            lowered=self._lowered_count,
         )
 
     # ------------------------------------------------------------------
-    def _acquire_block(self, size: int) -> Tuple[Any, Any]:
-        """Check out a reset ``(status, value)`` block pair, pooled across
-        blocks, scenarios and runs when :attr:`reuse_buffers` allows."""
-        if self.reuse_buffers:
-            pool = self._block_pool
-            # Pop up to the pool depth looking for a size match; wrong-size
-            # pairs (e.g. a scenario's trailing partial block) go back so
-            # they do not evict the full-size buffers.
-            for _ in range(2):
-                try:
-                    st_block, val_block = pool.pop()
-                except IndexError:
-                    break
-                if st_block.shape[0] == size:
-                    st_block[:] = self._template_row
-                    val_block.fill(ABSENT)
-                    return st_block, val_block
-                # Re-insert at the front so the next pop tries the other end.
-                pool.insert(0, (st_block, val_block))
+    def _new_block(self, size: int) -> Tuple[Any, Any]:
+        """Allocate a reset ``(status, value)`` block pair."""
         st_block = _np.empty((size, len(self.plan.names)), dtype=_np.int64)
         st_block[:] = self._template_row
         val_block = _np.empty((size, len(self.plan.names)), dtype=object)
         val_block.fill(ABSENT)
         return st_block, val_block
-
-    def _release_block(self, st_block, val_block) -> None:
-        """Return a block pair to the (bounded) pool."""
-        if self.reuse_buffers and len(self._block_pool) < 2:
-            self._block_pool.append((st_block, val_block))
 
     # ------------------------------------------------------------------
     def run(
@@ -887,14 +1452,16 @@ class VectorExecutionPlan:
         residual_work = [
             item for item in self._residual_work if item[0] not in driven_slots
         ]
-        kernels = [
-            (slot, kernel) for slot, kernel in self._kernels if slot not in driven_slots
-        ]
-        post_kernels = [
-            (slot, kernel)
-            for slot, kernel in self._post_kernels
-            if slot not in driven_slots
-        ]
+        # Stage and post-kernel targets are declared, and only undeclared
+        # names can be scenario-driven, so the strata never need filtering.
+        clusters = self._clusters
+        if clusters is not None and driven_slots:
+            clusters = [
+                cluster.without(driven_slots)
+                if any(slot in driven_slots for slot in cluster.target_slots)
+                else cluster
+                for cluster in clusters
+            ]
 
         record_lists, record_plan = plan._build_record_plan(
             recorded, streaming, scenario_only
@@ -922,11 +1489,8 @@ class VectorExecutionPlan:
                     else:
                         out.append(ABSENT)
 
-        if self.reuse_buffers:
-            state, varmem = plan._acquire_buffers()
-        else:
-            state = [list(template) for template in plan._state_init]
-            varmem = list(plan._nowrite_template)
+        state = [list(template) for template in plan._state_init]
+        varmem = list(plan._nowrite_template)
         block_size = self.block_size
         try:
             if streaming:
@@ -960,8 +1524,7 @@ class VectorExecutionPlan:
                     strict,
                     pure_work,
                     residual_work,
-                    kernels,
-                    post_kernels,
+                    clusters,
                     deliver,
                 )
                 if val_rows is not None:
@@ -974,8 +1537,6 @@ class VectorExecutionPlan:
                             deliver(start + i, val_rows[i])
                 start += size
         finally:
-            if self.reuse_buffers:
-                plan._release_buffers(state, varmem)
             if streaming:
                 close_sinks(sink_list)
 
@@ -1001,8 +1562,7 @@ class VectorExecutionPlan:
         strict: bool,
         pure_work,
         residual_work,
-        kernels,
-        post_kernels,
+        clusters,
         deliver,
     ) -> Optional[List[List[Any]]]:
         """Execute one instant block, replaying it purely on any anomaly.
@@ -1017,8 +1577,7 @@ class VectorExecutionPlan:
         varmem_snapshot = list(varmem)
         try:
             val_rows = self._run_vector_block(
-                start, size, driven, state, varmem, strict, residual_work,
-                kernels, post_kernels,
+                start, size, driven, state, varmem, strict, residual_work, clusters
             )
         except Exception as error:
             # Anything observable happened (a warning, a simulation error, a
@@ -1039,8 +1598,7 @@ class VectorExecutionPlan:
         return val_rows
 
     def _run_vector_block(
-        self, start, size, driven, state, varmem, strict, residual_work,
-        kernels, post_kernels,
+        self, start, size, driven, state, varmem, strict, residual_work, clusters
     ) -> List[List[Any]]:
         """The optimistic hybrid executor: numpy strata + residual sweep.
 
@@ -1049,20 +1607,17 @@ class VectorExecutionPlan:
         the reference trajectory; returns the per-instant value rows
         otherwise.
         """
-        st_block, val_block = self._acquire_block(size)
-        try:
-            return self._execute_block(
-                st_block, val_block, start, size, driven, state, varmem, strict,
-                residual_work, kernels, post_kernels,
-            )
-        finally:
-            self._release_block(st_block, val_block)
+        st_block, val_block = self._new_block(size)
+        return self._execute_block(
+            st_block, val_block, start, size, driven, state, varmem, strict,
+            residual_work, clusters,
+        )
 
     def _execute_block(
         self, st_block, val_block, start, size, driven, state, varmem, strict,
-        residual_work, kernels, post_kernels,
+        residual_work, clusters,
     ) -> List[List[Any]]:
-        """Body of :meth:`_run_vector_block`, over checked-out block arrays."""
+        """Body of :meth:`_run_vector_block`, over fresh block arrays."""
         plan = self.plan
         ctx = _BlockContext(st_block, val_block, size)
 
@@ -1122,7 +1677,11 @@ class VectorExecutionPlan:
 
         full = _np.ones(size, dtype=bool)
         with _np.errstate(all="ignore"):
-            for slot, kernel in kernels:
+            for kind_tag, payload, kernel in self._stages:
+                if kind_tag == "scan":
+                    payload.execute(ctx, st_block, val_block, state)
+                    continue
+                slot = payload
                 status, values, kind = kernel(ctx, full)
                 if bool((status == CONST).any()):
                     raise _FallbackBlock("bare-constant definition")
@@ -1133,21 +1692,65 @@ class VectorExecutionPlan:
                 if kind != _OBJ:
                     ctx.typed[slot] = (values, kind)
 
+        # Block-level verification of the residue-free ``^=`` groups: when
+        # every member's presence is decided (no UNKNOWN anywhere in the
+        # block) and all members share the same presence mask, the
+        # per-instant propagation is a provable no-op — nothing to fill,
+        # nothing to diagnose.  Groups that cannot be verified block-wide
+        # stay on the per-instant path for their exact diagnostics.
+        global_groups = self._global_groups
+        if global_groups and clusters is not None:
+            unverified = []
+            for group in global_groups:
+                base_mask = None
+                for slot in group[0]:
+                    column = st_block[:, slot]
+                    present = column == PRESENT
+                    if not bool((present | (column == _ABSENT_ST)).all()):
+                        unverified.append(group)
+                        break
+                    if base_mask is None:
+                        base_mask = present
+                    elif not _np.array_equal(base_mask, present):
+                        unverified.append(group)
+                        break
+            global_groups = unverified
+
         st_rows = st_block.tolist()
         val_rows = val_block.tolist()
 
         block_warnings: List[str] = []
         resolve = plan._resolve_instant
-        finish_instant = plan._finish_instant
+        # The plan's `_finish_instant` minus the commits of scan-promoted
+        # delays, whose state the scans advanced block-level already.
+        vector_commits = self._vector_commits
+        uses_varmem = plan.uses_varmem
+        prev_st = prev_vals = None
         for i in range(size):
             instant = start + i
             st = st_rows[i]
             vals = val_rows[i]
-            resolve(st, vals, state, varmem, instant, block_warnings, strict, residual_work)
+            if clusters is None:
+                resolve(
+                    st, vals, state, varmem, instant, block_warnings, strict,
+                    residual_work,
+                )
+            else:
+                self._resolve_clustered(
+                    st, vals, state, varmem, instant, block_warnings, strict,
+                    clusters, global_groups, prev_st, prev_vals,
+                )
             if block_warnings:
                 raise _FallbackBlock("residual warning")
-            finish_instant(st, vals, state, varmem, strict)
+            for commit in vector_commits:
+                commit(st, vals, state, varmem, strict)
+            if uses_varmem:
+                for slot_index, code in enumerate(st):
+                    if code == PRESENT:
+                        varmem[slot_index] = vals[slot_index]
+            prev_st, prev_vals = st, vals
 
+        post_kernels = self._post_kernels
         if post_kernels:
             # Copy the residual columns the post stratum reads back into the
             # block arrays.  An unresolved status (the reference would raise
@@ -1179,6 +1782,53 @@ class VectorExecutionPlan:
                         val_rows[i][slot] = value
         return val_rows
 
+    def _resolve_clustered(
+        self, st, vals, state, varmem, instant, warnings, strict, clusters,
+        global_groups, prev_st, prev_vals,
+    ) -> None:
+        """One instant's residual resolution, cluster by cluster.
+
+        Clusters are independent (no cross-cluster reads or shared ``^=``
+        groups), so sweeping them separately reaches the same fixed point as
+        the reference's joint sweep; *global_groups* — the residue-free
+        groups the caller could not verify block-wide — are propagated once
+        up front for their diagnostics.  A *skippable* cluster (stateless,
+        single-definition, declared members) whose external
+        ``(status, value)`` signature matches the previous instant copies
+        that instant's resolution instead of sweeping.  Blocked targets are
+        collected across clusters so the instantaneous-cycle report matches
+        the reference's.
+        """
+        plan = self.plan
+        if global_groups:
+            plan._propagate_sync_groups(
+                st, instant, warnings, strict, global_groups
+            )
+        blocked: List[Any] = []
+        for cluster in clusters:
+            if (
+                prev_st is not None
+                and cluster.skippable
+                and _signature_unchanged(
+                    cluster.external_slots, st, vals, prev_st, prev_vals
+                )
+            ):
+                for slot in cluster.target_slots:
+                    code = prev_st[slot]
+                    st[slot] = code
+                    if code == PRESENT:
+                        vals[slot] = prev_vals[slot]
+                self.skipped_clusters += 1
+                continue
+            unresolved = plan._sweep_worklist(
+                st, vals, state, varmem, instant, warnings, strict,
+                cluster.work, cluster.groups,
+            )
+            if unresolved:
+                blocked.extend(unresolved)
+        if blocked:
+            plan._raise_blocked(st, blocked, instant)
+
     def _run_pure_block(
         self, start, size, driven, state, varmem, warnings, strict, pure_work, deliver
     ) -> None:
@@ -1204,11 +1854,17 @@ class VectorExecutionPlan:
 def compile_vectorized(
     process: ProcessModel,
     block_size: int = DEFAULT_BLOCK_SIZE,
-    reuse_buffers: bool = True,
+    scan_recurrences: bool = True,
+    cluster_residue: bool = True,
+    lowered_residue: bool = False,
 ) -> VectorExecutionPlan:
     """Compile *process* into a plan plus its vector strata (requires numpy)."""
     return VectorExecutionPlan(
-        compile_plan(process), block_size=block_size, reuse_buffers=reuse_buffers
+        compile_plan(process),
+        block_size=block_size,
+        scan_recurrences=scan_recurrences,
+        cluster_residue=cluster_residue,
+        lowered_residue=lowered_residue,
     )
 
 
@@ -1216,9 +1872,13 @@ class VectorizedBackend(SimulationBackend):
     """Block-vectorized executor: numpy strata over the compiled plan.
 
     Construction options (ignored by the other backends): ``block_size``
-    (instants per block, default :data:`DEFAULT_BLOCK_SIZE`) and
-    ``reuse_buffers`` (pool the per-block numpy arrays and the plan's
-    state/memory buffers across scenarios, default ``True``).
+    (instants per block, default :data:`DEFAULT_BLOCK_SIZE`),
+    ``scan_recurrences`` (promote delay recurrences into scan stages,
+    default ``True``), ``cluster_residue`` (partition the residual sweep
+    into independent clusters with a per-instant skip, default ``True``)
+    and ``lowered_residue`` (swap codegen evaluators from
+    :mod:`repro.sig.engine.lowered` into the residual work items, default
+    ``False``).
 
     When numpy is not importable the backend warns (``RuntimeWarning``) and
     degrades to the compiled plan executor: every run still produces the
@@ -1232,19 +1892,27 @@ class VectorizedBackend(SimulationBackend):
         process: ProcessModel,
         strict: bool = True,
         block_size: int = DEFAULT_BLOCK_SIZE,
-        reuse_buffers: bool = True,
+        scan_recurrences: bool = True,
+        cluster_residue: bool = True,
+        lowered_residue: bool = False,
         **options: Any,
     ) -> None:
         super().__init__(process, strict, **options)
         self.block_size = max(1, int(block_size))
-        self.reuse_buffers = reuse_buffers
+        self.scan_recurrences = scan_recurrences
+        self.cluster_residue = cluster_residue
+        self.lowered_residue = lowered_residue
         self._plan = compile_plan(process)
         if _np is None:
             _warnings_module.warn(NUMPY_FALLBACK_MESSAGE, RuntimeWarning, stacklevel=2)
             self._vector: Optional[VectorExecutionPlan] = None
         else:
             self._vector = VectorExecutionPlan(
-                self._plan, block_size=self.block_size, reuse_buffers=reuse_buffers
+                self._plan,
+                block_size=self.block_size,
+                scan_recurrences=scan_recurrences,
+                cluster_residue=cluster_residue,
+                lowered_residue=lowered_residue,
             )
 
     @property
@@ -1288,7 +1956,9 @@ class VectorizedBackend(SimulationBackend):
             "process": self._plan.process,
             "strict": self.strict,
             "block_size": self.block_size,
-            "reuse_buffers": self.reuse_buffers,
+            "scan_recurrences": self.scan_recurrences,
+            "cluster_residue": self.cluster_residue,
+            "lowered_residue": self.lowered_residue,
         }
 
     def __setstate__(self, payload: Dict[str, Any]) -> None:
@@ -1296,7 +1966,9 @@ class VectorizedBackend(SimulationBackend):
             payload["process"],
             strict=payload["strict"],
             block_size=payload["block_size"],
-            reuse_buffers=payload["reuse_buffers"],
+            scan_recurrences=payload["scan_recurrences"],
+            cluster_residue=payload["cluster_residue"],
+            lowered_residue=payload["lowered_residue"],
         )
 
 

@@ -391,7 +391,7 @@ class TestDifferentialFuzz:
 
 class TestBackendApi:
     def test_registry(self):
-        assert set(BACKENDS) == {"reference", "compiled", "vectorized"}
+        assert set(BACKENDS) == {"reference", "compiled", "vectorized", "lowered"}
         assert DEFAULT_BACKEND == "compiled"
         assert backend_names()[0] == DEFAULT_BACKEND
 

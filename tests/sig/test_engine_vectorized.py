@@ -69,15 +69,35 @@ def test_vectorized_backend_is_registered():
 def test_partition_statistics():
     plan = compile_vectorized(_numeric_model(), block_size=8)
     stats = plan.statistics()
-    # y and z are input-derived (pre-stratum); alarm reads the delayed
-    # accumulator but nothing reads it back (post-stratum); acc and zacc
-    # carry state and stay residual.
+    # y and z are input-derived (pre-stratum); the acc/zacc delay pair is
+    # promoted into a recurrence scan, which unblocks alarm as a further
+    # kernel stage — nothing is left in the residual sweep.
+    assert stats.pre_stratum == 3
+    assert stats.recurrence == 2
+    assert stats.post_stratum == 0
+    assert stats.residual == 0
+    assert stats.vectorized == 5
+    assert stats.clusters == 0
+    assert stats.lowered == 0
+    assert stats.block_size == 8
+    assert "pre-sweep" in stats.summary()
+    assert "recurrence" in stats.summary()
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_partition_statistics_without_recurrence_scan():
+    """With the scan stage off, the delay pair stays residual and the alarm
+    moves to the post-stratum, as before the recurrence kernels existed."""
+    plan = compile_vectorized(
+        _numeric_model(), block_size=8, scan_recurrences=False, cluster_residue=False
+    )
+    stats = plan.statistics()
     assert stats.pre_stratum == 2
+    assert stats.recurrence == 0
     assert stats.post_stratum == 1
     assert stats.residual == 2
     assert stats.vectorized == 3
-    assert stats.block_size == 8
-    assert "pre-sweep" in stats.summary()
+    assert stats.clusters == 0
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
@@ -181,17 +201,15 @@ def test_backend_pickles_and_recompiles():
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
-def test_buffer_reuse_is_transparent():
-    """Pooled block/state buffers must not leak state between scenarios."""
+def test_repeated_runs_share_no_state():
+    """Back-to-back runs on one backend start from fresh state buffers."""
     model = _numeric_model()
-    pooled = VectorizedBackend(model, strict=False, block_size=8, reuse_buffers=True)
-    fresh = VectorizedBackend(model, strict=False, block_size=8, reuse_buffers=False)
+    backend = VectorizedBackend(model, strict=False, block_size=8)
     for length in (5, 30, 8, 17):
         scenario = _scenario(length)
-        first = pooled.run(scenario)
-        again = pooled.run(scenario)
-        unpooled = fresh.run(scenario)
-        assert first.flows == again.flows == unpooled.flows
+        first = backend.run(scenario)
+        again = backend.run(scenario)
+        assert first.flows == again.flows
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
@@ -230,16 +248,139 @@ def test_nan_inputs_keep_object_identity():
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
-def test_reuse_buffers_false_disables_all_pools():
-    """With ``reuse_buffers=False`` neither the numpy block pool nor the
-    plan's state/varmem pool may retain buffers between runs."""
-    backend = VectorizedBackend(
-        _numeric_model(), strict=False, block_size=8, reuse_buffers=False
+def test_recurrence_scan_matches_compiled_across_block_sizes():
+    """The scanned accumulator pair must match the compiled per-instant
+    fold bit for bit, including across block boundaries."""
+    model = _numeric_model()
+    scenario = _scenario(60)
+    reference = CompiledBackend(model, strict=False).run(scenario)
+    for block_size in (1, 4, 9, 64):
+        backend = VectorizedBackend(model, strict=False, block_size=block_size)
+        assert backend.vector_plan.statistics().recurrence == 2
+        trace = backend.run(scenario)
+        assert trace.flows == reference.flows
+        assert backend.vector_plan.fallback_blocks == 0
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_recurrence_clock_mismatch_falls_back():
+    """An accumulator clocked apart from its mask source must fall the
+    block back to the pure sweep and still match the compiled trace."""
+    # A hole in u would desynchronise nothing (u is the mask source), so
+    # drive the operand-mask check through a second input read by acc.
+    model2 = ProcessModel("mismatch2")
+    model2.input("u", REAL)
+    model2.input("w", REAL)
+    model2.local("zacc", REAL)
+    model2.output("acc", REAL)
+    model2.define("zacc", b.delay(b.ref("acc"), init=0.0))
+    model2.define("acc", b.ref("zacc") + b.ref("w"))
+    model2.synchronise("acc", "u")
+    model2.synchronise("zacc", "u")
+    scenario = Scenario(12)
+    scenario.inputs["u"] = [float(i) for i in range(12)]
+    scenario.inputs["w"] = [float(i) if i % 3 else ABSENT for i in range(12)]
+
+    reference = CompiledBackend(model2, strict=False).run(scenario)
+    backend = VectorizedBackend(model2, strict=False, block_size=4)
+    assert backend.vector_plan.statistics().recurrence == 2
+    trace = backend.run(scenario)
+    assert trace.flows == reference.flows
+    assert trace.warnings == reference.warnings
+    assert backend.vector_plan.fallback_blocks > 0
+    assert any(
+        "recurrence" in reason for reason in backend.vector_plan.fallback_reasons
     )
-    backend.run(_scenario(20))
-    backend.run(_scenario(20))
-    assert backend.vector_plan._block_pool == []
-    assert backend.plan._scratch == []
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_unsynchronised_recurrence_is_not_promoted():
+    """A delay pair with no block-available clock source deadlocks in the
+    reference; the scan must leave it alone so the error is preserved."""
+    model = ProcessModel("deadlock")
+    model.input("u", REAL)
+    model.local("zacc", REAL)
+    model.output("acc", REAL)
+    model.define("zacc", b.delay(b.ref("acc"), init=0.0))
+    model.define("acc", b.ref("zacc") + 1.0)
+    backend = VectorizedBackend(model, strict=False, block_size=4)
+    assert backend.vector_plan.statistics().recurrence == 0
+    scenario = Scenario(3)
+    scenario.inputs["u"] = [1.0, 2.0, 3.0]
+    from repro.sig.simulator import InstantaneousCycle
+
+    with pytest.raises(InstantaneousCycle):
+        backend.run(scenario)
+    with pytest.raises(InstantaneousCycle):
+        CompiledBackend(model, strict=False).run(scenario)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_residue_clusters_preserve_instantaneous_cycle():
+    """Independent residual pipelines split into clusters, and a blocked
+    cluster still reports the reference's instantaneous-cycle error."""
+    register_stepwise_operation("vec_unit_id_a", lambda x: x)
+    try:
+        model = ProcessModel("clusters")
+        model.input("p", REAL)
+        model.input("q", REAL)
+        model.output("a", REAL)
+        model.define("a", b.func("vec_unit_id_a", b.ref("p")))
+        model.output("d", REAL)
+        model.define("d", b.ref("q") + b.ref("dd"))
+        model.output("dd", REAL)
+        model.define("dd", b.ref("q") - b.ref("d"))  # instantaneous cycle d<->dd
+        scenario = Scenario(20)
+        scenario.inputs["p"] = [1.0] * 20
+        scenario.inputs["q"] = [float(i) for i in range(20)]
+
+        backend = VectorizedBackend(model, strict=False, block_size=8)
+        stats = backend.vector_plan.statistics()
+        assert stats.clusters == 2
+        from repro.sig.simulator import InstantaneousCycle
+
+        with pytest.raises(InstantaneousCycle) as vec_error:
+            backend.run(scenario)
+        with pytest.raises(InstantaneousCycle) as ref_error:
+            CompiledBackend(model, strict=False).run(scenario)
+        assert str(vec_error.value) == str(ref_error.value)
+    finally:
+        STEPWISE_OPERATIONS.pop("vec_unit_id_a", None)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_cluster_skip_copies_previous_instant():
+    """A stateless residual cluster whose external inputs repeat is
+    resolved once per block and copied afterwards — observably identical,
+    just counted.  ``d``/``dd`` read each other (a *resolvable* merge
+    cycle), which is what keeps them residual yet skippable."""
+    register_stepwise_operation("vec_unit_noop", lambda x: x + 0.0)
+    try:
+        model = ProcessModel("skippy")
+        model.input("p", REAL)
+        model.input("q", REAL)
+        model.output("d", REAL)
+        model.define("d", b.default(b.ref("p"), b.ref("dd")))
+        model.output("dd", REAL)
+        model.define("dd", b.default(b.ref("d"), 5.0))
+        model.output("a", REAL)
+        model.define("a", b.func("vec_unit_noop", b.ref("q")))  # never skips
+        scenario = Scenario(24)
+        scenario.inputs["p"] = [5.0] * 24
+        scenario.inputs["q"] = [float(i) for i in range(24)]
+
+        reference = CompiledBackend(model, strict=False).run(scenario)
+        backend = VectorizedBackend(model, strict=False, block_size=8)
+        assert backend.vector_plan.statistics().clusters == 2
+        trace = backend.run(scenario)
+        assert trace.flows == reference.flows
+        assert backend.vector_plan.fallback_blocks == 0
+        # p is constant, so the {d, dd} cluster skips every instant after
+        # the first of each of the three blocks; q changes every instant,
+        # so the user-operator cluster never skips.
+        assert backend.vector_plan.skipped_clusters == 24 - 3
+    finally:
+        STEPWISE_OPERATIONS.pop("vec_unit_noop", None)
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")

@@ -42,6 +42,7 @@ DOCUMENTED_MODULES = [
     "repro.sig.engine",
     "repro.sig.engine.backends",
     "repro.sig.engine.batch",
+    "repro.sig.engine.lowered",
     "repro.sig.engine.parallel",
     "repro.sig.engine.plan",
     "repro.sig.engine.vectorized",
