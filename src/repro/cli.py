@@ -167,6 +167,9 @@ def _toolchain(
         workers=getattr(args, "workers", 1),
         sinks=sinks,
         materialize_trace=materialize_trace,
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", None),
+        max_failures=getattr(args, "max_failures", None),
     )
     return run_toolchain(model, options)
 
@@ -352,6 +355,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             # With --no-trace the sweep streams too: each scenario aggregates
             # into a per-worker statistics sink instead of materialising.
             sink_factory=_stats_sink_factory if args.no_trace else None,
+            # Any of these being set routes the sweep through the supervised
+            # executor: faulted scenarios are reported, not fatal.
+            timeout=result.options.timeout if result.options else None,
+            retries=result.options.retries if result.options else None,
+            max_failures=result.options.max_failures if result.options else None,
         )
         print(batch.summary())
     fired = {}
@@ -456,6 +464,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="W",
         help="shard the --batch scenarios over W worker processes "
         "(0 = one per core; results are identical to --workers 1)",
+    )
+    simulate.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervise the --batch sweep with a wall-clock timeout per "
+        "scenario attempt: hung or crashed workers are replaced, failed "
+        "attempts retried, and unrecoverable scenarios reported as faults "
+        "instead of wedging the sweep",
+    )
+    simulate.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="retry each failed --batch scenario up to N times with "
+        "exponential backoff (setting this enables supervision; supervised "
+        "default 2)",
+    )
+    simulate.add_argument(
+        "--max-failures",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="circuit breaker for the supervised --batch sweep: after more "
+        "than N failed attempts, stop retrying and fault the remaining "
+        "scenarios fast",
     )
     simulate.add_argument(
         "--stream-vcd",

@@ -49,6 +49,7 @@ from .backends import (
     create_backend,
 )
 from .batch import BatchResult, batch_flow_summary, default_scenario, simulate_batch
+from .faults import FaultInjected, FaultPlan, FaultSpec, InjectedCrash
 from .lowered import (
     LoweredBackend,
     LoweredExecutionPlan,
@@ -58,6 +59,13 @@ from .lowered import (
 )
 from .parallel import default_worker_count, run_batch_parallel
 from .plan import ExecutionPlan, PlanStatistics, TargetPlan, compile_plan
+from .supervisor import (
+    BudgetExceeded,
+    ScenarioBudget,
+    ScenarioFault,
+    ScenarioTimeout,
+    run_batch_supervised,
+)
 from .vectorized import (
     DEFAULT_BLOCK_SIZE,
     VectorExecutionPlan,
@@ -101,12 +109,20 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_BLOCK_SIZE",
     "BatchResult",
+    "BudgetExceeded",
     "CompiledBackend",
     "ExecutionPlan",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
     "LoweredBackend",
     "LoweredExecutionPlan",
     "PlanStatistics",
     "ReferenceBackend",
+    "ScenarioBudget",
+    "ScenarioFault",
+    "ScenarioTimeout",
     "SimulationBackend",
     "SinkFactory",
     "SinkOrSinks",
@@ -126,6 +142,7 @@ __all__ = [
     "numba_available",
     "numpy_available",
     "run_batch_parallel",
+    "run_batch_supervised",
     "simulate",
     "simulate_batch",
 ]

@@ -107,7 +107,7 @@ class SimulationBackend:
         if workers != 1 and len(scenarios) > 1:
             from .parallel import run_batch_parallel
 
-            traces, _, sink_results = run_batch_parallel(
+            traces, _, sink_results, _ = run_batch_parallel(
                 self,
                 scenarios,
                 record=record,

@@ -57,6 +57,15 @@ class BatchResult:
     holds, in scenario order, what each scenario's sink(s) produced.
     Failed scenarios (under ``collect_errors``) contribute ``None`` in
     either list plus an entry in :attr:`errors`.
+
+    Under supervised execution (any of ``timeout=``, ``retries=``,
+    ``scenario_budget=``, ``max_failures=`` or ``fault_plan=``) scenarios
+    the supervisor could not recover — worker crashes, timeouts, budget
+    violations, unexpected exceptions — appear in :attr:`faults` as
+    structured :class:`~repro.sig.engine.supervisor.ScenarioFault` entries
+    (in scenario order) and contribute ``None`` traces/sink results;
+    :attr:`errors` stays reserved for deterministic
+    :class:`~repro.sig.simulator.SimulationError` model errors.
     """
 
     backend: str
@@ -67,14 +76,17 @@ class BatchResult:
     workers: int = 1
     #: Per-scenario sink products of a streaming batch (empty otherwise).
     sink_results: List[Any] = field(default_factory=list)
+    #: Unrecoverable scenarios of a supervised batch, in scenario order
+    #: (empty on the unsupervised fast path and for fault-free batches).
+    faults: List[Any] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.traces)
 
     @property
     def ok(self) -> bool:
-        """``True`` when no scenario failed."""
-        return not self.errors
+        """``True`` when no scenario failed or faulted."""
+        return not self.errors and not self.faults
 
     @property
     def streamed(self) -> bool:
@@ -92,19 +104,22 @@ class BatchResult:
             # Failures are exactly the collected errors — a sink whose
             # result() is None (e.g. one streaming to a caller's handle)
             # still succeeded.
-            succeeded = len(self.traces) - len(self.errors)
+            succeeded = len(self.traces) - len(self.errors) - len(self.faults)
             streamed = ", streamed"
         else:
             succeeded = len(self.successful_traces())
             streamed = ""
+        faulted = f", {len(self.faults)} faulted" if self.faults else ""
         lines = [
             f"batch of {len(self.traces)} scenario(s) on backend {self.backend!r}: "
-            f"{succeeded} succeeded, {len(self.errors)} failed "
+            f"{succeeded} succeeded, {len(self.errors)} failed{faulted} "
             f"(prepare {self.compile_seconds * 1000.0:.1f} ms, "
             f"run {self.run_seconds * 1000.0:.1f} ms{sharding}{streamed})"
         ]
         for index, error in self.errors:
             lines.append(f"  scenario {index}: {type(error).__name__}: {error}")
+        for fault in self.faults:
+            lines.append(f"  {fault.summary()}")
         return "\n".join(lines)
 
 
@@ -119,6 +134,12 @@ def simulate_batch(
     sink_factory: Optional[SinkFactory] = None,
     backend_options: Optional[Mapping[str, Any]] = None,
     length: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    max_failures: Optional[int] = None,
+    scenario_budget: Any = None,
+    fault_plan: Any = None,
 ) -> BatchResult:
     """Run every scenario through one prepared backend instance.
 
@@ -152,6 +173,19 @@ def simulate_batch(
     symbolic scenario (``Scenario(None)``) can therefore be reused across
     sweeps of different lengths, and ships to workers as a few bytes of
     rules instead of per-instant lists.
+
+    Setting any of ``timeout`` (wall-clock seconds per scenario attempt),
+    ``retries`` (attempts after the first failure, default 2 when
+    supervised), ``backoff`` (base of the exponential retry delay),
+    ``max_failures`` (batch-wide circuit breaker), ``scenario_budget``
+    (a :class:`~repro.sig.engine.supervisor.ScenarioBudget`, or an ``int``
+    shorthand for its ``max_instants``) or ``fault_plan`` (a
+    :class:`~repro.sig.engine.faults.FaultPlan`, for tests/chaos runs)
+    switches the batch to the supervised executor: crashed or hung workers
+    are detected and replaced, failed attempts retried, and unrecoverable
+    scenarios surface in :attr:`BatchResult.faults` instead of taking the
+    batch down.  Surviving scenarios stay bit-identical to an unsupervised
+    run.
     """
     record = list(record) if record is not None else None
     start = time.perf_counter()
@@ -164,7 +198,7 @@ def simulate_batch(
     if workers <= 0:
         workers = default_worker_count()
     effective_workers = max(1, min(workers, count))
-    traces, errors, sink_results = run_batch_parallel(
+    traces, errors, sink_results, faults = run_batch_parallel(
         runner,
         scenarios,
         record=record,
@@ -172,6 +206,12 @@ def simulate_batch(
         collect_errors=collect_errors,
         sink_factory=sink_factory,
         length=length,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        max_failures=max_failures,
+        scenario_budget=scenario_budget,
+        fault_plan=fault_plan,
     )
     done = time.perf_counter()
 
@@ -183,6 +223,7 @@ def simulate_batch(
         run_seconds=done - compiled_at,
         workers=effective_workers,
         sink_results=sink_results,
+        faults=faults,
     )
 
 

@@ -116,8 +116,19 @@ def _run_chunk(
 
 
 def default_worker_count() -> int:
-    """Worker count used for ``workers=0``: one per available core."""
-    return os.cpu_count() or 1
+    """Worker count used for ``workers=0``: one per *available* core.
+
+    Respects the CPU affinity mask (``os.sched_getaffinity``) where the
+    platform has one, so containerized/cgroup-restricted environments get
+    the cores they may actually run on instead of the machine's raw
+    ``cpu_count()`` — oversubscribing a 2-core CI container with 64
+    workers is strictly slower.
+    """
+    try:
+        affinity = os.sched_getaffinity(0)
+    except (AttributeError, OSError):  # non-Linux, or exotic scheduler
+        return os.cpu_count() or 1
+    return len(affinity) or os.cpu_count() or 1
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -130,6 +141,35 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def _shutdown_pool(pool: Any) -> None:
+    """Tear a pool down without wedging on a misbehaving worker.
+
+    ``Pool.__exit__`` only calls ``terminate()``, but the subsequent
+    implicit ``join`` during garbage collection (and an explicit ``join``
+    after a clean ``close()``) can hang on a worker that ignores SIGTERM —
+    e.g. one wedged in an uninterruptible user operation.  Terminate, then
+    bound the join by running it in a daemon thread and abandoning it
+    after a grace period; any straggler is killed hard.
+    """
+    import threading
+
+    try:
+        pool.terminate()
+    except Exception:
+        pass
+    joiner = threading.Thread(target=pool.join, daemon=True)
+    joiner.start()
+    joiner.join(5.0)
+    if joiner.is_alive():
+        # join() is wedged on a SIGTERM-ignoring worker: escalate.
+        for process in getattr(pool, "_pool", []) or []:
+            try:
+                process.kill()
+            except (OSError, ValueError, AttributeError):
+                pass
+        joiner.join(5.0)
+
+
 def run_batch_parallel(
     runner: Any,
     scenarios: Sequence[Scenario],
@@ -139,13 +179,24 @@ def run_batch_parallel(
     chunk_size: Optional[int] = None,
     sink_factory: Optional[SinkFactory] = None,
     length: Optional[int] = None,
-) -> Tuple[List[Optional[SimulationTrace]], List[Tuple[int, SimulationError]], List[Any]]:
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    max_failures: Optional[int] = None,
+    scenario_budget: Any = None,
+    fault_plan: Any = None,
+) -> Tuple[
+    List[Optional[SimulationTrace]],
+    List[Tuple[int, SimulationError]],
+    List[Any],
+    List[Any],
+]:
     """Run *scenarios* through *runner* on a pool of worker processes.
 
     *runner* is a prepared :class:`~repro.sig.engine.backends.SimulationBackend`
     (its ``strict`` flag travels with it).  Returns ``(traces, errors,
-    sink_results)`` with the same contents, order and error behaviour as the
-    sequential loop.
+    sink_results, faults)`` with the same contents, order and error
+    behaviour as the sequential loop.
 
     Without *sink_factory*, ``traces`` holds the materialised traces and
     ``sink_results`` is empty.  With it, nothing is materialised: ``traces``
@@ -156,7 +207,40 @@ def run_batch_parallel(
     *length* overrides every scenario's horizon (required for unbounded
     symbolic scenarios); a symbolic scenario crosses the process boundary
     as its rule program — a few bytes however long the horizon.
+
+    Setting any supervision knob — *timeout*, *retries*, *backoff*,
+    *max_failures*, *scenario_budget* or *fault_plan* — routes the batch
+    through the supervised executor
+    (:func:`~repro.sig.engine.supervisor.run_batch_supervised`): per-task
+    timeouts and budgets, crash detection, retry with exponential backoff
+    and structured :class:`~repro.sig.engine.supervisor.ScenarioFault`
+    reporting in the fourth returned list.  With none of them set the
+    batch takes the plain pool fast path and ``faults`` is always empty.
     """
+    supervised = any(
+        knob is not None
+        for knob in (timeout, retries, backoff, max_failures, scenario_budget, fault_plan)
+    )
+    if supervised:
+        from .supervisor import DEFAULT_BACKOFF, run_batch_supervised
+
+        return run_batch_supervised(
+            runner,
+            scenarios,
+            record=record,
+            workers=workers,
+            collect_errors=collect_errors,
+            chunk_size=chunk_size,
+            sink_factory=sink_factory,
+            length=length,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff if backoff is not None else DEFAULT_BACKOFF,
+            max_failures=max_failures,
+            scenario_budget=scenario_budget,
+            fault_plan=fault_plan,
+        )
+
     record = list(record) if record is not None else None
     if workers <= 0:
         workers = default_worker_count()
@@ -195,7 +279,7 @@ def run_batch_parallel(
                     errors.append((index, error))
             else:
                 keep(run_one(index, scenario), failed=False)
-        return traces, errors, sink_results
+        return traces, errors, sink_results, []
 
     if chunk_size is None:
         # A few chunks per worker: large enough to amortise dispatch, small
@@ -205,11 +289,12 @@ def run_batch_parallel(
     chunks = [indexed[start:start + chunk_size] for start in range(0, count, chunk_size)]
 
     ctx = _pool_context()
-    with ctx.Pool(
+    pool = ctx.Pool(
         processes=workers,
         initializer=_init_worker,
         initargs=(runner, record, collect_errors, sink_factory, length),
-    ) as pool:
+    )
+    try:
         # Without collect_errors a failing chunk raises out of imap at its
         # position in submission order; every earlier chunk completed without
         # failure, and workers run their chunk in index order, so the raised
@@ -222,7 +307,16 @@ def run_batch_parallel(
                 else:
                     keep(None, failed=True)
                     errors.append((index, error))
-    return traces, errors, sink_results
+    except BaseException:
+        # KeyboardInterrupt/abort: never block on a wedged worker — the
+        # bounded teardown lets streaming callers reach their sinks'
+        # on_close() instead of hanging inside Pool.__exit__.
+        _shutdown_pool(pool)
+        raise
+    else:
+        pool.close()
+        _shutdown_pool(pool)
+    return traces, errors, sink_results, []
 
 
 __all__ = [

@@ -825,7 +825,13 @@ class ExecutionPlan:
                 )
                 for sink in sink_list:
                     sink.on_header(header)
+            from .supervisor import current_guard
+
+            guard = current_guard()
+            guard_check = guard.check if guard is not None else None
             for instant in range(length):
+                if guard_check is not None:
+                    guard_check(instant)
                 st = list(status_template)
                 vals: List[Any] = [ABSENT] * n_slots
                 for slot, sample in sampled:

@@ -1511,9 +1511,14 @@ class VectorExecutionPlan:
                 and len(set(recorded)) == len(recorded)
                 and all(slot is not None for _, slot, _ in record_plan)
             )
+            from .supervisor import current_guard
+
+            guard = current_guard()
             start = 0
             while start < length:
                 size = min(block_size, length - start)
+                if guard is not None:
+                    guard.check_block(start, size)
                 val_rows = self._run_block(
                     start,
                     size,

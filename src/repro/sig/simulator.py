@@ -207,6 +207,11 @@ class Simulator:
         # rules are evaluated lazily, O(1) memory per signal whatever the
         # horizon.
         samplers = {name: rule.sampler() for name, rule in scenario.inputs.items()}
+        # Imported lazily: the engine package imports this module.
+        from .engine.supervisor import current_guard
+
+        guard = current_guard()
+        guard_check = guard.check if guard is not None else None
 
         if sinks is not None:
             # Imported lazily: repro.sig.sinks imports this module.
@@ -226,6 +231,8 @@ class Simulator:
                 for sink in sink_list:
                     sink.on_header(header)
                 for instant in range(length):
+                    if guard_check is not None:
+                        guard_check(instant)
                     env = self._step(instant, samplers, warnings)
                     if sink_list:
                         values = tuple(env.get(name, ABSENT) for name in recorded)
@@ -238,6 +245,8 @@ class Simulator:
 
         flows = {name: Flow(name) for name in recorded}
         for instant in range(length):
+            if guard_check is not None:
+                guard_check(instant)
             env = self._step(instant, samplers, warnings)
             for name in recorded:
                 flows[name].append(env.get(name, ABSENT))

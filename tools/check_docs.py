@@ -42,9 +42,11 @@ DOCUMENTED_MODULES = [
     "repro.sig.engine",
     "repro.sig.engine.backends",
     "repro.sig.engine.batch",
+    "repro.sig.engine.faults",
     "repro.sig.engine.lowered",
     "repro.sig.engine.parallel",
     "repro.sig.engine.plan",
+    "repro.sig.engine.supervisor",
     "repro.sig.engine.vectorized",
     "repro.sig.scenario",
     "repro.sig.sinks",
