@@ -47,6 +47,10 @@ setup(
         # without it the generated evaluators run as plain Python with a
         # RuntimeWarning.
         "lowered": ["numba"],
+        # The HTTP serving layer (repro.serve / `repro serve`) soft-depends
+        # on fastapi + uvicorn; the framework-free service core works
+        # without them.  httpx powers the no-socket ASGI test client.
+        "serve": ["fastapi", "uvicorn", "httpx"],
     },
     entry_points={
         "console_scripts": [

@@ -7,6 +7,7 @@
     python -m repro translate model.aadl --root MySystem.impl -o out/ # SIGNAL sources
     python -m repro simulate model.aadl --root MySystem.impl --hyperperiods 4 --vcd trace.vcd
     python -m repro casestudy --list                                  # bundled case studies
+    python -m repro serve --port 8000                                 # HTTP simulation service
 
 When ``--root`` is omitted the tool picks the first system implementation of
 the first package, which is the common single-system case.
@@ -401,6 +402,40 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    # Lazy imports keep the CLI usable (and tier-1 green) on installations
+    # without the serve extra; the error names the missing piece.
+    from .serve import (
+        SERVE_FALLBACK_MESSAGE,
+        ServiceConfig,
+        create_app,
+        serve_available,
+        uvicorn_available,
+    )
+
+    config = ServiceConfig(
+        cache_capacity=args.cache_capacity,
+        max_concurrent=args.max_concurrent,
+        default_backend=args.backend,
+    )
+    if args.check:
+        if not serve_available():
+            raise SystemExit(f"error: {SERVE_FALLBACK_MESSAGE}")
+        create_app(config)
+        print(
+            f"serving stack OK (cache capacity {config.cache_capacity}, "
+            f"max concurrent {config.max_concurrent}, backend {config.default_backend!r});"
+            f" uvicorn {'available' if uvicorn_available() else 'MISSING'}"
+        )
+        return 0
+    if not serve_available() or not uvicorn_available():
+        raise SystemExit(f"error: {SERVE_FALLBACK_MESSAGE}")
+    import uvicorn
+
+    uvicorn.run(create_app(config), host=args.host, port=args.port)
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -554,6 +589,39 @@ def build_parser() -> argparse.ArgumentParser:
     casestudy.add_argument("name", nargs="?", help="case study name")
     casestudy.add_argument("--list", action="store_true", help="list the available case studies")
     casestudy.set_defaults(func=cmd_casestudy)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the HTTP simulation service (needs the 'serve' extra)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000, help="bind port (default 8000)")
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=32,
+        metavar="N",
+        help="compiled models kept resident in the LRU plan cache (default 32)",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        metavar="N",
+        help="simulations executing at once before requests get 503 busy (default 4)",
+    )
+    serve.add_argument(
+        "--backend",
+        default=DEFAULT_BACKEND,
+        choices=backend_names(),
+        help=f"default simulation backend of requests naming none (default {DEFAULT_BACKEND})",
+    )
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the serving stack is importable and exit without binding a socket",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -1,0 +1,226 @@
+"""The FastAPI adapter over the framework-independent service core.
+
+This module is the only place fastapi/pydantic are imported — everything
+else in :mod:`repro.serve` stays importable without them (use
+:func:`repro.serve.create_app`, which gates the import and raises a clean
+ImportError when the ``serve`` extra is missing).
+
+The pydantic request models mirror the symbolic scenario programs of
+:mod:`repro.sig.scenario` (rule payloads by ``kind``, scenarios as
+``{length, inputs}`` or the ``{"default": true}`` form) and the
+:class:`~repro.serve.programs.SimulateRequest` schema; they are declared
+``extra='forbid'`` and dumped with ``exclude_unset`` so exactly the keys
+the client sent reach the service core, which performs the authoritative
+validation.  Every :class:`~repro.serve.errors.ServeError` renders as the
+documented JSON error body with its mapped HTTP status.
+
+Endpoints (see ``docs/API.md`` for request/response snippets)::
+
+    POST   /models                      submit + compile-once (cache by fingerprint)
+    GET    /models                      resident fingerprints + cache counters
+    GET    /models/{fp}                 model info, analyses, hit counters
+    DELETE /models/{fp}                 evict one cached model
+    POST   /models/{fp}/simulate        batched simulation, JSON results
+    POST   /models/{fp}/simulate/stream streamed results as SSE events
+    GET    /healthz                     liveness
+    GET    /stats                       cache/concurrency/request counters
+
+Endpoints are plain ``def`` (FastAPI runs them on its threadpool): the
+service core is blocking, CPU-bound work, and the semaphore inside it —
+not the event loop — is the concurrency control.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from fastapi import FastAPI, Request
+from fastapi.responses import JSONResponse, StreamingResponse
+from pydantic import BaseModel
+
+from .errors import ServeError, error_payload
+from .service import ServiceConfig, SimulationService
+
+__all__ = [
+    "RuleModel",
+    "ScenarioModel",
+    "SimulateModel",
+    "SubmitModel",
+    "build_app",
+]
+
+
+def _dump(model: BaseModel) -> Dict[str, Any]:
+    """Dump a pydantic model to exactly the keys the client sent.
+
+    Works on pydantic v1 (``.dict``) and v2 (``.model_dump``).
+    """
+    if hasattr(model, "model_dump"):
+        return model.model_dump(exclude_unset=True)
+    return model.dict(exclude_unset=True)
+
+
+class SubmitModel(BaseModel):
+    """``POST /models`` body: AADL source plus translation options."""
+
+    source: str
+    root: Optional[str] = None
+    package: Optional[str] = None
+    policy: Optional[str] = None
+    include_scheduler: Optional[bool] = None
+    lenient: Optional[bool] = None
+
+    class Config:
+        """Reject unknown keys so client typos 422 instead of vanishing."""
+
+        extra = "forbid"
+
+
+class RuleModel(BaseModel):
+    """One symbolic input rule, mirroring :mod:`repro.sig.scenario`.
+
+    Polymorphic by ``kind`` (``constant`` / ``periodic`` / ``sparse`` /
+    ``explicit``); values use the wire encoding ``[v]`` (present) /
+    ``null`` (absent).  Per-kind field validation happens in
+    :func:`repro.serve.programs.rule_from_payload`.
+    """
+
+    kind: str
+    value: Optional[List[Any]] = None
+    period: Optional[int] = None
+    phase: Optional[int] = None
+    entries: Optional[Dict[str, Any]] = None
+    base: Optional["RuleModel"] = None
+    values: Optional[List[Any]] = None
+
+    class Config:
+        """Reject unknown keys so client typos 422 instead of vanishing."""
+
+        extra = "forbid"
+
+
+class ScenarioModel(BaseModel):
+    """One scenario: symbolic ``{length, inputs}`` or ``{"default": true}``."""
+
+    length: Optional[int] = None
+    inputs: Optional[Dict[str, RuleModel]] = None
+    default: Optional[bool] = None
+    stimuli: Optional[Dict[str, int]] = None
+
+    class Config:
+        """Reject unknown keys so client typos 422 instead of vanishing."""
+
+        extra = "forbid"
+
+
+class SimulateModel(BaseModel):
+    """``POST /models/{fp}/simulate`` body (see ``SimulateRequest``)."""
+
+    scenarios: List[ScenarioModel]
+    length: Optional[int] = None
+    hyperperiods: Optional[int] = None
+    record: Optional[List[str]] = None
+    backend: Optional[str] = None
+    strict: Optional[bool] = None
+    workers: Optional[int] = None
+    timeout: Optional[float] = None
+    retries: Optional[int] = None
+    backoff: Optional[float] = None
+    max_failures: Optional[int] = None
+    scenario_budget: Optional[Any] = None
+    fault_plan: Optional[Any] = None
+    include_trace: Optional[bool] = None
+    sinks: Optional[List[str]] = None
+    deltas_watch: Optional[List[str]] = None
+
+    class Config:
+        """Reject unknown keys so client typos 422 instead of vanishing."""
+
+        extra = "forbid"
+
+
+try:  # pydantic v1 needs the recursive RuleModel reference resolved by hand
+    RuleModel.update_forward_refs()
+except AttributeError:  # pragma: no cover - pydantic v2 resolves automatically
+    pass
+
+
+def build_app(config: Optional[ServiceConfig] = None) -> FastAPI:
+    """Build the FastAPI application over a fresh :class:`SimulationService`.
+
+    The service core is exposed as ``app.state.service`` so tests (and
+    operators) can reach the cache and counters directly.
+    """
+    service = SimulationService(config)
+    app = FastAPI(
+        title="repro simulation service",
+        description=(
+            "Submit AADL models once (compiled + analysed, cached by "
+            "structural fingerprint), simulate symbolic scenario programs "
+            "against them many times."
+        ),
+    )
+    app.state.service = service
+
+    @app.exception_handler(ServeError)
+    async def _serve_error(request: Request, error: ServeError) -> JSONResponse:
+        """Render every ServeError as its documented JSON body + status."""
+        return JSONResponse(status_code=error.status, content=error_payload(error))
+
+    @app.get("/healthz")
+    def healthz() -> Dict[str, Any]:
+        """Liveness probe."""
+        return {"ok": True}
+
+    @app.get("/stats")
+    def stats() -> Dict[str, Any]:
+        """Cache, concurrency and request counters."""
+        return service.stats()
+
+    @app.post("/models")
+    def submit(body: SubmitModel) -> Dict[str, Any]:
+        """Submit a model: analyse + compile once, cache by fingerprint."""
+        return service.submit(_dump(body))
+
+    @app.get("/models")
+    def list_models() -> Dict[str, Any]:
+        """Resident fingerprints plus cache counters."""
+        return service.list_models()
+
+    @app.get("/models/{fingerprint}")
+    def model_info(fingerprint: str) -> Dict[str, Any]:
+        """Info, analyses and hit/miss counters of one cached model."""
+        return service.model_info(fingerprint)
+
+    @app.delete("/models/{fingerprint}")
+    def evict(fingerprint: str) -> Dict[str, Any]:
+        """Evict one cached model."""
+        return service.evict(fingerprint)
+
+    @app.post("/models/{fingerprint}/simulate")
+    def simulate(fingerprint: str, body: SimulateModel) -> Dict[str, Any]:
+        """Run a batch of symbolic scenarios against a cached model."""
+        return service.simulate(fingerprint, _dump(body))
+
+    @app.post("/models/{fingerprint}/simulate/stream")
+    def simulate_stream(fingerprint: str, body: SimulateModel) -> StreamingResponse:
+        """Stream simulation results as Server-Sent Events.
+
+        Each event is one JSON object (``open`` / ``vcd`` / ``result`` /
+        ``error`` / ``fault`` / ``done``).  Client disconnects close the
+        stream generator, which cancels the running scenario and closes
+        its sinks.
+        """
+        stream = service.stream_simulate(fingerprint, _dump(body))
+
+        def events():
+            try:
+                for event in stream:
+                    yield f"data: {json.dumps(event)}\n\n"
+            finally:
+                stream.close()
+
+        return StreamingResponse(events(), media_type="text/event-stream")
+
+    return app

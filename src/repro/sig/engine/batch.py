@@ -140,6 +140,7 @@ def simulate_batch(
     max_failures: Optional[int] = None,
     scenario_budget: Any = None,
     fault_plan: Any = None,
+    runner: Any = None,
 ) -> BatchResult:
     """Run every scenario through one prepared backend instance.
 
@@ -186,12 +187,20 @@ def simulate_batch(
     scenarios surface in :attr:`BatchResult.faults` instead of taking the
     batch down.  Surviving scenarios stay bit-identical to an unsupervised
     run.
+
+    ``runner`` short-circuits backend preparation with an already prepared
+    :class:`~repro.sig.engine.backends.SimulationBackend` — the serving
+    layer's warm path, where the plan-cache entry holds the backend
+    resident across requests and ``compile_seconds`` reports ~0.  When
+    given, ``process``/``backend``/``strict``/``backend_options`` are
+    ignored (the runner already embodies them).
     """
     record = list(record) if record is not None else None
     start = time.perf_counter()
-    runner = create_backend(
-        process, backend=backend, strict=strict, **dict(backend_options or {})
-    )
+    if runner is None:
+        runner = create_backend(
+            process, backend=backend, strict=strict, **dict(backend_options or {})
+        )
     compiled_at = time.perf_counter()
 
     count = len(scenarios)

@@ -75,7 +75,7 @@ import traceback as traceback_module
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..scenario import Scenario
 from ..simulator import SimulationError, SimulationTrace
@@ -120,6 +120,34 @@ class ScenarioBudget:
 
     max_instants: Optional[int] = None
     max_memory_mb: Optional[float] = None
+
+    @classmethod
+    def coerce(cls, value: Any) -> Optional["ScenarioBudget"]:
+        """Coerce the accepted ``scenario_budget=`` shorthands.
+
+        ``None`` passes through, a :class:`ScenarioBudget` is returned
+        as-is, an ``int`` means ``max_instants``, and a mapping supplies
+        the constructor keywords — the shape request-scoped callers (the
+        serving layer's JSON bodies, CLI flags) naturally hold.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, bool):
+            raise TypeError("scenario_budget cannot be a boolean")
+        if isinstance(value, int):
+            return cls(max_instants=value)
+        if isinstance(value, Mapping):
+            unknown = sorted(set(value) - {"max_instants", "max_memory_mb"})
+            if unknown:
+                raise TypeError(
+                    f"unknown scenario_budget key(s) {unknown}; expected "
+                    "'max_instants' and/or 'max_memory_mb'"
+                )
+            return cls(**dict(value))
+        raise TypeError(
+            f"cannot interpret {type(value).__name__!r} as a scenario budget; "
+            "pass a ScenarioBudget, an int (max instants), or a mapping"
+        )
 
 
 # macOS reports ru_maxrss in bytes, Linux in kilobytes.
@@ -496,8 +524,7 @@ def run_batch_supervised(
     count = len(scenarios)
     if retries is None:
         retries = DEFAULT_RETRIES
-    if isinstance(scenario_budget, int):
-        scenario_budget = ScenarioBudget(max_instants=scenario_budget)
+    scenario_budget = ScenarioBudget.coerce(scenario_budget)
     if workers <= 0:
         workers = default_worker_count()
     workers = min(workers, count) or 1

@@ -1,0 +1,160 @@
+"""End-to-end HTTP conformance of the FastAPI adapter (``repro.serve.app``).
+
+These tests need the ``serve`` extra (fastapi + httpx-backed test client)
+and skip cleanly on a bare install — the CI ``serve`` job runs them.  The
+service-core semantics are covered framework-free in ``test_service.py``;
+here we assert the HTTP layer's added contract: routing, pydantic
+``extra='forbid'`` request validation, the JSON error taxonomy's status
+codes on the wire, and SSE stream framing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+fastapi = pytest.importorskip("fastapi")
+pytest.importorskip("httpx")
+
+from fastapi.testclient import TestClient  # noqa: E402
+
+from repro.aadl.printer import render_model  # noqa: E402
+from repro.casestudies.catalog import load_case_study  # noqa: E402
+from repro.serve import create_app  # noqa: E402
+from repro.serve.service import ServiceConfig  # noqa: E402
+
+CASE = "producer_consumer"
+
+
+@pytest.fixture(scope="module")
+def client():
+    app = create_app(ServiceConfig(cache_capacity=4, max_concurrent=2))
+    with TestClient(app) as test_client:
+        yield test_client
+
+
+@pytest.fixture(scope="module")
+def submit_body():
+    case = load_case_study(CASE)
+    return {
+        "source": render_model(case.load_model()),
+        "root": case.root_implementation,
+        "package": case.default_package,
+    }
+
+
+@pytest.fixture(scope="module")
+def fingerprint(client, submit_body):
+    response = client.post("/models", json=submit_body)
+    assert response.status_code == 200, response.text
+    return response.json()["fingerprint"]
+
+
+def sse_events(response):
+    """Parse an SSE body back into the JSON event objects."""
+    events = []
+    for line in response.text.splitlines():
+        if line.startswith("data: "):
+            events.append(json.loads(line[len("data: "):]))
+    return events
+
+
+class TestLifecycle:
+    def test_healthz(self, client):
+        response = client.get("/healthz")
+        assert response.status_code == 200
+        assert response.json() == {"ok": True}
+
+    def test_submit_then_resubmit_hits_cache(self, client, submit_body, fingerprint):
+        response = client.post("/models", json=submit_body)
+        assert response.status_code == 200
+        body = response.json()
+        assert body["fingerprint"] == fingerprint
+        assert body["cached"] is True
+
+    def test_model_info_and_listing(self, client, fingerprint):
+        info = client.get(f"/models/{fingerprint}")
+        assert info.status_code == 200
+        assert info.json()["fingerprint"] == fingerprint
+        listing = client.get("/models")
+        assert listing.status_code == 200
+        assert fingerprint in listing.json()["models"]
+
+    def test_stats_counters(self, client, fingerprint):
+        stats = client.get("/stats")
+        assert stats.status_code == 200
+        cache = stats.json()["cache"]
+        assert cache["compiles"] >= 1
+        assert cache["hits"] >= 1
+
+    def test_simulate(self, client, fingerprint):
+        response = client.post(
+            f"/models/{fingerprint}/simulate",
+            json={"scenarios": [{"default": True}], "hyperperiods": 1},
+        )
+        assert response.status_code == 200, response.text
+        body = response.json()
+        assert body["ok"] is True
+        assert body["results"][0]["trace"]["length"] > 0
+
+    def test_stream_sse_framing(self, client, fingerprint):
+        response = client.post(
+            f"/models/{fingerprint}/simulate/stream",
+            json={
+                "scenarios": [{"default": True}],
+                "hyperperiods": 1,
+                "sinks": ["stats", "vcd"],
+            },
+        )
+        assert response.status_code == 200
+        assert response.headers["content-type"].startswith("text/event-stream")
+        events = sse_events(response)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "open"
+        assert kinds[-1] == "done"
+        assert "result" in kinds
+        assert any(kind == "vcd" for kind in kinds)
+        assert events[-1]["ok"] is True
+
+    def test_evict_then_404(self, client, submit_body):
+        fingerprint = client.post("/models", json=submit_body).json()["fingerprint"]
+        assert client.delete(f"/models/{fingerprint}").status_code == 200
+        assert client.get(f"/models/{fingerprint}").status_code == 404
+
+
+class TestHttpErrors:
+    def test_unknown_fingerprint_404(self, client):
+        response = client.post(
+            "/models/deadbeef/simulate", json={"scenarios": [{"default": True}]}
+        )
+        assert response.status_code == 404
+        assert response.json()["error"]["code"] == "model-not-found"
+
+    def test_invalid_model_422(self, client):
+        response = client.post("/models", json={"source": "not aadl at all"})
+        assert response.status_code == 422
+        assert response.json()["error"]["code"] == "invalid-model"
+
+    def test_typoed_body_key_422(self, client, submit_body, fingerprint):
+        assert (
+            client.post("/models", json=dict(submit_body, roots="x")).status_code
+            == 422
+        )
+        response = client.post(
+            f"/models/{fingerprint}/simulate",
+            json={"scenarios": [{"default": True}], "worker": 2},
+        )
+        assert response.status_code == 422
+
+    def test_unknown_backend_422(self, client, fingerprint):
+        response = client.post(
+            f"/models/{fingerprint}/simulate",
+            json={
+                "scenarios": [{"default": True}],
+                "hyperperiods": 1,
+                "backend": "quantum",
+            },
+        )
+        assert response.status_code == 422
+        assert response.json()["error"]["code"] == "unknown-backend"

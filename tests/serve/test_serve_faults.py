@@ -1,0 +1,194 @@
+"""Fault-surface tests: PR 7's chaos harness through the serving layer.
+
+Deterministic :class:`~repro.sig.engine.faults.FaultPlan` injections (the
+test-only ``fault_plan`` request field, gated behind
+``ServiceConfig.allow_fault_injection``) must surface as the documented
+typed JSON taxonomy — ``crash`` / ``timeout`` / ``budget`` / ``error``
+faults inside 200 responses, scenario-indexed, with survivors
+bit-identical to a fault-free run — and the streaming path must terminate
+cleanly around faulted scenarios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies.catalog import load_case_study
+from repro.serve.errors import ServeError
+from repro.serve.service import ServiceConfig, SimulationService
+
+CASE = "producer_consumer"
+
+
+@pytest.fixture(scope="module")
+def service():
+    case = load_case_study(CASE)
+    from repro.aadl.printer import render_model
+
+    svc = SimulationService(ServiceConfig(allow_fault_injection=True))
+    response = svc.submit(
+        {
+            "source": render_model(case.load_model()),
+            "root": case.root_implementation,
+            "package": case.default_package,
+        }
+    )
+    svc.fingerprint = response["fingerprint"]
+    return svc
+
+
+def simulate(service, **overrides):
+    body = {"scenarios": [{"default": True}] * 3, "hyperperiods": 1}
+    body.update(overrides)
+    return service.simulate(service.fingerprint, body)
+
+
+class TestInjectionGate:
+    def test_fault_plan_rejected_without_opt_in(self):
+        case = load_case_study(CASE)
+        from repro.aadl.printer import render_model
+
+        svc = SimulationService(ServiceConfig())  # injection NOT allowed
+        fingerprint = svc.submit(
+            {
+                "source": render_model(case.load_model()),
+                "root": case.root_implementation,
+                "package": case.default_package,
+            }
+        )["fingerprint"]
+        with pytest.raises(ServeError) as excinfo:
+            svc.simulate(
+                fingerprint,
+                {
+                    "scenarios": [{"default": True}],
+                    "hyperperiods": 1,
+                    "fault_plan": [{"kind": "crash", "scenario": 0}],
+                },
+            )
+        assert excinfo.value.code == "invalid-program"
+        assert excinfo.value.status == 422
+
+    def test_malformed_fault_plan_rejected(self, service):
+        for plan in (
+            {"kind": "crash"},
+            [{"kind": "meteor", "scenario": 0}],
+            [{"kind": "crash", "scenario": 0, "retries": 9}],
+            [{"kind": "crash", "scenario": 0, "attempts": ["first"]}],
+        ):
+            with pytest.raises(ServeError):
+                simulate(service, fault_plan=plan)
+
+
+class TestFaultTaxonomy:
+    def test_persistent_crash_surfaces_as_typed_fault(self, service):
+        response = simulate(
+            service,
+            fault_plan=[{"kind": "crash", "scenario": 1, "attempts": None}],
+            retries=1,
+        )
+        assert response["ok"] is False
+        fault = response["results"][1]["fault"]
+        assert fault["kind"] == "crash"
+        assert fault["scenario"] == 1
+        assert fault["attempts"] >= 1
+        assert "trace" not in response["results"][1]
+
+    def test_persistent_hang_surfaces_as_timeout(self, service):
+        response = simulate(
+            service,
+            fault_plan=[
+                {"kind": "hang", "scenario": 0, "attempts": None, "delay": 0.01}
+            ],
+            timeout=0.3,
+            retries=0,
+        )
+        fault = response["results"][0]["fault"]
+        assert fault["kind"] == "timeout"
+
+    def test_persistent_exception_surfaces_as_error_with_traceback(self, service):
+        response = simulate(
+            service,
+            fault_plan=[{"kind": "exception", "scenario": 2, "attempts": None}],
+            retries=0,
+        )
+        fault = response["results"][2]["fault"]
+        assert fault["kind"] == "error"
+        assert fault["traceback"]
+
+    def test_budget_violation_surfaces_as_budget(self, service):
+        response = simulate(service, scenario_budget=3)
+        for result in response["results"]:
+            assert result["fault"]["kind"] == "budget"
+
+    def test_survivors_bit_identical_to_fault_free_run(self, service):
+        clean = simulate(service)
+        faulted = simulate(
+            service,
+            fault_plan=[{"kind": "crash", "scenario": 1, "attempts": None}],
+            retries=1,
+        )
+        for index in (0, 2):
+            assert (
+                faulted["results"][index]["trace"] == clean["results"][index]["trace"]
+            )
+
+    def test_transient_crash_recovers_via_retries(self, service):
+        clean = simulate(service)
+        response = simulate(
+            service,
+            fault_plan=[{"kind": "crash", "scenario": 0, "attempts": [0]}],
+            retries=2,
+        )
+        assert response["ok"] is True
+        assert response["results"][0]["trace"] == clean["results"][0]["trace"]
+
+    def test_circuit_breaker_faults_fast(self, service):
+        response = simulate(
+            service,
+            fault_plan=[
+                {"kind": "crash", "scenario": index, "attempts": None}
+                for index in range(3)
+            ],
+            retries=3,
+            max_failures=1,
+        )
+        assert response["ok"] is False
+        kinds = {result["fault"]["kind"] for result in response["results"]}
+        assert "crash" in kinds  # at least the breaker-tripping fault is typed
+
+
+class TestStreamingFaults:
+    def test_budget_fault_event_then_clean_termination(self, service):
+        stream = service.stream_simulate(
+            service.fingerprint,
+            {
+                "scenarios": [{"default": True}] * 2,
+                "hyperperiods": 1,
+                "scenario_budget": 3,
+            },
+        )
+        events = list(stream)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "open"
+        assert kinds[-1] == "done"
+        faults = [event for event in events if event["event"] == "fault"]
+        assert [fault["scenario"] for fault in faults] == [0, 1]
+        assert all(fault["kind"] == "budget" for fault in faults)
+        assert events[-1]["faults"] == 2
+        assert events[-1]["ok"] is False
+        # Every scenario's sinks were still closed despite the faults.
+        assert stream.sinks_closed >= 2
+
+    def test_timeout_fault_event(self, service):
+        stream = service.stream_simulate(
+            service.fingerprint,
+            {
+                "scenarios": [{"default": True, "length": 200000}],
+                "timeout": 0.0,
+            },
+        )
+        events = list(stream)
+        faults = [event for event in events if event["event"] == "fault"]
+        assert len(faults) == 1
+        assert faults[0]["kind"] == "timeout"
+        assert events[-1]["event"] == "done"

@@ -1,0 +1,242 @@
+"""Property-based fuzz of the serving plan cache under concurrency.
+
+Hypothesis sweeps formatting mutations (whitespace/comment noise that must
+not change a model's structural fingerprint), concurrent submit storms and
+random submit/simulate/evict/info interleavings over a pool of tiny
+generated models, asserting the cache invariants hold for *every* run:
+
+* exactly one compile per resident fingerprint (single-flight), however
+  many threads race on byte-different sources of the same model;
+* no cross-request bleed — every simulate answers with its own model's
+  baseline trace, bit-identical, regardless of what the other threads do;
+* LRU eviction matches a shadow model, residency never exceeds capacity,
+  and an evicted model is transparently recompiled (compile count +1) on
+  resubmit;
+* compile count never exceeds miss count.
+
+Skips cleanly when ``hypothesis`` is not installed.
+"""
+
+import json
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.aadl.printer import render_model
+from repro.casestudies import GeneratorConfig, generate_case_study
+from repro.serve.cache import canonical_source, model_fingerprint
+from repro.serve.service import ServiceConfig, SimulationService
+
+_POOL_SIZE = 3
+
+_SETTINGS = dict(
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """Tiny generated models: (submit body, serial baseline response)."""
+    service = SimulationService(ServiceConfig())
+    models = []
+    for index in range(_POOL_SIZE):
+        generated = generate_case_study(
+            GeneratorConfig(
+                name=f"Fuzz{index}", processes=1, threads_per_process=1, seed=index
+            )
+        )
+        body = {
+            "source": render_model(generated.model),
+            "root": generated.root_implementation,
+            "package": f"Fuzz{index}",
+        }
+        fingerprint = service.submit(dict(body))["fingerprint"]
+        baseline = service.simulate(
+            fingerprint, {"scenarios": [{"default": True}], "hyperperiods": 1}
+        )
+        models.append(
+            {
+                "body": body,
+                "fingerprint": fingerprint,
+                "baseline": json.loads(json.dumps(baseline)),
+            }
+        )
+    return models
+
+
+def mutate_source(source, seed):
+    """Formatting noise: comments, blank lines, trailing spaces.
+
+    Never touches token content, so the canonical rendering — and hence
+    the structural fingerprint — must be unchanged.
+    """
+    rng = random.Random(seed)
+    lines = source.splitlines()
+    mutated = []
+    for line in lines:
+        if rng.random() < 0.2:
+            mutated.append(f"  -- fuzz noise {rng.randrange(1000)}")
+        if rng.random() < 0.2:
+            mutated.append("")
+        mutated.append(line + (" " * rng.randrange(3)))
+    if rng.random() < 0.5:
+        mutated.append("")
+    return "\n".join(mutated) + "\n"
+
+
+def submit_variant(service, model, seed):
+    body = dict(model["body"])
+    if seed is not None:
+        body["source"] = mutate_source(body["source"], seed)
+    return service.submit(body)
+
+
+@given(model_index=st.integers(0, _POOL_SIZE - 1), seed=st.integers(0, 2 ** 16))
+@settings(**_SETTINGS)
+def test_fingerprint_invariant_under_formatting(pool, model_index, seed):
+    model = pool[model_index]
+    original = model["body"]["source"]
+    mutant = mutate_source(original, seed)
+    if seed % 3:  # mutations compose: noise over noise still canonicalises
+        mutant = mutate_source(mutant, seed + 1)
+    assert canonical_source(mutant) == canonical_source(original)
+    assert model_fingerprint(canonical_source(mutant), ()) == model_fingerprint(
+        canonical_source(original), ()
+    )
+
+
+@given(seed=st.integers(0, 2 ** 16))
+@settings(**_SETTINGS)
+def test_concurrent_submit_storm_compiles_once(pool, seed):
+    """N threads × byte-different sources of the same models: one compile
+    per fingerprint, every response consistent, no bleed between models."""
+    rng = random.Random(seed)
+    service = SimulationService(ServiceConfig(cache_capacity=8, max_concurrent=8))
+    jobs = [
+        (rng.randrange(_POOL_SIZE), rng.randrange(2 ** 16) if rng.random() < 0.7 else None)
+        for _ in range(16)
+    ]
+
+    def run(job):
+        model_index, variant_seed = job
+        model = pool[model_index]
+        submitted = submit_variant(service, model, variant_seed)
+        assert submitted["fingerprint"] == model["fingerprint"]
+        response = service.simulate(
+            submitted["fingerprint"],
+            {"scenarios": [{"default": True}], "hyperperiods": 1},
+        )
+        return model_index, json.loads(json.dumps(response))
+
+    with ThreadPoolExecutor(max_workers=8) as executor:
+        outcomes = list(executor.map(run, jobs))
+
+    seen = {model_index for model_index, _ in outcomes}
+    for model_index in seen:
+        fingerprint = pool[model_index]["fingerprint"]
+        assert service.cache.compiles[fingerprint] == 1, (
+            f"model {model_index} compiled more than once under the storm"
+        )
+    for model_index, response in outcomes:
+        baseline = pool[model_index]["baseline"]
+        assert response["fingerprint"] == baseline["fingerprint"]
+        assert response["results"] == baseline["results"], (
+            f"cross-request bleed: model {model_index} answered with foreign results"
+        )
+    stats = service.cache.stats()
+    assert stats["compiles"] <= stats["misses"]
+    assert stats["resident"] <= 8
+
+
+@given(ops=st.lists(st.integers(0, _POOL_SIZE - 1), min_size=1, max_size=14))
+@settings(**_SETTINGS)
+def test_lru_eviction_matches_shadow_model(pool, ops):
+    """Submissions under capacity pressure: residency tracks an explicit
+    shadow LRU and every re-entry recompiles exactly once."""
+    capacity = 2
+    service = SimulationService(ServiceConfig(cache_capacity=capacity))
+    shadow = []  # fingerprints, least recently used first
+    expected_compiles = {}
+    for model_index in ops:
+        model = pool[model_index]
+        fingerprint = model["fingerprint"]
+        submitted = submit_variant(service, model, None)
+        assert submitted["fingerprint"] == fingerprint
+        if fingerprint in shadow:
+            assert submitted["cached"] is True
+            shadow.remove(fingerprint)
+        else:
+            assert submitted["cached"] is False
+            expected_compiles[fingerprint] = expected_compiles.get(fingerprint, 0) + 1
+            if len(shadow) == capacity:
+                shadow.pop(0)
+        shadow.append(fingerprint)
+        assert service.cache.fingerprints() == shadow
+        assert len(service.cache) <= capacity
+    for fingerprint, count in expected_compiles.items():
+        assert service.cache.compiles[fingerprint] == count
+    stats = service.cache.stats()
+    assert stats["compiles"] <= stats["misses"]
+    assert stats["evictions"] == sum(expected_compiles.values()) - len(shadow)
+
+
+@given(seed=st.integers(0, 2 ** 16))
+@settings(**_SETTINGS)
+def test_random_interleavings_keep_cache_coherent(pool, seed):
+    """Concurrent submit/simulate/evict/info chaos: the cache never serves
+    a foreign plan and counters stay coherent."""
+    rng = random.Random(seed)
+    service = SimulationService(ServiceConfig(cache_capacity=2, max_concurrent=8))
+    jobs = [
+        (rng.choice(["submit", "simulate", "evict", "info"]), rng.randrange(_POOL_SIZE))
+        for _ in range(20)
+    ]
+
+    def run(job):
+        action, model_index = job
+        model = pool[model_index]
+        if action == "submit":
+            assert (
+                submit_variant(service, model, rng.randrange(2 ** 16))["fingerprint"]
+                == model["fingerprint"]
+            )
+        elif action == "simulate":
+            submit_variant(service, model, None)
+            try:
+                response = service.simulate(
+                    model["fingerprint"],
+                    {"scenarios": [{"default": True}], "hyperperiods": 1},
+                )
+            except Exception as error:  # evicted between submit and simulate
+                assert getattr(error, "code", None) == "model-not-found"
+                return
+            assert (
+                json.loads(json.dumps(response))["results"]
+                == pool[model_index]["baseline"]["results"]
+            )
+        elif action == "evict":
+            try:
+                service.evict(model["fingerprint"])
+            except Exception as error:
+                assert getattr(error, "code", None) == "model-not-found"
+        else:
+            try:
+                info = service.model_info(model["fingerprint"])
+                assert info["fingerprint"] == model["fingerprint"]
+            except Exception as error:
+                assert getattr(error, "code", None) == "model-not-found"
+
+    with ThreadPoolExecutor(max_workers=6) as executor:
+        list(executor.map(run, jobs))
+
+    stats = service.cache.stats()
+    assert stats["resident"] <= 2
+    assert stats["compiles"] <= stats["misses"]
+    for fingerprint in service.cache.fingerprints():
+        assert service.cache.compiles[fingerprint] >= 1

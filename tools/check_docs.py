@@ -51,6 +51,14 @@ DOCUMENTED_MODULES = [
     "repro.sig.scenario",
     "repro.sig.sinks",
     "repro.sig.vcd",
+    # The serving layer's framework-free modules.  repro.serve.app is
+    # deliberately absent: it imports fastapi, which bare installs (and
+    # this offline check) do not have.
+    "repro.serve",
+    "repro.serve.cache",
+    "repro.serve.errors",
+    "repro.serve.programs",
+    "repro.serve.service",
 ]
 
 #: Modules whose ``__all__`` is audited (every listed name must resolve and
