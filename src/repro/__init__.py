@@ -61,7 +61,7 @@ flattened system, with results identical to the flat solver
 from . import aadl, casestudies, core, scheduling, sig
 from .core import ToolchainOptions, ToolchainResult, TranslationConfig, run_toolchain, translate_system
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "aadl",

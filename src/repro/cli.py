@@ -171,6 +171,10 @@ def _toolchain(
         timeout=getattr(args, "timeout", None),
         retries=getattr(args, "retries", None),
         max_failures=getattr(args, "max_failures", None),
+        # The CLI warm-starts across invocations by default (persistent
+        # artifact store under REPRO_CACHE_DIR / ~/.cache/repro);
+        # --no-cache keeps a single run self-contained.
+        store=not getattr(args, "no_cache", False),
     )
     return run_toolchain(model, options)
 
@@ -178,8 +182,18 @@ def _toolchain(
 # ----------------------------------------------------------------------
 # sub-commands
 # ----------------------------------------------------------------------
+def _print_warm_start(result) -> None:
+    """One line acknowledging a persistent-cache restore (CI greps for it)."""
+    if result.store_hit:
+        print(
+            "warm start: analyses restored from the persistent cache "
+            f"(fingerprint {result.store_fingerprint[:12]})"
+        )
+
+
 def cmd_analyse(args: argparse.Namespace) -> int:
     result = _toolchain(args)
+    _print_warm_start(result)
     print(result.summary())
     print()
     print(result.clock_report.summary())
@@ -272,6 +286,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         sinks.append(alarm_sink)
 
     result = _toolchain(args, sinks=sinks or None, materialize_trace=not args.no_trace)
+    _print_warm_start(result)
     if result.trace is None and not result.scenario_length:
         print("nothing was simulated (no schedule could be synthesised)")
         return 1
@@ -281,6 +296,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             args.backend,
             result.options.backend_options if result.options else {},
         )
+        if result.calculus_stats is not None:
+            print(f"  {result.calculus_stats.summary()}")
+        elif result.store_hit:
+            print("  clock calculus skipped: analyses restored from the persistent cache")
     if result.trace is not None:
         print(f"simulated {result.trace.length} instants "
               f"({args.hyperperiods} hyper-period(s)), {len(result.trace.flows)} signals recorded "
@@ -402,6 +421,38 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    # Lazy import: the store package is only needed by cache users.
+    from .store import ArtifactStore, default_cache_dir
+
+    store = ArtifactStore(args.dir or default_cache_dir())
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"persistent cache at {stats['root']}")
+        print(f"  entries : {stats['entries']} ({stats['bytes'] / 1024.0:.1f} KiB)")
+        for kind in sorted(stats["kinds"]):
+            bucket = stats["kinds"][kind]
+            print(
+                f"  {kind:<10s}: {bucket['entries']} artifact(s), "
+                f"{bucket['bytes'] / 1024.0:.1f} KiB"
+            )
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifact(s) from {store.root}")
+        return 0
+    if args.cache_command == "prune":
+        removed = store.prune(args.max_size_mb)
+        stats = store.stats()
+        print(
+            f"pruned {removed} least-recently-used artifact(s); "
+            f"{stats['entries']} remain ({stats['bytes'] / 1024.0:.1f} KiB, "
+            f"budget {args.max_size_mb:g} MiB)"
+        )
+        return 0
+    raise SystemExit(f"error: unknown cache command {args.cache_command!r}")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     # Lazy imports keep the CLI usable (and tier-1 green) on installations
     # without the serve extra; the error names the missing piece.
@@ -417,6 +468,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         max_concurrent=args.max_concurrent,
         default_backend=args.backend,
+        # A served process warm-starts from (and publishes to) the
+        # persistent store by default; --no-cache isolates it.
+        store=not args.no_cache,
     )
     if args.check:
         if not serve_available():
@@ -463,6 +517,13 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="instants per block of the vectorized backend "
             f"(default {DEFAULT_BLOCK_SIZE}; ignored by the other backends)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="bypass the persistent artifact cache for this run: neither "
+            "restore analyses from nor publish them to REPRO_CACHE_DIR / "
+            "~/.cache/repro (see 'repro cache' for maintenance)",
         )
 
     analyse = sub.add_parser("analyse", help="run the complete tool chain and print every report")
@@ -590,6 +651,30 @@ def build_parser() -> argparse.ArgumentParser:
     casestudy.add_argument("--list", action="store_true", help="list the available case studies")
     casestudy.set_defaults(func=cmd_casestudy)
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the persistent artifact cache",
+    )
+    cache.add_argument(
+        "--dir",
+        metavar="PATH",
+        help="cache directory to operate on (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="print entry counts and sizes per artifact kind")
+    cache_sub.add_parser("clear", help="remove every cached artifact")
+    prune = cache_sub.add_parser(
+        "prune", help="evict least-recently-used artifacts down to a size budget"
+    )
+    prune.add_argument(
+        "--max-size-mb",
+        type=float,
+        required=True,
+        metavar="N",
+        help="target size of the cache after pruning, in MiB",
+    )
+    cache.set_defaults(func=cmd_cache)
+
     serve = sub.add_parser(
         "serve",
         help="start the HTTP simulation service (needs the 'serve' extra)",
@@ -615,6 +700,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BACKEND,
         choices=backend_names(),
         help=f"default simulation backend of requests naming none (default {DEFAULT_BACKEND})",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not back the plan cache with the persistent artifact store "
+        "(cold starts then always pay the full toolchain)",
     )
     serve.add_argument(
         "--check",

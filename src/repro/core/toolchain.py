@@ -28,6 +28,7 @@ from ..aadl.errors import DiagnosticCollector
 from ..aadl.instance import ComponentInstance, Instantiator, instance_report
 from ..aadl.model import AadlModel
 from ..aadl.parser import parse_string
+from ..aadl.printer import render_model
 from ..aadl.validation import validate
 from ..scheduling.analysis import SchedulabilityReport, SynchronizabilityReport, analyse_schedulability, analyse_synchronizability
 from ..scheduling.static_scheduler import SchedulingPolicy, StaticSchedule
@@ -40,13 +41,21 @@ from ..sig.analysis import (
     check_determinism,
     detect_deadlocks,
 )
-from ..sig.calculus_modular import run_clock_calculus_modular
+from ..sig.calculus_modular import ExtractionCache, ModularClockCalculus, ModularStats
 from ..sig.engine import DEFAULT_BACKEND, create_backend, default_scenario
 from ..sig.process import Direction, ProcessModel
 from ..sig.profiling import GENERIC_PROCESSOR, CostModel, DynamicProfile, Profiler
 from ..sig.simulator import SimulationTrace
 from ..sig.sinks import MaterializeSink, TraceSink
 from ..sig.vcd import VcdWriter
+from ..store import (
+    KIND_INDEX,
+    KIND_TOOLCHAIN,
+    resolve_store,
+    toolchain_fingerprint,
+    toolchain_options_key,
+    toolchain_raw_key,
+)
 from .translator import Asme2SsmeTranslator, TranslationConfig, TranslationResult
 
 
@@ -106,6 +115,16 @@ class ToolchainOptions:
     #: Batch-wide circuit breaker: more than this many failed attempts
     #: abandons the remaining retries (CLI ``--max-failures``).
     max_failures: Optional[int] = None
+    #: Persistent artifact store (:mod:`repro.store`) consulted before the
+    #: analyse/translate stages and published to afterwards: ``None``/
+    #: ``False`` disables persistence (the library default — runs are
+    #: self-contained unless asked otherwise), ``True`` uses the per-user
+    #: default store (``REPRO_CACHE_DIR`` / ``~/.cache/repro``; the CLI
+    #: passes this unless ``--no-cache``), or an explicit
+    #: :class:`~repro.store.ArtifactStore`.  A warm hit restores the parsed
+    #: model, translation and analysis reports from disk and re-runs only
+    #: the simulation stage; traces are bit-identical either way.
+    store: "object | bool | None" = None
 
 
 @dataclass
@@ -131,6 +150,19 @@ class ToolchainResult:
     #: Products of :attr:`ToolchainOptions.sinks`, in sink order
     #: (``sink.result()`` after the simulation stage closed them).
     sink_results: List[object] = field(default_factory=list)
+    #: The flattened system model the analyses ran over (and the simulation
+    #: stage compiles its backend from — identical plans to flattening
+    #: inside the backend, minus the repeated flatten).
+    flat_model: Optional[ProcessModel] = None
+    #: ``True`` when this result was restored from the persistent store
+    #: instead of being analysed in-process (simulation still ran live).
+    store_hit: bool = False
+    #: Structural fingerprint of this run in the persistent store (empty
+    #: when the run was not keyed — no store, or unkeyable options).
+    store_fingerprint: str = ""
+    #: Shape of the modular clock-calculus run (extraction memo/disk
+    #: counters; ``None`` on store hits, where no calculus ran at all).
+    calculus_stats: Optional[ModularStats] = None
 
     @property
     def system_model(self) -> ProcessModel:
@@ -185,14 +217,51 @@ def run_toolchain(
     source: "str | AadlModel",
     options: Optional[ToolchainOptions] = None,
 ) -> ToolchainResult:
-    """Run the complete tool chain on AADL *source* (text or declarative model)."""
+    """Run the complete tool chain on AADL *source* (text or declarative model).
+
+    With :attr:`ToolchainOptions.store` set, the parse→…→analyse stages are
+    keyed by structural fingerprint in the persistent store: a warm hit
+    restores every analysis artefact from disk (``result.store_hit``) and
+    only the simulation stage runs live; a miss runs cold and publishes the
+    artefacts back for the next process.  Results are identical either way
+    — any corrupt or stale artifact silently falls back to the cold path.
+    """
     options = options or ToolchainOptions()
+    if not options.root_implementation:
+        raise ValueError("ToolchainOptions.root_implementation must name the root system implementation")
+
+    store = resolve_store(options.store)
+    options_key = toolchain_options_key(options) if store is not None else None
+    if options_key is None:
+        store = None  # unkeyable run (custom thread behaviours): stay cold
+    fingerprint = ""
+    raw_key = None
+
+    if store is not None and isinstance(source, str):
+        # Textual fast path: byte-identical source skips even the parse.
+        raw_key = toolchain_raw_key(source, options_key)
+        indexed = store.load(KIND_INDEX, raw_key)
+        if isinstance(indexed, str):
+            result = _restore_from_store(store, indexed, options)
+            if result is not None:
+                _run_simulation(result, options)
+                return result
 
     # 1. capture
     model = parse_string(source) if isinstance(source, str) else source
+
+    if store is not None:
+        # Structural path: canonicalise (parse→render fixed point, cheap
+        # next to analysis) and look the fingerprint up on disk.
+        fingerprint = toolchain_fingerprint(render_model(model), options_key)
+        result = _restore_from_store(store, fingerprint, options)
+        if result is not None:
+            if raw_key is not None:
+                store.save(KIND_INDEX, raw_key, fingerprint)
+            _run_simulation(result, options)
+            return result
+
     instantiator = Instantiator(model, default_package=options.default_package)
-    if not options.root_implementation:
-        raise ValueError("ToolchainOptions.root_implementation must name the root system implementation")
     root = instantiator.instantiate(options.root_implementation)
 
     # 2. validation
@@ -210,6 +279,7 @@ def run_toolchain(
         translation=translation,
         options=options,
         schedules=dict(translation.schedules),
+        store_fingerprint=fingerprint,
     )
 
     # Per-processor task sets and schedulability/synchronizability analyses.
@@ -232,50 +302,129 @@ def run_toolchain(
     # 5. formal analyses on the flattened system model.  The clock calculus
     # runs modularly over the untouched process tree (identical results to
     # the flat solver, enforced by the parity tests, at a fraction of the
-    # cost on large models).
+    # cost on large models); with a store, its per-subprocess extractions
+    # hit and fill the persistent disk tier.
     flat = translation.system_model.flatten()
-    result.clock_report = build_clock_report(
-        flat, result=run_clock_calculus_modular(translation.system_model)
+    result.flat_model = flat
+    calculus = ModularClockCalculus(
+        translation.system_model, cache=ExtractionCache(store=store)
     )
+    result.clock_report = build_clock_report(flat, result=calculus.run())
+    result.calculus_stats = calculus.stats
     result.determinism = check_determinism(flat)
     result.deadlocks = detect_deadlocks(flat)
 
-    # 6. simulation
-    if options.simulate_hyperperiods > 0 and result.schedules:
-        schedule = next(iter(result.schedules.values()))
-        length = schedule.simulation_length(options.simulate_hyperperiods)
-        # The scenario is an *unbounded* symbolic input program (O(inputs)
-        # memory); the hyper-period-derived horizon is supplied at run time.
-        scenario = default_scenario(translation.system_model, None, options.stimuli_periods)
-        backend = create_backend(
-            translation.system_model,
-            backend=options.backend,
-            strict=False,
-            **options.backend_options,
-        )
-        if options.sinks is None and options.materialize_trace:
-            # The classic path: materialise the trace directly.
-            result.trace = backend.run(
-                scenario, record=options.record_signals, length=length
-            )
-        else:
-            # Streaming path: drive the caller's sinks instant by instant,
-            # materialising alongside (via a MaterializeSink) only on request.
-            sinks: List[TraceSink] = list(options.sinks or ())
-            materialize = MaterializeSink() if options.materialize_trace else None
-            if materialize is not None:
-                sinks.append(materialize)
-            backend.run(
-                scenario, record=options.record_signals, sinks=sinks, length=length
-            )
-            if materialize is not None:
-                result.trace = materialize.trace
-            result.sink_results = [sink.result() for sink in options.sinks or ()]
-        result.scenario_length = length
-        result.backend_name = backend.name
+    if store is not None:
+        store.save(KIND_TOOLCHAIN, fingerprint, _store_payload(result))
+        if raw_key is not None:
+            store.save(KIND_INDEX, raw_key, fingerprint)
 
-        # 7. profiling
-        if options.cost_model is not None and result.trace is not None:
-            result.profile = Profiler(translation.system_model, options.cost_model).dynamic_profile(result.trace)
-
+    # 6 + 7. simulation and profiling (always live — they depend on the
+    # run-specific backend/horizon/stimulus options, not on the model alone).
+    _run_simulation(result, options)
     return result
+
+
+#: Payload fields of one persisted toolchain artifact, in restore order.
+_PAYLOAD_FIELDS = (
+    "model",
+    "root",
+    "diagnostics",
+    "translation",
+    "task_sets",
+    "schedules",
+    "clock_report",
+    "determinism",
+    "deadlocks",
+    "schedulability",
+    "synchronizability",
+    "flat_model",
+)
+
+
+def _store_payload(result: ToolchainResult) -> Dict[str, object]:
+    """The picklable analysis artefacts of one cold run (no options/trace)."""
+    return {name: getattr(result, name) for name in _PAYLOAD_FIELDS}
+
+
+def _restore_from_store(
+    store: object, fingerprint: str, options: ToolchainOptions
+) -> Optional[ToolchainResult]:
+    """Rebuild a :class:`ToolchainResult` from a stored payload, or ``None``.
+
+    Any malformed payload (wrong type, missing fields) counts as corrupt:
+    the artifact is dropped and the caller falls back to the cold path —
+    persistence must never turn into an error the cold path would not raise.
+    """
+    payload = store.load(KIND_TOOLCHAIN, fingerprint)
+    if payload is None:
+        return None
+    try:
+        fields = {name: payload[name] for name in _PAYLOAD_FIELDS}
+        diagnostics = fields["diagnostics"]
+        has_errors = diagnostics.has_errors
+    except (TypeError, KeyError, AttributeError):
+        store.delete(KIND_TOOLCHAIN, fingerprint)
+        return None
+    # Replay the cold path's strict-validation contract.  (Strict runs with
+    # errors raise before anything is published, so this only fires when a
+    # lenient run's artifact is somehow restored under a strict key.)
+    if options.strict_validation and has_errors:
+        raise ValueError("AADL validation failed:\n" + diagnostics.summary())
+    return ToolchainResult(
+        options=options,
+        store_hit=True,
+        store_fingerprint=fingerprint,
+        **fields,
+    )
+
+
+def _run_simulation(result: ToolchainResult, options: ToolchainOptions) -> None:
+    """Stages 6 + 7: simulate the scheduled model and profile the trace.
+
+    Runs identically on cold and store-restored results: the backend
+    compiles from the flattened model (plan-identical to flattening inside
+    the backend), the scenario is an *unbounded* symbolic input program
+    (O(inputs) memory) with the hyper-period horizon supplied at run time.
+    """
+    if options.simulate_hyperperiods <= 0 or not result.schedules:
+        return
+    translation = result.translation
+    execution_model = (
+        result.flat_model if result.flat_model is not None else translation.system_model
+    )
+    schedule = next(iter(result.schedules.values()))
+    length = schedule.simulation_length(options.simulate_hyperperiods)
+    scenario = default_scenario(execution_model, None, options.stimuli_periods)
+    backend = create_backend(
+        execution_model,
+        backend=options.backend,
+        strict=False,
+        **options.backend_options,
+    )
+    if options.sinks is None and options.materialize_trace:
+        # The classic path: materialise the trace directly.
+        result.trace = backend.run(
+            scenario, record=options.record_signals, length=length
+        )
+    else:
+        # Streaming path: drive the caller's sinks instant by instant,
+        # materialising alongside (via a MaterializeSink) only on request.
+        sinks: List[TraceSink] = list(options.sinks or ())
+        materialize = MaterializeSink() if options.materialize_trace else None
+        if materialize is not None:
+            sinks.append(materialize)
+        backend.run(
+            scenario, record=options.record_signals, sinks=sinks, length=length
+        )
+        if materialize is not None:
+            result.trace = materialize.trace
+        result.sink_results = [sink.result() for sink in options.sinks or ()]
+    result.scenario_length = length
+    result.backend_name = backend.name
+
+    # 7. profiling
+    if options.cost_model is not None and result.trace is not None:
+        result.profile = Profiler(
+            translation.system_model, options.cost_model
+        ).dynamic_profile(result.trace)

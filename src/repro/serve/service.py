@@ -79,7 +79,13 @@ class ServiceConfig:
     ``default_backend`` is used when a simulate body names none.
     ``allow_fault_injection`` gates the ``fault_plan`` request field, a
     test/chaos-only hook that must never be reachable on a production
-    server.
+    server.  ``store`` plugs the persistent artifact cache
+    (:mod:`repro.store`) under the in-memory plan cache: ``True`` uses the
+    per-user default store, an :class:`~repro.store.ArtifactStore` uses
+    that instance, ``None`` (default) keeps the service self-contained —
+    cold submits then always pay the full toolchain.  With a store, a
+    fresh server warm-starts models any earlier process analysed; compiled
+    entries are published back on every cold submit.
     """
 
     cache_capacity: int = 32
@@ -87,6 +93,7 @@ class ServiceConfig:
     default_backend: str = DEFAULT_BACKEND
     allow_fault_injection: bool = False
     vcd_chunk_chars: int = _VCD_CHUNK_CHARS
+    store: Any = None
 
 
 @dataclass
@@ -177,6 +184,10 @@ class SimulationService:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         self.cache = PlanCache(self.config.cache_capacity)
+        from ..store import resolve_store
+
+        #: Persistent disk tier behind the in-memory plan cache (or None).
+        self.store = resolve_store(self.config.store)
         self._slots = threading.Semaphore(self.config.max_concurrent)
         self._active = 0
         self._active_lock = threading.Lock()
@@ -311,6 +322,9 @@ class SimulationService:
             simulate_hyperperiods=0,
             cost_model=None,
             strict_validation=not options["lenient"],
+            # The persistent store makes this factory the *second* cache
+            # level: in-memory miss → disk restore → full toolchain.
+            store=self.store,
         )
         try:
             result = run_toolchain(canonical, toolchain_options)
@@ -340,7 +354,12 @@ class SimulationService:
             policy=options["policy"],
             include_scheduler=options["include_scheduler"],
             lenient=options["lenient"],
-            system_model=result.system_model,
+            # The flattened model compiles to the identical plan without
+            # re-flattening per prepared backend (and is what a store
+            # restore hands back).
+            system_model=result.flat_model
+            if result.flat_model is not None
+            else result.system_model,
             analysis=self._analysis_payload(result),
             hyperperiod_length=hyperperiod_length,
             compile_seconds=0.0,
@@ -706,6 +725,7 @@ class SimulationService:
             active = self._active
         return {
             "cache": self.cache.stats(),
+            "store": self.store.stats() if self.store is not None else None,
             "active_simulations": active,
             "max_concurrent": self.config.max_concurrent,
             "requests": dict(self.requests),

@@ -1,0 +1,109 @@
+"""Keys and kinds of the toolchain's persistent artifacts.
+
+The store itself (:mod:`repro.store.artifacts`) is payload-agnostic; this
+module defines how the toolchain addresses it.  Addressing reuses the
+serving layer's fingerprint discipline (:mod:`repro.serve.cache`) so the
+CLI, :func:`~repro.core.toolchain.run_toolchain` and a ``repro serve``
+process all converge on **the same keys** for the same model:
+
+* the **structural fingerprint** — sha-256 over the canonical (parse →
+  render fixed point) source plus the analysis-relevant options — keys the
+  ``toolchain`` artifact: the pickled analysis payload (parsed model,
+  translation, clock/determinism/deadlock reports, schedulability tables,
+  flattened system model) a warm process restores instead of re-analysing;
+* the **raw-source key** — sha-256 over the source bytes plus the same
+  options — keys a tiny ``index`` artifact mapping to the structural
+  fingerprint, so byte-identical re-runs skip even the parse;
+* the **extraction key** — sha-256 over a subprocess's structural shape
+  plus its parameter bindings — keys individual ``extraction`` artifacts,
+  the incremental half: an edited model re-solves only the subtrees whose
+  shape changed, and *different* models sharing subtrees reuse each
+  other's extractions.
+
+Only the options that change the analysis artefacts participate in the
+keys (root, package, validation strictness, scheduler synthesis settings);
+simulation-only knobs (backend, horizon, stimuli, sinks, supervision) are
+deliberately absent — the simulation stage always runs live.  Options the
+key cannot represent faithfully (user-supplied ``thread_behaviours``
+callables) disable persistence for that run: :func:`toolchain_options_key`
+returns ``None`` and the caller falls back to the plain cold path.
+
+Imports from :mod:`repro.serve.cache` are deferred into the functions:
+``repro.core.toolchain`` imports this module, and the serve package
+imports ``repro.core.toolchain`` — lazy imports break the cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "KIND_EXTRACTION",
+    "KIND_INDEX",
+    "KIND_TOOLCHAIN",
+    "extraction_key",
+    "toolchain_fingerprint",
+    "toolchain_options_key",
+    "toolchain_raw_key",
+]
+
+#: Artifact kind of the pickled analysis payload (keyed by fingerprint).
+KIND_TOOLCHAIN = "toolchain"
+#: Artifact kind of the raw-source → fingerprint shortcut entries.
+KIND_INDEX = "index"
+#: Artifact kind of per-subprocess clock-calculus extractions.
+KIND_EXTRACTION = "extraction"
+
+
+def toolchain_options_key(options: Any) -> Optional[Tuple[Any, ...]]:
+    """The analysis-relevant slice of a ``ToolchainOptions`` as a key tuple.
+
+    ``None`` means "this run cannot be keyed" (user-supplied thread
+    behaviours are arbitrary callables with no stable identity): the
+    caller must skip the store entirely rather than risk a false hit.
+    """
+    translation = options.translation
+    if translation.thread_behaviours:
+        return None
+    return (
+        "toolchain",
+        options.root_implementation,
+        options.default_package or "",
+        bool(options.strict_validation),
+        bool(translation.include_scheduler),
+        translation.scheduling_policy.name,
+        bool(translation.resolve_mode_conflicts),
+        repr(translation.default_wcet_fraction),
+    )
+
+
+def toolchain_raw_key(source: str, options_key: Tuple[Any, ...]) -> str:
+    """The byte-identity key of textual *source* (the parse-skipping index)."""
+    from ..serve.cache import source_key
+
+    # source_key prefixes "src-"; strip it so the hex digest shards evenly
+    # over the two-character fan-out directories.
+    return source_key(source, options_key)[len("src-"):]
+
+
+def toolchain_fingerprint(canonical: str, options_key: Tuple[Any, ...]) -> str:
+    """The structural fingerprint of an already-canonical source."""
+    from ..serve.cache import model_fingerprint
+
+    return model_fingerprint(canonical, options_key)
+
+
+def extraction_key(shape_fingerprint: str, params_key: Tuple[Any, ...]) -> str:
+    """The disk key of one memoised subprocess extraction.
+
+    *shape_fingerprint* is :class:`~repro.sig.calculus_modular.ExtractionCache`'s
+    structural shape string (equation/constraint reprs — stable across
+    processes, the expression types are frozen dataclasses) and
+    *params_key* its sorted ``(name, repr(value))`` parameter bindings.
+    """
+    digest = hashlib.sha256()
+    digest.update(shape_fingerprint.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(repr(params_key).encode("utf-8"))
+    return digest.hexdigest()

@@ -7,6 +7,8 @@ many tests that inspect them do not rebuild them over and over.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.casestudies import (
@@ -16,6 +18,27 @@ from repro.casestudies import (
 )
 from repro.core import ToolchainOptions, TranslationConfig, run_toolchain, translate_system
 from repro.scheduling import task_set_from_instance
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the persistent artifact cache at a per-session temp directory.
+
+    CLI invocations enable the store by default; without this fixture a test
+    run would read from (and write into) the developer's real
+    ``~/.cache/repro``, making tests order-dependent across repo versions.
+    Store-specific tests that need their own roots pass explicit
+    ``ArtifactStore(root)`` instances or override ``REPRO_CACHE_DIR``
+    themselves.
+    """
+    root = str(tmp_path_factory.mktemp("repro-cache"))
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = root
+    yield root
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

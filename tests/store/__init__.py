@@ -1,0 +1,1 @@
+"""Tests of the persistent artifact store (:mod:`repro.store`)."""

@@ -59,6 +59,10 @@ DOCUMENTED_MODULES = [
     "repro.serve.errors",
     "repro.serve.programs",
     "repro.serve.service",
+    # The persistent artifact store.
+    "repro.store",
+    "repro.store.artifacts",
+    "repro.store.toolchain",
 ]
 
 #: Modules whose ``__all__`` is audited (every listed name must resolve and
