@@ -1,0 +1,162 @@
+"""E20 — fleet-scale sweeps: out-of-core partitioned execution stays flat.
+
+PR 10 turned scenario sweeps from an in-memory list comprehension over
+``simulate_batch`` into a partitioned, shard-backed pipeline
+(:mod:`repro.sweep`).  The gates, persisted into ``BENCH_e10.json``:
+
+1. **Parity first** — the shard store's query results are bit-identical
+   to an in-memory ``simulate_batch`` reference on the producer/consumer
+   catalog model, row for row, through the same row encoders.  Asserted
+   *before* any timing so the memory numbers describe a correct pipeline.
+2. **Flat memory** — a 10^5-scenario sweep's peak traced allocation grows
+   ≤ 1.3× over a 10^4-scenario sweep of the same shape: peak memory is a
+   function of the partition size, not the scenario count, because results
+   only ever flow through sinks into shards.
+"""
+
+import time
+import tracemalloc
+
+from repro.sig import builder as b
+from repro.sig.engine import simulate_batch
+from repro.sig.process import ProcessModel
+from repro.sig.sinks import StatisticsSink
+from repro.sig.scenario import Scenario
+from repro.sig.values import INTEGER
+from repro.sweep import GridSpace, SweepResultStore, run_sweep, stimulus_space
+from repro.sweep.shards import statistics_rows
+
+#: Scenario counts of the flat-memory gate (10× apart).
+BASE_SCENARIOS = 10_000
+FLEET_SCENARIOS = 100_000
+PARTITION_SIZE = 1024
+#: Horizon of each scenario in the memory gate — short: the gate measures
+#: sweep bookkeeping, not simulation state (E15 covers long horizons).
+SWEEP_LENGTH = 4
+
+#: Size of the catalog-model parity sweep.
+PARITY_SCENARIOS = 200
+PARITY_LENGTH = 48
+
+
+def _sweep_model() -> ProcessModel:
+    """A small stateful pipeline: map + accumulator, driven by one input."""
+    model = ProcessModel("e20_fleet")
+    model.input("x", INTEGER)
+    model.output("y", INTEGER)
+    model.define("y", b.func("+", b.ref("x"), 1))
+    model.local("zacc", INTEGER)
+    model.output("acc", INTEGER)
+    model.define("zacc", b.delay(b.ref("acc"), init=0))
+    model.define("acc", b.func("+", b.ref("zacc"), b.ref("x")))
+    model.synchronise("acc", "x")
+    model.synchronise("zacc", "x")
+    return model
+
+
+def _space(count: int) -> GridSpace:
+    """A grid of *count* scenarios over stimulus period × value."""
+    return GridSpace(
+        {"period": list(range(1, 101)), "value": list(range(count // 100))},
+        _build,
+    )
+
+
+def _build(period, value):
+    return Scenario(None).set_periodic("x", period, value=value)
+
+
+def _stats_factory(index):
+    return StatisticsSink()
+
+
+def _sweep_peak(model, count, out):
+    """Peak traced bytes and wall-clock seconds of a full sweep run."""
+    space = _space(count)
+    assert len(space) == count
+    tracemalloc.start()
+    started = time.perf_counter()
+    result = run_sweep(
+        model, space, out, partition_size=PARTITION_SIZE, length=SWEEP_LENGTH
+    )
+    seconds = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert result.ok and result.complete
+    return peak, seconds
+
+
+def test_bench_e20_catalog_parity(pc_toolchain, tmp_path, bench_e10):
+    """Gate 1: shard-store rows == in-memory simulate_batch reference.
+
+    Runs the producer/consumer catalog model through both paths over the
+    same randomized stimulus space and compares the statistics table bit
+    for bit (same row encoders on both sides, so any divergence is the
+    executor's fault, not formatting).
+    """
+    model = pc_toolchain.translation.system_model
+    space = stimulus_space(model, PARITY_SCENARIOS, seed=11)
+    out = str(tmp_path / "parity")
+    result = run_sweep(
+        model, space, out,
+        partition_size=64, strict=False, length=PARITY_LENGTH,
+    )
+    assert result.ok and result.complete
+
+    reference = simulate_batch(
+        model,
+        [space.scenario(i) for i in range(len(space))],
+        strict=False,
+        sink_factory=_stats_factory,
+        length=PARITY_LENGTH,
+    )
+    expected = []
+    for scenario_id, stats in enumerate(reference.sink_results):
+        expected.extend(statistics_rows(scenario_id, stats))
+    stored = list(SweepResultStore(out).query("statistics"))
+    assert stored == expected, "shard store diverged from in-memory reference"
+    assert SweepResultStore(out).rows("scenarios") == PARITY_SCENARIOS
+
+
+def test_bench_e20_fleet_sweep_flat_memory(tmp_path, bench_e10):
+    """Gate 2: 10× the scenarios costs ≤ 1.3× the peak memory."""
+    model = _sweep_model()
+    # Warm up one-time allocations (backend compile caches, codecs).
+    run_sweep(
+        model, _space(100), str(tmp_path / "warm"),
+        partition_size=PARTITION_SIZE, length=SWEEP_LENGTH,
+    )
+
+    base_peak, base_seconds = _sweep_peak(
+        model, BASE_SCENARIOS, str(tmp_path / "base")
+    )
+    fleet_peak, fleet_seconds = _sweep_peak(
+        model, FLEET_SCENARIOS, str(tmp_path / "fleet")
+    )
+
+    growth = fleet_peak / max(base_peak, 1)
+    rate = FLEET_SCENARIOS / fleet_seconds
+    print(
+        f"\nE20 — fleet sweep of {FLEET_SCENARIOS} scenarios: peak "
+        f"{fleet_peak / 1048576.0:.2f} MiB (vs {base_peak / 1048576.0:.2f} MiB "
+        f"at {BASE_SCENARIOS}; growth {growth:.2f}x for 10x scenarios) in "
+        f"{fleet_seconds:.1f}s ({rate:.0f} scenarios/s)"
+    )
+    bench_e10.record_memory(
+        "fleet_sweep_e20",
+        before_bytes=base_peak,
+        after_bytes=fleet_peak,
+        backend="compiled",
+        scenarios=FLEET_SCENARIOS,
+        base_scenarios=BASE_SCENARIOS,
+        partition_size=PARTITION_SIZE,
+        peak_growth_10x=round(growth, 3),
+        run_seconds=round(fleet_seconds, 2),
+        scenarios_per_second=round(rate, 1),
+    )
+    # Peak memory is bounded by one partition plus the running aggregate:
+    # 10× the fleet may cost manifest bookkeeping, not retained results.
+    assert growth <= 1.3, (
+        f"peak grew {growth:.2f}x for 10x scenarios — results are being "
+        f"retained beyond the partition boundary"
+    )

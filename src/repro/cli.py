@@ -453,6 +453,110 @@ def cmd_cache(args: argparse.Namespace) -> int:
     raise SystemExit(f"error: unknown cache command {args.cache_command!r}")
 
 
+def _parse_predicate(text: str):
+    """Parse one ``--where`` clause: ``column<op>value`` with ``<op>`` one of
+    ``== != <= >= < =`` (``=`` is equality shorthand); the value side is
+    JSON where it parses, a bare string otherwise."""
+    import json as _json
+
+    for op, canonical in (
+        ("==", "=="), ("!=", "!="), ("<=", "<="), (">=", ">="),
+        ("<", "<"), (">", ">"), ("=", "=="),
+    ):
+        if op in text:
+            column, _, raw = text.partition(op)
+            raw = raw.strip()
+            try:
+                value = _json.loads(raw)
+            except ValueError:
+                value = raw
+            return (column.strip(), canonical, value)
+    raise SystemExit(f"error: cannot parse --where clause {text!r} (use column=value)")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    # Lazy import in the house style; the sweep package itself needs no
+    # optional dependency (pyarrow only upgrades the shard format).
+    from .sweep import SweepResultStore, run_sweep, stimulus_space
+    from .sweep.shards import dumps_json
+
+    if args.sweep_command == "run":
+        result = _toolchain(args, simulate=False)
+        model = result.translation.system_model
+        space = stimulus_space(
+            model, args.scenarios, seed=args.seed,
+            period_range=(args.min_period, args.max_period),
+        )
+        deltas = None
+        if args.deltas:
+            deltas = [name.strip() for name in args.deltas.split(",") if name.strip()]
+        backend_options = {}
+        if getattr(args, "block_size", None):
+            backend_options["block_size"] = args.block_size
+        try:
+            sweep_result = run_sweep(
+                model,
+                space,
+                args.out,
+                partition_size=args.partition_size,
+                strict=False,
+                backend=args.backend,
+                backend_options=backend_options,
+                workers=args.workers,
+                length=args.length,
+                deltas=deltas,
+                timeout=args.timeout,
+                retries=args.retries,
+                max_failures=args.max_failures,
+                shard_format=args.format,
+                resume=args.resume,
+            )
+        except RuntimeError as exc:
+            raise SystemExit(f"error: {exc}")
+        print(sweep_result.summary())
+        if sweep_result.aggregate is not None:
+            print(sweep_result.aggregate.summary(limit=10))
+        print(f"shard store written to {args.out}")
+        return 0 if sweep_result.ok else 1
+
+    store = SweepResultStore(args.dir)
+    if args.sweep_command == "info":
+        manifest = store.manifest
+        state = "complete" if store.complete else "incomplete"
+        print(
+            f"sweep store at {args.dir}: {store.count} scenario(s), "
+            f"{len(store.partitions())}/{-(-store.count // manifest['partition_size']) if store.count else 0} "
+            f"partition(s) ({state}), {manifest['shard_format']} shards"
+        )
+        print(
+            f"  process {manifest['process']!r}, backend {manifest['backend']!r}, "
+            f"space {manifest['space'].get('kind', '?')} "
+            f"(fingerprint {manifest['space_fingerprint'][:12]})"
+        )
+        for table in ("scenarios", "statistics", "deltas"):
+            print(f"  {table:<10s}: {store.rows(table)} row(s)")
+        print(
+            f"  {manifest['error_count']} error(s), {manifest['fault_count']} "
+            f"fault(s), {manifest['warning_count']} warning(s)"
+        )
+        aggregate = store.aggregate()
+        if aggregate is not None:
+            print(aggregate.summary(limit=10))
+        return 0
+    if args.sweep_command == "query":
+        columns = None
+        if args.columns:
+            columns = [name.strip() for name in args.columns.split(",") if name.strip()]
+        where = [_parse_predicate(clause) for clause in (args.where or [])]
+        count = 0
+        for row in store.query(args.table, columns=columns, where=where, limit=args.limit):
+            print(dumps_json(row))
+            count += 1
+        print(f"-- {count} row(s)", file=sys.stderr)
+        return 0
+    raise SystemExit(f"error: unknown sweep command {args.sweep_command!r}")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     # Lazy imports keep the CLI usable (and tier-1 green) on installations
     # without the serve extra; the error names the missing piece.
@@ -674,6 +778,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="target size of the cache after pruning, in MiB",
     )
     cache.set_defaults(func=cmd_cache)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fleet-scale scenario sweeps over a shard store (run / query / info)",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser(
+        "run",
+        help="execute a randomised stimulus sweep into a columnar shard store",
+    )
+    add_common(sweep_run)
+    sweep_run.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="sweep directory for the shards and the manifest",
+    )
+    sweep_run.add_argument(
+        "--scenarios", type=int, default=1000, metavar="N",
+        help="scenarios to enumerate from the seeded random space (default 1000)",
+    )
+    sweep_run.add_argument(
+        "--seed", type=int, default=0, help="seed of the scenario space (default 0)"
+    )
+    sweep_run.add_argument(
+        "--length", type=int, default=100, metavar="N",
+        help="horizon of every scenario, in instants (default 100)",
+    )
+    sweep_run.add_argument(
+        "--partition-size", type=int, default=1024, metavar="P",
+        help="scenarios per partition/shard — bounds peak memory (default 1024)",
+    )
+    sweep_run.add_argument(
+        "--min-period", type=int, default=2, metavar="N",
+        help="smallest random stimulus period (default 2)",
+    )
+    sweep_run.add_argument(
+        "--max-period", type=int, default=12, metavar="N",
+        help="largest random stimulus period (default 12)",
+    )
+    sweep_run.add_argument(
+        "--workers", type=int, default=1, metavar="W",
+        help="worker processes per partition (0 = one per core)",
+    )
+    sweep_run.add_argument(
+        "--deltas", metavar="SIGNALS",
+        help="also record a change-log table over the comma-separated SIGNALS",
+    )
+    sweep_run.add_argument(
+        "--format", default="auto", choices=["auto", "parquet", "jsonl"],
+        help="shard format (default auto: parquet when pyarrow is installed, "
+        "jsonl otherwise)",
+    )
+    sweep_run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="supervise each partition with a per-scenario wall-clock timeout",
+    )
+    sweep_run.add_argument(
+        "--retries", type=_non_negative_int, default=None, metavar="N",
+        help="retry failed scenarios up to N times (enables supervision)",
+    )
+    sweep_run.add_argument(
+        "--max-failures", type=_non_negative_int, default=None, metavar="N",
+        help="circuit breaker: stop retrying after N failed attempts",
+    )
+    sweep_run.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted sweep from its manifest: completed "
+        "partitions are skipped, crash-torn shards quarantined",
+    )
+    sweep_run.set_defaults(func=cmd_sweep)
+
+    sweep_query = sweep_sub.add_parser(
+        "query",
+        help="stream matching rows of a sweep store as JSON lines",
+    )
+    sweep_query.add_argument("dir", help="sweep directory (shards + manifest)")
+    sweep_query.add_argument(
+        "--table", default="scenarios", choices=["scenarios", "statistics", "deltas"],
+        help="table to scan (default scenarios)",
+    )
+    sweep_query.add_argument(
+        "--columns", metavar="A,B,...",
+        help="project the yielded rows onto these comma-separated columns",
+    )
+    sweep_query.add_argument(
+        "--where", action="append", metavar="COL=VALUE",
+        help="filter clause (repeatable): column=value, column!=value, "
+        "column<=value... — pushed into the parquet scan where possible",
+    )
+    sweep_query.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="stop after N rows",
+    )
+    sweep_query.set_defaults(func=cmd_sweep)
+
+    sweep_info = sweep_sub.add_parser(
+        "info",
+        help="print a sweep store's manifest summary and sweep-level statistics",
+    )
+    sweep_info.add_argument("dir", help="sweep directory (shards + manifest)")
+    sweep_info.set_defaults(func=cmd_sweep)
 
     serve = sub.add_parser(
         "serve",

@@ -209,13 +209,21 @@ class SignalStatistics:
     #: Instants at which the signal was present / absent.
     present: int = 0
     absent: int = 0
-    #: Smallest and largest *comparable* present value (numbers, strings of
-    #: one type...); stays ``None`` when no present value was comparable.
+    #: Smallest and largest present value, ``None`` while no present value
+    #: has been seen *or* after the range was dropped (see
+    #: :attr:`range_dropped`).
     minimum: Any = None
     maximum: Any = None
     #: First and last instants of presence (``None`` when never present).
     first_instant: Optional[int] = None
     last_instant: Optional[int] = None
+    #: ``True`` once the signal carried mutually unorderable value types.
+    #: The range is then meaningless and is reported as ``None`` — and the
+    #: dropped state is *absorbing* under both :meth:`observe` and
+    #: :meth:`merge`, which is what makes the aggregate associative: were a
+    #: stale range kept instead, the reported min/max would depend on the
+    #: order in which values (or partitions) arrived.
+    range_dropped: bool = False
 
     def observe(self, instant: int, value: Any) -> None:
         """Fold one instant into the aggregate."""
@@ -226,14 +234,62 @@ class SignalStatistics:
         if self.first_instant is None:
             self.first_instant = instant
         self.last_instant = instant
+        if self.range_dropped:
+            return
         try:
             if self.minimum is None or value < self.minimum:
                 self.minimum = value
             if self.maximum is None or value > self.maximum:
                 self.maximum = value
         except TypeError:
-            # Mixed/unorderable value types: keep the counts, drop the range.
-            pass
+            # Mixed/unorderable value types: keep the counts, drop the
+            # range entirely (a partial range would be order-dependent).
+            self.minimum = None
+            self.maximum = None
+            self.range_dropped = True
+
+    def merge(self, other: "SignalStatistics") -> "SignalStatistics":
+        """Fold another aggregate of the *same* signal into this one.
+
+        Counts add; the presence window widens to cover both operands; the
+        value range combines unless either operand dropped it (or the two
+        ranges are mutually unorderable, which drops it here for the same
+        reason :meth:`observe` does).  The operation is associative and
+        commutative, so per-partition statistics of a sweep compose into
+        sweep-level aggregates in any grouping — without re-reading shards.
+        Returns ``self`` (mutated in place) for chaining.
+        """
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge statistics of {other.name!r} into {self.name!r}"
+            )
+        self.present += other.present
+        self.absent += other.absent
+        if other.first_instant is not None:
+            if self.first_instant is None or other.first_instant < self.first_instant:
+                self.first_instant = other.first_instant
+        if other.last_instant is not None:
+            if self.last_instant is None or other.last_instant > self.last_instant:
+                self.last_instant = other.last_instant
+        if self.range_dropped or other.range_dropped:
+            self.minimum = None
+            self.maximum = None
+            self.range_dropped = True
+            return self
+        try:
+            if other.minimum is not None and (
+                self.minimum is None or other.minimum < self.minimum
+            ):
+                self.minimum = other.minimum
+            if other.maximum is not None and (
+                self.maximum is None or other.maximum > self.maximum
+            ):
+                self.maximum = other.maximum
+        except TypeError:
+            self.minimum = None
+            self.maximum = None
+            self.range_dropped = True
+        return self
 
 
 @dataclass
@@ -265,6 +321,42 @@ class TraceStatistics:
     def count_present(self, name: str) -> int:
         """Number of instants at which *name* was present."""
         return self.per_signal[name].present
+
+    def merge(self, other: "TraceStatistics") -> "TraceStatistics":
+        """Fold another run's aggregates of the same process into this one.
+
+        The composition the sweep layer builds on: per-partition
+        :class:`TraceStatistics` merge into sweep-level aggregates without
+        re-reading shards.  ``length`` adds (total instants simulated),
+        per-signal entries merge via :meth:`SignalStatistics.merge`
+        (signals present in only one operand are copied over), and
+        warnings concatenate.  Associative and commutative up to warning
+        order, so partitions may be merged in any grouping.  Returns
+        ``self`` (mutated in place) for chaining.
+        """
+        if other.process_name != self.process_name:
+            raise ValueError(
+                f"cannot merge statistics of process {other.process_name!r} "
+                f"into {self.process_name!r}"
+            )
+        self.length += other.length
+        for name, entry in other.per_signal.items():
+            mine = self.per_signal.get(name)
+            if mine is None:
+                self.per_signal[name] = SignalStatistics(
+                    name=entry.name,
+                    present=entry.present,
+                    absent=entry.absent,
+                    minimum=entry.minimum,
+                    maximum=entry.maximum,
+                    first_instant=entry.first_instant,
+                    last_instant=entry.last_instant,
+                    range_dropped=entry.range_dropped,
+                )
+            else:
+                mine.merge(entry)
+        self.warnings.extend(other.warnings)
+        return self
 
     def summary(self, limit: int = 0) -> str:
         """Human-readable table; *limit* > 0 keeps the busiest signals only."""

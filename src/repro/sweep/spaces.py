@@ -1,0 +1,390 @@
+"""Scenario-space generators: lazily enumerate symbolic scenario programs.
+
+A fleet-scale sweep runs one model over a *space* of scenarios — a
+cartesian grid over rule parameters, a seeded random sampler, or a
+concatenation of both.  Symbolic scenarios (:mod:`repro.sig.scenario`) are
+a few rule objects each, so the expensive part of a million-scenario sweep
+is never their *description*; what must stay bounded is how many of them
+exist at once.  A :class:`ScenarioSpace` therefore never holds the
+enumerated scenarios: it answers **random access** requests —
+``space.scenario(i)`` builds scenario *i* on demand, deterministically —
+and the partitioned executor (:mod:`repro.sweep.executor`) materialises one
+bounded window at a time via :meth:`ScenarioSpace.batch`.
+
+Determinism by index is the load-bearing property: partition *k* of a sweep
+covers scenario ids ``[k*P, (k+1)*P)``, and a resumed (or re-executed,
+after a crash) partition must rebuild **exactly** the scenarios the first
+attempt ran.  :class:`GridSpace` decodes the index through a mixed-radix
+walk of its axes (row-major, last axis fastest — ``itertools.product``
+order); :class:`RandomSpace` seeds a *fresh* :class:`random.Random` from
+``(seed, index)`` per scenario, so scenario *i* never depends on how many
+scenarios were drawn before it; :class:`ChainSpace` concatenates spaces
+with offset arithmetic.
+
+Every space carries a structural :meth:`~ScenarioSpace.fingerprint` (axes,
+counts, seeds, builder identity) that the sweep manifest records: resuming
+a sweep against a *different* space is detected and refused instead of
+silently mixing scenario ids from two spaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..sig.scenario import Scenario
+
+#: What space builders may return: the scenario alone, or ``(params,
+#: scenario)`` when the builder wants to publish extra per-scenario
+#: parameters into the sweep's ``scenarios`` table.
+BuiltScenario = Union[Scenario, Tuple[Mapping[str, Any], Scenario]]
+
+
+def _split_built(built: BuiltScenario) -> Tuple[Dict[str, Any], Scenario]:
+    """Normalise a builder's return value into ``(params, scenario)``."""
+    if isinstance(built, tuple):
+        params, scenario = built
+        return dict(params), scenario
+    return {}, built
+
+
+class ScenarioSpace:
+    """A deterministic, random-access space of symbolic scenarios.
+
+    Subclasses implement :meth:`__len__`, :meth:`build` (scenario *index*
+    → params + scenario) and :meth:`describe` (a JSON-able structural
+    description, the input of :meth:`fingerprint`).  Consumers use
+    :meth:`scenario` / :meth:`params` for one index and :meth:`batch` for a
+    bounded window — never the whole space at once.
+    """
+
+    def __len__(self) -> int:
+        """Number of scenarios in the space."""
+        raise NotImplementedError
+
+    def build(self, index: int) -> Tuple[Dict[str, Any], Scenario]:
+        """Build scenario *index*: its parameter dict and the scenario.
+
+        Must be deterministic in *index* alone (no draw-order dependence):
+        partitioned re-execution rebuilds arbitrary windows of the space.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-able structural description (feeds :meth:`fingerprint`)."""
+        raise NotImplementedError
+
+    def _check_index(self, index: int) -> None:
+        """Bounds-check one scenario index."""
+        if not 0 <= index < len(self):
+            raise IndexError(
+                f"scenario index {index} outside the space [0, {len(self)})"
+            )
+
+    def scenario(self, index: int) -> Scenario:
+        """The scenario at *index* (built on demand, never cached)."""
+        self._check_index(index)
+        return self.build(index)[1]
+
+    def params(self, index: int) -> Dict[str, Any]:
+        """The parameter dict of scenario *index* (what the grid axes or
+        the builder published; empty when the builder publishes nothing)."""
+        self._check_index(index)
+        return self.build(index)[0]
+
+    def batch(self, start: int, stop: int) -> List[Scenario]:
+        """Materialise the scenario window ``[start, stop)`` as a list.
+
+        This is the only place a sweep ever holds more than one scenario:
+        the executor calls it with partition-sized windows, so peak memory
+        is O(partition), never O(space).
+        """
+        stop = min(stop, len(self))
+        return [self.scenario(index) for index in range(max(0, start), stop)]
+
+    def iter_scenarios(self, start: int = 0, stop: Optional[int] = None) -> Iterator[Scenario]:
+        """Lazily yield scenarios of ``[start, stop)`` one at a time."""
+        stop = len(self) if stop is None else min(stop, len(self))
+        for index in range(max(0, start), stop):
+            yield self.scenario(index)
+
+    def fingerprint(self) -> str:
+        """Structural sha-256 of the space (kind, shape, builder identity).
+
+        Recorded in the sweep manifest and re-checked on resume, so a sweep
+        directory can never silently continue with a different space.  The
+        fingerprint covers the builder's *identity* (module-qualified
+        name), not its code: editing a builder in place without renaming it
+        is not detected.
+        """
+        payload = json.dumps(self.describe(), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _callable_identity(function: Callable[..., Any]) -> str:
+    """Stable module-qualified name of a builder callable (or its repr)."""
+    module = getattr(function, "__module__", None)
+    qualname = getattr(
+        function, "__qualname__", getattr(type(function), "__qualname__", None)
+    )
+    if module and qualname:
+        return f"{module}.{qualname}"
+    return repr(function)
+
+
+class GridSpace(ScenarioSpace):
+    """Cartesian grid over named parameter axes.
+
+    ``axes`` maps axis names to their value sequences; ``build`` is called
+    with the axis values as keyword arguments (``build(period=4, phase=1)``)
+    and returns the scenario (or ``(extra_params, scenario)``).  Scenario
+    *i* decodes *i* in mixed radix over the axes — first axis slowest, last
+    axis fastest, exactly ``itertools.product`` order — so the grid is
+    never expanded: a 10^6-point grid costs the axis lists and nothing
+    else.  The decoded axis values are the scenario's published params.
+    """
+
+    def __init__(
+        self,
+        axes: Mapping[str, Sequence[Any]],
+        build: Callable[..., BuiltScenario],
+    ) -> None:
+        if not axes:
+            raise ValueError("a grid space needs at least one axis")
+        self.axes: Dict[str, List[Any]] = {
+            name: list(values) for name, values in axes.items()
+        }
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+        self.builder = build
+        self._names = list(self.axes)
+        self._sizes = [len(self.axes[name]) for name in self._names]
+        self._count = 1
+        for size in self._sizes:
+            self._count *= size
+
+    def __repr__(self) -> str:
+        """Debug form showing the axis shape and total point count."""
+        shape = "x".join(str(size) for size in self._sizes)
+        return f"GridSpace({shape} = {self._count} scenarios)"
+
+    def __len__(self) -> int:
+        """Product of the axis sizes."""
+        return self._count
+
+    def point(self, index: int) -> Dict[str, Any]:
+        """Decode *index* into its axis-value dict (mixed radix, row-major)."""
+        self._check_index(index)
+        point: Dict[str, Any] = {}
+        remainder = index
+        for name, size in zip(reversed(self._names), reversed(self._sizes)):
+            remainder, digit = divmod(remainder, size)
+            point[name] = self.axes[name][digit]
+        return {name: point[name] for name in self._names}
+
+    def build(self, index: int) -> Tuple[Dict[str, Any], Scenario]:
+        """Decode the grid point and hand it to the builder."""
+        point = self.point(index)
+        extra, scenario = _split_built(self.builder(**point))
+        params = dict(point)
+        params.update(extra)
+        return params, scenario
+
+    def describe(self) -> Dict[str, Any]:
+        """Axes (names and values) plus the builder identity."""
+        return {
+            "kind": "GridSpace",
+            "axes": {name: [repr(v) for v in values] for name, values in self.axes.items()},
+            "builder": _callable_identity(self.builder),
+            "count": self._count,
+        }
+
+
+class RandomSpace(ScenarioSpace):
+    """Seeded random sampler: *count* scenarios drawn by index.
+
+    ``build`` receives a **fresh** :class:`random.Random` seeded from
+    ``(seed, index)`` — never a shared stream — so scenario *i* is a pure
+    function of ``(seed, i)``: partitions can be re-executed in any order
+    (or on another machine) and draw identical scenarios.  The published
+    params are ``{"seed": seed, "draw": index}`` plus whatever the builder
+    returns alongside the scenario.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        build: Callable[[random.Random], BuiltScenario],
+        seed: int = 0,
+    ) -> None:
+        if count < 0:
+            raise ValueError("a random space cannot have a negative count")
+        self.count = count
+        self.builder = build
+        self.seed = seed
+
+    def __repr__(self) -> str:
+        """Debug form showing count and seed."""
+        return f"RandomSpace({self.count} scenarios, seed={self.seed})"
+
+    def __len__(self) -> int:
+        """The configured draw count."""
+        return self.count
+
+    def build(self, index: int) -> Tuple[Dict[str, Any], Scenario]:
+        """Draw scenario *index* from its own ``(seed, index)`` generator."""
+        self._check_index(index)
+        rng = random.Random(f"{self.seed}:{index}")
+        extra, scenario = _split_built(self.builder(rng))
+        params = {"seed": self.seed, "draw": index}
+        params.update(extra)
+        return params, scenario
+
+    def describe(self) -> Dict[str, Any]:
+        """Count, seed and builder identity (plus the builder's own
+        description when it publishes one via a ``describe()`` method)."""
+        description: Dict[str, Any] = {
+            "kind": "RandomSpace",
+            "count": self.count,
+            "seed": self.seed,
+            "builder": _callable_identity(self.builder),
+        }
+        describe = getattr(self.builder, "describe", None)
+        if callable(describe):
+            description["builder_shape"] = describe()
+        return description
+
+
+class ChainSpace(ScenarioSpace):
+    """Concatenation of spaces: ids run through the children in order.
+
+    Useful to combine a deterministic grid with a random exploration tail
+    in one sweep (one shard store, one manifest, one id namespace).  The
+    published params gain a ``"sub_space"`` entry naming the child index.
+    """
+
+    def __init__(self, spaces: Sequence[ScenarioSpace]) -> None:
+        self.spaces: List[ScenarioSpace] = list(spaces)
+        if not self.spaces:
+            raise ValueError("a chain space needs at least one child space")
+        self._offsets: List[int] = []
+        total = 0
+        for space in self.spaces:
+            self._offsets.append(total)
+            total += len(space)
+        self._count = total
+
+    def __repr__(self) -> str:
+        """Debug form showing the child count and total size."""
+        return f"ChainSpace({len(self.spaces)} spaces, {self._count} scenarios)"
+
+    def __len__(self) -> int:
+        """Sum of the child space sizes."""
+        return self._count
+
+    def _locate(self, index: int) -> Tuple[int, int]:
+        """Map a global index to ``(child position, local index)``."""
+        self._check_index(index)
+        # Linear scan: chains are a handful of children, not thousands.
+        for position in range(len(self.spaces) - 1, -1, -1):
+            if index >= self._offsets[position]:
+                return position, index - self._offsets[position]
+        raise IndexError(index)  # pragma: no cover - _check_index guards
+
+    def build(self, index: int) -> Tuple[Dict[str, Any], Scenario]:
+        """Delegate to the owning child, tagging the params with it."""
+        position, local = self._locate(index)
+        params, scenario = self.spaces[position].build(local)
+        tagged = {"sub_space": position}
+        tagged.update(params)
+        return tagged, scenario
+
+    def describe(self) -> Dict[str, Any]:
+        """The children's descriptions, in order."""
+        return {
+            "kind": "ChainSpace",
+            "spaces": [space.describe() for space in self.spaces],
+        }
+
+
+class StimulusBuilder:
+    """Randomised periodic-stimulus builder for a translated system model.
+
+    The :class:`RandomSpace` counterpart of
+    :func:`repro.casestudies.generator.scenario_sweep`: base processor ticks
+    stay always present, every other input gets a random periodic stimulus
+    (period drawn from *period_range*, phase within the period).  Scenarios
+    are unbounded (``length=None``) so the sweep supplies the horizon at
+    simulate time.  Top-level class, so spaces built from it are picklable.
+    """
+
+    def __init__(
+        self,
+        tick_inputs: Sequence[str],
+        stimulus_inputs: Sequence[str],
+        period_range: Sequence[int] = (2, 12),
+    ) -> None:
+        self.tick_inputs = tuple(tick_inputs)
+        self.stimulus_inputs = tuple(stimulus_inputs)
+        self.period_range = (int(period_range[0]), int(period_range[-1]))
+
+    def __call__(self, rng: random.Random) -> Tuple[Dict[str, Any], Scenario]:
+        """Draw one stimulus scenario from *rng*."""
+        scenario = Scenario(None)
+        for name in self.tick_inputs:
+            scenario.set_always(name)
+        low, high = self.period_range
+        params: Dict[str, Any] = {}
+        for name in self.stimulus_inputs:
+            period = rng.randint(low, high)
+            phase = rng.randrange(period)
+            scenario.set_periodic(name, period, phase=phase)
+            params[f"period_{name}"] = period
+            params[f"phase_{name}"] = phase
+        return params, scenario
+
+    def describe(self) -> Dict[str, Any]:
+        """Structural shape (inputs and period range) for fingerprinting."""
+        return {
+            "tick_inputs": list(self.tick_inputs),
+            "stimulus_inputs": list(self.stimulus_inputs),
+            "period_range": list(self.period_range),
+        }
+
+
+def stimulus_space(
+    process: Any,
+    count: int,
+    seed: int = 0,
+    period_range: Sequence[int] = (2, 12),
+) -> RandomSpace:
+    """A :class:`RandomSpace` of randomised stimuli for *process*.
+
+    Mirrors the CLI ``--batch`` sweep (and
+    :func:`repro.casestudies.generator.scenario_sweep`) as a proper
+    scenario space: inputs named ``tick``/``*_tick`` are driven always-on,
+    every other input gets a seeded random periodic stimulus.  This is what
+    ``repro sweep run`` enumerates.
+    """
+    ticks: List[str] = []
+    stimuli: List[str] = []
+    for decl in process.inputs():
+        if decl.name == "tick" or decl.name.endswith("_tick"):
+            ticks.append(decl.name)
+        else:
+            stimuli.append(decl.name)
+    return RandomSpace(count, StimulusBuilder(ticks, stimuli, period_range), seed=seed)
+
+
+__all__ = [
+    "BuiltScenario",
+    "ChainSpace",
+    "GridSpace",
+    "RandomSpace",
+    "ScenarioSpace",
+    "StimulusBuilder",
+    "stimulus_space",
+]

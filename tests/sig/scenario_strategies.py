@@ -1,0 +1,80 @@
+"""Reusable hypothesis strategies over symbolic scenario rule programs.
+
+One source of rule-shape generators, shared by the symbolic-scenario fuzz
+suite (``tests/sig/test_symbolic_scenario_fuzz.py``) and the sweep-layer
+``RandomSpace`` tests (``tests/sweep/``): random rules of every kind
+(periodic, constant, sparse — optionally overlaid on a base rule —
+explicit and generator), and random scenarios assigning them to named
+inputs.  Import this module only under ``pytest.importorskip("hypothesis")``
+(it imports hypothesis at module import time).
+"""
+
+from hypothesis import strategies as st
+
+from repro.sig.scenario import (
+    ConstantRule,
+    ExplicitRule,
+    GeneratorRule,
+    PeriodicRule,
+    Scenario,
+    SparseRule,
+)
+from repro.sig.values import ABSENT
+
+#: Horizon the generated rule programs are shaped for (sparse keys and
+#: explicit windows stay inside it).
+RULE_LENGTH = 24
+
+
+def stair(t):
+    """Deterministic generator payload (module-level, picklable)."""
+    return float(t % 5) if t % 3 else ABSENT
+
+
+#: Scalar values a rule may carry: small floats, booleans, and an ``int``
+#: in a REAL column to exercise the object path.
+values = st.one_of(
+    st.integers(min_value=-3, max_value=9).map(float),
+    st.just(True),
+    st.just(False),
+    st.just(1),
+)
+
+
+@st.composite
+def rules(draw, allow_base=True):
+    """One random input rule of any kind (*allow_base* gates sparse-on-base
+    nesting so recursion stays one level deep)."""
+    kind = draw(st.sampled_from(["periodic", "constant", "sparse", "explicit", "generator"]))
+    if kind == "periodic":
+        period = draw(st.integers(min_value=1, max_value=9))
+        phase = draw(st.integers(min_value=0, max_value=12))
+        return PeriodicRule(period, phase=phase, fill=draw(values))
+    if kind == "constant":
+        return ConstantRule(draw(values))
+    if kind == "sparse":
+        entries = draw(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=RULE_LENGTH - 1),
+                st.one_of(values, st.just(ABSENT)),
+                max_size=8,
+            )
+        )
+        base = draw(rules(allow_base=False)) if allow_base and draw(st.booleans()) else None
+        return SparseRule(entries, base=base)
+    if kind == "explicit":
+        window = draw(
+            st.lists(st.one_of(values, st.just(ABSENT)), max_size=RULE_LENGTH)
+        )
+        return ExplicitRule(window)
+    return GeneratorRule(stair)
+
+
+@st.composite
+def scenarios(draw, inputs=("u", "v", "gate"), length=RULE_LENGTH):
+    """A random scenario assigning random rules to a subset of *inputs*."""
+    scenario = Scenario(length)
+    for name in inputs:
+        if draw(st.booleans()):
+            scenario.inputs[name] = draw(rules())
+    return scenario

@@ -244,7 +244,11 @@ class TestStatisticsSink:
         entry.observe(0, 1)
         entry.observe(1, "a")  # int < str raises TypeError
         assert entry.present == 2
-        assert (entry.minimum, entry.maximum) == (1, 1)
+        # The whole range is dropped, not left at the stale pre-conflict
+        # value: a partial min/max would depend on observation order and
+        # break merge() associativity (see TestStatisticsMerge).
+        assert (entry.minimum, entry.maximum) == (None, None)
+        assert entry.range_dropped
 
     def test_summary_limit(self, model, scenario):
         sink = StatisticsSink()
@@ -580,3 +584,117 @@ class TestDeltaSink:
         log = deltas.result()
         assert log.length == 3  # instants 0..2 completed before the abort
         assert log.changes_of("bad") == [(0, 3)]
+
+
+class TestStatisticsMerge:
+    """merge(): per-partition statistics compose into sweep-level aggregates."""
+
+    def _observe_all(self, values, start=0):
+        stats = SignalStatistics("s")
+        for offset, value in enumerate(values):
+            stats.observe(start + offset, value)
+        return stats
+
+    def test_counts_window_and_range_combine(self):
+        left = self._observe_all([1, ABSENT, 5], start=0)
+        right = self._observe_all([ABSENT, -2, 9], start=10)
+        merged = left.merge(right)
+        assert merged is left
+        assert (merged.present, merged.absent) == (4, 2)
+        assert (merged.minimum, merged.maximum) == (-2, 9)
+        assert (merged.first_instant, merged.last_instant) == (0, 12)
+
+    def test_merge_rejects_other_signal(self):
+        with pytest.raises(ValueError):
+            SignalStatistics("a").merge(SignalStatistics("b"))
+
+    def test_unorderable_values_drop_the_range_in_observe(self):
+        stats = self._observe_all([3, "text"])
+        assert stats.range_dropped
+        assert stats.minimum is None and stats.maximum is None
+        # The dropped state is absorbing: later orderable values cannot
+        # resurrect a range that no longer covers every observation.
+        stats.observe(2, 7)
+        assert stats.minimum is None and stats.maximum is None
+        assert stats.present == 3
+
+    def test_dropped_range_is_absorbing_in_merge(self):
+        dropped = self._observe_all([3, "text"])
+        clean = self._observe_all([1, 2])
+        merged = clean.merge(dropped)
+        assert merged.range_dropped
+        assert merged.minimum is None and merged.maximum is None
+
+    def test_cross_partition_unorderable_ranges_drop_on_merge(self):
+        numbers = self._observe_all([1, 2])
+        strings = self._observe_all(["a", "b"])
+        merged = numbers.merge(strings)
+        assert merged.range_dropped
+        assert merged.minimum is None and merged.maximum is None
+
+    def test_merge_is_associative_with_unorderable_values(self):
+        # The seed bug: observe() used to keep a stale min/max after a
+        # TypeError, so (A+B)+C and A+(B+C) could disagree on the range.
+        def parts():
+            return (
+                self._observe_all([5, 7]),
+                self._observe_all(["x"]),
+                self._observe_all([1]),
+            )
+
+        a1, b1, c1 = parts()
+        left = a1.merge(b1).merge(c1)
+        a2, b2, c2 = parts()
+        right = a2.merge(b2.merge(c2))
+        assert left == right
+        # And both equal observing everything in one partition, any order.
+        single = self._observe_all([5, 7, "x", 1])
+        assert (left.minimum, left.maximum, left.range_dropped) == (
+            single.minimum,
+            single.maximum,
+            single.range_dropped,
+        )
+
+    def test_split_observation_equals_single_partition(self):
+        values = [4, ABSENT, 9, 0, ABSENT, 2, 8]
+        whole = self._observe_all(values)
+        for split in range(len(values) + 1):
+            left = self._observe_all(values[:split])
+            right = self._observe_all(values[split:], start=split)
+            assert left.merge(right) == whole
+
+    def test_trace_statistics_merge_unions_signals(self):
+        from repro.sig.sinks import TraceStatistics
+
+        left = TraceStatistics("p", 10, {"a": self._observe_all([1, 2])})
+        left.per_signal["a"].name = "a"
+        right = TraceStatistics(
+            "p", 5, {"b": SignalStatistics("b", present=3, absent=2)}
+        )
+        merged = left.merge(right)
+        assert merged is left
+        assert merged.length == 15
+        assert set(merged.per_signal) == {"a", "b"}
+        # Copied entries are independent of the source aggregate.
+        right.per_signal["b"].present = 99
+        assert merged.per_signal["b"].present == 3
+
+    def test_trace_statistics_merge_rejects_other_process(self):
+        from repro.sig.sinks import TraceStatistics
+
+        with pytest.raises(ValueError):
+            TraceStatistics("p", 1).merge(TraceStatistics("q", 1))
+
+    def test_merged_batch_equals_one_long_run(self, model):
+        # Two half-horizon runs merged == statistics of the full horizon
+        # (modulo the restart of the state, so drive a stateless signal).
+        scenario = Scenario(12).set_periodic("tick", 3)
+        runs = []
+        for _ in range(2):
+            sink = StatisticsSink()
+            simulate(model, scenario, sinks=[sink])
+            runs.append(sink.result())
+        merged = runs[0].merge(runs[1])
+        assert merged.length == 24
+        assert merged.count_present("tick") == 8
+        assert merged.per_signal["count"].present == 8

@@ -17,17 +17,13 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.sig import builder as b
 from repro.sig.engine import numpy_available, simulate
 from repro.sig.process import ProcessModel
-from repro.sig.scenario import (
-    ConstantRule,
-    ExplicitRule,
-    GeneratorRule,
-    PeriodicRule,
-    Scenario,
-    SparseRule,
-)
-from repro.sig.values import ABSENT, BOOLEAN, INTEGER, REAL
+from repro.sig.scenario import Scenario
+from repro.sig.values import BOOLEAN, INTEGER, REAL
 
-_LENGTH = 24
+# The rule/scenario generators live in a shared module so the sweep layer's
+# RandomSpace tests fuzz the exact same rule shapes (tests/sig/scenario_strategies.py).
+from tests.sig.scenario_strategies import RULE_LENGTH as _LENGTH
+from tests.sig.scenario_strategies import scenarios as _scenarios
 
 _BACKENDS = ["reference", "compiled"] + (["vectorized"] if numpy_available() else [])
 
@@ -59,55 +55,6 @@ def _model():
 
 
 _MODEL = _model()
-
-
-def _stair(t):
-    """Deterministic generator payload (module-level, picklable)."""
-    return float(t % 5) if t % 3 else ABSENT
-
-
-_values = st.one_of(
-    st.integers(min_value=-3, max_value=9).map(float),
-    st.just(True),
-    st.just(False),
-    st.just(1),  # an int in a REAL column: exercises the object path
-)
-
-
-@st.composite
-def _rules(draw, allow_base=True):
-    kind = draw(st.sampled_from(["periodic", "constant", "sparse", "explicit", "generator"]))
-    if kind == "periodic":
-        period = draw(st.integers(min_value=1, max_value=9))
-        phase = draw(st.integers(min_value=0, max_value=12))
-        return PeriodicRule(period, phase=phase, fill=draw(_values))
-    if kind == "constant":
-        return ConstantRule(draw(_values))
-    if kind == "sparse":
-        entries = draw(
-            st.dictionaries(
-                st.integers(min_value=0, max_value=_LENGTH - 1),
-                st.one_of(_values, st.just(ABSENT)),
-                max_size=8,
-            )
-        )
-        base = draw(_rules(allow_base=False)) if allow_base and draw(st.booleans()) else None
-        return SparseRule(entries, base=base)
-    if kind == "explicit":
-        window = draw(
-            st.lists(st.one_of(_values, st.just(ABSENT)), max_size=_LENGTH)
-        )
-        return ExplicitRule(window)
-    return GeneratorRule(_stair)
-
-
-@st.composite
-def _scenarios(draw):
-    scenario = Scenario(_LENGTH)
-    for name in ("u", "v", "gate"):
-        if draw(st.booleans()):
-            scenario.inputs[name] = draw(_rules())
-    return scenario
 
 
 @settings(

@@ -1,0 +1,1 @@
+"""Tests of the fleet-scale sweep layer (repro.sweep)."""

@@ -1,0 +1,56 @@
+"""Shared fixtures of the sweep-layer tests: small cheap models and spaces."""
+
+import pytest
+
+from repro.sig import builder as b
+from repro.sig.process import ProcessModel
+from repro.sig.scenario import Scenario
+from repro.sig.values import INTEGER
+
+
+def make_pipeline_model(name="sweep_pipe"):
+    """Stateless map plus an accumulator: enough structure for statistics,
+    deltas and (via mismatched input clocks) strict-mode errors."""
+    model = ProcessModel(name)
+    model.input("x", INTEGER)
+    model.output("y", INTEGER)
+    model.define("y", b.func("+", b.ref("x"), 1))
+    model.local("zacc", INTEGER)
+    model.output("acc", INTEGER)
+    model.define("zacc", b.delay(b.ref("acc"), init=0))
+    model.define("acc", b.func("+", b.ref("zacc"), b.ref("x")))
+    model.synchronise("acc", "x")
+    model.synchronise("zacc", "x")
+    return model
+
+
+def make_conflict_model(name="sweep_conflict"):
+    """``bad = x + y`` is a clock violation whenever x and y differ in clock."""
+    model = ProcessModel(name)
+    model.input("x", INTEGER)
+    model.input("y", INTEGER)
+    model.output("bad", INTEGER)
+    model.define("bad", b.func("+", b.ref("x"), b.ref("y")))
+    return model
+
+
+def pipeline_scenario(period, value=1):
+    """One symbolic scenario driving the pipeline model's input."""
+    return Scenario(None).set_periodic("x", period, value=value)
+
+
+def conflict_scenario(period):
+    """x always on, y periodic: period 1 agrees, anything else violates."""
+    scenario = Scenario(None).set_always("x", 1)
+    scenario.set_periodic("y", period, value=2)
+    return scenario
+
+
+@pytest.fixture()
+def pipeline_model():
+    return make_pipeline_model()
+
+
+@pytest.fixture()
+def conflict_model():
+    return make_conflict_model()

@@ -1,0 +1,109 @@
+"""End-to-end `repro sweep` CLI: run, info and query over a shard directory."""
+
+import json
+import os
+
+import pytest
+
+from repro.casestudies import PRODUCER_CONSUMER_AADL
+from repro.cli import _parse_predicate, build_parser, main
+
+
+@pytest.fixture()
+def model_file(tmp_path):
+    path = tmp_path / "producer_consumer.aadl"
+    path.write_text(PRODUCER_CONSUMER_AADL)
+    return str(path)
+
+
+class TestPredicateParsing:
+    def test_operators_and_json_values(self):
+        assert _parse_predicate("present>0") == ("present", ">", 0)
+        assert _parse_predicate("status!=ok") == ("status", "!=", "ok")
+        assert _parse_predicate("signal=acc") == ("signal", "==", "acc")
+        assert _parse_predicate("scenario_id==3") == ("scenario_id", "==", 3)
+        assert _parse_predicate('name=="3"') == ("name", "==", "3")
+
+    def test_unparseable_predicate_exits(self):
+        with pytest.raises(SystemExit):
+            _parse_predicate("no-operator-here")
+
+
+class TestSweepParser:
+    def test_run_defaults(self, model_file, tmp_path):
+        args = build_parser().parse_args(
+            ["sweep", "run", model_file, "--out", str(tmp_path / "d")]
+        )
+        assert args.scenarios == 1000
+        assert args.partition_size == 1024
+        assert args.format == "auto"
+        assert args.resume is False
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+
+class TestSweepCommands:
+    def test_run_info_query_round_trip(self, model_file, tmp_path, capsys):
+        out = str(tmp_path / "shards")
+        code = main([
+            "sweep", "run", model_file, "--out", out,
+            "--scenarios", "10", "--partition-size", "4",
+            "--length", "40", "--format", "jsonl",
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "10 scenario(s)" in printed
+        assert "3 partition" in printed
+        assert os.path.exists(os.path.join(out, "manifest.json"))
+
+        assert main(["sweep", "info", out]) == 0
+        info = capsys.readouterr().out
+        assert "complete" in info
+        assert "statistics" in info
+
+        assert main([
+            "sweep", "query", out,
+            "--table", "scenarios",
+            "--columns", "scenario_id,status",
+            "--where", "status=ok",
+            "--limit", "5",
+        ]) == 0
+        captured = capsys.readouterr()
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert 0 < len(lines) <= 5
+        for line in lines:
+            row = json.loads(line)
+            assert row["status"] == "ok"
+            assert set(row) == {"scenario_id", "status"}
+
+    def test_resume_of_finished_sweep(self, model_file, tmp_path, capsys):
+        out = str(tmp_path / "shards")
+        argv = [
+            "sweep", "run", model_file, "--out", out,
+            "--scenarios", "6", "--length", "20",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Without --resume the directory is refused...
+        with pytest.raises(SystemExit):
+            main(argv)
+        # ...with it, the completed sweep is a cheap no-op.
+        assert main(argv + ["--resume"]) == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_query_statistics_table(self, model_file, tmp_path, capsys):
+        out = str(tmp_path / "shards")
+        assert main([
+            "sweep", "run", model_file, "--out", out,
+            "--scenarios", "4", "--length", "20",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "sweep", "query", out, "--table", "statistics",
+            "--where", "present>0", "--limit", "3",
+        ]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert lines
+        assert all(json.loads(line)["present"] > 0 for line in lines)

@@ -1,0 +1,139 @@
+"""Crash-consistency of sweeps: a hard kill mid-partition must be recoverable.
+
+The scripted crash fires in the worst window — after the partition's shard
+files have been renamed into place but before the manifest commit — via a
+child process that calls ``os._exit`` from the progress callback.  Resume
+must detect the uncommitted shards, quarantine them, re-execute exactly the
+missing partitions, and converge on results bit-identical to a sweep that
+was never interrupted.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sweep import GridSpace, SweepResultStore, run_sweep
+from repro.sweep.manifest import QUARANTINE_DIR, load_manifest
+
+from tests.sweep.conftest import make_pipeline_model, pipeline_scenario
+
+PERIODS = [1, 2, 3, 4, 5, 6, 7, 8]
+PARTITION_SIZE = 2
+LENGTH = 10
+CRASH_PARTITION = 2
+
+CRASH_SCRIPT = """
+import os, sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {root!r})
+from tests.sweep.conftest import make_pipeline_model, pipeline_scenario
+from repro.sweep import GridSpace, run_sweep
+
+def die_after_flush(event, partition):
+    if event == "partition-flushed" and partition == {crash}:
+        os._exit(137)
+
+run_sweep(
+    make_pipeline_model(),
+    GridSpace({{"period": {periods}}}, pipeline_scenario),
+    sys.argv[1],
+    partition_size={partition_size},
+    length={length},
+    progress=die_after_flush,
+)
+os._exit(0)
+"""
+
+
+def _crash_sweep(out):
+    """Run a sweep in a child process that kills itself mid-partition."""
+    root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    script = CRASH_SCRIPT.format(
+        src=os.path.join(root, "src"),
+        root=root,
+        crash=CRASH_PARTITION,
+        periods=PERIODS,
+        partition_size=PARTITION_SIZE,
+        length=LENGTH,
+    )
+    return subprocess.run(
+        [sys.executable, "-c", script, out],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_killed_sweep_resumes_to_identical_results(tmp_path):
+    out = str(tmp_path / "crashed")
+    proc = _crash_sweep(out)
+    assert proc.returncode == 137, proc.stderr
+
+    # The child died after renaming partition 2's shards but before the
+    # manifest commit: files exist that the manifest does not list.
+    manifest = load_manifest(out)
+    assert manifest["complete"] is False
+    assert sorted(manifest["partitions"]) == ["0", "1"]
+    on_disk = {n for n in os.listdir(out) if n.endswith(".jsonl")}
+    assert "scenarios-00002.jsonl" in on_disk
+    assert "statistics-00002.jsonl" in on_disk
+
+    model = make_pipeline_model()
+    space = GridSpace({"period": PERIODS}, pipeline_scenario)
+    resumed = run_sweep(
+        model, space, out,
+        partition_size=PARTITION_SIZE, length=LENGTH, resume=True,
+    )
+    assert resumed.complete
+    assert resumed.skipped == 2
+    assert resumed.executed == [2, 3]
+    assert sorted(resumed.quarantined) == [
+        "scenarios-00002.jsonl", "statistics-00002.jsonl",
+    ]
+    quarantine = os.path.join(out, QUARANTINE_DIR)
+    assert sorted(os.listdir(quarantine)) == sorted(resumed.quarantined)
+
+    reference_dir = str(tmp_path / "reference")
+    run_sweep(
+        model, space, reference_dir,
+        partition_size=PARTITION_SIZE, length=LENGTH,
+    )
+    crashed_store = SweepResultStore(out)
+    reference_store = SweepResultStore(reference_dir)
+    for table in ("scenarios", "statistics"):
+        assert list(crashed_store.query(table)) == list(
+            reference_store.query(table)
+        )
+    assert crashed_store.aggregate() == reference_store.aggregate()
+    assert crashed_store.rows("scenarios") == len(PERIODS)
+
+
+@pytest.mark.skipif(
+    not sys.platform.startswith("linux"),
+    reason="worker-crash injection relies on fork-started workers",
+)
+def test_killed_worker_is_recorded_and_survivors_flush(tmp_path):
+    """A worker that dies mid-scenario becomes a per-scenario fault row;
+    the partition still commits and the sweep completes."""
+    from repro.sig.engine import FaultPlan, FaultSpec
+
+    model = make_pipeline_model()
+    space = GridSpace({"period": [1, 2, 3, 4]}, pipeline_scenario)
+    out = str(tmp_path / "sweep")
+    result = run_sweep(
+        model, space, out,
+        partition_size=4, length=6, workers=2, retries=0,
+        fault_plan=FaultPlan((FaultSpec("crash", 2, attempts=None),)),
+    )
+    assert result.complete
+    assert result.fault_count == 1
+    (fault,) = result.faults
+    assert fault.scenario == 2
+    store = SweepResultStore(out)
+    rows = list(store.query("scenarios", where={"status": "fault"}))
+    assert [row["scenario_id"] for row in rows] == [2]
+    assert store.rows("scenarios") == 4
+    survivors = list(store.query("statistics", where={"scenario_id": 0}))
+    assert survivors

@@ -1,0 +1,200 @@
+"""Scenario-space generators: lazy, deterministic, random-access.
+
+The load-bearing property is determinism by index: a resumed or
+re-executed partition must rebuild exactly the scenarios the first attempt
+ran, whatever order (or process) the requests arrive in.  The hypothesis
+section fuzzes that property with the same rule-shape generators the
+symbolic-scenario fuzz suite uses (tests/sig/scenario_strategies.py).
+"""
+
+import itertools
+import pickle
+
+import pytest
+
+from repro.sig.scenario import ConstantRule, PeriodicRule, Scenario
+from repro.sweep import (
+    ChainSpace,
+    GridSpace,
+    RandomSpace,
+    ScenarioSpace,
+    StimulusBuilder,
+    stimulus_space,
+)
+
+
+def grid_build(period, value=True):
+    """Top-level grid builder (picklable)."""
+    return Scenario(None).set_periodic("x", period, value=value)
+
+
+def random_build(rng):
+    """Top-level random builder publishing its draws as params."""
+    period = rng.randint(1, 9)
+    return {"period": period}, Scenario(None).set_periodic("x", period)
+
+
+class TestGridSpace:
+    def test_decodes_in_product_order(self):
+        axes = {"period": [1, 2, 3], "value": [True, 7]}
+        space = GridSpace(axes, grid_build)
+        expected = list(itertools.product(axes["period"], axes["value"]))
+        assert len(space) == len(expected)
+        for index, (period, value) in enumerate(expected):
+            assert space.point(index) == {"period": period, "value": value}
+            params, scenario = space.build(index)
+            assert params == {"period": period, "value": value}
+            rule = scenario.inputs["x"]
+            assert isinstance(rule, PeriodicRule)
+            assert rule.period == period
+
+    def test_never_expands_the_grid(self):
+        space = GridSpace(
+            {"period": range(1, 1001), "value": range(1, 1001)}, grid_build
+        )
+        assert len(space) == 10**6
+        # Random access into a million-point grid is O(axes), instant.
+        assert space.point(999_999) == {"period": 1000, "value": 1000}
+
+    def test_bounds_checked(self):
+        space = GridSpace({"period": [1]}, grid_build)
+        with pytest.raises(IndexError):
+            space.scenario(1)
+        with pytest.raises(IndexError):
+            space.scenario(-1)
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError):
+            GridSpace({}, grid_build)
+        with pytest.raises(ValueError):
+            GridSpace({"a": []}, grid_build)
+
+    def test_batch_is_a_bounded_window(self):
+        space = GridSpace({"period": [1, 2, 3, 4, 5]}, grid_build)
+        window = space.batch(1, 3)
+        assert [s.inputs["x"].period for s in window] == [2, 3]
+        assert space.batch(3, 99) and len(space.batch(3, 99)) == 2
+
+    def test_spaces_are_picklable(self):
+        space = GridSpace({"period": [1, 2], "value": [5]}, grid_build)
+        clone = pickle.loads(pickle.dumps(space))
+        assert clone.point(1) == space.point(1)
+
+
+class TestRandomSpace:
+    def test_index_determinism_independent_of_order(self):
+        space = RandomSpace(50, random_build, seed=7)
+        forward = [space.params(i)["period"] for i in range(50)]
+        backward = [space.params(i)["period"] for i in reversed(range(50))]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_the_draws(self):
+        a = RandomSpace(30, random_build, seed=1)
+        b = RandomSpace(30, random_build, seed=2)
+        assert [a.params(i) for i in range(30)] != [b.params(i) for i in range(30)]
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_publishes_seed_and_draw(self):
+        space = RandomSpace(3, random_build, seed=9)
+        params = space.params(2)
+        assert params["seed"] == 9 and params["draw"] == 2
+        assert "period" in params
+
+    def test_fingerprint_stable_across_instances(self):
+        assert (
+            RandomSpace(10, random_build, seed=3).fingerprint()
+            == RandomSpace(10, random_build, seed=3).fingerprint()
+        )
+
+
+class TestChainSpace:
+    def test_concatenates_with_offset_arithmetic(self):
+        grid = GridSpace({"period": [1, 2, 3]}, grid_build)
+        rand = RandomSpace(4, random_build, seed=0)
+        chain = ChainSpace([grid, rand])
+        assert len(chain) == 7
+        assert chain.params(0)["sub_space"] == 0
+        assert chain.params(2)["period"] == 3
+        assert chain.params(3)["sub_space"] == 1
+        assert chain.params(3)["draw"] == 0
+        with pytest.raises(IndexError):
+            chain.scenario(7)
+
+    def test_fingerprint_covers_children(self):
+        grid = GridSpace({"period": [1, 2]}, grid_build)
+        one = ChainSpace([grid])
+        two = ChainSpace([grid, RandomSpace(1, random_build)])
+        assert one.fingerprint() != two.fingerprint()
+
+
+class TestStimulusSpace:
+    def test_ticks_always_on_and_stimuli_periodic(self):
+        class FakeDecl:
+            def __init__(self, name):
+                self.name = name
+
+        class FakeProcess:
+            def inputs(self):
+                return [FakeDecl("tick"), FakeDecl("cpu_tick"), FakeDecl("stim")]
+
+        space = stimulus_space(FakeProcess(), 5, seed=3, period_range=(2, 6))
+        params, scenario = space.build(2)
+        for tick in ("tick", "cpu_tick"):
+            assert isinstance(scenario.inputs[tick], ConstantRule)
+        rule = scenario.inputs["stim"]
+        assert isinstance(rule, PeriodicRule)
+        assert 2 <= rule.period <= 6
+        assert params["period_stim"] == rule.period
+        assert 0 <= params["phase_stim"] < rule.period
+
+    def test_builder_shape_feeds_the_fingerprint(self):
+        builder = StimulusBuilder(["tick"], ["stim"], (2, 6))
+        a = RandomSpace(5, builder, seed=0)
+        b = RandomSpace(5, StimulusBuilder(["tick"], ["stim"], (2, 9)), seed=0)
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestBaseClassContract:
+    def test_abstract_hooks_raise(self):
+        space = ScenarioSpace()
+        with pytest.raises(NotImplementedError):
+            len(space)
+        with pytest.raises(NotImplementedError):
+            space.describe()
+
+
+# ----------------------------------------------------------------------
+# hypothesis: random-access enumeration over fuzzed rule programs
+# ----------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from tests.sig.scenario_strategies import RULE_LENGTH, scenarios  # noqa: E402
+
+
+@settings(max_examples=25, deadline=None)
+@given(drawn=st.lists(scenarios(), min_size=1, max_size=6), data=st.data())
+def test_grid_random_access_equals_enumeration(drawn, data):
+    """A space over fuzzed rule programs answers random access identically
+    to in-order enumeration — the property partitioned re-execution needs."""
+    space = GridSpace({"pick": list(range(len(drawn)))}, lambda pick: drawn[pick])
+    sequential = [space.scenario(i).materialized() for i in range(len(space))]
+    index = data.draw(st.integers(min_value=0, max_value=len(drawn) - 1))
+    again = space.scenario(index).materialized()
+    expected = sequential[index]
+    assert again.length == expected.length == RULE_LENGTH
+    assert {n: r.values for n, r in again.inputs.items()} == {
+        n: r.values for n, r in expected.inputs.items()
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32), data=st.data())
+def test_random_space_is_a_pure_function_of_seed_and_index(seed, data):
+    space = RandomSpace(40, random_build, seed=seed)
+    index = data.draw(st.integers(min_value=0, max_value=39))
+    # Query other indices in between: the draw must not depend on history.
+    first = space.params(index)
+    for other in (0, 39, index // 2):
+        space.params(other)
+    assert space.params(index) == first

@@ -1,0 +1,97 @@
+"""The post-hoc aggregation API: out-of-core queries over shard directories."""
+
+import pytest
+
+from repro.sweep import GridSpace, SweepResultStore, run_sweep
+
+from tests.sweep.conftest import conflict_scenario, pipeline_scenario
+
+
+@pytest.fixture(scope="module")
+def sweep_dir(tmp_path_factory):
+    from tests.sweep.conftest import make_pipeline_model
+
+    out = str(tmp_path_factory.mktemp("store") / "sweep")
+    space = GridSpace(
+        {"period": [1, 2, 3, 4, 5], "value": [1, 10]}, pipeline_scenario
+    )
+    result = run_sweep(
+        make_pipeline_model(), space, out,
+        partition_size=4, length=20, deltas=["acc"],
+    )
+    assert result.ok
+    return out
+
+
+class TestQueries:
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SweepResultStore(str(tmp_path / "nope"))
+
+    def test_counts_come_from_the_manifest(self, sweep_dir):
+        store = SweepResultStore(sweep_dir)
+        assert store.count == 10
+        assert store.complete
+        assert store.rows("scenarios") == 10
+        assert len(store.partitions()) == 3
+
+    def test_projection_limits_columns(self, sweep_dir):
+        rows = list(
+            SweepResultStore(sweep_dir).query(
+                "scenarios", columns=["scenario_id", "status"]
+            )
+        )
+        assert len(rows) == 10
+        assert all(set(row) == {"scenario_id", "status"} for row in rows)
+        assert [row["scenario_id"] for row in rows] == list(range(10))
+
+    def test_predicates_filter_across_partitions(self, sweep_dir):
+        rows = list(
+            SweepResultStore(sweep_dir).query(
+                "statistics",
+                where=[("signal", "==", "acc"), ("present", ">", 0)],
+            )
+        )
+        assert rows
+        assert all(row["signal"] == "acc" for row in rows)
+        assert {row["scenario_id"] for row in rows} == set(range(10))
+
+    def test_mapping_where_is_equality(self, sweep_dir):
+        store = SweepResultStore(sweep_dir)
+        triple = list(store.query("deltas", where=[("signal", "==", "acc")]))
+        shorthand = list(store.query("deltas", where={"signal": "acc"}))
+        assert triple == shorthand and shorthand
+
+    def test_limit_stops_early(self, sweep_dir):
+        rows = list(SweepResultStore(sweep_dir).query("deltas", limit=3))
+        assert len(rows) == 3
+
+    def test_scenario_lookup(self, sweep_dir):
+        row = SweepResultStore(sweep_dir).scenario(7)
+        assert row["scenario_id"] == 7
+        assert row["status"] == "ok"
+        assert row["params"]["period"] == 4
+        assert SweepResultStore(sweep_dir).scenario(99) is None
+
+    def test_signal_statistics_helper(self, sweep_dir):
+        rows = list(SweepResultStore(sweep_dir).signal_statistics("y"))
+        assert len(rows) == 10
+        assert all(row["signal"] == "y" for row in rows)
+
+    def test_no_faults_on_a_clean_sweep(self, sweep_dir):
+        assert SweepResultStore(sweep_dir).faults() == []
+
+    def test_unknown_table_rejected(self, sweep_dir):
+        with pytest.raises(ValueError):
+            list(SweepResultStore(sweep_dir).query("bogus"))
+
+
+class TestFaultyStore:
+    def test_faults_surface_error_rows(self, conflict_model, tmp_path):
+        space = GridSpace({"period": [1, 2, 1]}, conflict_scenario)
+        out = str(tmp_path / "sweep")
+        run_sweep(conflict_model, space, out, partition_size=2, length=5)
+        faults = SweepResultStore(out).faults()
+        assert [row["scenario_id"] for row in faults] == [1]
+        assert faults[0]["status"] == "error"
+        assert faults[0]["detail"]

@@ -63,6 +63,14 @@ DOCUMENTED_MODULES = [
     "repro.store",
     "repro.store.artifacts",
     "repro.store.toolchain",
+    # Fleet-scale sweeps: pure-stdlib by default (pyarrow only upgrades
+    # the shard format at runtime), so the whole package is checkable.
+    "repro.sweep",
+    "repro.sweep.spaces",
+    "repro.sweep.shards",
+    "repro.sweep.manifest",
+    "repro.sweep.executor",
+    "repro.sweep.store",
 ]
 
 #: Modules whose ``__all__`` is audited (every listed name must resolve and
